@@ -1,0 +1,16 @@
+# One binary per paper table/figure, plus protocol microbenchmarks.
+# Included from the top-level CMakeLists so build/bench/ holds only the
+# executables (handy for `for b in build/bench/*; do $b; done`).
+file(GLOB BENCH_SOURCES CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/bench/*.cpp)
+
+foreach(src ${BENCH_SOURCES})
+  get_filename_component(name ${src} NAME_WE)
+  if(name STREQUAL "bench_common")
+    continue()
+  endif()
+  add_executable(${name} ${src} ${CMAKE_SOURCE_DIR}/bench/bench_common.cpp)
+  target_link_libraries(${name} PRIVATE rsvm_apps benchmark::benchmark)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

@@ -1,0 +1,79 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace rsvm::bench {
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      o.paper_scale = true;
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      o.tiny = true;
+    } else if (std::strncmp(argv[i], "--procs=", 8) == 0) {
+      o.procs = std::atoi(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--paper-scale|--tiny] [--procs=N]\n", argv[0]);
+      std::exit(0);
+    } else {
+      throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+  registerAllApps();
+  return o;
+}
+
+const AppParams& pick(const AppDesc& app, const Options& opt) {
+  if (opt.tiny) return app.tiny;
+  return opt.paper_scale ? app.paper : app.small;
+}
+
+void printHeader(const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+void breakdownFigure(const std::string& figure, const std::string& app,
+                     const std::string& version, const Options& opt) {
+  const AppDesc* a = Registry::instance().find(app);
+  if (a == nullptr) throw std::runtime_error("unknown app " + app);
+  const VersionDesc* v = a->version(version);
+  if (v == nullptr) throw std::runtime_error("unknown version " + version);
+  const AppParams& prm = pick(*a, opt);
+  printHeader(figure + " -- " + app + "/" + version + " on SVM, " +
+              std::to_string(opt.procs) + " processors (n=" +
+              std::to_string(prm.n) + ")");
+  const AppResult r =
+      Experiment::runOnce(PlatformKind::SVM, *v, prm, opt.procs);
+  std::printf("%s", fmt::breakdown("execution time breakdown (cycles)",
+                                   r.stats)
+                        .c_str());
+  std::printf(
+      "page faults %llu | twins %llu | diffs %llu (%llu bytes) | "
+      "lock acquires %llu (%llu remote) | barriers %llu | "
+      "tasks %llu (%llu stolen)\n",
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::page_faults)),
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::write_faults)),
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::diffs_created)),
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::diff_bytes)),
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::lock_acquires)),
+      static_cast<unsigned long long>(
+          r.stats.sum(&ProcStats::remote_lock_acquires)),
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::barriers)),
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::tasks_executed)),
+      static_cast<unsigned long long>(r.stats.sum(&ProcStats::tasks_stolen)));
+  std::printf("verification: %s\n\n", r.note.c_str());
+}
+
+CellResult cell(Experiment& ex, PlatformKind kind, const AppDesc& app,
+                const std::string& version, const Options& opt) {
+  const VersionDesc* v = app.version(version);
+  if (v == nullptr) throw std::runtime_error("unknown version " + version);
+  return ex.run(kind, *v, pick(app, opt), opt.procs);
+}
+
+}  // namespace rsvm::bench

@@ -1,0 +1,35 @@
+// Shared scaffolding for the per-figure benchmark binaries. Every
+// binary accepts:
+//   --paper-scale   run the paper's input sizes (default: scaled-down)
+//   --tiny          run integration-test sizes (for smoke runs)
+//   --procs=N       simulated processor count (default 16, as the paper)
+#pragma once
+
+#include "core/experiment.hpp"
+
+#include <string>
+#include <vector>
+
+namespace rsvm::bench {
+
+struct Options {
+  bool paper_scale = false;
+  bool tiny = false;
+  int procs = 16;
+};
+
+Options parse(int argc, char** argv);
+
+const AppParams& pick(const AppDesc& app, const Options& opt);
+
+/// Print one figure-style per-processor breakdown for a version on SVM.
+void breakdownFigure(const std::string& figure, const std::string& app,
+                     const std::string& version, const Options& opt);
+
+/// Run a version on a platform and return the paper-style speedup cell.
+CellResult cell(Experiment& ex, PlatformKind kind, const AppDesc& app,
+                const std::string& version, const Options& opt);
+
+void printHeader(const std::string& title);
+
+}  // namespace rsvm::bench

@@ -1,0 +1,95 @@
+// Ablations over the SVM platform's design parameters, for the design
+// choices DESIGN.md calls out:
+//
+//  * page size    -- 1/4/16 KB coherence units: smaller pages trade
+//                    fragmentation/false sharing against per-fault
+//                    overhead amortization,
+//  * I/O bus      -- the commodity bottleneck (the paper's 100 MB/s) vs
+//                    faster fabrics: how much of the SVM gap is pure
+//                    bandwidth,
+//  * free CS faults -- the paper's own diagnostic ("pretend page faults
+//                    inside critical sections are free"), quantifying
+//                    critical-section dilation per application.
+#include "bench_common.hpp"
+
+#include "proto/svm/svm_platform.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace rsvm;
+
+Cycles runWith(const AppDesc&, const VersionDesc& ver,
+               const AppParams& prm, int procs, const SvmParams& sp,
+               bool free_cs = false) {
+  SvmPlatform plat(procs, sp);
+  plat.free_cs_faults = free_cs;
+  const AppResult r = ver.run(plat, prm);
+  if (!r.correct) std::printf("  !! verification failed: %s\n", r.note.c_str());
+  return r.stats.exec_cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parse(argc, argv);
+
+  bench::printHeader("Ablation 1: SVM page size (ocean/2d, volrend/orig)");
+  std::printf("%10s %16s %16s\n", "page", "ocean 2d", "volrend orig");
+  for (std::uint32_t page : {1024u, 4096u, 16384u}) {
+    SvmParams sp;
+    sp.page_bytes = page;
+    // Scale transfer-dependent handler costs with the page size.
+    sp.twin_create = 2500 * page / 4096;
+    sp.diff_scan = 3000 * page / 4096;
+    const AppDesc* ocean = Registry::instance().find("ocean");
+    const AppDesc* volrend = Registry::instance().find("volrend");
+    const Cycles oc = runWith(*ocean, *ocean->version("2d"),
+                              bench::pick(*ocean, opt), opt.procs, sp);
+    const Cycles vr = runWith(*volrend, *volrend->version("orig"),
+                              bench::pick(*volrend, opt), opt.procs, sp);
+    std::printf("%9uB %16llu %16llu\n", page,
+                static_cast<unsigned long long>(oc),
+                static_cast<unsigned long long>(vr));
+  }
+
+  bench::printHeader("Ablation 2: I/O-bus bandwidth (radix/orig on SVM)");
+  std::printf("%12s %16s\n", "bandwidth", "radix orig cycles");
+  for (double bpc : {0.25, 0.5, 1.0, 2.0, 8.0}) {
+    SvmParams sp;
+    sp.iobus_bytes_per_cycle = bpc;
+    const AppDesc* radix = Registry::instance().find("radix");
+    const Cycles rx = runWith(*radix, radix->original(),
+                              bench::pick(*radix, opt), opt.procs, sp);
+    std::printf("%9.0fMB/s %16llu\n", bpc * 200.0,
+                static_cast<unsigned long long>(rx));
+  }
+
+  bench::printHeader(
+      "Ablation 3: critical-section dilation (free CS faults diagnostic)");
+  std::printf("%-22s %16s %16s %8s\n", "app/version", "normal", "freeCS",
+              "ratio");
+  struct Pick {
+    const char* app;
+    const char* ver;
+  };
+  for (const Pick pk : {Pick{"volrend", "orig"}, Pick{"raytrace", "orig"},
+                        Pick{"barnes", "orig"}}) {
+    const AppDesc* app = Registry::instance().find(pk.app);
+    const VersionDesc* v = app->version(pk.ver);
+    const AppParams& prm = bench::pick(*app, opt);
+    const Cycles normal = runWith(*app, *v, prm, opt.procs, SvmParams{});
+    const Cycles free_cs =
+        runWith(*app, *v, prm, opt.procs, SvmParams{}, true);
+    std::printf("%-22s %16llu %16llu %8.2f\n",
+                (std::string(pk.app) + "/" + pk.ver).c_str(),
+                static_cast<unsigned long long>(normal),
+                static_cast<unsigned long long>(free_cs),
+                static_cast<double>(normal) / static_cast<double>(free_cs));
+  }
+  std::printf("\nThe ratio is the slowdown attributable to page faults\n"
+              "dilating critical sections (paper, section 4.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension (paper section 7): "SMP nodes connected by SVM ... how to
+// take advantage of the two-level communication hierarchy". Run every
+// application's original and best versions on 16 processors organized as
+// flat SVM (16 x 1) and as SMP-node clusters (4 x 4 and 2 x 8).
+//
+// Expected shape: clustering absorbs a large share of the inter-node
+// page traffic, locks and barriers (anything that stays within a node is
+// nearly free), so the *original* versions recover much of their lost
+// performance -- while the restructured versions gain less, since they
+// already minimized inter-node interactions.
+#include "bench_common.hpp"
+
+#include "proto/svm/svm_platform.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace rsvm;
+
+double speedup(const AppDesc&, const VersionDesc& ver,
+               const AppParams& prm, int procs, int ppn, Cycles base) {
+  SvmParams sp;
+  sp.procs_per_node = ppn;
+  SvmPlatform plat(procs, sp);
+  const AppResult r = ver.run(plat, prm);
+  if (!r.correct) std::printf("  !! verification failed: %s\n", r.note.c_str());
+  return static_cast<double>(base) /
+         static_cast<double>(r.stats.exec_cycles);
+}
+
+const char* bestOf(const std::string& app) {
+  if (app == "lu") return "4d-aligned";
+  if (app == "ocean") return "rowwise";
+  if (app == "volrend") return "alg-nosteal";
+  if (app == "shearwarp") return "alg";
+  if (app == "raytrace") return "alg-splitq";
+  if (app == "barnes") return "spatial";
+  return "alg-local";  // radix
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parse(argc, argv);
+  bench::printHeader("Extension: SMP-node SVM (16 processors as 16x1 / "
+                     "4 nodes x 4 / 2 nodes x 8)");
+  std::printf("%-24s %10s %10s %10s\n", "app/version", "flat 16x1", "4x4",
+              "2x8");
+  for (const AppDesc& app : Registry::instance().all()) {
+    const AppParams& prm = bench::pick(app, opt);
+    // Uniprocessor baseline of the original (paper methodology).
+    SvmPlatform uni(1);
+    const AppResult base_r = app.original().run(uni, prm);
+    const Cycles base = base_r.stats.exec_cycles;
+    for (const char* vn : {app.original().name.c_str(), bestOf(app.name)}) {
+      const VersionDesc* v = app.version(vn);
+      const double flat = speedup(app, *v, prm, opt.procs, 1, base);
+      const double c4 = speedup(app, *v, prm, opt.procs, 4, base);
+      const double c8 = speedup(app, *v, prm, opt.procs, 8, base);
+      std::printf("%-24s %10.2f %10.2f %10.2f\n",
+                  (app.name + "/" + vn).c_str(), flat, c4, c8);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension (paper section 7): "how problem size affects these results".
+// Sweep problem sizes for LU and Ocean on SVM: the paper's hypothesis is
+// that larger problems amortize page-grain overheads, shrinking (but not
+// closing) the gap between the original and restructured versions.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parse(argc, argv);
+  bench::printHeader("Extension: problem-size sensitivity on SVM");
+
+  {
+    const AppDesc* lu = Registry::instance().find("lu");
+    Experiment ex(*lu);
+    std::printf("-- LU (block = n/16) --\n%8s %10s %14s %10s\n", "n", "2d",
+                "4d-aligned", "ratio");
+    for (int n : {128, 256, 512}) {
+      AppParams prm = lu->small;
+      prm.n = n;
+      prm.block = std::max(8, n / 16);
+      const double orig =
+          ex.run(PlatformKind::SVM, *lu->version("2d"), prm, opt.procs)
+              .speedup();
+      const double best =
+          ex.run(PlatformKind::SVM, *lu->version("4d-aligned"), prm,
+                 opt.procs)
+              .speedup();
+      std::printf("%8d %10.2f %14.2f %10.2f\n", n, orig, best, best / orig);
+    }
+  }
+  {
+    const AppDesc* ocean = Registry::instance().find("ocean");
+    Experiment ex(*ocean);
+    std::printf("\n-- Ocean --\n%8s %10s %14s %10s\n", "n", "2d", "rowwise",
+                "ratio");
+    for (int n : {130, 258, 514}) {
+      AppParams prm = ocean->small;
+      prm.n = n;
+      const double orig =
+          ex.run(PlatformKind::SVM, *ocean->version("2d"), prm, opt.procs)
+              .speedup();
+      const double best =
+          ex.run(PlatformKind::SVM, *ocean->version("rowwise"), prm,
+                 opt.procs)
+              .speedup();
+      std::printf("%8d %10.2f %14.2f %10.2f\n", n, orig, best, best / orig);
+    }
+  }
+  return 0;
+}

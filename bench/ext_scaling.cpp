@@ -1,0 +1,43 @@
+// Extension (paper section 7): "investigate the issues with larger
+// numbers of processors" -- and smaller ones. Sweep processor counts for
+// original and best versions on SVM and DSM. Expected shape: the SVM
+// gap widens with processor count (synchronization and contention costs
+// grow), and the paper's optimizations grow more important with scale on
+// CC-NUMA too (its hypothesis from [2]).
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parse(argc, argv);
+  bench::printHeader("Extension: processor-count scaling");
+  const int counts[] = {1, 2, 4, 8, 16, 32};
+  struct Pick {
+    const char* app;
+    const char* orig;
+    const char* best;
+  };
+  const Pick picks[] = {{"ocean", "2d", "rowwise"},
+                        {"barnes", "orig", "spatial"},
+                        {"volrend", "orig", "alg-nosteal"}};
+  for (const Pick& pk : picks) {
+    const AppDesc* app = Registry::instance().find(pk.app);
+    Experiment ex(*app);
+    for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::NUMA}) {
+      std::printf("-- %s on %s --\n%8s %12s %12s\n", pk.app,
+                  platformName(kind), "procs", pk.orig, pk.best);
+      for (int p : counts) {
+        auto opt_p = opt;
+        opt_p.procs = p;
+        const double so =
+            bench::cell(ex, kind, *app, pk.orig, opt_p).speedup();
+        const double sb =
+            bench::cell(ex, kind, *app, pk.best, opt_p).speedup();
+        std::printf("%8d %12.2f %12.2f\n", p, so, sb);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 2: speedups of the original application versions on the three
+// shared-address-space platforms (16 processors). Paper reference values
+// (read off the figure): good-to-reasonable on SMP/DSM for everything,
+// while on SVM LU/Ocean/Raytrace fall below 1 and Volrend, Shear-Warp,
+// Barnes and Radix underperform.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parse(argc, argv);
+  bench::printHeader(
+      "Figure 2: speedups of original versions across platforms (" +
+      std::to_string(opt.procs) + " processors)");
+  std::printf("%-28s %8s %8s %8s\n", "application (orig version)", "SVM",
+              "SMP", "DSM");
+  for (const AppDesc& app : Registry::instance().all()) {
+    Experiment ex(app);
+    const double svm =
+        bench::cell(ex, PlatformKind::SVM, app, app.original().name, opt)
+            .speedup();
+    const double smp =
+        bench::cell(ex, PlatformKind::SMP, app, app.original().name, opt)
+            .speedup();
+    const double dsm =
+        bench::cell(ex, PlatformKind::NUMA, app, app.original().name, opt)
+            .speedup();
+    std::printf("%s",
+                fmt::speedupRow(app.name + "/" + app.original().name, svm,
+                                smp, dsm)
+                    .c_str());
+  }
+  return 0;
+}

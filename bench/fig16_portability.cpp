@@ -1,0 +1,37 @@
+// Figure 16: performance with the different optimization classes across
+// the shared-address-space multiprocessors -- the performance-portability
+// result. For every application, every version (Orig / P+A / DS / Alg)
+// runs on SVM, SMP and DSM; speedups are measured against the original
+// version's uniprocessor time on the same platform, exactly as in the
+// paper. Expected shape: the optimizations transform SVM performance,
+// help modestly on DSM, and are mostly neutral on the SMP.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parse(argc, argv);
+  bench::printHeader(
+      "Figure 16: speedups per optimization class across platforms (" +
+      std::to_string(opt.procs) + " processors)");
+  for (const AppDesc& app : Registry::instance().all()) {
+    Experiment ex(app);
+    std::printf("-- %s (%s) --\n", app.name.c_str(), app.summary.c_str());
+    std::printf("%-28s %8s %8s %8s\n", "version [class]", "SVM", "SMP", "DSM");
+    for (const VersionDesc& v : app.versions) {
+      const double svm =
+          bench::cell(ex, PlatformKind::SVM, app, v.name, opt).speedup();
+      const double smp =
+          bench::cell(ex, PlatformKind::SMP, app, v.name, opt).speedup();
+      const double dsm =
+          bench::cell(ex, PlatformKind::NUMA, app, v.name, opt).speedup();
+      std::printf("%s", fmt::speedupRow(v.name + " [" +
+                                            optClassName(v.cls) + "]",
+                                        svm, smp, dsm)
+                            .c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

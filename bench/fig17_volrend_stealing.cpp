@@ -1,0 +1,26 @@
+// Figure 17: Volrend with the algorithmic optimization, with and without
+// task stealing, on the SVM and CC-NUMA DSM platforms. The paper's
+// punchline: stealing wins on hardware coherence (cheap synchronization)
+// and loses on SVM (dilated critical sections, expensive locks).
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parse(argc, argv);
+  bench::printHeader("Figure 17: Volrend algorithmic version, stealing "
+                     "on/off, SVM vs CC-NUMA DSM");
+  const AppDesc* app = Registry::instance().find("volrend");
+  Experiment ex(*app);
+  std::printf("%-28s %8s %8s\n", "version", "SVM", "DSM");
+  for (const char* ver : {"alg-steal", "alg-nosteal"}) {
+    const double svm =
+        bench::cell(ex, PlatformKind::SVM, *app, ver, opt).speedup();
+    const double dsm =
+        bench::cell(ex, PlatformKind::NUMA, *app, ver, opt).speedup();
+    std::printf("%-28s %8.2f %8.2f\n", ver, svm, dsm);
+  }
+  std::printf("\npaper (Fig 17): stealing helps the DSM and hurts SVM.\n");
+  return 0;
+}

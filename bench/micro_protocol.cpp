@@ -1,0 +1,232 @@
+// Protocol-primitive microbenchmarks (google-benchmark). Reported time
+// is *simulated* time (manual timing: simulated cycles / clock rate), so
+// these numbers are the platform model's primitive costs -- the raw
+// quantities behind every figure: page fetch vs line miss, lock and
+// barrier costs per platform, diff/twin overheads.
+#include "proto/numa/numa_platform.hpp"
+#include "proto/smp/smp_platform.hpp"
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace rsvm {
+namespace {
+
+constexpr double kSvmHz = 200e6;   // 200 MHz nodes
+constexpr double kNumaHz = 300e6;  // 300 MHz nodes
+constexpr double kSmpHz = 150e6;   // 150 MHz nodes
+
+/// Run `ops` simulated operations; report simulated seconds per op.
+template <typename MakeRun>
+void manualTimed(benchmark::State& state, double hz, MakeRun&& make_run) {
+  for (auto _ : state) {
+    const auto [cycles, ops] = make_run();
+    state.SetIterationTime(static_cast<double>(cycles) / hz /
+                           static_cast<double>(ops));
+  }
+}
+
+void BM_SvmColdPageFetch(benchmark::State& state) {
+  manualTimed(state, kSvmHz, [] {
+    SvmPlatform plat(2);
+    const int pages = 64;
+    SharedArray<int> a(plat, pages * 1024, HomePolicy::node(0));
+    plat.run([&](Ctx& c) {
+      if (c.id() == 1) {
+        for (int p = 0; p < pages; ++p) {
+          a.get(c, static_cast<std::size_t>(p) * 1024);
+        }
+      }
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().procs[1].total(),
+                                  pages);
+  });
+}
+BENCHMARK(BM_SvmColdPageFetch)->UseManualTime()->Iterations(20);
+
+void BM_SvmTwinAndDiff(benchmark::State& state) {
+  manualTimed(state, kSvmHz, [] {
+    SvmPlatform plat(2);
+    const int pages = 64;
+    SharedArray<int> a(plat, pages * 1024, HomePolicy::node(0));
+    plat.warm(1, a.base(), a.bytes());
+    const int bar = plat.makeBarrier();
+    plat.run([&](Ctx& c) {
+      if (c.id() == 1) {
+        for (int p = 0; p < pages; ++p) {
+          a.set(c, static_cast<std::size_t>(p) * 1024, p);  // twin per page
+        }
+      }
+      c.barrier(bar);  // diffs flush here
+    });
+    return std::pair<Cycles, int>(
+        plat.engine().collect().procs[1][Bucket::Handler] +
+            plat.engine().collect().procs[1][Bucket::BarrierWait],
+        pages);
+  });
+}
+BENCHMARK(BM_SvmTwinAndDiff)->UseManualTime()->Iterations(20);
+
+void BM_SvmRemoteLockAcquire(benchmark::State& state) {
+  manualTimed(state, kSvmHz, [] {
+    SvmPlatform plat(2);
+    const int lk = plat.makeLock();
+    const int bar = plat.makeBarrier();
+    const int rounds = 32;
+    plat.run([&](Ctx& c) {
+      // Ping-pong the lock: every acquire is remote.
+      for (int i = 0; i < rounds; ++i) {
+        if (c.id() == i % 2) {
+          c.lock(lk);
+          c.unlock(lk);
+        }
+        c.barrier(bar);
+      }
+    });
+    const RunStats rs = plat.engine().collect();
+    return std::pair<Cycles, int>(rs.bucketTotal(Bucket::LockWait), rounds);
+  });
+}
+BENCHMARK(BM_SvmRemoteLockAcquire)->UseManualTime()->Iterations(20);
+
+void BM_SvmBarrier16(benchmark::State& state) {
+  manualTimed(state, kSvmHz, [] {
+    SvmPlatform plat(16);
+    const int bar = plat.makeBarrier();
+    const int rounds = 16;
+    plat.run([&](Ctx& c) {
+      for (int i = 0; i < rounds; ++i) c.barrier(bar);
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().exec_cycles,
+                                  rounds);
+  });
+}
+BENCHMARK(BM_SvmBarrier16)->UseManualTime()->Iterations(20);
+
+void BM_NumaLocalMiss(benchmark::State& state) {
+  manualTimed(state, kNumaHz, [] {
+    NumaPlatform plat(2);
+    const int lines = 512;
+    SharedArray<int> a(plat, lines * 16, HomePolicy::node(0));
+    plat.run([&](Ctx& c) {
+      if (c.id() == 0) {
+        for (int l = 0; l < lines; ++l) {
+          a.get(c, static_cast<std::size_t>(l) * 16);
+        }
+      }
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().procs[0].total(),
+                                  lines);
+  });
+}
+BENCHMARK(BM_NumaLocalMiss)->UseManualTime()->Iterations(20);
+
+void BM_NumaRemoteCleanMiss(benchmark::State& state) {
+  manualTimed(state, kNumaHz, [] {
+    NumaPlatform plat(2);
+    const int lines = 512;
+    SharedArray<int> a(plat, lines * 16, HomePolicy::node(0));
+    plat.run([&](Ctx& c) {
+      if (c.id() == 1) {
+        for (int l = 0; l < lines; ++l) {
+          a.get(c, static_cast<std::size_t>(l) * 16);
+        }
+      }
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().procs[1].total(),
+                                  lines);
+  });
+}
+BENCHMARK(BM_NumaRemoteCleanMiss)->UseManualTime()->Iterations(20);
+
+void BM_NumaThreeHopDirtyMiss(benchmark::State& state) {
+  manualTimed(state, kNumaHz, [] {
+    NumaPlatform plat(3);
+    const int lines = 256;
+    SharedArray<int> a(plat, lines * 16, HomePolicy::node(0));
+    const int bar = plat.makeBarrier();
+    plat.run([&](Ctx& c) {
+      if (c.id() == 1) {
+        for (int l = 0; l < lines; ++l) {
+          a.set(c, static_cast<std::size_t>(l) * 16, l);
+        }
+      }
+      c.barrier(bar);
+      if (c.id() == 2) {
+        for (int l = 0; l < lines; ++l) {
+          a.get(c, static_cast<std::size_t>(l) * 16);
+        }
+      }
+    });
+    return std::pair<Cycles, int>(
+        plat.engine().collect().procs[2][Bucket::DataWait], lines);
+  });
+}
+BENCHMARK(BM_NumaThreeHopDirtyMiss)->UseManualTime()->Iterations(20);
+
+void BM_NumaBarrier16(benchmark::State& state) {
+  manualTimed(state, kNumaHz, [] {
+    NumaPlatform plat(16);
+    const int bar = plat.makeBarrier();
+    const int rounds = 64;
+    plat.run([&](Ctx& c) {
+      for (int i = 0; i < rounds; ++i) c.barrier(bar);
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().exec_cycles,
+                                  rounds);
+  });
+}
+BENCHMARK(BM_NumaBarrier16)->UseManualTime()->Iterations(20);
+
+void BM_SmpBusMiss(benchmark::State& state) {
+  manualTimed(state, kSmpHz, [] {
+    SmpPlatform plat(1);
+    const int lines = 512;
+    SharedArray<int> a(plat, lines * 32, HomePolicy::node(0));
+    plat.run([&](Ctx& c) {
+      for (int l = 0; l < lines; ++l) {
+        a.get(c, static_cast<std::size_t>(l) * 32);
+      }
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().exec_cycles, lines);
+  });
+}
+BENCHMARK(BM_SmpBusMiss)->UseManualTime()->Iterations(20);
+
+void BM_SmpBusMissContended16(benchmark::State& state) {
+  manualTimed(state, kSmpHz, [] {
+    SmpPlatform plat(16);
+    const int lines_per_proc = 256;
+    SharedArray<int> a(plat, 16 * lines_per_proc * 32, HomePolicy::node(0));
+    plat.run([&](Ctx& c) {
+      const std::size_t base = static_cast<std::size_t>(c.id()) *
+                               lines_per_proc * 32;
+      for (int l = 0; l < lines_per_proc; ++l) {
+        a.get(c, base + static_cast<std::size_t>(l) * 32);
+      }
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().exec_cycles,
+                                  lines_per_proc);
+  });
+}
+BENCHMARK(BM_SmpBusMissContended16)->UseManualTime()->Iterations(20);
+
+void BM_SmpBarrier16(benchmark::State& state) {
+  manualTimed(state, kSmpHz, [] {
+    SmpPlatform plat(16);
+    const int bar = plat.makeBarrier();
+    const int rounds = 64;
+    plat.run([&](Ctx& c) {
+      for (int i = 0; i < rounds; ++i) c.barrier(bar);
+    });
+    return std::pair<Cycles, int>(plat.engine().collect().exec_cycles,
+                                  rounds);
+  });
+}
+BENCHMARK(BM_SmpBarrier16)->UseManualTime()->Iterations(20);
+
+}  // namespace
+}  // namespace rsvm
+
+BENCHMARK_MAIN();

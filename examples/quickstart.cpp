@@ -1,0 +1,71 @@
+// Quickstart: write a small parallel program against the coherent
+// shared-address-space API and run it unchanged on all three simulated
+// platforms (page-grained SVM, snooping-bus SMP, directory CC-NUMA),
+// then inspect the paper-style execution-time breakdown.
+//
+//   $ ./example_quickstart
+//
+// The program is a toy near-neighbor smoothing kernel: each processor
+// owns a band of a 1-d array and repeatedly averages with its
+// neighbors, with a barrier per sweep -- a miniature Ocean.
+#include "core/app.hpp"
+#include "runtime/shared.hpp"
+
+#include <cstdio>
+
+using namespace rsvm;
+
+int main() {
+  constexpr int kProcs = 8;
+  constexpr std::size_t kN = 1 << 15;
+  constexpr int kSweeps = 12;
+
+  for (PlatformKind kind :
+       {PlatformKind::SVM, PlatformKind::SMP, PlatformKind::NUMA}) {
+    // 1. Create a platform (16-processor machine models from the paper).
+    auto plat = Platform::create(kind, kProcs);
+
+    // 2. Allocate shared data with a distribution policy. Each
+    //    processor's band lives in its own node's memory.
+    SharedArray<double> a(*plat, kN, HomePolicy::blocked(kProcs));
+    SharedArray<double> b(*plat, kN, HomePolicy::blocked(kProcs));
+    for (std::size_t i = 0; i < kN; ++i) {
+      a.raw(i) = static_cast<double>(i % 97);  // untimed initialization
+    }
+    const int bar = plat->makeBarrier();
+
+    // 3. Run the timed parallel section: every shared access is charged
+    //    simulated cycles by the platform's coherence protocol.
+    RunStats rs = plat->run([&](Ctx& c) {
+      const std::size_t lo = static_cast<std::size_t>(c.id()) * kN / kProcs;
+      const std::size_t hi = lo + kN / kProcs;
+      SharedArray<double>* src = &a;
+      SharedArray<double>* dst = &b;
+      for (int s = 0; s < kSweeps; ++s) {
+        for (std::size_t i = std::max<std::size_t>(lo, 1);
+             i < std::min(hi, kN - 1); ++i) {
+          dst->set(c, i,
+                   (src->get(c, i - 1) + src->get(c, i) + src->get(c, i + 1)) /
+                       3.0);
+          c.compute(3);  // the two adds and the divide
+        }
+        c.barrier(bar);
+        std::swap(src, dst);
+      }
+    });
+
+    // 4. Look at where the time went (the paper's six buckets).
+    std::printf("---- %s ----\n", plat->name());
+    std::printf("exec cycles: %llu\n",
+                static_cast<unsigned long long>(rs.exec_cycles));
+    for (int bkt = 0; bkt < kNumBuckets; ++bkt) {
+      std::printf("  %-12s %10llu\n", bucketName(static_cast<Bucket>(bkt)),
+                  static_cast<unsigned long long>(
+                      rs.bucketTotal(static_cast<Bucket>(bkt))));
+    }
+  }
+  std::printf("\nNote how the same program pays page faults and barrier\n"
+              "protocol costs on SVM, bus stalls on the SMP, and remote\n"
+              "line misses on the DSM.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Two-level hierarchy demo (the paper's section-7 future work): the same
+// Ocean run on 16 processors organized as 16 single-CPU SVM nodes, as
+// 4 SMP nodes of 4, and as 2 SMP nodes of 8. Watch the barrier and data
+// wait shrink as more of the communication stays inside a node.
+//
+//   $ ./example_two_level_hierarchy
+#include "apps/ocean/ocean.hpp"
+#include "core/app.hpp"
+#include "proto/svm/svm_platform.hpp"
+
+#include <cstdio>
+
+using namespace rsvm;
+
+int main() {
+  const AppParams prm{.n = 130, .iters = 3, .block = 0, .seed = 11};
+  std::printf("%-10s %12s %12s %12s %12s\n", "layout", "cycles", "data",
+              "barrier", "faults");
+  for (int ppn : {1, 4, 8}) {
+    SvmParams sp;
+    sp.procs_per_node = ppn;
+    SvmPlatform plat(16, sp);
+    const AppResult r =
+        apps::ocean::run(plat, prm, apps::ocean::Variant::TwoD);
+    if (!r.correct) {
+      std::printf("verification failed: %s\n", r.note.c_str());
+      return 1;
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "%dx%d", 16 / ppn, ppn);
+    std::printf("%-10s %12llu %12llu %12llu %12llu\n", label,
+                static_cast<unsigned long long>(r.stats.exec_cycles),
+                static_cast<unsigned long long>(
+                    r.stats.bucketTotal(Bucket::DataWait)),
+                static_cast<unsigned long long>(
+                    r.stats.bucketTotal(Bucket::BarrierWait)),
+                static_cast<unsigned long long>(
+                    r.stats.sum(&ProcStats::page_faults)));
+  }
+  std::printf("\nThe *unmodified* original Ocean recovers performance as\n"
+              "nodes grow: intra-node pages, locks and barrier arrivals\n"
+              "are nearly free (paper, section 7 future work).\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Reproduce the full study: build, test, regenerate every paper figure,
+# run the extensions. Pass --paper-scale to use the paper's input sizes
+# (slower); default is the scaled-down configuration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  echo
+  echo "########## $(basename "$b") $SCALE"
+  "$b" $SCALE
+done

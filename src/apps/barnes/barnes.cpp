@@ -1,0 +1,887 @@
+#include "apps/barnes/barnes.hpp"
+
+#include "runtime/shared.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace rsvm::apps::barnes {
+namespace {
+
+constexpr std::size_t kPageBytes = 4096;
+constexpr int kLeafCap = 8;       ///< bodies per leaf before splitting
+constexpr int kLeafMax = 16;      ///< hard capacity at depth limit
+constexpr int kMaxLevel = 24;
+constexpr int kCellLocks = 512;   ///< lock pool for cell locking
+constexpr double kTheta = 0.7;    ///< opening criterion
+constexpr double kEps2 = 1e-4;    ///< softening^2
+constexpr double kDt = 0.03;
+
+// Node record layout in the shared pool.
+constexpr std::size_t kNI = 12;  ///< int32 slots per node
+constexpr std::size_t kNF = 8;   ///< float slots per node
+// ints: [0] type (0 internal / 1 leaf), [1] count, [2..9] slots, [10] level
+// floats: [0] mass, [1..3] com, [4..6] center, [7] half-size
+
+enum { kInternal = 0, kLeaf = 1 };
+
+struct BarnesSim {
+  Platform& plat;
+  const AppParams& prm;
+  Variant variant;
+  int P;
+  std::size_t N;
+  std::size_t cap;            ///< node pool capacity
+  std::size_t ni_stride, nf_stride;
+
+  // Bodies (SoA, block-distributed).
+  SharedArray<float> bx, by, bz, bvx, bvy, bvz, bm, bax, bay, baz;
+  SharedArray<std::int32_t> body_leaf;  ///< leaf holding each body (update-tree)
+
+  // Node pool.
+  SharedArray<std::int32_t> ni;
+  SharedArray<float> nf;
+  // Global pool cursor (orig/pa) lives in shared memory under a lock.
+  SharedArray<std::int32_t> pool_next;
+  // Per-processor chunk state for the pa variant (host-side scratch).
+  std::vector<std::int32_t> chunk_next, chunk_end;
+  // Per-processor heaps (ds and algorithm variants).
+  std::vector<std::int32_t> heap_next, heap_end;
+
+  // Global bounding box (written by proc 0 each step).
+  SharedArray<float> gbox;  ///< [cx, cy, cz, hs]
+  SharedArray<float> redsl; ///< per-proc reduction slots (page-strided)
+
+  int pool_lock = 0;
+  int first_cell_lock = 0;
+  int bar = 0;
+  int root = -1;
+
+  // Host-side metadata: who allocated each node, by tree level, for the
+  // level-synchronized parallel center-of-mass pass.
+  std::vector<std::vector<std::vector<std::int32_t>>> owned;  // [proc][level]
+  int max_level = 0;
+
+  BarnesSim(Platform& p, const AppParams& a, Variant v)
+      : plat(p), prm(a), variant(v), P(p.nprocs()),
+        N(static_cast<std::size_t>(a.n)) {
+    cap = 4 * N + 4096;
+    // P/A: nodes padded to a 64 B line and the pool handed out in
+    // page-aligned per-processor chunks (the paper's "pad and align the
+    // data structures from which cells are allocated").
+    const bool padded = variant == Variant::PA;
+    ni_stride = padded ? 16 : kNI;
+    nf_stride = padded ? 16 : kNF;
+    auto bodyHomes = HomePolicy::blocked(P);
+    bx = {plat, N, bodyHomes}; by = {plat, N, bodyHomes};
+    bz = {plat, N, bodyHomes}; bvx = {plat, N, bodyHomes};
+    bvy = {plat, N, bodyHomes}; bvz = {plat, N, bodyHomes};
+    bm = {plat, N, bodyHomes}; bax = {plat, N, bodyHomes};
+    bay = {plat, N, bodyHomes}; baz = {plat, N, bodyHomes};
+    body_leaf = {plat, N, bodyHomes};
+    // Node pool homes: scattered (round-robin) for the SPLASH-style pool;
+    // per-processor regions for local heaps.
+    const bool local_heaps = variant != Variant::Orig && variant != Variant::PA;
+    const std::size_t per = cap / static_cast<std::size_t>(P) + 1;
+    HomePolicy nodeHomes =
+        local_heaps
+            ? HomePolicy{[this, per](std::uint64_t page, std::uint64_t) {
+                const std::size_t node = page * kPageBytes / (ni_stride * 4);
+                return static_cast<ProcId>(
+                    std::min<std::size_t>(node / per,
+                                          static_cast<std::size_t>(P - 1)));
+              }}
+            : HomePolicy::roundRobin(P);
+    HomePolicy nodeHomesF =
+        local_heaps
+            ? HomePolicy{[this, per](std::uint64_t page, std::uint64_t) {
+                const std::size_t node = page * kPageBytes / (nf_stride * 4);
+                return static_cast<ProcId>(
+                    std::min<std::size_t>(node / per,
+                                          static_cast<std::size_t>(P - 1)));
+              }}
+            : HomePolicy::roundRobin(P);
+    ni = {plat, cap * ni_stride, nodeHomes, kPageBytes};
+    nf = {plat, cap * nf_stride, nodeHomesF, kPageBytes};
+    pool_next = {plat, 1, HomePolicy::node(0)};
+    gbox = {plat, 4, HomePolicy::node(0)};
+    redsl = {plat, static_cast<std::size_t>(P) * (kPageBytes / 4),
+             HomePolicy::roundRobin(P), kPageBytes};
+    chunk_next.assign(static_cast<std::size_t>(P), 0);
+    chunk_end.assign(static_cast<std::size_t>(P), 0);
+    heap_next.resize(static_cast<std::size_t>(P));
+    heap_end.resize(static_cast<std::size_t>(P));
+    for (int q = 0; q < P; ++q) {
+      heap_next[static_cast<std::size_t>(q)] =
+          static_cast<std::int32_t>(static_cast<std::size_t>(q) * per);
+      heap_end[static_cast<std::size_t>(q)] =
+          static_cast<std::int32_t>(std::min(
+              (static_cast<std::size_t>(q) + 1) * per, cap));
+    }
+    owned.assign(static_cast<std::size_t>(P),
+                 std::vector<std::vector<std::int32_t>>(kMaxLevel + 1));
+    pool_lock = plat.makeLock();
+    bar = plat.makeBarrier();
+    first_cell_lock = plat.makeLock();
+    for (int i = 1; i < kCellLocks; ++i) plat.makeLock();
+  }
+
+  [[nodiscard]] int cellLock(int node) const {
+    return first_cell_lock + node % kCellLocks;
+  }
+
+  // ---- node field helpers (timed accesses) ----
+  std::int32_t geti(Ctx& c, int node, std::size_t f) {
+    return ni.get(c, static_cast<std::size_t>(node) * ni_stride + f);
+  }
+  void seti(Ctx& c, int node, std::size_t f, std::int32_t v) {
+    ni.set(c, static_cast<std::size_t>(node) * ni_stride + f, v);
+  }
+  float getf(Ctx& c, int node, std::size_t f) {
+    return nf.get(c, static_cast<std::size_t>(node) * nf_stride + f);
+  }
+  void setf(Ctx& c, int node, std::size_t f, float v) {
+    nf.set(c, static_cast<std::size_t>(node) * nf_stride + f, v);
+  }
+
+  /// Allocate a node from the variant's pool. Writes type/level/box and
+  /// clears the slots.
+  int allocNode(Ctx& c, int type, int level, float mx, float my, float mz,
+                float hs) {
+    const auto me = static_cast<std::size_t>(c.id());
+    int idx;
+    if (variant == Variant::Orig) {
+      c.lock(pool_lock);
+      idx = pool_next.get(c, 0);
+      pool_next.set(c, 0, idx + 1);
+      c.unlock(pool_lock);
+    } else if (variant == Variant::PA) {
+      // Page-aligned per-processor chunks from the global pool.
+      if (chunk_next[me] >= chunk_end[me]) {
+        const int nodes_per_page =
+            static_cast<int>(kPageBytes / (ni_stride * 4));
+        const int grab = std::max(nodes_per_page, 1);
+        c.lock(pool_lock);
+        const std::int32_t base = pool_next.get(c, 0);
+        pool_next.set(c, 0, base + grab);
+        c.unlock(pool_lock);
+        chunk_next[me] = base;
+        chunk_end[me] = base + grab;
+      }
+      idx = chunk_next[me]++;
+    } else {
+      idx = heap_next[me]++;
+      if (idx >= heap_end[me]) {
+        throw std::runtime_error("barnes: per-processor node heap exhausted");
+      }
+    }
+    if (static_cast<std::size_t>(idx) >= cap) {
+      throw std::runtime_error("barnes: node pool exhausted");
+    }
+    seti(c, idx, 0, type);
+    seti(c, idx, 1, 0);
+    for (std::size_t s = 0; s < 8; ++s) seti(c, idx, 2 + s, -1);
+    seti(c, idx, 10, level);
+    setf(c, idx, 4, mx);
+    setf(c, idx, 5, my);
+    setf(c, idx, 6, mz);
+    setf(c, idx, 7, hs);
+    c.compute(10);
+    max_level = std::max(max_level, level);
+    owned[me][static_cast<std::size_t>(level)].push_back(idx);
+    return idx;
+  }
+
+  /// Octant of a position within a node's box.
+  int octantOf(Ctx& c, int node, float x, float y, float z) {
+    const float mx = getf(c, node, 4), my = getf(c, node, 5),
+                mz = getf(c, node, 6);
+    c.compute(6);
+    return (x >= mx ? 1 : 0) | (y >= my ? 2 : 0) | (z >= mz ? 4 : 0);
+  }
+
+  /// Child box center for an octant.
+  static void childBox(float mx, float my, float mz, float hs, int oct,
+                       float* ox, float* oy, float* oz, float* ohs) {
+    *ohs = hs * 0.5f;
+    *ox = mx + ((oct & 1) != 0 ? *ohs : -*ohs);
+    *oy = my + ((oct & 2) != 0 ? *ohs : -*ohs);
+    *oz = mz + ((oct & 4) != 0 ? *ohs : -*ohs);
+  }
+
+  /// Insert a body into the shared tree starting at `from`, locking the
+  /// parent cell around each slot mutation (SPLASH-style).
+  void insertShared(Ctx& c, std::int32_t b, int from) {
+    const float x = bx.get(c, static_cast<std::size_t>(b));
+    const float y = by.get(c, static_cast<std::size_t>(b));
+    const float z = bz.get(c, static_cast<std::size_t>(b));
+    int cur = from;
+    for (;;) {
+      const int oct = octantOf(c, cur, x, y, z);
+      const int lk = cellLock(cur);
+      c.lock(lk);
+      const std::int32_t slot = geti(c, cur, 2 + static_cast<std::size_t>(oct));
+      if (slot == -1) {
+        float ox, oy, oz, ohs;
+        childBox(getf(c, cur, 4), getf(c, cur, 5), getf(c, cur, 6),
+                 getf(c, cur, 7), oct, &ox, &oy, &oz, &ohs);
+        const int leaf = allocNode(c, kLeaf, geti(c, cur, 10) + 1, ox, oy, oz,
+                                   ohs);
+        seti(c, leaf, 2, b);
+        seti(c, leaf, 1, 1);
+        body_leaf.set(c, static_cast<std::size_t>(b), leaf);
+        seti(c, cur, 2 + static_cast<std::size_t>(oct), leaf);
+        c.unlock(lk);
+        return;
+      }
+      if (geti(c, slot, 0) == kLeaf) {
+        const std::int32_t cnt = geti(c, slot, 1);
+        const int level = geti(c, slot, 10);
+        if (cnt < kLeafCap || (level >= kMaxLevel && cnt < kLeafMax)) {
+          seti(c, slot, 2 + static_cast<std::size_t>(cnt), b);
+          seti(c, slot, 1, cnt + 1);
+          body_leaf.set(c, static_cast<std::size_t>(b), slot);
+          c.unlock(lk);
+          return;
+        }
+        // Split: privately rebuild the leaf's bodies plus ours into a
+        // replacement subtree (9 bodies force an internal node), then
+        // publish it in the parent slot.
+        std::vector<std::int32_t> moved;
+        for (std::int32_t k = 0; k < cnt; ++k) {
+          moved.push_back(geti(c, slot, 2 + static_cast<std::size_t>(k)));
+        }
+        moved.push_back(b);
+        const int sub = buildPrivate(c, moved, getf(c, slot, 4),
+                                     getf(c, slot, 5), getf(c, slot, 6),
+                                     getf(c, slot, 7), level,
+                                     /*with_com=*/false);
+        seti(c, cur, 2 + static_cast<std::size_t>(oct), sub);
+        c.unlock(lk);
+        return;
+      }
+      c.unlock(lk);
+      cur = slot;
+    }
+  }
+
+  /// Build a private subtree over `bodies` (invisible to other
+  /// processors until linked, so no locking). Optionally computes
+  /// centers of mass bottom-up.
+  int buildPrivate(Ctx& c, const std::vector<std::int32_t>& bodies, float mx,
+                   float my, float mz, float hs, int level, bool with_com) {
+    if (bodies.size() <= static_cast<std::size_t>(kLeafCap) ||
+        (level >= kMaxLevel && bodies.size() <= static_cast<std::size_t>(kLeafMax))) {
+      const int leaf = allocNode(c, kLeaf, level, mx, my, mz, hs);
+      float m = 0, cx = 0, cy = 0, cz = 0;
+      for (std::size_t k = 0; k < bodies.size(); ++k) {
+        seti(c, leaf, 2 + k, bodies[k]);
+        if (with_com) {
+          const auto bi = static_cast<std::size_t>(bodies[k]);
+          const float w = bm.get(c, bi);
+          m += w;
+          cx += w * bx.get(c, bi);
+          cy += w * by.get(c, bi);
+          cz += w * bz.get(c, bi);
+          c.compute(8);
+        }
+        body_leaf.set(c, bodies[k], leaf);
+      }
+      seti(c, leaf, 1, static_cast<std::int32_t>(bodies.size()));
+      if (with_com && m > 0) {
+        setf(c, leaf, 0, m);
+        setf(c, leaf, 1, cx / m);
+        setf(c, leaf, 2, cy / m);
+        setf(c, leaf, 3, cz / m);
+        c.compute(10);
+      }
+      return leaf;
+    }
+    if (level >= kMaxLevel) {
+      throw std::runtime_error("barnes: leaf overflow at depth limit");
+    }
+    const int cell = allocNode(c, kInternal, level, mx, my, mz, hs);
+    std::array<std::vector<std::int32_t>, 8> split;
+    for (std::int32_t b : bodies) {
+      const auto bi = static_cast<std::size_t>(b);
+      const float x = bx.get(c, bi), y = by.get(c, bi), z = bz.get(c, bi);
+      const int oct = (x >= mx ? 1 : 0) | (y >= my ? 2 : 0) | (z >= mz ? 4 : 0);
+      c.compute(6);
+      split[static_cast<std::size_t>(oct)].push_back(b);
+    }
+    float m = 0, cx = 0, cy = 0, cz = 0;
+    for (int oct = 0; oct < 8; ++oct) {
+      if (split[static_cast<std::size_t>(oct)].empty()) continue;
+      float ox, oy, oz, ohs;
+      childBox(mx, my, mz, hs, oct, &ox, &oy, &oz, &ohs);
+      const int child = buildPrivate(c, split[static_cast<std::size_t>(oct)],
+                                     ox, oy, oz, ohs, level + 1, with_com);
+      seti(c, cell, 2 + static_cast<std::size_t>(oct), child);
+      if (with_com) {
+        const float w = getf(c, child, 0);
+        m += w;
+        cx += w * getf(c, child, 1);
+        cy += w * getf(c, child, 2);
+        cz += w * getf(c, child, 3);
+        c.compute(8);
+      }
+    }
+    if (with_com && m > 0) {
+      setf(c, cell, 0, m);
+      setf(c, cell, 1, cx / m);
+      setf(c, cell, 2, cy / m);
+      setf(c, cell, 3, cz / m);
+      c.compute(10);
+    }
+    return cell;
+  }
+
+  /// Merge a (private) subtree `l` into shared cell `g` (Partree). The
+  /// slot is re-examined under the lock each time, since concurrent
+  /// mergers may change it between our peek and our write.
+  void mergeInto(Ctx& c, int g, int l) {
+    for (int oct = 0; oct < 8; ++oct) {
+      const std::int32_t lslot = geti(c, l, 2 + static_cast<std::size_t>(oct));
+      if (lslot == -1) continue;
+      const int lk = cellLock(g);
+      c.lock(lk);
+      const std::int32_t gslot = geti(c, g, 2 + static_cast<std::size_t>(oct));
+      if (gslot == -1) {
+        seti(c, g, 2 + static_cast<std::size_t>(oct), lslot);
+        c.unlock(lk);
+        continue;
+      }
+      const bool g_leaf = geti(c, gslot, 0) == kLeaf;
+      const bool l_leaf = geti(c, lslot, 0) == kLeaf;
+      if (!g_leaf) {
+        c.unlock(lk);
+        if (l_leaf) {
+          reinsertLeaf(c, lslot, gslot);
+        } else {
+          mergeInto(c, gslot, lslot);
+        }
+        continue;
+      }
+      if (!l_leaf) {
+        // Swap our internal subtree in (still under the lock, so nobody
+        // else can have replaced the leaf), then reinsert its bodies.
+        seti(c, g, 2 + static_cast<std::size_t>(oct), lslot);
+        c.unlock(lk);
+        reinsertLeaf(c, gslot, lslot);
+      } else {
+        // Both leaves: keep the shared one, reinsert ours through the
+        // parent (insertShared re-locks and handles any interleaving).
+        c.unlock(lk);
+        reinsertLeaf(c, lslot, g);
+      }
+    }
+  }
+
+  void reinsertLeaf(Ctx& c, int leaf, int into) {
+    const std::int32_t cnt = geti(c, leaf, 1);
+    for (std::int32_t k = 0; k < cnt; ++k) {
+      insertShared(c, geti(c, leaf, 2 + static_cast<std::size_t>(k)), into);
+    }
+  }
+
+  /// Level-synchronized parallel center-of-mass pass over owned cells
+  /// (deepest level first; a barrier separates levels so children are
+  /// always ready).
+  void computeComLevels(Ctx& c) {
+    const auto me = static_cast<std::size_t>(c.id());
+    for (int lev = max_level; lev >= 0; --lev) {
+      for (std::int32_t node : owned[me][static_cast<std::size_t>(lev)]) {
+        comOfNode(c, node);
+      }
+      c.barrier(bar);
+    }
+  }
+
+  void comOfNode(Ctx& c, int node) {
+    float m = 0, cx = 0, cy = 0, cz = 0;
+    if (geti(c, node, 0) == kLeaf) {
+      const std::int32_t cnt = geti(c, node, 1);
+      for (std::int32_t k = 0; k < cnt; ++k) {
+        const auto bi = static_cast<std::size_t>(
+            geti(c, node, 2 + static_cast<std::size_t>(k)));
+        const float w = bm.get(c, bi);
+        m += w;
+        cx += w * bx.get(c, bi);
+        cy += w * by.get(c, bi);
+        cz += w * bz.get(c, bi);
+        c.compute(8);
+      }
+    } else {
+      for (int oct = 0; oct < 8; ++oct) {
+        const std::int32_t ch = geti(c, node, 2 + static_cast<std::size_t>(oct));
+        if (ch == -1) continue;
+        const float w = getf(c, ch, 0);
+        m += w;
+        cx += w * getf(c, ch, 1);
+        cy += w * getf(c, ch, 2);
+        cz += w * getf(c, ch, 3);
+        c.compute(8);
+      }
+    }
+    setf(c, node, 0, m);
+    if (m > 0) {
+      setf(c, node, 1, cx / m);
+      setf(c, node, 2, cy / m);
+      setf(c, node, 3, cz / m);
+    }
+    c.compute(12);
+  }
+
+  /// Barnes-Hut force on one body (iterative traversal).
+  void force(Ctx& c, std::int32_t b) {
+    const auto bi = static_cast<std::size_t>(b);
+    const double x = bx.get(c, bi), y = by.get(c, bi), z = bz.get(c, bi);
+    double ax = 0, ay = 0, az = 0;
+    int stack[512];
+    int sp = 0;
+    stack[sp++] = root;
+    while (sp > 0) {
+      const int node = stack[--sp];
+      const float m = getf(c, node, 0);
+      if (m <= 0) continue;
+      const double dx = getf(c, node, 1) - x;
+      const double dy = getf(c, node, 2) - y;
+      const double dz = getf(c, node, 3) - z;
+      const double d2 = dx * dx + dy * dy + dz * dz + kEps2;
+      const float hs = getf(c, node, 7);
+      c.compute(15);
+      const bool leaf = geti(c, node, 0) == kLeaf;
+      if (!leaf && (2.0 * hs) * (2.0 * hs) > kTheta * kTheta * d2) {
+        for (int oct = 0; oct < 8; ++oct) {
+          const std::int32_t ch =
+              geti(c, node, 2 + static_cast<std::size_t>(oct));
+          if (ch != -1) stack[sp++] = ch;
+        }
+        c.compute(8);
+        continue;
+      }
+      if (leaf) {
+        const std::int32_t cnt = geti(c, node, 1);
+        for (std::int32_t k = 0; k < cnt; ++k) {
+          const auto oi = static_cast<std::size_t>(
+              geti(c, node, 2 + static_cast<std::size_t>(k)));
+          if (oi == bi) continue;
+          const double ox = bx.get(c, oi) - x;
+          const double oy = by.get(c, oi) - y;
+          const double oz = bz.get(c, oi) - z;
+          const double od2 = ox * ox + oy * oy + oz * oz + kEps2;
+          const double w = bm.get(c, oi) / (od2 * std::sqrt(od2));
+          ax += w * ox;
+          ay += w * oy;
+          az += w * oz;
+          c.compute(25);
+        }
+      } else {
+        const double w = m / (d2 * std::sqrt(d2));
+        ax += w * dx;
+        ay += w * dy;
+        az += w * dz;
+        c.compute(25);
+      }
+    }
+    bax.set(c, bi, static_cast<float>(ax));
+    bay.set(c, bi, static_cast<float>(ay));
+    baz.set(c, bi, static_cast<float>(az));
+  }
+};
+
+/// Direct-summation reference acceleration for one body (host side).
+void directForce(const std::vector<float>& x, const std::vector<float>& y,
+                 const std::vector<float>& z, const std::vector<float>& m,
+                 std::size_t i, double* ax, double* ay, double* az) {
+  *ax = *ay = *az = 0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (j == i) continue;
+    const double dx = x[j] - x[i], dy = y[j] - y[i], dz = z[j] - z[i];
+    const double d2 = dx * dx + dy * dy + dz * dz + kEps2;
+    const double w = m[j] / (d2 * std::sqrt(d2));
+    *ax += w * dx;
+    *ay += w * dy;
+    *az += w * dz;
+  }
+}
+
+AppResult runImpl(Platform& plat, const AppParams& prm, Variant variant) {
+  BarnesSim sim(plat, prm, variant);
+  const std::size_t N = sim.N;
+  const int P = sim.P;
+
+  // Untimed init: Plummer-like clustered distribution.
+  std::mt19937_64 rng(prm.seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (std::size_t i = 0; i < N; ++i) {
+    // A few gaussian clusters of different densities.
+    const int cluster = static_cast<int>(u(rng) * 4);
+    const double cxs[4] = {-0.5, 0.6, 0.1, -0.2};
+    const double cys[4] = {-0.4, 0.3, 0.5, -0.6};
+    const double czs[4] = {0.2, -0.5, 0.4, -0.1};
+    const double sig[4] = {0.08, 0.15, 0.25, 0.05};
+    sim.bx.raw(i) = static_cast<float>(cxs[cluster] + sig[cluster] * gauss(rng));
+    sim.by.raw(i) = static_cast<float>(cys[cluster] + sig[cluster] * gauss(rng));
+    sim.bz.raw(i) = static_cast<float>(czs[cluster] + sig[cluster] * gauss(rng));
+    sim.bvx.raw(i) = static_cast<float>(0.05 * gauss(rng));
+    sim.bvy.raw(i) = static_cast<float>(0.05 * gauss(rng));
+    sim.bvz.raw(i) = static_cast<float>(0.05 * gauss(rng));
+    sim.bm.raw(i) = static_cast<float>(0.5 + u(rng)) / static_cast<float>(N);
+    sim.body_leaf.raw(i) = -1;
+  }
+
+  // Verification snapshots, recorded (untimed) at the last force phase.
+  std::vector<float> vx_snap, vy_snap, vz_snap, vm_snap, fax, fay, faz;
+
+  plat.run([&](Ctx& c) {
+    const auto me = static_cast<std::size_t>(c.id());
+    const std::size_t lo = me * N / static_cast<std::size_t>(P);
+    const std::size_t hi = (me + 1) * N / static_cast<std::size_t>(P);
+
+    for (int step = 0; step < prm.iters; ++step) {
+      const bool rebuild = variant != Variant::UpdateTree || step == 0;
+      // -- bounding box (skipped when the tree persists) --
+      if (rebuild) {
+        float mn[3] = {1e30f, 1e30f, 1e30f}, mx[3] = {-1e30f, -1e30f, -1e30f};
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float vx = sim.bx.get(c, i), vy = sim.by.get(c, i),
+                      vz = sim.bz.get(c, i);
+          mn[0] = std::min(mn[0], vx); mx[0] = std::max(mx[0], vx);
+          mn[1] = std::min(mn[1], vy); mx[1] = std::max(mx[1], vy);
+          mn[2] = std::min(mn[2], vz); mx[2] = std::max(mx[2], vz);
+          c.compute(6);
+        }
+        const std::size_t slot = me * (kPageBytes / 4);
+        for (int a = 0; a < 3; ++a) {
+          sim.redsl.set(c, slot + static_cast<std::size_t>(a), mn[a]);
+          sim.redsl.set(c, slot + 3 + static_cast<std::size_t>(a), mx[a]);
+        }
+        c.barrier(sim.bar);
+        if (me == 0) {
+          float gmn[3] = {1e30f, 1e30f, 1e30f},
+                gmx[3] = {-1e30f, -1e30f, -1e30f};
+          for (int q = 0; q < P; ++q) {
+            const std::size_t qs =
+                static_cast<std::size_t>(q) * (kPageBytes / 4);
+            for (int a = 0; a < 3; ++a) {
+              gmn[a] = std::min(gmn[a],
+                                sim.redsl.get(c, qs + static_cast<std::size_t>(a)));
+              gmx[a] = std::max(
+                  gmx[a], sim.redsl.get(c, qs + 3 + static_cast<std::size_t>(a)));
+            }
+          }
+          const float hs =
+              0.5f * std::max({gmx[0] - gmn[0], gmx[1] - gmn[1],
+                               gmx[2] - gmn[2]}) +
+              0.01f;
+          sim.gbox.set(c, 0, 0.5f * (gmn[0] + gmx[0]));
+          sim.gbox.set(c, 1, 0.5f * (gmn[1] + gmx[1]));
+          sim.gbox.set(c, 2, 0.5f * (gmn[2] + gmx[2]));
+          sim.gbox.set(c, 3, hs);
+          c.compute(40);
+        }
+        c.barrier(sim.bar);
+      }
+
+      // -- tree construction --
+      if (rebuild) {
+        if (me == 0) {
+          // Fresh pool and a fresh root.
+          for (int q = 0; q < P; ++q) {
+            for (auto& lvl : sim.owned[static_cast<std::size_t>(q)]) lvl.clear();
+          }
+          sim.max_level = 0;
+          const std::size_t per = sim.cap / static_cast<std::size_t>(P) + 1;
+          for (int q = 0; q < P; ++q) {
+            sim.heap_next[static_cast<std::size_t>(q)] =
+                static_cast<std::int32_t>(static_cast<std::size_t>(q) * per);
+            sim.chunk_next[static_cast<std::size_t>(q)] = 0;
+            sim.chunk_end[static_cast<std::size_t>(q)] = 0;
+          }
+          sim.pool_next.set(c, 0, 0);
+          sim.root = sim.allocNode(c, kInternal, 0, sim.gbox.get(c, 0),
+                                   sim.gbox.get(c, 1), sim.gbox.get(c, 2),
+                                   sim.gbox.get(c, 3));
+        }
+        c.barrier(sim.bar);
+      }
+
+      switch (variant) {
+        case Variant::Orig:
+        case Variant::PA:
+        case Variant::DS: {
+          for (std::size_t i = lo; i < hi; ++i) {
+            sim.insertShared(c, static_cast<std::int32_t>(i), sim.root);
+          }
+          c.barrier(sim.bar);
+          sim.computeComLevels(c);
+          break;
+        }
+        case Variant::UpdateTree: {
+          if (step == 0) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              sim.insertShared(c, static_cast<std::int32_t>(i), sim.root);
+            }
+          } else {
+            // Move only bodies that left their leaf's box.
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::int32_t leaf = sim.body_leaf.get(c, i);
+              const float x = sim.bx.get(c, i), y = sim.by.get(c, i),
+                          z = sim.bz.get(c, i);
+              const float mx = sim.getf(c, leaf, 4), my = sim.getf(c, leaf, 5),
+                          mz = sim.getf(c, leaf, 6), hs = sim.getf(c, leaf, 7);
+              c.compute(10);
+              if (std::abs(x - mx) <= hs && std::abs(y - my) <= hs &&
+                  std::abs(z - mz) <= hs) {
+                continue;
+              }
+              // Remove from the old leaf (locked), insert from the root.
+              const int lk = sim.cellLock(leaf);
+              c.lock(lk);
+              const std::int32_t cnt = sim.geti(c, leaf, 1);
+              for (std::int32_t k = 0; k < cnt; ++k) {
+                if (sim.geti(c, leaf, 2 + static_cast<std::size_t>(k)) ==
+                    static_cast<std::int32_t>(i)) {
+                  sim.seti(c, leaf, 2 + static_cast<std::size_t>(k),
+                           sim.geti(c, leaf, 2 + static_cast<std::size_t>(cnt - 1)));
+                  sim.seti(c, leaf, 1, cnt - 1);
+                  break;
+                }
+              }
+              c.unlock(lk);
+              sim.insertShared(c, static_cast<std::int32_t>(i), sim.root);
+            }
+          }
+          c.barrier(sim.bar);
+          sim.computeComLevels(c);
+          break;
+        }
+        case Variant::Partree: {
+          std::vector<std::int32_t> mine;
+          mine.reserve(hi - lo);
+          for (std::size_t i = lo; i < hi; ++i) {
+            mine.push_back(static_cast<std::int32_t>(i));
+          }
+          const int local = sim.buildPrivate(
+              c, mine, sim.gbox.get(c, 0), sim.gbox.get(c, 1),
+              sim.gbox.get(c, 2), sim.gbox.get(c, 3), 0, /*with_com=*/false);
+          if (sim.geti(c, local, 0) == kLeaf) {
+            sim.reinsertLeaf(c, local, sim.root);
+          } else {
+            sim.mergeInto(c, sim.root, local);
+          }
+          c.barrier(sim.bar);
+          sim.computeComLevels(c);
+          break;
+        }
+        case Variant::Spatial: {
+          // Static two-level skeleton below the root: 64 equal subspaces
+          // dealt round-robin. Each processor gathers the bodies in its
+          // subspaces (scanning the body array) and builds those
+          // subtrees without any locks.
+          if (me == 0) {
+            // Build the skeleton: 8 children, 64 grandchildren.
+            for (int o1 = 0; o1 < 8; ++o1) {
+              float ox, oy, oz, ohs;
+              BarnesSim::childBox(sim.gbox.get(c, 0), sim.gbox.get(c, 1),
+                                  sim.gbox.get(c, 2), sim.gbox.get(c, 3), o1,
+                                  &ox, &oy, &oz, &ohs);
+              const int ch = sim.allocNode(c, kInternal, 1, ox, oy, oz, ohs);
+              sim.seti(c, sim.root, 2 + static_cast<std::size_t>(o1), ch);
+              for (int o2 = 0; o2 < 8; ++o2) {
+                float gx, gy, gz, ghs;
+                BarnesSim::childBox(ox, oy, oz, ohs, o2, &gx, &gy, &gz, &ghs);
+                const int gc = sim.allocNode(c, kInternal, 2, gx, gy, gz, ghs);
+                sim.seti(c, ch, 2 + static_cast<std::size_t>(o2), gc);
+              }
+            }
+          }
+          c.barrier(sim.bar);
+          // Gather bodies per owned subspace.
+          std::array<std::vector<std::int32_t>, 64> boxes;
+          const float rx = sim.gbox.get(c, 0), ry = sim.gbox.get(c, 1),
+                      rz = sim.gbox.get(c, 2), rhs = sim.gbox.get(c, 3);
+          for (std::size_t i = 0; i < N; ++i) {
+            const float x = sim.bx.get(c, i), y = sim.by.get(c, i),
+                        z = sim.bz.get(c, i);
+            const int o1 = (x >= rx ? 1 : 0) | (y >= ry ? 2 : 0) |
+                           (z >= rz ? 4 : 0);
+            float ox, oy, oz, ohs;
+            BarnesSim::childBox(rx, ry, rz, rhs, o1, &ox, &oy, &oz, &ohs);
+            const int o2 = (x >= ox ? 1 : 0) | (y >= oy ? 2 : 0) |
+                           (z >= oz ? 4 : 0);
+            const int sub = o1 * 8 + o2;
+            c.compute(10);
+            if (sub % P == c.id()) {
+              boxes[static_cast<std::size_t>(sub)].push_back(
+                  static_cast<std::int32_t>(i));
+            }
+          }
+          for (int sub = 0; sub < 64; ++sub) {
+            if (sub % P != c.id()) continue;
+            const int o1 = sub / 8, o2 = sub % 8;
+            float ox, oy, oz, ohs, gx, gy, gz, ghs;
+            BarnesSim::childBox(rx, ry, rz, rhs, o1, &ox, &oy, &oz, &ohs);
+            BarnesSim::childBox(ox, oy, oz, ohs, o2, &gx, &gy, &gz, &ghs);
+            const int gc = sim.geti(
+                c, sim.geti(c, sim.root, 2 + static_cast<std::size_t>(o1)),
+                2 + static_cast<std::size_t>(o2));
+            if (boxes[static_cast<std::size_t>(sub)].empty()) {
+              sim.setf(c, gc, 0, 0.0f);
+              continue;
+            }
+            // Build under the grandchild: one subtree per occupied octant.
+            std::array<std::vector<std::int32_t>, 8> parts;
+            for (std::int32_t b : boxes[static_cast<std::size_t>(sub)]) {
+              const auto bi = static_cast<std::size_t>(b);
+              const int o3 = (sim.bx.get(c, bi) >= gx ? 1 : 0) |
+                             (sim.by.get(c, bi) >= gy ? 2 : 0) |
+                             (sim.bz.get(c, bi) >= gz ? 4 : 0);
+              c.compute(6);
+              parts[static_cast<std::size_t>(o3)].push_back(b);
+            }
+            float m = 0, cx = 0, cy = 0, cz = 0;
+            for (int o3 = 0; o3 < 8; ++o3) {
+              if (parts[static_cast<std::size_t>(o3)].empty()) continue;
+              float hx, hy, hz, hhs;
+              BarnesSim::childBox(gx, gy, gz, ghs, o3, &hx, &hy, &hz, &hhs);
+              const int child = sim.buildPrivate(
+                  c, parts[static_cast<std::size_t>(o3)], hx, hy, hz, hhs, 3,
+                  /*with_com=*/true);
+              sim.seti(c, gc, 2 + static_cast<std::size_t>(o3), child);
+              const float w = sim.getf(c, child, 0);
+              m += w;
+              cx += w * sim.getf(c, child, 1);
+              cy += w * sim.getf(c, child, 2);
+              cz += w * sim.getf(c, child, 3);
+              c.compute(8);
+            }
+            sim.setf(c, gc, 0, m);
+            if (m > 0) {
+              sim.setf(c, gc, 1, cx / m);
+              sim.setf(c, gc, 2, cy / m);
+              sim.setf(c, gc, 3, cz / m);
+            }
+          }
+          c.barrier(sim.bar);
+          if (me == 0) {
+            // Centers of mass for the skeleton (65 nodes).
+            for (int o1 = 0; o1 < 8; ++o1) {
+              const int ch =
+                  sim.geti(c, sim.root, 2 + static_cast<std::size_t>(o1));
+              sim.comOfNode(c, ch);
+            }
+            sim.comOfNode(c, sim.root);
+          }
+          c.barrier(sim.bar);
+          break;
+        }
+      }
+
+      // -- force calculation --
+      for (std::size_t i = lo; i < hi; ++i) {
+        sim.force(c, static_cast<std::int32_t>(i));
+      }
+      c.barrier(sim.bar);
+
+      if (step == prm.iters - 1 && me == 0) {
+        // Snapshot for verification (host-side bookkeeping, untimed).
+        vx_snap.resize(N); vy_snap.resize(N); vz_snap.resize(N);
+        vm_snap.resize(N); fax.resize(N); fay.resize(N); faz.resize(N);
+        for (std::size_t i = 0; i < N; ++i) {
+          vx_snap[i] = sim.bx.raw(i);
+          vy_snap[i] = sim.by.raw(i);
+          vz_snap[i] = sim.bz.raw(i);
+          vm_snap[i] = sim.bm.raw(i);
+          fax[i] = sim.bax.raw(i);
+          fay[i] = sim.bay.raw(i);
+          faz[i] = sim.baz.raw(i);
+        }
+      }
+      c.barrier(sim.bar);
+
+      // -- integrate --
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float nvx = sim.bvx.get(c, i) +
+                          static_cast<float>(kDt) * sim.bax.get(c, i);
+        const float nvy = sim.bvy.get(c, i) +
+                          static_cast<float>(kDt) * sim.bay.get(c, i);
+        const float nvz = sim.bvz.get(c, i) +
+                          static_cast<float>(kDt) * sim.baz.get(c, i);
+        sim.bvx.set(c, i, nvx);
+        sim.bvy.set(c, i, nvy);
+        sim.bvz.set(c, i, nvz);
+        sim.bx.set(c, i, sim.bx.get(c, i) + static_cast<float>(kDt) * nvx);
+        sim.by.set(c, i, sim.by.get(c, i) + static_cast<float>(kDt) * nvy);
+        sim.bz.set(c, i, sim.bz.get(c, i) + static_cast<float>(kDt) * nvz);
+        c.compute(20);
+      }
+      c.barrier(sim.bar);
+    }
+  });
+
+  AppResult res;
+  res.stats = plat.engine().collect();
+
+  // Verify sampled accelerations against direct summation.
+  std::mt19937_64 vrng(prm.seed ^ 0x5EEDu);
+  const int samples = static_cast<int>(std::min<std::size_t>(N, 128));
+  double err_sum = 0;
+  for (int s = 0; s < samples; ++s) {
+    const std::size_t i = vrng() % N;
+    double ax, ay, az;
+    directForce(vx_snap, vy_snap, vz_snap, vm_snap, i, &ax, &ay, &az);
+    const double mag = std::sqrt(ax * ax + ay * ay + az * az) + 1e-12;
+    const double dx = fax[i] - ax, dy = fay[i] - ay, dz = faz[i] - az;
+    err_sum += std::sqrt(dx * dx + dy * dy + dz * dz) / mag;
+  }
+  const double mean_err = err_sum / samples;
+  res.correct = mean_err < 0.05;
+  res.note = "mean relative force error " + std::to_string(mean_err);
+  return res;
+}
+
+}  // namespace
+
+AppResult run(Platform& plat, const AppParams& prm, Variant v) {
+  return runImpl(plat, prm, v);
+}
+
+AppDesc describe() {
+  AppDesc d;
+  d.name = "barnes";
+  d.summary = "Barnes-Hut hierarchical N-body (SPLASH/SPLASH-2)";
+  d.tiny = {.n = 512, .iters = 2, .block = 0, .seed = 23};
+  d.small = {.n = 4096, .iters = 3, .block = 0, .seed = 23};
+  d.paper = {.n = 16384, .iters = 2, .block = 0, .seed = 23};
+  auto ver = [](const char* name, OptClass cls, const char* sum, Variant v) {
+    return VersionDesc{name, cls, sum,
+                       [v](Platform& p, const AppParams& prm) {
+                         return run(p, prm, v);
+                       }};
+  };
+  d.versions = {
+      ver("orig", OptClass::Orig, "shared tree, global cell pool, cell locks",
+          Variant::Orig),
+      ver("pa", OptClass::PA, "page-chunked cell pool (padding/alignment)",
+          Variant::PA),
+      ver("ds", OptClass::DS, "cells allocated from local per-processor heaps",
+          Variant::DS),
+      ver("update-tree", OptClass::Alg,
+          "incremental tree update across time-steps", Variant::UpdateTree),
+      ver("partree", OptClass::Alg, "lock-free local trees merged globally",
+          Variant::Partree),
+      ver("spatial", OptClass::Alg,
+          "equal space partition, lock-free subtree builds",
+          Variant::Spatial),
+  };
+  return d;
+}
+
+}  // namespace rsvm::apps::barnes

@@ -1,0 +1,35 @@
+// Barnes-Hut hierarchical N-body (paper section 4.2.4). The force
+// calculation is classic Barnes-Hut; what the paper varies -- and what
+// kills SVM -- is how the shared octree is built each time-step:
+//
+//  * orig        -- SPLASH-style: every processor inserts its bodies into
+//                   one shared tree, locking cells on the way; cells come
+//                   from a single lock-protected global pool, so cells of
+//                   different processors interleave in memory (heavy
+//                   false sharing + ~tens of thousands of remote locks).
+//  * pa          -- cells padded to page granularity (P/A class): removes
+//                   the false sharing, wastes memory, kills prefetching.
+//  * ds          -- SPLASH-2-style: cells allocated from per-processor
+//                   heaps homed locally (2.76 -> 2.94 in the paper).
+//  * update-tree -- incremental: keep last step's tree and re-insert only
+//                   bodies that left their leaf (5.56).
+//  * partree     -- build per-processor local trees without locks, then
+//                   merge them into the global tree (merging is locked
+//                   and imbalanced; 5.65).
+//  * spatial     -- partition *space* equally; each processor builds the
+//                   subtree of its subspace without any locks and links
+//                   it into a static top skeleton (10.5; the winner).
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::barnes {
+
+enum class Variant { Orig, PA, DS, UpdateTree, Partree, Spatial };
+
+/// prm.n bodies, prm.iters time-steps.
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::barnes

@@ -1,0 +1,171 @@
+// Distributed task queues with stealing, in shared memory -- the
+// structure whose page-grain behaviour drives the paper's Volrend and
+// Raytrace findings. Each processor owns a queue (head/tail words +
+// entry slots) homed at its node and protected by a lock; thieves
+// acquire the victim's lock and fault the victim's queue pages, which is
+// exactly the cost the paper measures.
+//
+// Options model the paper's restructurings:
+//  * entry_stride_words > 1 pads entries (the P/A class: less false
+//    sharing, more fragmentation),
+//  * split_steal gives every processor a second, public queue so the
+//    private one needs no lock (the paper's final Raytrace optimization).
+#pragma once
+
+#include "runtime/shared.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rsvm::apps {
+
+class TaskQueues {
+ public:
+  struct Options {
+    std::size_t capacity = 0;            ///< max tasks per processor queue
+    std::size_t entry_stride_words = 1;  ///< pad entries to this stride
+    bool split_steal = false;            ///< private + public queue pair
+    double public_fraction = 0.25;       ///< share of tasks made stealable
+  };
+
+  TaskQueues(Platform& plat, const Options& opt) : opt_(opt) {
+    const int P = plat.nprocs();
+    const std::size_t words =
+        kMetaWords + opt.capacity * opt.entry_stride_words;
+    for (int p = 0; p < P; ++p) {
+      qs_.emplace_back(plat, words, HomePolicy::node(p), 4096);
+      locks_.push_back(plat.makeLock());
+      if (opt.split_steal) {
+        priv_.emplace_back(plat, words, HomePolicy::node(p), 4096);
+      }
+    }
+  }
+
+  /// Untimed initial fill of processor p's queue(s). With split_steal,
+  /// the tail `public_fraction` of the tasks goes to the public queue.
+  void fillInitial(int p, std::span<const std::int32_t> tasks) {
+    auto& pub = qs_[static_cast<std::size_t>(p)];
+    std::size_t pub_from = tasks.size();
+    if (opt_.split_steal) {
+      pub_from = tasks.size() -
+                 static_cast<std::size_t>(opt_.public_fraction *
+                                          static_cast<double>(tasks.size()));
+      auto& pv = priv_[static_cast<std::size_t>(p)];
+      pv.raw(0) = 0;
+      pv.raw(1) = static_cast<std::int32_t>(pub_from);
+      for (std::size_t i = 0; i < pub_from; ++i) {
+        pv.raw(kMetaWords + i * opt_.entry_stride_words) = tasks[i];
+      }
+      pub.raw(0) = 0;
+      pub.raw(1) = static_cast<std::int32_t>(tasks.size() - pub_from);
+      for (std::size_t i = pub_from; i < tasks.size(); ++i) {
+        pub.raw(kMetaWords + (i - pub_from) * opt_.entry_stride_words) =
+            tasks[i];
+      }
+      return;
+    }
+    pub.raw(0) = 0;
+    pub.raw(1) = static_cast<std::int32_t>(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      pub.raw(kMetaWords + i * opt_.entry_stride_words) = tasks[i];
+    }
+  }
+
+  /// Timed re-fill of our own queue(s) with the same split as
+  /// fillInitial -- used by multi-frame renderers between frames.
+  void refill(Ctx& c, std::span<const std::int32_t> tasks) {
+    const auto me = static_cast<std::size_t>(c.id());
+    std::size_t pub_from = 0;
+    if (opt_.split_steal) {
+      pub_from = tasks.size() -
+                 static_cast<std::size_t>(opt_.public_fraction *
+                                          static_cast<double>(tasks.size()));
+      auto& pv = priv_[me];
+      for (std::size_t i = 0; i < pub_from; ++i) {
+        pv.set(c, kMetaWords + i * opt_.entry_stride_words, tasks[i]);
+      }
+      pv.set(c, 0, 0);
+      pv.set(c, 1, static_cast<std::int32_t>(pub_from));
+    }
+    auto& pub = qs_[me];
+    c.lock(locks_[me]);
+    for (std::size_t i = pub_from; i < tasks.size(); ++i) {
+      pub.set(c, kMetaWords + (i - pub_from) * opt_.entry_stride_words,
+              tasks[i]);
+    }
+    pub.set(c, 0, 0);
+    pub.set(c, 1, static_cast<std::int32_t>(tasks.size() - pub_from));
+    c.unlock(locks_[me]);
+  }
+
+  /// Pop from our own queue; with split_steal the private queue is
+  /// consumed first (no lock), then our own public queue (locked).
+  std::int32_t popLocal(Ctx& c) {
+    const auto me = static_cast<std::size_t>(c.id());
+    if (opt_.split_steal) {
+      const std::int32_t t = popFrom(c, priv_[me], -1);
+      if (t >= 0) return t;
+    }
+    return popFrom(c, qs_[me], locks_[me]);
+  }
+
+  /// Try to steal one task from victim v's public queue. Thieves peek at
+  /// the head/tail words before taking the lock; on SVM the peek may read
+  /// a stale (lazily-consistent) copy, which only makes the thief skip a
+  /// victim it might have robbed -- work conservation is unaffected since
+  /// owners always drain their own queues.
+  std::int32_t steal(Ctx& c, int v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (qs_[vi].get(c, 0) >= qs_[vi].get(c, 1)) return -1;  // looks empty
+    const std::int32_t t = popFrom(c, qs_[vi], locks_[vi]);
+    if (t >= 0) ++c.stats().tasks_stolen;
+    return t;
+  }
+
+  /// Get the next task: own queue, then (optionally) round-robin victims.
+  /// Returns -1 when everything is empty.
+  std::int32_t next(Ctx& c, bool allow_steal) {
+    const std::int32_t own = popLocal(c);
+    if (own >= 0 || !allow_steal) {
+      if (own >= 0) ++c.stats().tasks_executed;
+      return own;
+    }
+    const int P = c.nprocs();
+    for (int k = 1; k < P; ++k) {
+      const int v = (c.id() + k) % P;
+      const std::int32_t t = steal(c, v);
+      if (t >= 0) {
+        ++c.stats().tasks_executed;
+        return t;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  static constexpr std::size_t kMetaWords = 2;  // [head, tail]
+
+  /// Pop the head task under `lock` (or without a lock if lock < 0:
+  /// single-consumer private queue).
+  std::int32_t popFrom(Ctx& c, SharedArray<std::int32_t>& q, int lock) {
+    if (lock >= 0) c.lock(lock);
+    const std::int32_t head = q.get(c, 0);
+    const std::int32_t tail = q.get(c, 1);
+    std::int32_t task = -1;
+    if (head < tail) {
+      task = q.get(c, kMetaWords + static_cast<std::size_t>(head) *
+                                       opt_.entry_stride_words);
+      q.set(c, 0, head + 1);
+    }
+    if (lock >= 0) c.unlock(lock);
+    return task;
+  }
+
+  Options opt_;
+  std::vector<SharedArray<std::int32_t>> qs_;    ///< public queues
+  std::vector<SharedArray<std::int32_t>> priv_;  ///< private (split mode)
+  std::vector<int> locks_;
+};
+
+}  // namespace rsvm::apps

@@ -1,0 +1,88 @@
+#include "apps/common/volume.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace rsvm::apps {
+
+Volume makeHeadVolume(int nx, int ny, int nz, std::uint64_t seed) {
+  Volume v;
+  v.nx = nx;
+  v.ny = ny;
+  v.nz = nz;
+  v.density.assign(v.size(), 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> noise(-6.0, 6.0);
+
+  const double cx = nx / 2.0, cy = ny / 2.0, cz = nz / 2.0;
+  const double rx = nx * 0.42, ry = ny * 0.46, rz = nz * 0.44;
+
+  std::size_t idx = 0;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x, ++idx) {
+        const double ex = (x - cx) / rx;
+        const double ey = (y - cy) / ry;
+        const double ez = (z - cz) / rz;
+        const double r = std::sqrt(ex * ex + ey * ey + ez * ez);
+        double d = 0.0;
+        if (r < 1.0) {
+          if (r > 0.88) {
+            d = 220.0;  // skull shell
+          } else if (r > 0.80) {
+            d = 60.0;   // soft tissue under the shell
+          } else {
+            // brain: smooth lobed field
+            d = 80.0 + 40.0 * std::sin(0.25 * x) * std::cos(0.21 * y) *
+                           std::sin(0.18 * z + 1.0);
+          }
+          d += noise(rng);
+        }
+        if (d < 0.0) d = 0.0;
+        if (d > 255.0) d = 255.0;
+        v.density[idx] = static_cast<std::uint8_t>(d);
+      }
+    }
+  }
+  return v;
+}
+
+RleVolume rleEncode(const Volume& v, std::uint8_t threshold) {
+  RleVolume r;
+  r.nx = v.nx;
+  r.ny = v.ny;
+  r.nz = v.nz;
+  r.line_first.resize(static_cast<std::size_t>(v.ny) * v.nz);
+  r.line_count.resize(static_cast<std::size_t>(v.ny) * v.nz);
+  for (int z = 0; z < v.nz; ++z) {
+    for (int y = 0; y < v.ny; ++y) {
+      const int line = r.lineIndex(y, z);
+      r.line_first[static_cast<std::size_t>(line)] =
+          static_cast<std::int32_t>(r.runs.size());
+      int x = 0;
+      int nruns = 0;
+      while (x < v.nx) {
+        int skip = 0;
+        while (x < v.nx && v.at(x, y, z) < threshold) {
+          ++skip;
+          ++x;
+        }
+        int count = 0;
+        const auto offset = static_cast<std::int32_t>(r.samples.size());
+        while (x < v.nx && v.at(x, y, z) >= threshold) {
+          r.samples.push_back(v.at(x, y, z));
+          ++count;
+          ++x;
+        }
+        if (count > 0 || skip > 0) {
+          r.runs.push_back({skip, count, offset});
+          ++nruns;
+        }
+      }
+      r.line_count[static_cast<std::size_t>(line)] = nruns;
+    }
+  }
+  return r;
+}
+
+}  // namespace rsvm::apps

@@ -1,0 +1,60 @@
+// Synthetic volume data standing in for the paper's 256x256x225 computed
+// tomography head (see DESIGN.md, substitutions). A procedural "head":
+// an ellipsoidal skull shell, an inner brain blob with smooth lobes, and
+// low-amplitude noise. The result preserves what the renderers care
+// about: large empty regions (RLE-compressible), a dense shell, smooth
+// interior gradients, and uneven per-scanline work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsvm::apps {
+
+struct Volume {
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<std::uint8_t> density;  ///< nx*ny*nz, x fastest
+
+  [[nodiscard]] std::uint8_t at(int x, int y, int z) const {
+    return density[(static_cast<std::size_t>(z) * static_cast<std::size_t>(ny) +
+                    static_cast<std::size_t>(y)) *
+                       static_cast<std::size_t>(nx) +
+                   static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+};
+
+/// Map density to opacity the way a semi-transparent tissue transfer
+/// function would: empty below a threshold, then gently increasing, so
+/// rays accumulate over many samples (work grows smoothly with tissue
+/// thickness -- the load profile the real renderers see).
+inline float opacityOf(std::uint8_t d) {
+  if (d < 40) return 0.0f;
+  return 0.005f + (static_cast<float>(d) - 40.0f) / 2400.0f;
+}
+
+Volume makeHeadVolume(int nx, int ny, int nz, std::uint64_t seed);
+
+/// Run-length encoded volume, scanline by scanline, as Shear-Warp wants:
+/// runs of transparent voxels are skipped entirely.
+struct RleVolume {
+  struct Run {
+    std::int32_t skip = 0;    ///< transparent voxels to skip
+    std::int32_t count = 0;   ///< opaque samples following
+    std::int32_t offset = 0;  ///< index of first sample in `samples`
+  };
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<Run> runs;                ///< all runs, scanline-major
+  std::vector<std::int32_t> line_first; ///< first run of scanline (y, z)
+  std::vector<std::int32_t> line_count; ///< number of runs per scanline
+  std::vector<std::uint8_t> samples;    ///< densities of non-empty voxels
+
+  [[nodiscard]] int lineIndex(int y, int z) const { return z * ny + y; }
+};
+
+RleVolume rleEncode(const Volume& v, std::uint8_t threshold = 40);
+
+}  // namespace rsvm::apps

@@ -1,0 +1,31 @@
+// Blocked dense LU factorization (SPLASH-2 "LU"), in the paper's four
+// data-layout versions plus the algorithmic variant the paper explored
+// and rejected (section 4.1.1):
+//
+//  * 2d          -- natural 2-d row-major array; a processor's blocks are
+//                   scattered sub-rows: heavy false sharing/fragmentation.
+//  * 2d-pad      -- each block sub-row padded+aligned to a page (P/A):
+//                   kills false sharing but not fragmentation; wastes
+//                   memory (256 B used per 4 KB page at paper scale).
+//  * 4d          -- blocks contiguous in the address space (SPLASH-2
+//                   "contiguous" layout, DS class).
+//  * 4d-aligned  -- blocks additionally padded/aligned to page boundaries
+//                   (the final, best version; fixes the Fig. 3 processor
+//                   10 page-alignment bottleneck).
+//  * alg-random  -- less structured block-to-processor assignment for
+//                   load balance; compromises communication and loses on
+//                   SVM, as the paper reports.
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::lu {
+
+enum class Layout { TwoD, TwoDPad, FourD, FourDAligned, AlgRandom };
+
+/// Factor an n x n matrix with block size prm.block on `plat`.
+AppResult run(Platform& plat, const AppParams& prm, Layout layout);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::lu

@@ -1,0 +1,553 @@
+#include "apps/ocean/ocean.hpp"
+
+#include "runtime/shared.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace rsvm::apps::ocean {
+namespace {
+
+constexpr std::size_t kPageBytes = 4096;
+constexpr std::size_t kPageWords = kPageBytes / sizeof(double);
+constexpr int kPreSweeps = 2;    // fine-grid smoothing before the V-cycle leg
+constexpr int kCoarseSweeps = 4; // coarse-grid relaxation sweeps
+constexpr int kPostSweeps = 2;   // fine-grid smoothing after correction
+constexpr double kAlpha = 0.8;   // correction weight
+
+struct Part {
+  int pr = 1, pc = 1;
+  explicit Part(int p) {
+    pr = static_cast<int>(std::sqrt(static_cast<double>(p)));
+    while (p % pr != 0) --pr;
+    pc = p / pr;
+  }
+};
+
+/// Row-major with configurable stride (2d: stride = n; 2d-pad: rows
+/// padded to whole pages).
+struct Flat {
+  std::size_t n, stride;
+  [[nodiscard]] std::size_t words() const { return n * stride; }
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
+    return i * stride + j;
+  }
+};
+
+/// Page-aligned contiguous sub-grids matching the square partition
+/// exactly: block (pi, pj) holds processor (pi, pj)'s interior points
+/// plus its share of the fixed boundary ring.
+struct Blocked {
+  std::size_t n, m, pr, pc, bi, bj, stride;
+
+  [[nodiscard]] std::size_t bRow(std::size_t i) const {
+    return i == 0 ? 0 : std::min((i - 1) / bi, pr - 1);
+  }
+  [[nodiscard]] std::size_t bCol(std::size_t j) const {
+    return j == 0 ? 0 : std::min((j - 1) / bj, pc - 1);
+  }
+  [[nodiscard]] std::size_t words() const { return pr * pc * stride; }
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
+    const std::size_t bri = bRow(i), bcj = bCol(j);
+    const std::size_t li = i - (bri == 0 ? 0 : 1 + bri * bi);
+    const std::size_t lj = j - (bcj == 0 ? 0 : 1 + bcj * bj);
+    return (bri * pc + bcj) * stride + li * (bj + 2) + lj;
+  }
+};
+
+struct Partition {
+  // Each processor's interior range [r0, r1) x [c0, c1).
+  std::vector<std::size_t> r0, r1, c0, c1;
+};
+
+Partition squarePartition(std::size_t n, int P) {
+  const Part g(P);
+  Partition pt;
+  const std::size_t m = n - 2;
+  for (int p = 0; p < P; ++p) {
+    const std::size_t pi = static_cast<std::size_t>(p / g.pc);
+    const std::size_t pj = static_cast<std::size_t>(p % g.pc);
+    pt.r0.push_back(1 + pi * m / static_cast<std::size_t>(g.pr));
+    pt.r1.push_back(1 + (pi + 1) * m / static_cast<std::size_t>(g.pr));
+    pt.c0.push_back(1 + pj * m / static_cast<std::size_t>(g.pc));
+    pt.c1.push_back(1 + (pj + 1) * m / static_cast<std::size_t>(g.pc));
+  }
+  return pt;
+}
+
+Partition rowPartition(std::size_t n, int P) {
+  Partition pt;
+  const std::size_t m = n - 2;
+  for (int p = 0; p < P; ++p) {
+    pt.r0.push_back(1 + static_cast<std::size_t>(p) * m /
+                            static_cast<std::size_t>(P));
+    pt.r1.push_back(1 + static_cast<std::size_t>(p + 1) * m /
+                            static_cast<std::size_t>(P));
+    pt.c0.push_back(1);
+    pt.c1.push_back(n - 1);
+  }
+  return pt;
+}
+
+/// Fine index of coarse interior point ic (boundaries map to boundaries;
+/// the grids satisfy n = 2*(nc - 1) + ... with m_f = 2 * m_c).
+inline std::size_t fineOf(std::size_t ic) { return 2 * ic - 1; }
+
+// --------------------------------------------------------------------------
+// The solver, shared verbatim by the serial reference and the parallel
+// versions: one time-step = laplacian, pre-smooth, restrict residual,
+// coarse relax, prolong correction, post-smooth, residual reduction,
+// correction update. Ocean's defining property on SVM is the *number of
+// barrier-separated phases* this creates.
+// --------------------------------------------------------------------------
+
+/// Serial reference. psi is updated in place (row-major n x n).
+void reference(std::size_t n, int iters, std::vector<double>& psi) {
+  const std::size_t nc = (n - 2) / 2 + 2;
+  std::vector<double> q(n * n, 0.0), phi(n * n, 0.0), rf(n * n, 0.0);
+  std::vector<double> rc(nc * nc, 0.0), ec(nc * nc, 0.0);
+  auto F = [n](std::vector<double>& v, std::size_t i, std::size_t j) -> double& {
+    return v[i * n + j];
+  };
+  auto C = [nc](std::vector<double>& v, std::size_t i, std::size_t j) -> double& {
+    return v[i * nc + j];
+  };
+  for (int t = 0; t < iters; ++t) {
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        F(q, i, j) = 4 * F(psi, i, j) - F(psi, i - 1, j) - F(psi, i + 1, j) -
+                     F(psi, i, j - 1) - F(psi, i, j + 1);
+      }
+    }
+    for (int s = 0; s < kPreSweeps; ++s) {
+      for (int color = 0; color < 2; ++color) {
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+          for (std::size_t j = 1; j + 1 < n; ++j) {
+            if ((i + j) % 2 != static_cast<std::size_t>(color)) continue;
+            F(phi, i, j) = 0.25 * (F(phi, i - 1, j) + F(phi, i + 1, j) +
+                                   F(phi, i, j - 1) + F(phi, i, j + 1) -
+                                   F(q, i, j));
+          }
+        }
+      }
+    }
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        F(rf, i, j) = F(q, i, j) -
+                      (4 * F(phi, i, j) - F(phi, i - 1, j) - F(phi, i + 1, j) -
+                       F(phi, i, j - 1) - F(phi, i, j + 1));
+      }
+    }
+    for (std::size_t ic = 1; ic + 1 < nc; ++ic) {
+      for (std::size_t jc = 1; jc + 1 < nc; ++jc) {
+        const std::size_t fi = fineOf(ic), fj = fineOf(jc);
+        C(rc, ic, jc) = 0.5 * F(rf, fi, fj) +
+                        0.125 * (F(rf, fi - 1, fj) + F(rf, fi + 1, fj) +
+                                 F(rf, fi, fj - 1) + F(rf, fi, fj + 1));
+        C(ec, ic, jc) = 0.0;
+      }
+    }
+    for (int s = 0; s < kCoarseSweeps; ++s) {
+      for (int color = 0; color < 2; ++color) {
+        for (std::size_t ic = 1; ic + 1 < nc; ++ic) {
+          for (std::size_t jc = 1; jc + 1 < nc; ++jc) {
+            if ((ic + jc) % 2 != static_cast<std::size_t>(color)) continue;
+            C(ec, ic, jc) = 0.25 * (C(ec, ic - 1, jc) + C(ec, ic + 1, jc) +
+                                    C(ec, ic, jc - 1) + C(ec, ic, jc + 1) -
+                                    4.0 * C(rc, ic, jc));
+          }
+        }
+      }
+    }
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        // Bilinear prolongation of the coarse correction.
+        const std::size_t icl = (i + 1) / 2, jcl = (j + 1) / 2;
+        double corr;
+        if (i % 2 == 1 && j % 2 == 1) {
+          corr = C(ec, icl, jcl);
+        } else if (i % 2 == 1) {
+          corr = 0.5 * (C(ec, icl, jcl) + C(ec, icl, jcl + 1));
+        } else if (j % 2 == 1) {
+          corr = 0.5 * (C(ec, icl, jcl) + C(ec, icl + 1, jcl));
+        } else {
+          corr = 0.25 * (C(ec, icl, jcl) + C(ec, icl, jcl + 1) +
+                         C(ec, icl + 1, jcl) + C(ec, icl + 1, jcl + 1));
+        }
+        F(phi, i, j) += corr;
+      }
+    }
+    for (int s = 0; s < kPostSweeps; ++s) {
+      for (int color = 0; color < 2; ++color) {
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+          for (std::size_t j = 1; j + 1 < n; ++j) {
+            if ((i + j) % 2 != static_cast<std::size_t>(color)) continue;
+            F(phi, i, j) = 0.25 * (F(phi, i - 1, j) + F(phi, i + 1, j) +
+                                   F(phi, i, j - 1) + F(phi, i, j + 1) -
+                                   F(q, i, j));
+          }
+        }
+      }
+    }
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        F(psi, i, j) += kAlpha * F(phi, i, j);
+      }
+    }
+  }
+}
+
+/// Coarse index ranges for a processor's fine range: proportional, so
+/// the coarse partitions tile the coarse interior exactly.
+std::pair<std::size_t, std::size_t> coarseRange(std::size_t f0,
+                                                std::size_t f1,
+                                                std::size_t m) {
+  // Fine interior [1, m+1) maps to coarse interior [1, m/2+1).
+  const std::size_t mc = m / 2;
+  const std::size_t a = 1 + (f0 - 1) * mc / m;
+  const std::size_t b = 1 + (f1 - 1) * mc / m;
+  return {a, b};
+}
+
+template <class L, class LC>
+AppResult runImpl(Platform& plat, const AppParams& prm, const L& lay,
+                  const LC& layc, const Partition& part,
+                  const HomePolicy& homes, const HomePolicy& homesc) {
+  const std::size_t n = static_cast<std::size_t>(prm.n);
+  const std::size_t m = n - 2;
+  const std::size_t nc = m / 2 + 2;
+  const int P = plat.nprocs();
+  const int iters = prm.iters;
+
+  SharedArray<double> psi(plat, lay.words(), homes, kPageBytes);
+  SharedArray<double> phi(plat, lay.words(), homes, kPageBytes);
+  SharedArray<double> q(plat, lay.words(), homes, kPageBytes);
+  SharedArray<double> rf(plat, lay.words(), homes, kPageBytes);
+  SharedArray<double> rc(plat, layc.words(), homesc, kPageBytes);
+  SharedArray<double> ec(plat, layc.words(), homesc, kPageBytes);
+  // Per-processor residual slots, one page each, plus a lock-protected
+  // global accumulator (SPLASH-2 style reduction).
+  SharedArray<double> partial(plat, static_cast<std::size_t>(P) * kPageWords,
+                              HomePolicy::roundRobin(P), kPageBytes);
+  Shared<double> gsum(plat, HomePolicy::node(0));
+
+  // Untimed init: smooth random field, zero elsewhere.
+  std::mt19937_64 rng(prm.seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> init(n * n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+      init[i * n + j] = std::sin(0.1 * static_cast<double>(i)) *
+                            std::cos(0.07 * static_cast<double>(j)) +
+                        0.01 * dist(rng);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      psi.raw(lay.idx(i, j)) = init[i * n + j];
+      phi.raw(lay.idx(i, j)) = 0.0;
+      q.raw(lay.idx(i, j)) = 0.0;
+      rf.raw(lay.idx(i, j)) = 0.0;
+    }
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    for (std::size_t j = 0; j < nc; ++j) {
+      rc.raw(layc.idx(i, j)) = 0.0;
+      ec.raw(layc.idx(i, j)) = 0.0;
+    }
+  }
+
+  const int bar = plat.makeBarrier();
+  const int lk = plat.makeLock();
+
+  plat.run([&](Ctx& c) {
+    const auto me = static_cast<std::size_t>(c.id());
+    const std::size_t r0 = part.r0[me], r1 = part.r1[me];
+    const std::size_t c0 = part.c0[me], c1 = part.c1[me];
+    const auto [cr0, cr1] = coarseRange(r0, r1, m);
+    const auto [cc0, cc1] = coarseRange(c0, c1, m);
+    auto g = [&](SharedArray<double>& a, std::size_t i, std::size_t j) {
+      return a.get(c, lay.idx(i, j));
+    };
+    auto s = [&](SharedArray<double>& a, std::size_t i, std::size_t j,
+                 double v) { a.set(c, lay.idx(i, j), v); };
+    auto gc = [&](SharedArray<double>& a, std::size_t i, std::size_t j) {
+      return a.get(c, layc.idx(i, j));
+    };
+    auto sc = [&](SharedArray<double>& a, std::size_t i, std::size_t j,
+                  double v) { a.set(c, layc.idx(i, j), v); };
+
+    for (int t = 0; t < iters; ++t) {
+      // -- laplacian of psi into q --
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = c0; j < c1; ++j) {
+          s(q, i, j,
+            4 * g(psi, i, j) - g(psi, i - 1, j) - g(psi, i + 1, j) -
+                g(psi, i, j - 1) - g(psi, i, j + 1));
+          c.compute(4);
+        }
+      }
+      c.barrier(bar);
+      // -- pre-smoothing (red-black) --
+      for (int sw = 0; sw < kPreSweeps; ++sw) {
+        for (int color = 0; color < 2; ++color) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            for (std::size_t j = c0; j < c1; ++j) {
+              if ((i + j) % 2 != static_cast<std::size_t>(color)) continue;
+              s(phi, i, j,
+                0.25 * (g(phi, i - 1, j) + g(phi, i + 1, j) +
+                        g(phi, i, j - 1) + g(phi, i, j + 1) - g(q, i, j)));
+              c.compute(5);
+            }
+          }
+          c.barrier(bar);
+        }
+      }
+      // -- fine residual --
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = c0; j < c1; ++j) {
+          s(rf, i, j,
+            g(q, i, j) - (4 * g(phi, i, j) - g(phi, i - 1, j) -
+                          g(phi, i + 1, j) - g(phi, i, j - 1) -
+                          g(phi, i, j + 1)));
+          c.compute(6);
+        }
+      }
+      c.barrier(bar);
+      // -- restriction to the coarse grid (full weighting) --
+      for (std::size_t ic = cr0; ic < cr1; ++ic) {
+        for (std::size_t jc = cc0; jc < cc1; ++jc) {
+          const std::size_t fi = fineOf(ic), fj = fineOf(jc);
+          sc(rc, ic, jc,
+             0.5 * g(rf, fi, fj) +
+                 0.125 * (g(rf, fi - 1, fj) + g(rf, fi + 1, fj) +
+                          g(rf, fi, fj - 1) + g(rf, fi, fj + 1)));
+          sc(ec, ic, jc, 0.0);
+          c.compute(7);
+        }
+      }
+      c.barrier(bar);
+      // -- coarse-grid relaxation --
+      for (int sw = 0; sw < kCoarseSweeps; ++sw) {
+        for (int color = 0; color < 2; ++color) {
+          for (std::size_t ic = cr0; ic < cr1; ++ic) {
+            for (std::size_t jc = cc0; jc < cc1; ++jc) {
+              if ((ic + jc) % 2 != static_cast<std::size_t>(color)) continue;
+              sc(ec, ic, jc,
+                 0.25 * (gc(ec, ic - 1, jc) + gc(ec, ic + 1, jc) +
+                         gc(ec, ic, jc - 1) + gc(ec, ic, jc + 1) -
+                         4.0 * gc(rc, ic, jc)));
+              c.compute(6);
+            }
+          }
+          c.barrier(bar);
+        }
+      }
+      // -- prolongation: phi += bilinear(ec) --
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = c0; j < c1; ++j) {
+          const std::size_t icl = (i + 1) / 2, jcl = (j + 1) / 2;
+          double corr;
+          if (i % 2 == 1 && j % 2 == 1) {
+            corr = gc(ec, icl, jcl);
+            c.compute(2);
+          } else if (i % 2 == 1) {
+            corr = 0.5 * (gc(ec, icl, jcl) + gc(ec, icl, jcl + 1));
+            c.compute(3);
+          } else if (j % 2 == 1) {
+            corr = 0.5 * (gc(ec, icl, jcl) + gc(ec, icl + 1, jcl));
+            c.compute(3);
+          } else {
+            corr = 0.25 * (gc(ec, icl, jcl) + gc(ec, icl, jcl + 1) +
+                           gc(ec, icl + 1, jcl) + gc(ec, icl + 1, jcl + 1));
+            c.compute(5);
+          }
+          s(phi, i, j, g(phi, i, j) + corr);
+        }
+      }
+      c.barrier(bar);
+      // -- post-smoothing --
+      for (int sw = 0; sw < kPostSweeps; ++sw) {
+        for (int color = 0; color < 2; ++color) {
+          for (std::size_t i = r0; i < r1; ++i) {
+            for (std::size_t j = c0; j < c1; ++j) {
+              if ((i + j) % 2 != static_cast<std::size_t>(color)) continue;
+              s(phi, i, j,
+                0.25 * (g(phi, i - 1, j) + g(phi, i + 1, j) +
+                        g(phi, i, j - 1) + g(phi, i, j + 1) - g(q, i, j)));
+              c.compute(5);
+            }
+          }
+          c.barrier(bar);
+        }
+      }
+      // -- residual reduction (lock-protected global accumulator) --
+      double local = 0.0;
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = c0; j < c1; ++j) {
+          local += std::abs(4 * g(phi, i, j) - g(phi, i - 1, j) -
+                            g(phi, i + 1, j) - g(phi, i, j - 1) -
+                            g(phi, i, j + 1) + g(q, i, j));
+          c.compute(6);
+        }
+      }
+      partial.set(c, me * kPageWords, local);
+      if (me == 0) gsum.set(c, 0.0);
+      c.barrier(bar);
+      c.lock(lk);
+      gsum.update(c, [local](double v) { return v + local; });
+      c.unlock(lk);
+      c.barrier(bar);
+      (void)gsum.get(c);  // every processor reads the converged residual
+      // -- correction update --
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = c0; j < c1; ++j) {
+          s(psi, i, j, g(psi, i, j) + kAlpha * g(phi, i, j));
+          c.compute(2);
+        }
+      }
+      c.barrier(bar);
+    }
+  });
+
+  AppResult res;
+  res.stats = plat.engine().collect();
+
+  // Bit-exact comparison against the serial reference.
+  std::vector<double> ref = init;
+  reference(n, iters, ref);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      max_err = std::max(max_err,
+                         std::abs(ref[i * n + j] - psi.raw(lay.idx(i, j))));
+    }
+  }
+  res.correct = max_err == 0.0;
+  res.note = "max |psi - reference| = " + std::to_string(max_err);
+  return res;
+}
+
+}  // namespace
+
+AppResult run(Platform& plat, const AppParams& prm, Variant v) {
+  const std::size_t n = static_cast<std::size_t>(prm.n);
+  const std::size_t m = n - 2;
+  if (m % 2 != 0) {
+    throw std::invalid_argument("ocean: interior (n-2) must be even");
+  }
+  const std::size_t nc = m / 2 + 2;
+  const int P = plat.nprocs();
+  const Part grid(P);
+  switch (v) {
+    case Variant::TwoD:
+      return runImpl(plat, prm, Flat{n, n}, Flat{nc, nc},
+                     squarePartition(n, P), HomePolicy::roundRobin(P),
+                     HomePolicy::roundRobin(P));
+    case Variant::TwoDPad: {
+      // Rows padded and aligned to whole pages; home each row at the
+      // first processor of its processor-row (columns of the row still
+      // conflict -- the P/A class cannot fix fragmentation).
+      auto padded = [&](std::size_t dim, std::size_t interior) {
+        const std::size_t stride =
+            (dim + kPageWords - 1) / kPageWords * kPageWords;
+        const std::size_t pages_per_row = stride / kPageWords;
+        const int pr = grid.pr, pc = grid.pc;
+        HomePolicy homes{[dim, interior, pr, pc, pages_per_row](
+                             std::uint64_t page, std::uint64_t) {
+          const std::size_t row =
+              std::min<std::size_t>(page / pages_per_row, dim - 1);
+          const std::size_t clamped =
+              row == 0 ? 0 : std::min(row - 1, interior - 1);
+          const int pi = static_cast<int>(
+              clamped * static_cast<std::size_t>(pr) / interior);
+          return static_cast<ProcId>(pi * pc);
+        }};
+        return std::make_pair(Flat{dim, stride}, homes);
+      };
+      auto [layf, homesf] = padded(n, m);
+      auto [layc, homesc] = padded(nc, nc - 2);
+      return runImpl(plat, prm, layf, layc, squarePartition(n, P), homesf,
+                     homesc);
+    }
+    case Variant::FourD: {
+      const auto pr = static_cast<std::size_t>(grid.pr);
+      const auto pc = static_cast<std::size_t>(grid.pc);
+      if (m % pr != 0 || m % pc != 0 || (m / 2) % pr != 0 ||
+          (m / 2) % pc != 0) {
+        throw std::invalid_argument(
+            "ocean 4d: interior (n-2) and (n-2)/2 must divide the "
+            "processor grid");
+      }
+      auto blocked = [&](std::size_t dim, std::size_t interior) {
+        const std::size_t bi = interior / pr, bj = interior / pc;
+        const std::size_t cap = (bi + 2) * (bj + 2);
+        const std::size_t stride =
+            (cap + kPageWords - 1) / kPageWords * kPageWords;
+        Blocked layb{dim, interior, pr, pc, bi, bj, stride};
+        const int Pn = P;
+        HomePolicy homes{[stride, Pn](std::uint64_t page, std::uint64_t) {
+          const auto blk = static_cast<int>(page * kPageWords / stride);
+          return static_cast<ProcId>(std::min(blk, Pn - 1));
+        }};
+        return std::make_pair(layb, homes);
+      };
+      auto [layf, homesf] = blocked(n, m);
+      auto [layc, homesc] = blocked(nc, m / 2);
+      return runImpl(plat, prm, layf, layc, squarePartition(n, P), homesf,
+                     homesc);
+    }
+    case Variant::RowWise: {
+      auto banded = [&](std::size_t dim, std::size_t interior) {
+        const int Pn = P;
+        HomePolicy homes{[dim, interior, Pn](std::uint64_t page,
+                                             std::uint64_t) {
+          const std::size_t row =
+              std::min<std::size_t>(page * kPageWords / dim, dim - 1);
+          const std::size_t clamped =
+              row == 0 ? 0 : std::min(row - 1, interior - 1);
+          return static_cast<ProcId>(clamped * static_cast<std::size_t>(Pn) /
+                                     interior);
+        }};
+        return std::make_pair(Flat{dim, dim}, homes);
+      };
+      auto [layf, homesf] = banded(n, m);
+      auto [layc, homesc] = banded(nc, nc - 2);
+      return runImpl(plat, prm, layf, layc, rowPartition(n, P), homesf,
+                     homesc);
+    }
+  }
+  throw std::invalid_argument("ocean: bad variant");
+}
+
+AppDesc describe() {
+  AppDesc d;
+  d.name = "ocean";
+  d.summary =
+      "near-neighbor multigrid grid solver, many barriers (SPLASH-2 Ocean)";
+  d.tiny = {.n = 66, .iters = 2, .block = 0, .seed = 11};
+  d.small = {.n = 258, .iters = 4, .block = 0, .seed = 11};
+  d.paper = {.n = 514, .iters = 8, .block = 0, .seed = 11};
+  auto ver = [](const char* name, OptClass cls, const char* sum, Variant v) {
+    return VersionDesc{name, cls, sum,
+                       [v](Platform& p, const AppParams& prm) {
+                         return run(p, prm, v);
+                       }};
+  };
+  d.versions = {
+      ver("2d", OptClass::Orig, "2-d arrays, square sub-grid partitions",
+          Variant::TwoD),
+      ver("2d-pad", OptClass::PA, "grid rows padded/aligned to pages",
+          Variant::TwoDPad),
+      ver("4d", OptClass::DS, "contiguous page-aligned sub-grids",
+          Variant::FourD),
+      ver("rowwise", OptClass::Alg,
+          "contiguous row-band partitions on plain 2-d arrays",
+          Variant::RowWise),
+  };
+  return d;
+}
+
+}  // namespace rsvm::apps::ocean

@@ -1,0 +1,35 @@
+// Near-neighbor grid solver modeled on SPLASH-2 "Ocean" (paper section
+// 4.1.2). Each time-step runs several phases over n x n grids (a
+// laplacian, red-black Gauss-Seidel relaxation sweeps, a global residual
+// reduction, and a correction update), separated by many barriers --
+// Ocean's signature cost on SVM.
+//
+// Versions (the paper's ladder):
+//  * 2d       -- natural 2-d arrays + square sub-grid partitions: pages
+//                span whole grid rows, so every row is false-shared among
+//                the processor columns, and column boundaries fragment.
+//  * 2d-pad   -- each grid row padded/aligned to a page (P/A class):
+//                removes some false sharing, fragmentation remains.
+//  * 4d       -- sub-grids contiguous and page-aligned (DS class), homed
+//                at their owners; column boundaries remain fine-grained
+//                (the Fig. 4 imbalance).
+//  * rowwise  -- contiguous bands of whole rows on plain 2-d arrays (Alg
+//                class): only coarse-grained row-boundary communication;
+//                the paper's best SVM version (8.5 -> 13.2), at the cost
+//                of a worse inherent comm-to-comp ratio (so square
+//                partitions stay best on hardware-coherent machines).
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::ocean {
+
+enum class Variant { TwoD, TwoDPad, FourD, RowWise };
+
+/// prm.n is the grid dimension including the fixed boundary ring;
+/// prm.iters time-steps.
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::ocean

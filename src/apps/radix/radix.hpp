@@ -1,0 +1,30 @@
+// Parallel radix sort (SPLASH-2 "Radix"), section 4.2.5 of the paper.
+//
+// Each pass: local histogram -> global rank computation (each processor
+// owns a slice of the digit range and combines the per-processor
+// histograms) -> permutation writing every key to its globally-ranked
+// slot in the output array. The permutation's scattered remote writes
+// produce heavy false sharing and contention at page granularity --
+// Radix is the paper's worst SVM citizen and stays bad after the only
+// viable optimization:
+//
+//  * orig       -- keys written straight to the global output array.
+//  * alg-local  -- keys first gathered into a digit-ordered local buffer,
+//                  then copied out in contiguous runs per digit (the
+//                  "less scattered" variant; 1.4 -> 2.24 in the paper,
+//                  still terrible).
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::radix {
+
+enum class Variant { Orig, AlgLocal };
+
+/// Sort prm.n uniform random 32-bit keys; radix = 2^prm.block bits per
+/// pass, prm.iters passes (keys are drawn from [0, radix^passes)).
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::radix

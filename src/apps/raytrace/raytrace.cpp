@@ -1,0 +1,436 @@
+#include "apps/raytrace/raytrace.hpp"
+
+#include "apps/common/task_queue.hpp"
+#include "runtime/shared.hpp"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace rsvm::apps::raytrace {
+namespace {
+
+constexpr int kTile = 4;        ///< tile edge in pixels (unit of stealing)
+constexpr int kGrid = 8;        ///< uniform-grid resolution per axis
+constexpr int kMaxDepth = 2;    ///< reflection bounces
+constexpr std::size_t kPageBytes = 4096;
+constexpr std::size_t kSphereStride = 8;  ///< floats per sphere record
+
+struct Vec {
+  double x = 0, y = 0, z = 0;
+};
+inline Vec operator+(Vec a, Vec b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+inline Vec operator-(Vec a, Vec b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+inline Vec operator*(Vec a, double s) { return {a.x * s, a.y * s, a.z * s}; }
+inline double dot(Vec a, Vec b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+inline Vec norm(Vec a) {
+  const double l = std::sqrt(dot(a, a));
+  return l > 0 ? a * (1.0 / l) : a;
+}
+
+struct SceneHost {
+  std::vector<float> spheres;           ///< kSphereStride floats per sphere
+  std::vector<std::int32_t> cell_first; ///< per grid cell, into items
+  std::vector<std::int32_t> cell_count;
+  std::vector<std::int32_t> items;
+  int nspheres = 0;
+};
+
+SceneHost buildScene(int nspheres, std::uint64_t seed) {
+  SceneHost s;
+  s.nspheres = nspheres;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  s.spheres.resize(static_cast<std::size_t>(nspheres) * kSphereStride, 0.0f);
+  for (int i = 0; i < nspheres; ++i) {
+    float* sp = &s.spheres[static_cast<std::size_t>(i) * kSphereStride];
+    sp[0] = static_cast<float>(0.1 + 0.8 * u(rng));       // cx
+    sp[1] = static_cast<float>(0.06 + 0.6 * u(rng));      // cy
+    sp[2] = static_cast<float>(0.1 + 0.8 * u(rng));       // cz
+    sp[3] = static_cast<float>(0.03 + 0.06 * u(rng));     // r
+    sp[4] = u(rng) < 0.3 ? 0.4f : 0.0f;                   // reflectivity
+    sp[5] = static_cast<float>(0.4 + 0.6 * u(rng));       // shade
+  }
+  // Uniform grid over [0,1]^3.
+  const int G = kGrid;
+  s.cell_first.assign(static_cast<std::size_t>(G) * G * G, 0);
+  s.cell_count.assign(static_cast<std::size_t>(G) * G * G, 0);
+  std::vector<std::vector<std::int32_t>> cells(
+      static_cast<std::size_t>(G) * G * G);
+  for (int i = 0; i < nspheres; ++i) {
+    const float* sp = &s.spheres[static_cast<std::size_t>(i) * kSphereStride];
+    const int x0 = std::max(0, static_cast<int>((sp[0] - sp[3]) * G));
+    const int x1 = std::min(G - 1, static_cast<int>((sp[0] + sp[3]) * G));
+    const int y0 = std::max(0, static_cast<int>((sp[1] - sp[3]) * G));
+    const int y1 = std::min(G - 1, static_cast<int>((sp[1] + sp[3]) * G));
+    const int z0 = std::max(0, static_cast<int>((sp[2] - sp[3]) * G));
+    const int z1 = std::min(G - 1, static_cast<int>((sp[2] + sp[3]) * G));
+    for (int x = x0; x <= x1; ++x) {
+      for (int y = y0; y <= y1; ++y) {
+        for (int z = z0; z <= z1; ++z) {
+          cells[(static_cast<std::size_t>(x) * G + y) * G + z].push_back(i);
+        }
+      }
+    }
+  }
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    s.cell_first[ci] = static_cast<std::int32_t>(s.items.size());
+    s.cell_count[ci] = static_cast<std::int32_t>(cells[ci].size());
+    for (std::int32_t id : cells[ci]) s.items.push_back(id);
+  }
+  return s;
+}
+
+constexpr Vec kLight{0.3, 1.5, -0.5};
+constexpr Vec kEye{0.5, 0.45, -1.6};
+
+/// Scene accessor abstraction so the identical tracing code runs both
+/// against the simulator (charging accesses) and the host reference.
+struct Tracer {
+  const SceneHost& host;
+  // Null for the serial reference; set for simulated runs.
+  Ctx* c = nullptr;
+  SharedArray<float>* spheres = nullptr;
+  SharedArray<std::int32_t>* cell_first = nullptr;
+  SharedArray<std::int32_t>* cell_count = nullptr;
+  SharedArray<std::int32_t>* items = nullptr;
+  std::uint64_t rays = 0, tests = 0;
+
+  float sphereF(int i, int f) {
+    const std::size_t k = static_cast<std::size_t>(i) * kSphereStride +
+                          static_cast<std::size_t>(f);
+    if (c != nullptr) return spheres->get(*c, k);
+    return host.spheres[k];
+  }
+  std::int32_t cellFirst(std::size_t ci) {
+    if (c != nullptr) return cell_first->get(*c, ci);
+    return host.cell_first[ci];
+  }
+  std::int32_t cellCount(std::size_t ci) {
+    if (c != nullptr) return cell_count->get(*c, ci);
+    return host.cell_count[ci];
+  }
+  std::int32_t item(std::size_t k) {
+    if (c != nullptr) return items->get(*c, k);
+    return host.items[k];
+  }
+  void charge(Cycles n) {
+    if (c != nullptr) c->compute(n);
+  }
+
+  /// Closest sphere hit along o + t*d, t in (eps, tmax). Returns id or -1.
+  int hitSphere(Vec o, Vec d, double tmax, double* t_out) {
+    // 3D-DDA through the uniform grid.
+    double t0 = 0.0;
+    // Clip the ray to the unit box.
+    double tenter = 0.0, texit = tmax;
+    const double ox[3] = {o.x, o.y, o.z}, dx[3] = {d.x, d.y, d.z};
+    for (int a = 0; a < 3; ++a) {
+      if (std::abs(dx[a]) < 1e-12) {
+        if (ox[a] < 0.0 || ox[a] > 1.0) return -1;
+        continue;
+      }
+      double ta = (0.0 - ox[a]) / dx[a];
+      double tb = (1.0 - ox[a]) / dx[a];
+      if (ta > tb) std::swap(ta, tb);
+      tenter = std::max(tenter, ta);
+      texit = std::min(texit, tb);
+    }
+    charge(25);
+    if (tenter > texit) return -1;
+    t0 = std::max(tenter, 0.0) + 1e-9;
+    Vec p = o + d * t0;
+    int cx = std::min(kGrid - 1, std::max(0, static_cast<int>(p.x * kGrid)));
+    int cy = std::min(kGrid - 1, std::max(0, static_cast<int>(p.y * kGrid)));
+    int cz = std::min(kGrid - 1, std::max(0, static_cast<int>(p.z * kGrid)));
+    const int sx = d.x > 0 ? 1 : -1, sy = d.y > 0 ? 1 : -1,
+              sz = d.z > 0 ? 1 : -1;
+    const double cw = 1.0 / kGrid;
+    auto nextBound = [&](double oa, double da, int ca, int sa) {
+      const double edge = (ca + (sa > 0 ? 1 : 0)) * cw;
+      return std::abs(da) < 1e-12 ? 1e30 : (edge - oa) / da;
+    };
+    double tmx = nextBound(o.x, d.x, cx, sx);
+    double tmy = nextBound(o.y, d.y, cy, sy);
+    double tmz = nextBound(o.z, d.z, cz, sz);
+    const double tdx = std::abs(d.x) < 1e-12 ? 1e30 : cw / std::abs(d.x);
+    const double tdy = std::abs(d.y) < 1e-12 ? 1e30 : cw / std::abs(d.y);
+    const double tdz = std::abs(d.z) < 1e-12 ? 1e30 : cw / std::abs(d.z);
+    int best = -1;
+    double best_t = tmax;
+    for (;;) {
+      const std::size_t ci =
+          (static_cast<std::size_t>(cx) * kGrid + cy) * kGrid + cz;
+      const std::int32_t first = cellFirst(ci);
+      const std::int32_t count = cellCount(ci);
+      charge(20);
+      for (std::int32_t k = 0; k < count; ++k) {
+        const std::int32_t id = item(static_cast<std::size_t>(first + k));
+        ++tests;
+        charge(60);
+        const Vec ctr{sphereF(id, 0), sphereF(id, 1), sphereF(id, 2)};
+        const double r = sphereF(id, 3);
+        const Vec oc = o - ctr;
+        const double b = dot(oc, d);
+        const double disc = b * b - (dot(oc, oc) - r * r);
+        if (disc <= 0.0) continue;
+        const double sq = std::sqrt(disc);
+        double t = -b - sq;
+        if (t < 1e-7) t = -b + sq;
+        if (t > 1e-7 && t < best_t) {
+          best_t = t;
+          best = id;
+        }
+      }
+      const double tnext = std::min(tmx, std::min(tmy, tmz));
+      if (best >= 0 && best_t <= tnext) break;  // hit within this cell
+      if (tnext > texit) break;
+      if (tmx <= tmy && tmx <= tmz) {
+        cx += sx;
+        tmx += tdx;
+        if (cx < 0 || cx >= kGrid) break;
+      } else if (tmy <= tmz) {
+        cy += sy;
+        tmy += tdy;
+        if (cy < 0 || cy >= kGrid) break;
+      } else {
+        cz += sz;
+        tmz += tdz;
+        if (cz < 0 || cz >= kGrid) break;
+      }
+    }
+    *t_out = best_t;
+    return best;
+  }
+
+  bool shadowed(Vec p) {
+    const Vec to = kLight - p;
+    const double dist = std::sqrt(dot(to, to));
+    double t;
+    return hitSphere(p, to * (1.0 / dist), dist, &t) >= 0;
+  }
+
+  float trace(Vec o, Vec d, int depth) {
+    ++rays;
+    double t;
+    const int id = hitSphere(o, d, 1e30, &t);
+    charge(40);
+    if (id >= 0) {
+      const Vec p = o + d * t;
+      const Vec n = norm(p - Vec{sphereF(id, 0), sphereF(id, 1), sphereF(id, 2)});
+      const Vec l = norm(kLight - p);
+      double lum = 0.1;  // ambient
+      charge(120);
+      if (!shadowed(p + n * 1e-6)) {
+        lum += std::max(0.0, dot(n, l)) * sphereF(id, 5);
+      } else {
+        lum += 0.05;
+      }
+      const float refl = sphereF(id, 4);
+      if (refl > 0.0f && depth < kMaxDepth) {
+        const Vec rd = d - n * (2.0 * dot(n, d));
+        lum += refl * trace(p + rd * 1e-6, norm(rd), depth + 1);
+      }
+      return static_cast<float>(lum);
+    }
+    // Ground plane y = 0 with a checker pattern.
+    if (d.y < -1e-9) {
+      const double tp = -o.y / d.y;
+      const Vec p = o + d * tp;
+      if (std::abs(p.x - 0.5) < 2.0 && std::abs(p.z - 0.5) < 2.0) {
+        const int cxi = static_cast<int>(std::floor(p.x * 6.0));
+        const int czi = static_cast<int>(std::floor(p.z * 6.0));
+        double lum = ((cxi + czi) & 1) != 0 ? 0.55 : 0.25;
+        charge(60);
+        if (shadowed(p + Vec{0, 1e-6, 0})) lum *= 0.35;
+        return static_cast<float>(lum);
+      }
+    }
+    return 0.04f;  // background
+  }
+};
+
+inline std::uint8_t quantize(float v) {
+  const float q = v * 255.0f + 0.5f;
+  return static_cast<std::uint8_t>(q > 255.0f ? 255.0f : q);
+}
+
+Vec primaryDir(int n, int px, int py, int sub) {
+  // 2x2 supersampling grid within the pixel.
+  const double du = (sub % 2) * 0.5 + 0.25;
+  const double dv = (sub / 2) * 0.5 + 0.25;
+  const double u = (px + du) / n;
+  const double v = 1.0 - (py + dv) / n;
+  const Vec target{u, v * 0.9, 0.0};
+  return norm(target - kEye);
+}
+
+template <class T>
+float shadePixel(T& tr, int n, int px, int py) {
+  float acc = 0.0f;
+  for (int sub = 0; sub < 4; ++sub) {
+    acc += tr.trace(kEye, primaryDir(n, px, py, sub), 0);
+  }
+  return acc * 0.25f;
+}
+
+AppResult runImpl(Platform& plat, const AppParams& prm, Variant variant) {
+  const int n = prm.n;
+  const int P = plat.nprocs();
+  const int nspheres = prm.block;
+  const SceneHost scene = buildScene(nspheres, prm.seed);
+
+  // --- scene in shared memory (read-only), round-robin homes ---
+  SharedArray<float> spheres(plat, scene.spheres.size(),
+                             HomePolicy::roundRobin(P));
+  SharedArray<std::int32_t> cell_first(plat, scene.cell_first.size(),
+                                       HomePolicy::roundRobin(P));
+  SharedArray<std::int32_t> cell_count(plat, scene.cell_count.size(),
+                                       HomePolicy::roundRobin(P));
+  SharedArray<std::int32_t> items(plat, std::max<std::size_t>(scene.items.size(), 1),
+                                  HomePolicy::roundRobin(P));
+  for (std::size_t i = 0; i < scene.spheres.size(); ++i) {
+    spheres.raw(i) = scene.spheres[i];
+  }
+  for (std::size_t i = 0; i < scene.cell_first.size(); ++i) {
+    cell_first.raw(i) = scene.cell_first[i];
+    cell_count.raw(i) = scene.cell_count[i];
+  }
+  for (std::size_t i = 0; i < scene.items.size(); ++i) {
+    items.raw(i) = scene.items[i];
+  }
+  // Processor 0 read the scene description in and therefore starts with
+  // resident copies of all scene pages (the paper's Fig. 12 effect).
+  plat.warm(0, spheres.base(), spheres.bytes());
+  plat.warm(0, cell_first.base(), cell_first.bytes());
+  plat.warm(0, cell_count.base(), cell_count.bytes());
+  plat.warm(0, items.base(), items.bytes());
+
+  // --- image and statistics ---
+  SharedArray<std::uint8_t> img(plat, static_cast<std::size_t>(n) * n,
+                                HomePolicy::roundRobin(P), kPageBytes);
+  // Global counters [rays, tests] on one page at node 0 (orig), or
+  // page-strided per-processor slots (optimized versions).
+  SharedArray<std::uint64_t> gstats(plat, 2, HomePolicy::node(0));
+  SharedArray<std::uint64_t> pstats(
+      plat, static_cast<std::size_t>(P) * (kPageBytes / 8) , HomePolicy::roundRobin(P),
+      kPageBytes);
+  const int stat_lock = plat.makeLock();
+
+  // --- task queues: tiles dealt round-robin ---
+  const int tiles = n / kTile;
+  TaskQueues::Options qopt;
+  qopt.capacity = static_cast<std::size_t>(tiles) * tiles;
+  qopt.split_steal = variant == Variant::AlgSplitQ;
+  TaskQueues queues(plat, qopt);
+  {
+    std::vector<std::vector<std::int32_t>> assign(static_cast<std::size_t>(P));
+    for (std::int32_t t = 0; t < tiles * tiles; ++t) {
+      assign[static_cast<std::size_t>(t % P)].push_back(t);
+    }
+    for (int p = 0; p < P; ++p) {
+      queues.fillInitial(p, assign[static_cast<std::size_t>(p)]);
+    }
+  }
+
+  const int bar = plat.makeBarrier();
+
+  plat.run([&](Ctx& c) {
+    Tracer tr{scene, &c, &spheres, &cell_first, &cell_count, &items, 0, 0};
+    const auto me = static_cast<std::size_t>(c.id());
+    std::uint64_t last_rays = 0, last_tests = 0;
+    for (;;) {
+      const std::int32_t task = queues.next(c, /*allow_steal=*/true);
+      if (task < 0) break;
+      const int ty = task / tiles, tx = task % tiles;
+      for (int py = ty * kTile; py < (ty + 1) * kTile; ++py) {
+        for (int px = tx * kTile; px < (tx + 1) * kTile; ++px) {
+          c.compute(30);
+          const float lum = shadePixel(tr, n, px, py);
+          img.set(c, static_cast<std::size_t>(py) * n + px, quantize(lum));
+          // Statistics bookkeeping, once per primary ray.
+          const std::uint64_t dr = tr.rays - last_rays;
+          const std::uint64_t dt = tr.tests - last_tests;
+          last_rays = tr.rays;
+          last_tests = tr.tests;
+          if (variant == Variant::Orig) {
+            c.lock(stat_lock);
+            gstats.update(c, 0, [dr](std::uint64_t v) { return v + dr; });
+            gstats.update(c, 1, [dt](std::uint64_t v) { return v + dt; });
+            c.unlock(stat_lock);
+          } else {
+            const std::size_t slot = me * (kPageBytes / 8);
+            pstats.update(c, slot, [dr](std::uint64_t v) { return v + dr; });
+            pstats.update(c, slot + 1,
+                          [dt](std::uint64_t v) { return v + dt; });
+          }
+        }
+      }
+    }
+    c.barrier(bar);
+  });
+
+  AppResult res;
+  res.stats = plat.engine().collect();
+
+  // Serial reference image + ray count.
+  Tracer ref{scene, nullptr, nullptr, nullptr, nullptr, nullptr, 0, 0};
+  std::size_t bad = 0;
+  std::vector<std::uint8_t> rimg(static_cast<std::size_t>(n) * n);
+  for (int py = 0; py < n; ++py) {
+    for (int px = 0; px < n; ++px) {
+      rimg[static_cast<std::size_t>(py) * n + px] =
+          quantize(shadePixel(ref, n, px, py));
+    }
+  }
+  for (std::size_t i = 0; i < rimg.size(); ++i) {
+    if (rimg[i] != img.raw(i)) ++bad;
+  }
+  std::uint64_t rays = 0;
+  if (variant == Variant::Orig) {
+    rays = gstats.raw(0);
+  } else {
+    for (int p = 0; p < P; ++p) {
+      rays += pstats.raw(static_cast<std::size_t>(p) * (kPageBytes / 8));
+    }
+  }
+  res.correct = bad == 0 && rays == ref.rays;
+  res.note = bad == 0 ? (rays == ref.rays
+                             ? "image + ray statistics match reference"
+                             : "ray statistics mismatch")
+                      : std::to_string(bad) + " mismatched pixels";
+  return res;
+}
+
+}  // namespace
+
+AppResult run(Platform& plat, const AppParams& prm, Variant v) {
+  return runImpl(plat, prm, v);
+}
+
+AppDesc describe() {
+  AppDesc d;
+  d.name = "raytrace";
+  d.summary = "Whitted ray tracer with uniform grid (SPLASH-2 Raytrace)";
+  d.tiny = {.n = 32, .iters = 1, .block = 24, .seed = 99};
+  d.small = {.n = 128, .iters = 1, .block = 200, .seed = 99};
+  d.paper = {.n = 128, .iters = 1, .block = 400, .seed = 99};
+  auto ver = [](const char* name, OptClass cls, const char* sum, Variant v) {
+    return VersionDesc{name, cls, sum,
+                       [v](Platform& p, const AppParams& prm) {
+                         return run(p, prm, v);
+                       }};
+  };
+  d.versions = {
+      ver("orig", OptClass::Orig, "global stats lock once per ray",
+          Variant::Orig),
+      ver("alg-nolock", OptClass::Alg, "per-processor statistics, no lock",
+          Variant::AlgNoLock),
+      ver("alg-splitq", OptClass::Alg,
+          "per-processor stats + split private/public task queues",
+          Variant::AlgSplitQ),
+  };
+  return d;
+}
+
+}  // namespace rsvm::apps::raytrace

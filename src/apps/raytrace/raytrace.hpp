@@ -1,0 +1,29 @@
+// Whitted-style ray tracer modeled on SPLASH-2 "Raytrace" (paper section
+// 4.2.3), rendering a procedural sphere scene through a uniform-grid
+// accelerator (substituting for the paper's `car` data set -- see
+// DESIGN.md). Tiles are dealt round-robin; task stealing handles the
+// highly unpredictable per-ray work.
+//
+// Versions:
+//  * orig       -- global statistics counters protected by a lock,
+//                  updated once per ray: harmless on hardware coherence,
+//                  catastrophic on SVM ("speedup" 0.5 in the paper).
+//  * alg-nolock -- statistics kept per-processor, lock removed
+//                  (0.5 -> 11.05 in the paper).
+//  * alg-splitq -- additionally split each processor's task queue into a
+//                  private one (no lock) and a public one for thieves
+//                  (11.05 -> 11.72 in the paper).
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::raytrace {
+
+enum class Variant { Orig, AlgNoLock, AlgSplitQ };
+
+/// prm.n = image dimension in pixels; prm.block = number of spheres.
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::raytrace

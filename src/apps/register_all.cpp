@@ -1,0 +1,26 @@
+// Explicit registration of every application, so a static-library build
+// cannot silently drop registrations (no reliance on static initializers).
+#include "core/app.hpp"
+
+#include "apps/barnes/barnes.hpp"
+#include "apps/lu/lu.hpp"
+#include "apps/ocean/ocean.hpp"
+#include "apps/radix/radix.hpp"
+#include "apps/raytrace/raytrace.hpp"
+#include "apps/shearwarp/shearwarp.hpp"
+#include "apps/volrend/volrend.hpp"
+
+namespace rsvm {
+
+void registerAllApps() {
+  Registry& r = Registry::instance();
+  r.add(apps::barnes::describe());
+  r.add(apps::lu::describe());
+  r.add(apps::ocean::describe());
+  r.add(apps::radix::describe());
+  r.add(apps::raytrace::describe());
+  r.add(apps::shearwarp::describe());
+  r.add(apps::volrend::describe());
+}
+
+}  // namespace rsvm

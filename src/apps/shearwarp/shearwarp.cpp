@@ -1,0 +1,357 @@
+#include "apps/shearwarp/shearwarp.hpp"
+
+#include "apps/common/volume.hpp"
+#include "runtime/shared.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace rsvm::apps::shearwarp {
+namespace {
+
+constexpr std::size_t kPageBytes = 4096;
+constexpr float kCutoff = 0.95f;
+constexpr int kChunk = 1;  ///< scanlines per interleaved task (orig)
+
+struct Geometry {
+  int n = 0, nz = 0;
+  // Warp transform: y_src = ay*v + by ; x_src = ax*u + shx*v + bx.
+  double ax = 0.95, shx = 0.12, bx = 1.5, ay = 0.90, by = 3.0;
+};
+
+inline std::uint8_t quantize(float v) {
+  const float q = v * 255.0f + 0.5f;
+  return static_cast<std::uint8_t>(q > 255.0f ? 255.0f : q);
+}
+
+/// Which processor composites (and, in the alg version, warps) scanline y.
+struct RowOwners {
+  std::vector<int> owner;        ///< per intermediate scanline
+  std::vector<int> lo, hi;       ///< per processor: [lo, hi) band (alg only)
+};
+
+RowOwners interleavedOwners(int n, int P) {
+  RowOwners ro;
+  ro.owner.resize(static_cast<std::size_t>(n));
+  for (int y = 0; y < n; ++y) ro.owner[static_cast<std::size_t>(y)] = (y / kChunk) % P;
+  return ro;
+}
+
+RowOwners profiledBands(int n, int P, const std::vector<std::int64_t>& cost) {
+  RowOwners ro;
+  ro.owner.resize(static_cast<std::size_t>(n));
+  ro.lo.assign(static_cast<std::size_t>(P), n);
+  ro.hi.assign(static_cast<std::size_t>(P), 0);
+  std::int64_t total = 0;
+  for (std::int64_t c : cost) total += c;
+  std::int64_t acc = 0;
+  int p = 0;
+  for (int y = 0; y < n; ++y) {
+    // Advance to the next band when this one has its fair share.
+    if (p < P - 1 &&
+        acc * P >= total * (p + 1)) {
+      ++p;
+    }
+    ro.owner[static_cast<std::size_t>(y)] = p;
+    acc += cost[static_cast<std::size_t>(y)];
+  }
+  for (int y = 0; y < n; ++y) {
+    const auto pi = static_cast<std::size_t>(ro.owner[static_cast<std::size_t>(y)]);
+    ro.lo[pi] = std::min(ro.lo[pi], y);
+    ro.hi[pi] = std::max(ro.hi[pi], y + 1);
+  }
+  return ro;
+}
+
+AppResult runImpl(Platform& plat, const AppParams& prm, Variant variant) {
+  Geometry g;
+  g.n = prm.n;
+  g.nz = prm.n * 7 / 8;
+  const int P = plat.nprocs();
+  const int n = g.n;
+
+  // --- RLE volume (read-only, replicated steady state) ---
+  const Volume vol = makeHeadVolume(n, n, g.nz, prm.seed);
+  const RleVolume rle = rleEncode(vol);
+  SharedArray<std::int32_t> runs(plat, rle.runs.size() * 3,
+                                 HomePolicy::roundRobin(P));
+  SharedArray<std::int32_t> line_first(plat, rle.line_first.size(),
+                                       HomePolicy::roundRobin(P));
+  SharedArray<std::int32_t> line_count(plat, rle.line_count.size(),
+                                       HomePolicy::roundRobin(P));
+  SharedArray<std::uint8_t> samples(plat, std::max<std::size_t>(rle.samples.size(), 1),
+                                    HomePolicy::roundRobin(P));
+  for (std::size_t i = 0; i < rle.runs.size(); ++i) {
+    runs.raw(i * 3 + 0) = rle.runs[i].skip;
+    runs.raw(i * 3 + 1) = rle.runs[i].count;
+    runs.raw(i * 3 + 2) = rle.runs[i].offset;
+  }
+  for (std::size_t i = 0; i < rle.line_first.size(); ++i) {
+    line_first.raw(i) = rle.line_first[i];
+    line_count.raw(i) = rle.line_count[i];
+  }
+  for (std::size_t i = 0; i < rle.samples.size(); ++i) {
+    samples.raw(i) = rle.samples[i];
+  }
+  for (int p = 0; p < P; ++p) {
+    plat.warm(p, runs.base(), runs.bytes());
+    plat.warm(p, line_first.base(), line_first.bytes());
+    plat.warm(p, line_count.base(), line_count.bytes());
+    plat.warm(p, samples.base(), samples.bytes());
+  }
+
+  // --- serial reference composite, also yielding the per-scanline work
+  //     profile the alg version partitions by (the paper's "dynamic
+  //     profiling of scanline costs", fed by the previous frame) ---
+  std::vector<float> rinter(static_cast<std::size_t>(n) * n * 2, 0.0f);
+  std::vector<std::int64_t> line_cost(static_cast<std::size_t>(n), 0);
+  for (int y = 0; y < n; ++y) {
+    int opaque = 0;
+    for (int z = 0; z < g.nz && opaque < n; ++z) {
+      const auto li = static_cast<std::size_t>(rle.lineIndex(y, z));
+      const std::int32_t first = rle.line_first[li];
+      const std::int32_t cnt = rle.line_count[li];
+      line_cost[static_cast<std::size_t>(y)] += 2;
+      int x = 0;
+      for (std::int32_t r = 0; r < cnt; ++r) {
+        const RleVolume::Run& run = rle.runs[static_cast<std::size_t>(first + r)];
+        x += run.skip;
+        line_cost[static_cast<std::size_t>(y)] += 2;
+        for (std::int32_t k = 0; k < run.count; ++k, ++x) {
+          float& lum = rinter[(static_cast<std::size_t>(y) * n + x) * 2];
+          float& opac = rinter[(static_cast<std::size_t>(y) * n + x) * 2 + 1];
+          if (opac >= kCutoff) continue;  // skipped via pixel run links
+          line_cost[static_cast<std::size_t>(y)] += 8;
+          const std::uint8_t d =
+              rle.samples[static_cast<std::size_t>(run.offset + k)];
+          const float op = opacityOf(d);
+          const float trans = 1.0f - opac;
+          lum += trans * op * static_cast<float>(d) / 255.0f;
+          opac += trans * op;
+          if (opac >= kCutoff) ++opaque;
+        }
+      }
+    }
+  }
+  // Alg: profile-guided contiguous bands ("dynamic profiling of scanline
+  // costs", fed by the previous frame in the real system -- here computed
+  // from the RLE volume at setup, see DESIGN.md).
+  const RowOwners rows = variant == Variant::Alg
+                             ? profiledBands(n, P, line_cost)
+                             : interleavedOwners(n, P);
+
+  // --- intermediate image: (lum, opac) float pairs per pixel ---
+  const std::size_t row_words =
+      variant == Variant::PA
+          ? (static_cast<std::size_t>(n) * 2 * sizeof(float) + kPageBytes - 1) /
+                kPageBytes * kPageBytes / sizeof(float)
+          : static_cast<std::size_t>(n) * 2;
+  const std::vector<int>& row_owner = rows.owner;
+  HomePolicy inter_homes{[row_words, row_owner, n](std::uint64_t page,
+                                                   std::uint64_t) {
+    const auto y = std::min<std::size_t>(
+        page * (kPageBytes / sizeof(float)) / row_words,
+        static_cast<std::size_t>(n - 1));
+    return static_cast<ProcId>(row_owner[y]);
+  }};
+  SharedArray<float> inter(plat, static_cast<std::size_t>(n) * row_words,
+                           inter_homes, kPageBytes);
+
+  // --- final image: bytes, owned by warp writers ---
+  // orig/pa: a pr x pc grid of 2-d blocks of tiles (paper: "partitions
+  // the final image into blocks of tiles"), so each processor's warp
+  // reads a tall window of intermediate scanlines, nearly all written by
+  // other processors (the redistribution). alg: each final row belongs
+  // to the band that composited its source scanline.
+  int pr = static_cast<int>(std::sqrt(static_cast<double>(P)));
+  while (P % pr != 0) --pr;
+  const int pc = P / pr;
+  const int bh = (n + pr - 1) / pr, bw = (n + pc - 1) / pc;
+  auto warpOwner = [&, pr, pc, bh, bw](int v, int u) {
+    if (variant == Variant::Alg) {
+      const int ysrc =
+          std::min(n - 1, std::max(0, static_cast<int>(g.ay * v + g.by)));
+      return rows.owner[static_cast<std::size_t>(ysrc)];
+    }
+    return (v / bh) * pc + u / bw;
+  };
+  // Home final-image pages at the owner of the first pixel on the page.
+  const Variant var_copy = variant;
+  const std::vector<int> row_owner_copy = rows.owner;
+  const double ay = g.ay, by = g.by;
+  HomePolicy final_homes{[=](std::uint64_t page, std::uint64_t) {
+    const auto v = std::min<std::size_t>(
+        page * kPageBytes / static_cast<std::size_t>(n),
+        static_cast<std::size_t>(n - 1));
+    if (var_copy == Variant::Alg) {
+      const int ysrc = std::min(
+          n - 1, std::max(0, static_cast<int>(ay * static_cast<double>(v) + by)));
+      return static_cast<ProcId>(row_owner_copy[static_cast<std::size_t>(ysrc)]);
+    }
+    return static_cast<ProcId>((static_cast<int>(v) / bh) * pc);
+  }};
+  SharedArray<std::uint8_t> fin(plat, static_cast<std::size_t>(n) * n,
+                                final_homes, kPageBytes);
+
+  const int bar = plat.makeBarrier();
+
+  // Clamp range for warp source rows (alg reads only its own band).
+  auto clampRange = [&](int p) -> std::pair<int, int> {
+    if (variant != Variant::Alg) return {0, n};
+    return {rows.lo[static_cast<std::size_t>(p)],
+            rows.hi[static_cast<std::size_t>(p)]};
+  };
+
+  plat.run([&](Ctx& c) {
+    const int me = c.id();
+    for (int frame = 0; frame < prm.iters; ++frame) {
+      // -- zero + composite the scanlines we own --
+      for (int y = 0; y < n; ++y) {
+        if (rows.owner[static_cast<std::size_t>(y)] != me) continue;
+        const std::size_t base = static_cast<std::size_t>(y) * row_words;
+        for (int x = 0; x < n; ++x) {
+          inter.set(c, base + static_cast<std::size_t>(x) * 2, 0.0f);
+          inter.set(c, base + static_cast<std::size_t>(x) * 2 + 1, 0.0f);
+        }
+        c.compute(static_cast<Cycles>(n));
+        // Opaque intermediate pixels are skipped through the image's
+        // pixel run links (Lacroute): an opaque stretch costs O(1), and a
+        // fully-opaque scanline terminates its slice loop early.
+        int opaque = 0;
+        for (int z = 0; z < g.nz && opaque < n; ++z) {
+          const auto li = static_cast<std::size_t>(rle.lineIndex(y, z));
+          const std::int32_t first = line_first.get(c, li);
+          const std::int32_t cnt = line_count.get(c, li);
+          c.compute(8);
+          int x = 0;
+          for (std::int32_t r = 0; r < cnt; ++r) {
+            const std::size_t ri = static_cast<std::size_t>(first + r) * 3;
+            const std::int32_t skip = runs.get(c, ri);
+            const std::int32_t count = runs.get(c, ri + 1);
+            const std::int32_t offset = runs.get(c, ri + 2);
+            c.compute(6);
+            x += skip;
+            bool in_skip = false;
+            for (std::int32_t k = 0; k < count; ++k, ++x) {
+              const std::size_t px = base + static_cast<std::size_t>(x) * 2;
+              const float opac = inter.get(c, px + 1);
+              if (opac >= kCutoff) {
+                if (!in_skip) c.compute(2);  // follow the pixel run link
+                in_skip = true;
+                continue;
+              }
+              in_skip = false;
+              const std::uint8_t d =
+                  samples.get(c, static_cast<std::size_t>(offset + k));
+              const float op = opacityOf(d);
+              const float trans = 1.0f - opac;
+              const float nop = opac + trans * op;
+              inter.set(c, px,
+                        inter.get(c, px) +
+                            trans * op * static_cast<float>(d) / 255.0f);
+              inter.set(c, px + 1, nop);
+              if (nop >= kCutoff) ++opaque;
+              c.compute(10);
+            }
+          }
+        }
+      }
+      if (variant != Variant::Alg) c.barrier(bar);
+      // -- warp the final pixels we own --
+      const auto [ylo, yhi] = clampRange(me);
+      for (int v = 0; v < n; ++v) {
+        const double ysd = g.ay * v + g.by;
+        for (int u = 0; u < n; ++u) {
+          if (warpOwner(v, u) != me) continue;
+          const double xsd = g.ax * u + g.shx * v + g.bx;
+          int y0 = static_cast<int>(ysd);
+          int x0 = static_cast<int>(xsd);
+          double fy = ysd - y0, fx = xsd - x0;
+          y0 = std::min(std::max(y0, ylo), yhi - 1);
+          int y1 = std::min(y0 + 1, yhi - 1);
+          if (y1 == y0) fy = 0.0;
+          x0 = std::min(std::max(x0, 0), n - 1);
+          const int x1 = std::min(x0 + 1, n - 1);
+          auto lum = [&](int yy, int xx) {
+            return inter.get(c, static_cast<std::size_t>(yy) * row_words +
+                                    static_cast<std::size_t>(xx) * 2);
+          };
+          const double l0 = lum(y0, x0) * (1 - fx) + lum(y0, x1) * fx;
+          const double l1 = lum(y1, x0) * (1 - fx) + lum(y1, x1) * fx;
+          const float out = static_cast<float>(l0 * (1 - fy) + l1 * fy);
+          c.compute(25);
+          fin.set(c, static_cast<std::size_t>(v) * n + u, quantize(out));
+        }
+      }
+      c.barrier(bar);
+    }
+  });
+
+  AppResult res;
+  res.stats = plat.engine().collect();
+
+  // --- verify against the reference composite + warp ---
+  std::size_t bad = 0;
+  for (int v = 0; v < n; ++v) {
+    const double ysd = g.ay * v + g.by;
+    for (int u = 0; u < n; ++u) {
+      const auto [ylo, yhi] = clampRange(warpOwner(v, u));
+      const double xsd = g.ax * u + g.shx * v + g.bx;
+      int y0 = static_cast<int>(ysd);
+      int x0 = static_cast<int>(xsd);
+      double fy = ysd - y0, fx = xsd - x0;
+      y0 = std::min(std::max(y0, ylo), yhi - 1);
+      int y1 = std::min(y0 + 1, yhi - 1);
+      if (y1 == y0) fy = 0.0;
+      x0 = std::min(std::max(x0, 0), n - 1);
+      const int x1 = std::min(x0 + 1, n - 1);
+      auto lum = [&](int yy, int xx) {
+        return rinter[(static_cast<std::size_t>(yy) * n + xx) * 2];
+      };
+      const double l0 = lum(y0, x0) * (1 - fx) + lum(y0, x1) * fx;
+      const double l1 = lum(y1, x0) * (1 - fx) + lum(y1, x1) * fx;
+      const std::uint8_t expect =
+          quantize(static_cast<float>(l0 * (1 - fy) + l1 * fy));
+      if (expect != fin.raw(static_cast<std::size_t>(v) * n + u)) ++bad;
+    }
+  }
+  res.correct = bad == 0;
+  res.note = bad == 0 ? "final image matches serial reference"
+                      : std::to_string(bad) + " mismatched pixels";
+  return res;
+}
+
+}  // namespace
+
+AppResult run(Platform& plat, const AppParams& prm, Variant v) {
+  return runImpl(plat, prm, v);
+}
+
+AppDesc describe() {
+  AppDesc d;
+  d.name = "shearwarp";
+  d.summary = "shear-warp RLE volume renderer (PPoPP'97 companion)";
+  d.tiny = {.n = 32, .iters = 2, .block = 0, .seed = 17};
+  d.small = {.n = 128, .iters = 3, .block = 0, .seed = 17};
+  d.paper = {.n = 256, .iters = 4, .block = 0, .seed = 17};
+  auto ver = [](const char* name, OptClass cls, const char* sum, Variant v) {
+    return VersionDesc{name, cls, sum,
+                       [v](Platform& p, const AppParams& prm) {
+                         return run(p, prm, v);
+                       }};
+  };
+  d.versions = {
+      ver("orig", OptClass::Orig,
+          "interleaved scanline chunks; different warp partition",
+          Variant::Orig),
+      ver("pa", OptClass::PA, "intermediate scanlines padded to pages",
+          Variant::PA),
+      ver("alg", OptClass::Alg,
+          "profiled contiguous bands, same partition both phases, "
+          "no inter-phase barrier",
+          Variant::Alg),
+  };
+  return d;
+}
+
+}  // namespace rsvm::apps::shearwarp

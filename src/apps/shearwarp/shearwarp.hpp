@@ -1,0 +1,33 @@
+// Shear-warp volume renderer (paper section 4.2.2; Lacroute's
+// factorization as parallelized in the companion PPoPP'97 paper [3]).
+// Phase 1 composites the run-length-encoded volume into an intermediate
+// image, scanline by scanline; phase 2 warps the intermediate image into
+// the final image with an affine (scale + shear) transform.
+//
+// Versions:
+//  * orig  -- compositing tasks are small interleaved chunks of
+//             intermediate-image scanlines (for load balance); the warp
+//             partitions the *final* image into contiguous blocks. Most
+//             of what a processor reads in the warp was written by other
+//             processors: a full redistribution of the intermediate
+//             image between the phases, through an expensive barrier.
+//  * pa    -- intermediate-image scanlines padded+aligned to pages
+//             (the ~10% P/A improvement the paper reports).
+//  * alg   -- profile-guided *contiguous* scanline bands, the same
+//             partition for both phases, warp reads only locally-written
+//             scanlines (boundary rows handled by a designated owner),
+//             and no barrier between the phases (3.47 -> 9.21).
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::shearwarp {
+
+enum class Variant { Orig, PA, Alg };
+
+/// prm.n = image dimension; volume is n x n x (7n/8); prm.iters frames.
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::shearwarp

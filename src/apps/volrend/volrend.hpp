@@ -1,0 +1,36 @@
+// Ray-casting volume renderer modeled on SPLASH-2 "Volrend" (paper
+// section 4.2.1). The image plane is divided into small square tiles
+// (the unit of work/stealing); tiles are grouped into per-processor
+// partitions held in shared-memory task queues.
+//
+// Versions:
+//  * orig        -- contiguous image blocks per processor, unpadded task
+//                   queues, stealing on. Queue/image false sharing and
+//                   dilated critical sections dominate on SVM.
+//  * pa          -- task-queue entries padded+aligned to pages: less
+//                   false sharing, more fragmentation; little help.
+//  * ds          -- image stored 4-d (per-partition contiguous, page
+//                   aligned): *hurts* (7.09 -> 6.27 in the paper) because
+//                   pixel addressing cost rises and interacts with
+//                   stealing.
+//  * alg-steal   -- finer-grain blocks assigned round-robin (better
+//                   initial balance), stealing still on (paper: 11.42).
+//  * alg-nosteal -- same partition, stealing off: lock wait disappears,
+//                   barrier imbalance grows slightly; net best on SVM
+//                   (paper: 11.70). On CC-NUMA stealing wins instead
+//                   (Fig. 17), which this pair of versions reproduces.
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::volrend {
+
+enum class Variant { Orig, PA, DS, AlgSteal, AlgNoSteal };
+
+/// prm.n = image dimension (pixels); the synthetic head volume is
+/// n x n x (7n/8) voxels.
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::volrend

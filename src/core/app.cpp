@@ -1,0 +1,27 @@
+#include "core/app.hpp"
+
+#include <stdexcept>
+
+namespace rsvm {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(AppDesc d) {
+  if (find(d.name) != nullptr) return;  // idempotent registration
+  if (d.versions.empty()) {
+    throw std::invalid_argument("Registry: app without versions: " + d.name);
+  }
+  apps_.push_back(std::move(d));
+}
+
+const AppDesc* Registry::find(std::string_view name) const {
+  for (const auto& a : apps_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace rsvm

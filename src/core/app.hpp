@@ -1,0 +1,85 @@
+// Application/version registry: the paper's study object is a set of
+// applications, each existing in several restructured versions grouped
+// into optimization classes (Orig / P+A / DS / Alg). Benches and tests
+// look versions up here and run them on any platform.
+#pragma once
+
+#include "runtime/platform.hpp"
+#include "sim/stats.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsvm {
+
+/// Generic problem-size knobs, interpreted per application.
+struct AppParams {
+  int n = 0;           ///< primary size (matrix/grid dim, particles, keys)
+  int iters = 1;       ///< time steps / iterations
+  int block = 16;      ///< block/tile size where applicable
+  std::uint64_t seed = 42;
+};
+
+struct AppResult {
+  RunStats stats;
+  bool correct = true;
+  std::string note;  ///< human-readable correctness detail
+};
+
+/// The paper's optimization classes (section 3).
+enum class OptClass { Orig, PA, DS, Alg };
+
+inline const char* optClassName(OptClass c) {
+  switch (c) {
+    case OptClass::Orig: return "Orig";
+    case OptClass::PA: return "P/A";
+    case OptClass::DS: return "DS";
+    case OptClass::Alg: return "Alg";
+  }
+  return "?";
+}
+
+struct VersionDesc {
+  std::string name;     ///< e.g. "2d", "4d-aligned", "rowwise"
+  OptClass cls;
+  std::string summary;  ///< what this restructuring does
+  std::function<AppResult(Platform&, const AppParams&)> run;
+};
+
+struct AppDesc {
+  std::string name;
+  std::string summary;
+  AppParams tiny;    ///< integration-test scale (sub-second)
+  AppParams small;   ///< default bench scale (seconds)
+  AppParams paper;   ///< the paper's input scale
+  std::vector<VersionDesc> versions;
+
+  [[nodiscard]] const VersionDesc* version(std::string_view v) const {
+    for (const auto& ver : versions) {
+      if (ver.name == v) return &ver;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const VersionDesc& original() const { return versions.front(); }
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  void add(AppDesc d);
+  [[nodiscard]] const AppDesc* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<AppDesc>& all() const { return apps_; }
+
+ private:
+  std::vector<AppDesc> apps_;
+};
+
+/// Populate the registry with every application (idempotent). Defined in
+/// apps/register_all.cpp so the app library controls what is available.
+void registerAllApps();
+
+}  // namespace rsvm

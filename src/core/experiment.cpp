@@ -1,0 +1,78 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rsvm {
+
+AppResult Experiment::runOnce(PlatformKind kind, const VersionDesc& ver,
+                              const AppParams& prm, int nprocs,
+                              bool free_cs_faults) {
+  auto plat = Platform::create(kind, nprocs);
+  plat->free_cs_faults = free_cs_faults;
+  AppResult r = ver.run(*plat, prm);
+  if (!r.correct) {
+    throw std::runtime_error("experiment: incorrect result from version '" +
+                             ver.name + "': " + r.note);
+  }
+  return r;
+}
+
+Cycles Experiment::baseline(PlatformKind kind, const AppParams& prm) {
+  const auto key = std::make_pair(static_cast<int>(kind), prm.n);
+  if (const auto it = base_cache_.find(key); it != base_cache_.end()) {
+    return it->second;
+  }
+  const AppResult r = runOnce(kind, app_.original(), prm, 1);
+  base_cache_[key] = r.stats.exec_cycles;
+  return r.stats.exec_cycles;
+}
+
+CellResult Experiment::run(PlatformKind kind, const VersionDesc& ver,
+                           const AppParams& prm, int nprocs) {
+  CellResult cell;
+  cell.base_cycles = baseline(kind, prm);
+  cell.app = runOnce(kind, ver, prm, nprocs);
+  cell.cycles = cell.app.stats.exec_cycles;
+  return cell;
+}
+
+namespace fmt {
+
+std::string breakdown(const std::string& title, const RunStats& rs) {
+  std::string out = "== " + title + " ==\n" + rs.breakdownTable();
+  char line[256];
+  const double tot = static_cast<double>(rs.exec_cycles);
+  std::snprintf(line, sizeof line,
+                "exec cycles: %llu   bucket shares: cmp %.1f%% cache %.1f%% "
+                "data %.1f%% lock %.1f%% barrier %.1f%% handler %.1f%%\n",
+                static_cast<unsigned long long>(rs.exec_cycles),
+                100.0 * static_cast<double>(rs.bucketTotal(Bucket::Compute)) /
+                    (tot * rs.nprocs()),
+                100.0 *
+                    static_cast<double>(rs.bucketTotal(Bucket::CacheStall)) /
+                    (tot * rs.nprocs()),
+                100.0 * static_cast<double>(rs.bucketTotal(Bucket::DataWait)) /
+                    (tot * rs.nprocs()),
+                100.0 * static_cast<double>(rs.bucketTotal(Bucket::LockWait)) /
+                    (tot * rs.nprocs()),
+                100.0 *
+                    static_cast<double>(rs.bucketTotal(Bucket::BarrierWait)) /
+                    (tot * rs.nprocs()),
+                100.0 * static_cast<double>(rs.bucketTotal(Bucket::Handler)) /
+                    (tot * rs.nprocs()));
+  out += line;
+  return out;
+}
+
+std::string speedupRow(const std::string& label, double svm, double smp,
+                       double dsm) {
+  char line[160];
+  std::snprintf(line, sizeof line, "%-28s %8.2f %8.2f %8.2f\n", label.c_str(),
+                svm, smp, dsm);
+  return line;
+}
+
+}  // namespace fmt
+
+}  // namespace rsvm

@@ -1,0 +1,61 @@
+// Experiment driver: runs (platform x application x version x processor
+// count) cells, computes speedups the way the paper does -- against the
+// uniprocessor execution time of the *original* version on the same
+// platform -- and formats the tables/figures.
+#pragma once
+
+#include "core/app.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace rsvm {
+
+struct CellResult {
+  AppResult app;        ///< stats + correctness of the parallel run
+  Cycles cycles = 0;    ///< parallel execution time
+  Cycles base_cycles = 0;  ///< uniprocessor time of the original version
+  [[nodiscard]] double speedup() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(base_cycles) /
+                             static_cast<double>(cycles);
+  }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const AppDesc& app) : app_(app) {}
+
+  /// Run one version on one platform; uniprocessor baselines (original
+  /// version, same platform, same params) are computed once and cached.
+  CellResult run(PlatformKind kind, const VersionDesc& ver,
+                 const AppParams& prm, int nprocs);
+
+  /// Raw single run without baseline (e.g. for breakdown figures).
+  static AppResult runOnce(PlatformKind kind, const VersionDesc& ver,
+                           const AppParams& prm, int nprocs,
+                           bool free_cs_faults = false);
+
+  const AppDesc& app() const { return app_; }
+
+ private:
+  Cycles baseline(PlatformKind kind, const AppParams& prm);
+
+  const AppDesc& app_;
+  std::map<std::pair<int, int>, Cycles> base_cache_;  ///< (kind, n) -> T1
+};
+
+/// Pretty-printers used by the bench binaries.
+namespace fmt {
+
+/// "fig 3"-style per-processor breakdown, plus a totals row.
+std::string breakdown(const std::string& title, const RunStats& rs);
+
+/// One line of a speedup table.
+std::string speedupRow(const std::string& label, double svm, double smp,
+                       double dsm);
+
+}  // namespace fmt
+
+}  // namespace rsvm

@@ -1,0 +1,33 @@
+#include "mem/address_space.hpp"
+
+#include <sys/mman.h>
+
+#include <new>
+#include <stdexcept>
+
+namespace rsvm {
+
+AddressSpace::AddressSpace(std::size_t capacity) : capacity_(capacity) {
+  void* p = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();
+  base_ = static_cast<std::byte*>(p);
+}
+
+AddressSpace::~AddressSpace() {
+  if (base_ != nullptr) ::munmap(base_, capacity_);
+}
+
+SimAddr AddressSpace::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("AddressSpace: alignment must be power of 2");
+  }
+  std::size_t start = (next_ + align - 1) & ~(align - 1);
+  if (start + bytes > capacity_) {
+    throw std::bad_alloc();
+  }
+  next_ = start + bytes;
+  return static_cast<SimAddr>(start);
+}
+
+}  // namespace rsvm

@@ -1,0 +1,44 @@
+// The simulated global shared address space. Applications compute on real
+// host memory; a SimAddr maps 1:1 onto an offset in a lazily-committed
+// arena, so the simulator can translate addresses both ways at zero cost.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <cstddef>
+
+namespace rsvm {
+
+class AddressSpace {
+ public:
+  /// Reserve (but do not commit) `capacity` bytes of backing store.
+  explicit AddressSpace(std::size_t capacity = kDefaultCapacity);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  /// Allocate `bytes` with the given alignment (power of two).
+  SimAddr allocate(std::size_t bytes, std::size_t align);
+
+  /// Translate a simulated address to its host backing pointer.
+  [[nodiscard]] std::byte* host(SimAddr a) const { return base_ + a; }
+
+  template <typename T>
+  [[nodiscard]] T* hostAs(SimAddr a) const {
+    return reinterpret_cast<T*>(base_ + a);
+  }
+
+  [[nodiscard]] std::size_t used() const { return next_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  static constexpr std::size_t kDefaultCapacity = 2ull << 30;  // 2 GiB
+
+ private:
+  std::byte* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  // Skip page 0 so SimAddr 0 can serve as a null-like sentinel.
+  std::size_t next_ = 4096;
+};
+
+}  // namespace rsvm

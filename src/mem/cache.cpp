@@ -1,0 +1,120 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rsvm {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (cfg.line_bytes == 0 || !std::has_single_bit(cfg.line_bytes)) {
+    throw std::invalid_argument("Cache: line size must be a power of two");
+  }
+  if (cfg.assoc == 0 || cfg.size_bytes % (cfg.line_bytes * cfg.assoc) != 0) {
+    throw std::invalid_argument("Cache: size must divide into sets");
+  }
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
+  line_mask_ = cfg.line_bytes - 1;
+  num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.assoc);
+  if (!std::has_single_bit(num_sets_)) {
+    throw std::invalid_argument("Cache: number of sets must be a power of two");
+  }
+  set_mask_ = num_sets_ - 1;
+  ways_.resize(num_sets_ * cfg.assoc);
+}
+
+Cache::Way* Cache::find(SimAddr a) {
+  const std::uint64_t tag = tagOf(a);
+  Way* base = &ways_[setIndex(a) * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].state != LineState::Invalid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(SimAddr a) const {
+  return const_cast<Cache*>(this)->find(a);
+}
+
+void Cache::touch(std::size_t /*set*/, Way& w) { w.lru = ++lru_tick_; }
+
+Cache::AccessResult Cache::access(SimAddr addr, bool write) {
+  AccessResult r;
+  if (Way* w = find(addr)) {
+    touch(setIndex(addr), *w);
+    if (write && w->state == LineState::Shared) {
+      r.hit = true;
+      r.upgrade = true;
+    } else {
+      r.hit = true;
+      if (write) w->state = LineState::Modified;
+    }
+  }
+  return r;
+}
+
+bool Cache::fill(SimAddr addr, LineState st, SimAddr* victim_addr) {
+  const std::size_t set = setIndex(addr);
+  Way* base = &ways_[set * cfg_.assoc];
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].state == LineState::Invalid) {
+      victim = &base[w];
+      break;
+    }
+    if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
+  }
+  bool wb = false;
+  if (victim->state == LineState::Modified) {
+    wb = true;
+    if (victim_addr != nullptr) {
+      *victim_addr = (victim->tag << line_shift_);
+    }
+  }
+  victim->tag = tagOf(addr);
+  victim->state = st;
+  touch(set, *victim);
+  return wb;
+}
+
+LineState Cache::probe(SimAddr addr) const {
+  const Way* w = find(addr);
+  return w != nullptr ? w->state : LineState::Invalid;
+}
+
+void Cache::setState(SimAddr addr, LineState st) {
+  if (Way* w = find(addr)) w->state = st;
+}
+
+LineState Cache::invalidate(SimAddr addr) {
+  if (Way* w = find(addr)) {
+    LineState prior = w->state;
+    w->state = LineState::Invalid;
+    return prior;
+  }
+  return LineState::Invalid;
+}
+
+bool Cache::downgrade(SimAddr addr) {
+  if (Way* w = find(addr); w != nullptr && w->state == LineState::Modified) {
+    w->state = LineState::Shared;
+    return true;
+  }
+  return false;
+}
+
+void Cache::invalidateRange(SimAddr base, std::size_t len) {
+  const SimAddr first = lineAddr(base);
+  const SimAddr last = lineAddr(base + len - 1);
+  for (SimAddr a = first; a <= last; a += cfg_.line_bytes) {
+    invalidate(a);
+  }
+}
+
+void Cache::clear() {
+  for (Way& w : ways_) w = Way{};
+  lru_tick_ = 0;
+}
+
+}  // namespace rsvm

@@ -1,0 +1,86 @@
+// Set-associative cache tag model with per-line coherence state and true
+// LRU within a set. Used for both levels of every platform's hierarchy;
+// the coherence protocols drive state transitions through probe /
+// invalidate / downgrade, so the same model serves the SVM node caches,
+// the CC-NUMA MSI caches, and the snooping SMP caches.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace rsvm {
+
+enum class LineState : std::uint8_t { Invalid = 0, Shared, Modified };
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t line_bytes = 0;
+  std::uint32_t assoc = 0;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  struct AccessResult {
+    bool hit = false;             ///< tag present and state sufficient
+    bool upgrade = false;         ///< hit in Shared but a write was requested
+    bool writeback = false;       ///< a Modified victim was evicted
+    SimAddr victim_addr = 0;      ///< line address of the evicted victim
+  };
+
+  /// Look up `addr` for a read or write. On a miss the line is *not*
+  /// filled; call fill() once the protocol has obtained it (possibly
+  /// after eviction, reported here). On a write hit in Shared state the
+  /// result reports `upgrade`; the protocol decides the cost and then
+  /// calls setState().
+  AccessResult access(SimAddr addr, bool write);
+
+  /// Insert the line for `addr` in the given state, evicting the LRU way.
+  /// Returns true (and the victim line address) if a Modified victim was
+  /// written back.
+  bool fill(SimAddr addr, LineState st, SimAddr* victim_addr);
+
+  [[nodiscard]] LineState probe(SimAddr addr) const;
+  void setState(SimAddr addr, LineState st);
+  /// Remove the line if present; returns its prior state.
+  LineState invalidate(SimAddr addr);
+  /// M -> S transition; returns true if the line was Modified.
+  bool downgrade(SimAddr addr);
+  /// Invalidate every line that overlaps [base, base+len).
+  void invalidateRange(SimAddr base, std::size_t len);
+
+  [[nodiscard]] SimAddr lineAddr(SimAddr a) const { return a & ~line_mask_; }
+  [[nodiscard]] std::uint32_t lineBytes() const { return cfg_.line_bytes; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+  void clear();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint32_t lru = 0;  // higher = more recently used
+    LineState state = LineState::Invalid;
+  };
+
+  [[nodiscard]] std::size_t setIndex(SimAddr a) const {
+    return (a >> line_shift_) & set_mask_;
+  }
+  [[nodiscard]] std::uint64_t tagOf(SimAddr a) const { return a >> line_shift_; }
+
+  Way* find(SimAddr a);
+  [[nodiscard]] const Way* find(SimAddr a) const;
+  void touch(std::size_t set, Way& w);
+
+  CacheConfig cfg_;
+  std::uint32_t line_shift_ = 0;
+  SimAddr line_mask_ = 0;
+  std::size_t num_sets_ = 0;
+  std::size_t set_mask_ = 0;
+  std::uint32_t lru_tick_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * assoc
+};
+
+}  // namespace rsvm

@@ -1,0 +1,94 @@
+// Interconnect models. The paper's platforms use (a) a Myrinet-class
+// point-to-point commodity network where packets cross each node's I/O
+// bus (the SVM platform), (b) CC-NUMA node-to-network links, and (c) a
+// single shared snooping bus (SGI Challenge). Contention is modeled with
+// FIFO occupancy at each shared resource; link/router internals are not
+// modeled, matching the paper's simulators.
+#pragma once
+
+#include "sim/resource.hpp"
+#include "sim/types.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace rsvm {
+namespace net {
+
+/// Cycles to move `bytes` at `bytes_per_cycle` (ceiling).
+inline Cycles transferCycles(std::uint64_t bytes, double bytes_per_cycle) {
+  return static_cast<Cycles>(
+      std::ceil(static_cast<double>(bytes) / bytes_per_cycle));
+}
+
+/// Point-to-point network: every node has an egress and ingress port
+/// (for the SVM platform these model the 100 MB/s I/O bus the NIC sits
+/// on; for CC-NUMA the 400 MB/s node-to-network link).
+class PointToPoint {
+ public:
+  struct Params {
+    Cycles sw_overhead = 0;     ///< per-message software/NIC overhead
+    Cycles wire_latency = 0;    ///< propagation + routing latency
+    double bytes_per_cycle = 1; ///< port bandwidth
+  };
+
+  PointToPoint(int nodes, const Params& p)
+      : params_(p), tx_(static_cast<std::size_t>(nodes)),
+        rx_(static_cast<std::size_t>(nodes)) {}
+
+  /// Send `bytes` from -> to, starting no earlier than `start`.
+  /// Returns the time the message is fully received. Transfers are
+  /// cut-through: the receive side starts one wire latency after the
+  /// send side starts (not after it finishes), so a large message costs
+  /// one port occupancy, not two, when both ports are idle.
+  Cycles send(ProcId from, ProcId to, std::uint64_t bytes, Cycles start) {
+    const Cycles occ = transferCycles(bytes, params_.bytes_per_cycle);
+    Resource& tx = tx_[static_cast<std::size_t>(from)];
+    const Cycles tx_start = tx.startTime(start + params_.sw_overhead);
+    tx.acquire(start + params_.sw_overhead, occ);
+    return rx_[static_cast<std::size_t>(to)].acquire(
+        tx_start + params_.wire_latency, occ);
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  Resource& txPort(ProcId n) { return tx_[static_cast<std::size_t>(n)]; }
+  Resource& rxPort(ProcId n) { return rx_[static_cast<std::size_t>(n)]; }
+
+ private:
+  Params params_;
+  std::vector<Resource> tx_;
+  std::vector<Resource> rx_;
+};
+
+/// Single shared split-transaction bus (SGI Challenge style): each
+/// transaction occupies the bus for an address phase plus its data
+/// transfer; memory latency overlaps off-bus.
+class SharedBus {
+ public:
+  struct Params {
+    Cycles arbitration = 0;     ///< win-the-bus cost (uncontended)
+    Cycles address_phase = 0;   ///< address/command slot
+    double bytes_per_cycle = 8; ///< data bandwidth
+  };
+
+  explicit SharedBus(const Params& p) : params_(p) {}
+
+  /// Issue a transaction moving `bytes` (0 for address-only, e.g.
+  /// upgrades). Returns the time the bus phase completes.
+  Cycles transact(std::uint64_t bytes, Cycles start) {
+    const Cycles occ = params_.address_phase +
+                       (bytes > 0 ? transferCycles(bytes, params_.bytes_per_cycle)
+                                  : 0);
+    return bus_.acquire(start + params_.arbitration, occ);
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const Resource& resource() const { return bus_; }
+
+ private:
+  Params params_;
+  Resource bus_;
+};
+
+}  // namespace net
+}  // namespace rsvm

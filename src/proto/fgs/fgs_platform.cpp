@@ -1,0 +1,283 @@
+#include "proto/fgs/fgs_platform.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace rsvm {
+
+namespace {
+Engine::Config engineConfig(int nprocs, Cycles quantum) {
+  Engine::Config ec;
+  ec.nprocs = nprocs;
+  ec.quantum = quantum;
+  return ec;
+}
+}  // namespace
+
+FgsPlatform::FgsPlatform(int nprocs, const FgsParams& params)
+    : Platform(PlatformKind::FGS, engineConfig(nprocs, params.quantum)),
+      prm_(params),
+      net_(nprocs, {params.msg_sw_overhead, params.wire_latency,
+                    params.iobus_bytes_per_cycle}),
+      handler_(static_cast<std::size_t>(nprocs)),
+      bs_(static_cast<std::size_t>(nprocs)) {
+  l1_.reserve(static_cast<std::size_t>(nprocs));
+  l2_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    l1_.emplace_back(prm_.l1);
+    l2_.emplace_back(prm_.l2);
+  }
+}
+
+void FgsPlatform::onArenaGrown(std::size_t used_bytes) {
+  home_.resize((used_bytes + 4095) / 4096, 0);
+  const std::size_t blocks =
+      (used_bytes + prm_.block_bytes - 1) / prm_.block_bytes;
+  dir_.resize(blocks);
+  for (auto& v : bs_) v.resize(blocks, 0);
+}
+
+void FgsPlatform::setHomes(SimAddr base, std::size_t bytes,
+                           const HomePolicy& homes) {
+  const std::uint64_t first_page = base / 4096;
+  const std::uint64_t npages = (bytes + 4095) / 4096;
+  const std::uint64_t blocks_per_page = 4096 / prm_.block_bytes;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    const ProcId h = homes.fn(i, npages);
+    assert(h >= 0 && h < nprocs());
+    home_[first_page + i] = h;
+    // The home starts with a Shared copy of its blocks (data lives in
+    // its memory); misses by others fetch from it.
+    for (std::uint64_t b = 0; b < blocks_per_page; ++b) {
+      const std::uint64_t blk = (first_page + i) * blocks_per_page + b;
+      bs_[static_cast<std::size_t>(h)][blk] =
+          static_cast<std::uint8_t>(BState::Shared);
+      dir_[blk].sharers |= 1ull << static_cast<unsigned>(h);
+    }
+  }
+}
+
+void FgsPlatform::warm(ProcId p, SimAddr base, std::size_t len) {
+  if (len == 0) return;
+  const std::uint64_t first = blockOf(base);
+  const std::uint64_t last = blockOf(base + len - 1);
+  for (std::uint64_t b = first; b <= last; ++b) {
+    if (dir_[b].dirty != 0) continue;  // never demote an exclusive owner
+    bs_[static_cast<std::size_t>(p)][b] =
+        static_cast<std::uint8_t>(BState::Shared);
+    dir_[b].sharers |= 1ull << static_cast<unsigned>(p);
+  }
+}
+
+int FgsPlatform::blockState(ProcId p, SimAddr a) const {
+  return bs_[static_cast<std::size_t>(p)][blockOf(a)];
+}
+
+void FgsPlatform::onLockCreated(int id) {
+  LockState ls;
+  ls.home = static_cast<ProcId>(id % nprocs());
+  locks_.push_back(ls);
+}
+
+void FgsPlatform::onBarrierCreated(int id) {
+  BarrierState bs;
+  bs.manager = static_cast<ProcId>((10 + id) % nprocs());
+  barriers_.push_back(bs);
+}
+
+Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
+  Engine& eng = engine_;
+  ProcStats& st = eng.stats(p);
+  DirEntry& d = dir_[block];
+  const ProcId h = home_[block * prm_.block_bytes / 4096];
+  const std::uint64_t pbit = 1ull << static_cast<unsigned>(p);
+  Cycles t = eng.now(p) + prm_.miss_handler;
+
+  // Request to the home's software protocol handler.
+  if (h != p) t = net_.send(p, h, prm_.msg_header_bytes, t);
+  t = handler_[static_cast<std::size_t>(h)].acquire(t, prm_.serve_block);
+  eng.chargeHandler(h, prm_.serve_block);
+
+  if (d.dirty != 0 && d.owner != p) {
+    // Fetch the block back from its exclusive owner first.
+    const ProcId o = d.owner;
+    Cycles t2 = (o == h) ? t : net_.send(h, o, prm_.msg_header_bytes, t);
+    t2 = handler_[static_cast<std::size_t>(o)].acquire(t2, prm_.inval_handler);
+    eng.chargeHandler(o, prm_.inval_handler);
+    bs_[static_cast<std::size_t>(o)][block] = static_cast<std::uint8_t>(
+        write ? BState::Invalid : BState::Shared);
+    t = net_.send(o, h, prm_.block_bytes + prm_.msg_header_bytes, t2);
+    d.dirty = 0;
+    d.owner = -1;
+    if (!write) d.sharers |= pbit;
+  }
+
+  if (write) {
+    // Invalidate all other sharers (software handlers at each).
+    std::uint64_t others = d.sharers & ~pbit;
+    Cycles inval_done = t;
+    while (others != 0) {
+      const int s = std::countr_zero(others);
+      others &= others - 1;
+      ++st.invalidations_sent;
+      Cycles ts = net_.send(h, static_cast<ProcId>(s), prm_.msg_header_bytes,
+                            t);
+      ts = handler_[static_cast<std::size_t>(s)].acquire(ts,
+                                                         prm_.inval_handler);
+      eng.chargeHandler(static_cast<ProcId>(s), prm_.inval_handler);
+      bs_[static_cast<std::size_t>(s)][block] =
+          static_cast<std::uint8_t>(BState::Invalid);
+      l1_[static_cast<std::size_t>(s)].invalidateRange(
+          block * prm_.block_bytes, prm_.block_bytes);
+      l2_[static_cast<std::size_t>(s)].invalidateRange(
+          block * prm_.block_bytes, prm_.block_bytes);
+      inval_done = std::max(inval_done,
+                            net_.send(static_cast<ProcId>(s), h,
+                                      prm_.msg_header_bytes, ts));
+    }
+    t = inval_done;
+    d.sharers = pbit;
+    d.owner = static_cast<std::int8_t>(p);
+    d.dirty = 1;
+    bs_[static_cast<std::size_t>(p)][block] =
+        static_cast<std::uint8_t>(BState::Exclusive);
+  } else {
+    d.sharers |= pbit;
+    bs_[static_cast<std::size_t>(p)][block] =
+        static_cast<std::uint8_t>(BState::Shared);
+  }
+
+  // Block data back to the requester.
+  if (h != p) {
+    t = net_.send(h, p, prm_.block_bytes + prm_.msg_header_bytes, t);
+  }
+  if (h == p && d.sharers == pbit) {
+    ++st.local_misses;
+  } else {
+    ++st.remote_misses;
+  }
+  return t > eng.now(p) ? t - eng.now(p) : 0;
+}
+
+void FgsPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+  (void)size;
+  const ProcId p = engine_.self();
+  ProcStats& st = engine_.stats(p);
+  if (write) {
+    ++st.writes;
+  } else {
+    ++st.reads;
+  }
+  // Instruction + inline software access check on every shared access.
+  engine_.advance(1 + (write ? prm_.store_check : prm_.load_check),
+                  Bucket::Compute);
+  const std::uint64_t block = blockOf(a);
+  const auto state = static_cast<BState>(bs_[static_cast<std::size_t>(p)][block]);
+  if (state == BState::Invalid || (write && state == BState::Shared)) {
+    ++st.page_faults;  // software miss (reported as the fault counter)
+    emit(TraceEvent::Kind::PageFault, p, block, prm_.block_bytes);
+    const Cycles stall = serveMiss(p, block, write);
+    engine_.stallUntil(engine_.now(p) + stall, Bucket::DataWait);
+  }
+  // Local cache hierarchy (hardware caches behind the software checks).
+  Cache& l1 = l1_[static_cast<std::size_t>(p)];
+  const auto r1 = l1.access(a, write);
+  if (r1.hit && !r1.upgrade) return;
+  ++st.l1_misses;
+  Cache& l2 = l2_[static_cast<std::size_t>(p)];
+  const auto r2 = l2.access(a, write);
+  if (r2.hit && !r2.upgrade) {
+    l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+    engine_.advance(prm_.l1_miss_penalty, Bucket::CacheStall);
+    return;
+  }
+  ++st.l2_misses;
+  l2.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+  l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+  engine_.advance(prm_.mem_latency, Bucket::CacheStall);
+}
+
+void FgsPlatform::acquireLock(int id) {
+  const ProcId p = engine_.self();
+  auto& lk = locks_[static_cast<std::size_t>(id)];
+  ProcStats& st = engine_.stats(p);
+  ++st.lock_acquires;
+  emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
+  if (lk.held) {
+    lk.waiters.push_back(p);
+    engine_.block(Bucket::LockWait);
+    ++st.remote_lock_acquires;
+    emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+    return;
+  }
+  lk.held = true;
+  lk.owner = p;
+  if (lk.last_owner == p || lk.last_owner == -1) {
+    engine_.advance(prm_.lock_local_reacquire, Bucket::LockWait);
+    emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+    return;
+  }
+  ++st.remote_lock_acquires;
+  Cycles t = net_.send(p, lk.home, prm_.msg_header_bytes, engine_.now(p));
+  t = handler_[static_cast<std::size_t>(lk.home)].acquire(t, prm_.lock_handler);
+  engine_.chargeHandler(lk.home, prm_.lock_handler);
+  t = std::max(net_.send(lk.home, p, prm_.msg_header_bytes, t), lk.ready_at);
+  engine_.stallUntil(t, Bucket::LockWait);
+  emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+}
+
+void FgsPlatform::releaseLock(int id) {
+  const ProcId p = engine_.self();
+  auto& lk = locks_[static_cast<std::size_t>(id)];
+  assert(lk.held && lk.owner == p);
+  emit(TraceEvent::Kind::LockRelease, p, static_cast<std::uint64_t>(id));
+  lk.last_owner = p;
+  lk.ready_at = engine_.now(p);
+  if (!lk.waiters.empty()) {
+    const ProcId w = lk.waiters.front();
+    lk.waiters.pop_front();
+    lk.owner = w;
+    const Cycles grant =
+        net_.send(p, w, prm_.msg_header_bytes, engine_.now(p)) +
+        prm_.lock_handler;
+    engine_.wake(w, grant);
+  } else {
+    lk.held = false;
+    lk.owner = -1;
+  }
+}
+
+void FgsPlatform::barrier(int id) {
+  const ProcId p = engine_.self();
+  auto& b = barriers_[static_cast<std::size_t>(id)];
+  ++engine_.stats(p).barriers;
+  const Cycles arr =
+      net_.send(p, b.manager, prm_.msg_header_bytes, engine_.now(p));
+  const Cycles processed = handler_[static_cast<std::size_t>(b.manager)]
+                               .acquire(arr, prm_.barrier_handler);
+  engine_.chargeHandler(b.manager, prm_.barrier_handler);
+  b.last_arrival = std::max(b.last_arrival, processed);
+  if (++b.arrived < nprocs()) {
+    b.waiting.push_back(p);
+    engine_.block(Bucket::BarrierWait);
+    return;
+  }
+  b.arrived = 0;
+  Cycles t = b.last_arrival;
+  b.last_arrival = 0;
+  std::vector<ProcId> waiters;
+  waiters.swap(b.waiting);
+  for (ProcId w : waiters) {
+    engine_.chargeHandler(b.manager, prm_.barrier_handler);
+    t = handler_[static_cast<std::size_t>(b.manager)].acquire(
+        t, prm_.barrier_handler);
+    engine_.wake(w, net_.send(b.manager, w, prm_.msg_header_bytes, t));
+  }
+  engine_.chargeHandler(b.manager, prm_.barrier_handler);
+  t = handler_[static_cast<std::size_t>(b.manager)].acquire(
+      t, prm_.barrier_handler);
+  engine_.stallUntil(net_.send(b.manager, p, prm_.msg_header_bytes, t),
+                     Bucket::BarrierWait);
+}
+
+}  // namespace rsvm

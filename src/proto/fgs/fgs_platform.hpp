@@ -1,0 +1,118 @@
+// Fine-grained software shared memory (paper section 7 / future work:
+// "systems that support fine-grained coherence ... in software [Shasta,
+// Blizzard-S], thus completing the performance portability picture").
+//
+// Same commodity hardware as the SVM platform (200 MHz nodes, Myrinet-
+// class network through a 100 MB/s I/O bus), but coherence is enforced
+// in software at small block granularity by inline access checks
+// (Shasta-style): every shared load/store pays a few cycles of check
+// overhead, and misses run a software directory protocol over the
+// network, moving one block (default 128 B) instead of a 4 KB page.
+//
+// The interesting position in the design space: page-granularity false
+// sharing and fragmentation disappear (like hardware DSM), but every
+// access is taxed and every miss costs software messaging (like SVM).
+#pragma once
+
+#include "mem/cache.hpp"
+#include "net/network.hpp"
+#include "proto/hw_sync.hpp"
+#include "runtime/platform.hpp"
+#include "sim/resource.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace rsvm {
+
+struct FgsParams {
+  /// Engine drift quantum (interleaving granularity of direct execution).
+  Cycles quantum = 10000;
+  std::uint32_t block_bytes = 128;  ///< software coherence unit
+  CacheConfig l1{8 * 1024, 32, 1};
+  CacheConfig l2{512 * 1024, 32, 2};
+  Cycles l1_miss_penalty = 10;
+  Cycles mem_latency = 60;
+  // Inline access-check overhead (Shasta reports a few cycles/access).
+  Cycles load_check = 2;
+  Cycles store_check = 3;
+  // Network: same commodity fabric as the SVM platform, but the miss
+  // handlers poll, shaving part of the per-message software path.
+  Cycles msg_sw_overhead = 800;
+  Cycles wire_latency = 200;
+  double iobus_bytes_per_cycle = 0.5;
+  std::uint32_t msg_header_bytes = 32;
+  Cycles miss_handler = 300;     ///< requester-side software miss entry
+  Cycles serve_block = 350;      ///< home-side directory + block service
+  Cycles inval_handler = 250;    ///< per-sharer software invalidation
+  // Message-based synchronization (no LRC bookkeeping needed).
+  Cycles lock_handler = 300;
+  Cycles lock_local_reacquire = 60;
+  Cycles barrier_handler = 250;
+};
+
+class FgsPlatform final : public Platform {
+ public:
+  explicit FgsPlatform(int nprocs, const FgsParams& params = {});
+
+  void access(SimAddr a, std::uint32_t size, bool write) override;
+  void acquireLock(int id) override;
+  void releaseLock(int id) override;
+  void barrier(int id) override;
+  void warm(ProcId p, SimAddr base, std::size_t len) override;
+
+  [[nodiscard]] const FgsParams& params() const { return prm_; }
+  [[nodiscard]] int blockState(ProcId p, SimAddr a) const;
+
+ protected:
+  void onArenaGrown(std::size_t used_bytes) override;
+  void onLockCreated(int id) override;
+  void onBarrierCreated(int id) override;
+  void setHomes(SimAddr base, std::size_t bytes,
+                const HomePolicy& homes) override;
+
+ private:
+  enum class BState : std::uint8_t { Invalid = 0, Shared, Exclusive };
+
+  struct DirEntry {
+    std::uint64_t sharers = 0;
+    std::int8_t owner = -1;
+    std::uint8_t dirty = 0;  ///< an Exclusive copy exists
+  };
+
+  struct LockState {
+    ProcId home = 0;
+    bool held = false;
+    ProcId owner = -1;
+    ProcId last_owner = -1;
+    Cycles ready_at = 0;
+    std::deque<ProcId> waiters;
+  };
+
+  struct BarrierState {
+    ProcId manager = 0;
+    int arrived = 0;
+    std::vector<ProcId> waiting;
+    Cycles last_arrival = 0;
+  };
+
+  /// Software protocol miss: fetch/upgrade block for p. Returns stall.
+  Cycles serveMiss(ProcId p, std::uint64_t block, bool write);
+
+  [[nodiscard]] std::uint64_t blockOf(SimAddr a) const {
+    return a / prm_.block_bytes;
+  }
+
+  FgsParams prm_;
+  net::PointToPoint net_;
+  std::vector<Resource> handler_;
+  std::vector<ProcId> home_;                   ///< per 4 KB page
+  std::vector<DirEntry> dir_;                  ///< per block
+  std::vector<std::vector<std::uint8_t>> bs_;  ///< [proc][block] BState
+  std::vector<Cache> l1_, l2_;
+  std::vector<LockState> locks_;
+  std::vector<BarrierState> barriers_;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,114 @@
+// Synchronization cost model shared by the hardware cache-coherent
+// platforms (CC-NUMA and bus-based SMP). Locks and barriers are ordinary
+// cache-line operations there: an uncontended acquire is a (possibly
+// remote) read-modify-write, a contended handoff is one line transfer,
+// and a barrier arrival is a fetch-and-increment that serializes on the
+// counter's cache line. This is why "locks are cheap and are simply
+// locks" on these machines (paper, section 4.2.3), in contrast to SVM.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+#include <deque>
+#include <vector>
+
+namespace rsvm {
+
+class HwSync {
+ public:
+  struct Costs {
+    Cycles lock_cached = 12;    ///< re-acquire of a lock we last held
+    Cycles lock_remote = 150;   ///< uncontended RMW on a remote line
+    Cycles lock_handoff = 150;  ///< release-to-acquire line transfer
+    Cycles barrier_rmw = 120;   ///< fetch&inc occupancy of the counter line
+    Cycles barrier_release = 150;  ///< flag invalidation + refetch
+    Cycles barrier_stagger = 20;   ///< per-waiter refetch serialization
+  };
+
+  HwSync(Engine& eng, const Costs& c) : eng_(eng), costs_(c) {}
+
+  void onLockCreated() { locks_.emplace_back(); }
+  void onBarrierCreated() { barriers_.emplace_back(); }
+
+  void acquire(int id) {
+    const ProcId p = eng_.self();
+    Lock& lk = locks_[static_cast<std::size_t>(id)];
+    ProcStats& st = eng_.stats(p);
+    ++st.lock_acquires;
+    if (lk.held) {
+      lk.waiters.push_back(p);
+      eng_.block(Bucket::LockWait);
+      return;
+    }
+    lk.held = true;
+    lk.owner = p;
+    if (lk.last_owner == p || lk.last_owner == -1) {
+      eng_.advance(costs_.lock_cached, Bucket::LockWait);
+    } else {
+      ++st.remote_lock_acquires;
+      eng_.advance(costs_.lock_remote, Bucket::LockWait);
+    }
+  }
+
+  void release(int id) {
+    const ProcId p = eng_.self();
+    Lock& lk = locks_[static_cast<std::size_t>(id)];
+    lk.last_owner = p;
+    if (!lk.waiters.empty()) {
+      const ProcId w = lk.waiters.front();
+      lk.waiters.pop_front();
+      lk.owner = w;
+      ++eng_.stats(w).remote_lock_acquires;
+      eng_.wake(w, eng_.now(p) + costs_.lock_handoff);
+    } else {
+      lk.held = false;
+      lk.owner = -1;
+    }
+  }
+
+  void barrier(int id, int participants) {
+    const ProcId p = eng_.self();
+    Barrier& b = barriers_[static_cast<std::size_t>(id)];
+    ++eng_.stats(p).barriers;
+    // Fetch-and-increment serializes on the counter's cache line.
+    const Cycles t =
+        b.counter_line.acquire(eng_.now(p), costs_.barrier_rmw);
+    eng_.stallUntil(t, Bucket::BarrierWait);
+    if (++b.arrived < participants) {
+      b.waiting.push_back(p);
+      eng_.block(Bucket::BarrierWait);
+      return;
+    }
+    // Last arriver: flip the flag; waiters refetch the flag line.
+    b.arrived = 0;
+    Cycles rel = eng_.now(p) + costs_.barrier_release;
+    std::vector<ProcId> waiters;
+    waiters.swap(b.waiting);
+    for (ProcId w : waiters) {
+      rel += costs_.barrier_stagger;
+      eng_.wake(w, rel);
+    }
+    eng_.advance(costs_.barrier_release, Bucket::BarrierWait);
+  }
+
+ private:
+  struct Lock {
+    bool held = false;
+    ProcId owner = -1;
+    ProcId last_owner = -1;
+    std::deque<ProcId> waiters;
+  };
+  struct Barrier {
+    int arrived = 0;
+    std::vector<ProcId> waiting;
+    Resource counter_line;
+  };
+
+  Engine& eng_;
+  Costs costs_;
+  std::vector<Lock> locks_;
+  std::vector<Barrier> barriers_;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,195 @@
+#include "proto/numa/numa_platform.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace rsvm {
+
+namespace {
+Engine::Config engineConfig(int nprocs, Cycles quantum) {
+  Engine::Config ec;
+  ec.nprocs = nprocs;
+  ec.quantum = quantum;
+  return ec;
+}
+}  // namespace
+
+NumaPlatform::NumaPlatform(int nprocs, const NumaParams& params)
+    : Platform(PlatformKind::NUMA, engineConfig(nprocs, params.quantum)),
+      prm_(params),
+      net_(nprocs, {0, params.net_latency, params.link_bytes_per_cycle}),
+      dir_(static_cast<std::size_t>(nprocs)),
+      sync_(engine_, params.sync) {
+  l1_.reserve(static_cast<std::size_t>(nprocs));
+  l2_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    l1_.emplace_back(prm_.l1);
+    l2_.emplace_back(prm_.l2);
+  }
+}
+
+void NumaPlatform::onArenaGrown(std::size_t used_bytes) {
+  home_.resize((used_bytes + 4095) / 4096, 0);
+  dirmap_.resize((used_bytes + prm_.l2.line_bytes - 1) / prm_.l2.line_bytes);
+}
+
+void NumaPlatform::setHomes(SimAddr base, std::size_t bytes,
+                            const HomePolicy& homes) {
+  const std::uint64_t first_page = base / 4096;
+  const std::uint64_t npages = (bytes + 4095) / 4096;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    const ProcId h = homes.fn(i, npages);
+    assert(h >= 0 && h < nprocs());
+    home_[first_page + i] = h;
+  }
+}
+
+int NumaPlatform::dirOwner(SimAddr a) const {
+  return dirmap_[lineIndex(a)].owner;
+}
+std::uint64_t NumaPlatform::dirSharers(SimAddr a) const {
+  return dirmap_[lineIndex(a)].sharers;
+}
+
+void NumaPlatform::dropFromL1(ProcId p, SimAddr l2_line) {
+  l1_[static_cast<std::size_t>(p)].invalidateRange(l2_line,
+                                                   prm_.l2.line_bytes);
+}
+
+NumaPlatform::MissOutcome NumaPlatform::serveMiss(ProcId p, SimAddr line_addr,
+                                                  bool write, bool upgrade) {
+  Engine& eng = engine_;
+  ProcStats& st = eng.stats(p);
+  const ProcId h = home_[line_addr >> 12];
+  DirEntry& d = dirmap_[lineIndex(line_addr)];
+  const std::uint64_t pbit = 1ull << static_cast<unsigned>(p);
+  const std::uint64_t data_bytes = prm_.l2.line_bytes + prm_.msg_header_bytes;
+  const bool local_home = (h == p);
+  bool remote = !local_home;
+  Cycles t = eng.now(p);
+
+  // Request travels to the home and occupies its directory controller.
+  if (!local_home) t = net_.send(p, h, prm_.msg_header_bytes, t);
+  t = dir_[static_cast<std::size_t>(h)].acquire(t, prm_.dir_latency);
+
+  if (d.state == DirState::Modified && d.owner != p) {
+    // Dirty in another cache: intervene (3-hop); the owner supplies the
+    // data and the home memory is updated in the background.
+    remote = true;
+    const ProcId o = d.owner;
+    Cycles t2 = (o == h) ? t : net_.send(h, o, prm_.msg_header_bytes, t);
+    t2 += prm_.probe_latency;
+    if (write) {
+      l2_[static_cast<std::size_t>(o)].invalidate(line_addr);
+      dropFromL1(o, line_addr);
+      ++st.invalidations_sent;
+    } else {
+      l2_[static_cast<std::size_t>(o)].downgrade(line_addr);
+    }
+    t = (o == p) ? t2 : net_.send(o, p, data_bytes, t2);
+    d.sharers = write ? pbit : (d.sharers | pbit);
+    d.owner = write ? static_cast<std::int8_t>(p) : std::int8_t{-1};
+    d.state = write ? DirState::Modified : DirState::Shared;
+    ++st.remote_misses;
+    return {t > eng.now(p) ? t - eng.now(p) : 0, true};
+  }
+
+  if (write) {
+    // Invalidate every other sharer; acks collect at the home.
+    std::uint64_t others = d.sharers & ~pbit;
+    Cycles inval_done = t;
+    while (others != 0) {
+      const int s = std::countr_zero(others);
+      others &= others - 1;
+      l2_[static_cast<std::size_t>(s)].invalidate(line_addr);
+      dropFromL1(static_cast<ProcId>(s), line_addr);
+      ++st.invalidations_sent;
+      inval_done = dir_[static_cast<std::size_t>(h)].acquire(
+          inval_done, prm_.inval_cost);
+      if (s != h) inval_done += prm_.net_latency;
+      remote = remote || s != p;
+    }
+    t = std::max(t, inval_done);
+    d.sharers = pbit;
+    d.owner = static_cast<std::int8_t>(p);
+    d.state = DirState::Modified;
+  } else {
+    d.sharers |= pbit;
+    if (d.state == DirState::Uncached) d.state = DirState::Shared;
+    d.owner = -1;
+  }
+
+  if (!upgrade) {
+    t += prm_.mem_latency;  // data from the home memory
+    if (!local_home) t = net_.send(h, p, data_bytes, t);
+  } else if (!local_home) {
+    t += prm_.net_latency;  // upgrade ack back to the requester
+  }
+  if (remote) {
+    ++st.remote_misses;
+  } else {
+    ++st.local_misses;
+  }
+  return {t > eng.now(p) ? t - eng.now(p) : 0, remote};
+}
+
+void NumaPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+  (void)size;
+  const ProcId p = engine_.self();
+  ProcStats& st = engine_.stats(p);
+  if (write) {
+    ++st.writes;
+  } else {
+    ++st.reads;
+  }
+  Cache& l1 = l1_[static_cast<std::size_t>(p)];
+  Cache& l2 = l2_[static_cast<std::size_t>(p)];
+  engine_.advance(1, Bucket::Compute);
+  const auto r1 = l1.access(a, write);
+  if (r1.hit && !r1.upgrade) return;
+  ++st.l1_misses;
+  const auto r2 = l2.access(a, write);
+  if (r2.hit && !r2.upgrade) {
+    l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+    engine_.advance(prm_.l1_miss_penalty, Bucket::CacheStall);
+    return;
+  }
+  const SimAddr line = l2.lineAddr(a);
+  ++st.l2_misses;
+  MissOutcome mo;
+  if (r2.upgrade) {
+    mo = serveMiss(p, line, true, /*upgrade=*/true);
+    l2.setState(line, LineState::Modified);
+  } else {
+    mo = serveMiss(p, line, write, /*upgrade=*/false);
+    SimAddr victim = 0;
+    if (l2.fill(line, write ? LineState::Modified : LineState::Shared,
+                &victim)) {
+      // Writeback of a Modified victim releases directory ownership and
+      // streams to the victim's home in the background.
+      DirEntry& vd = dirmap_[lineIndex(victim)];
+      if (vd.owner == p) {
+        vd.state = DirState::Uncached;
+        vd.sharers = 0;
+        vd.owner = -1;
+      }
+      const ProcId vh = home_[victim >> 12];
+      dir_[static_cast<std::size_t>(vh)].acquire(engine_.now(p),
+                                                 prm_.dir_latency);
+      if (vh != p) {
+        net_.send(p, vh, prm_.l2.line_bytes + prm_.msg_header_bytes,
+                  engine_.now(p));
+      }
+      mo.stall += 4;  // victim-buffer push
+    }
+    dropFromL1(p, line);
+  }
+  l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+  if (mo.remote) {
+    engine_.stallUntil(engine_.now(p) + mo.stall, Bucket::DataWait);
+  } else if (mo.stall > 0) {
+    engine_.advance(mo.stall, Bucket::CacheStall);
+  }
+}
+
+}  // namespace rsvm

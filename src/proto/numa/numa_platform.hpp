@@ -1,0 +1,88 @@
+// Aggressive hardware cache-coherent multiprocessor with physically
+// distributed memory (the paper's DSM platform, section 2.1.3): one
+// 300 MHz processor per node, 16 KB direct-mapped L1 + 1 MB 4-way L2
+// with 64 B lines, distributed full-bit-vector MSI directory (DASH
+// style), 400 MB/s node-to-network links. Buffering and contention are
+// modeled at the directories, memories and links.
+#pragma once
+
+#include "mem/cache.hpp"
+#include "net/network.hpp"
+#include "proto/hw_sync.hpp"
+#include "runtime/platform.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace rsvm {
+
+struct NumaParams {
+  /// Engine drift quantum (interleaving granularity of direct execution).
+  Cycles quantum = 2000;
+  CacheConfig l1{16 * 1024, 32, 1};
+  CacheConfig l2{1024 * 1024, 64, 4};
+  Cycles l1_miss_penalty = 8;  ///< L1 miss that hits in L2
+  Cycles mem_latency = 50;     ///< DRAM access at the home
+  Cycles dir_latency = 18;     ///< directory lookup / update occupancy
+  Cycles net_latency = 40;     ///< one-way network latency
+  double link_bytes_per_cycle = 1.33;  ///< 400 MB/s at 300 MHz
+  Cycles probe_latency = 20;   ///< remote cache intervention
+  Cycles inval_cost = 16;      ///< per-sharer invalidation processing
+  std::uint32_t msg_header_bytes = 16;
+  HwSync::Costs sync{};
+};
+
+class NumaPlatform final : public Platform {
+ public:
+  explicit NumaPlatform(int nprocs, const NumaParams& params = {});
+
+  void access(SimAddr a, std::uint32_t size, bool write) override;
+  void acquireLock(int id) override { sync_.acquire(id); }
+  void releaseLock(int id) override { sync_.release(id); }
+  void barrier(int id) override { sync_.barrier(id, nprocs()); }
+
+  [[nodiscard]] const NumaParams& params() const { return prm_; }
+  [[nodiscard]] ProcId homeOf(SimAddr a) const { return home_[a >> 12]; }
+  /// Directory view of a line -- exposed for tests.
+  [[nodiscard]] int dirOwner(SimAddr a) const;
+  [[nodiscard]] std::uint64_t dirSharers(SimAddr a) const;
+
+ protected:
+  void onArenaGrown(std::size_t used_bytes) override;
+  void onLockCreated(int) override { sync_.onLockCreated(); }
+  void onBarrierCreated(int) override { sync_.onBarrierCreated(); }
+  void setHomes(SimAddr base, std::size_t bytes,
+                const HomePolicy& homes) override;
+
+ private:
+  enum class DirState : std::uint8_t { Uncached = 0, Shared, Modified };
+
+  struct DirEntry {
+    std::uint64_t sharers = 0;  ///< bit per processor
+    std::int8_t owner = -1;     ///< valid in Modified
+    DirState state = DirState::Uncached;
+  };
+
+  struct MissOutcome {
+    Cycles stall = 0;
+    bool remote = false;  ///< involved another node (DataWait vs CacheStall)
+  };
+
+  /// Service an L2 miss or upgrade through the directory.
+  MissOutcome serveMiss(ProcId p, SimAddr line_addr, bool write, bool upgrade);
+  void dropFromL1(ProcId p, SimAddr l2_line);
+
+  [[nodiscard]] std::size_t lineIndex(SimAddr a) const {
+    return a / prm_.l2.line_bytes;
+  }
+
+  NumaParams prm_;
+  net::PointToPoint net_;
+  std::vector<Resource> dir_;   ///< per-node directory/memory controller
+  std::vector<ProcId> home_;    ///< per 4 KB page
+  std::vector<DirEntry> dirmap_;
+  std::vector<Cache> l1_, l2_;
+  HwSync sync_;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,106 @@
+#include "proto/smp/smp_platform.hpp"
+
+namespace rsvm {
+
+namespace {
+Engine::Config engineConfig(int nprocs, Cycles quantum) {
+  Engine::Config ec;
+  ec.nprocs = nprocs;
+  ec.quantum = quantum;
+  return ec;
+}
+}  // namespace
+
+SmpPlatform::SmpPlatform(int nprocs, const SmpParams& params)
+    : Platform(PlatformKind::SMP, engineConfig(nprocs, params.quantum)),
+      prm_(params),
+      bus_(params.bus),
+      sync_(engine_, params.sync) {
+  l1_.reserve(static_cast<std::size_t>(nprocs));
+  l2_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    l1_.emplace_back(prm_.l1);
+    l2_.emplace_back(prm_.l2);
+  }
+}
+
+void SmpPlatform::dropFromL1(ProcId p, SimAddr l2_line) {
+  l1_[static_cast<std::size_t>(p)].invalidateRange(l2_line,
+                                                   prm_.l2.line_bytes);
+}
+
+Cycles SmpPlatform::busTransaction(ProcId p, SimAddr line, bool write,
+                                   bool need_data) {
+  ProcStats& st = engine_.stats(p);
+  // Snoop all other caches: find a Modified owner, and on writes
+  // invalidate every other copy.
+  bool dirty_elsewhere = false;
+  for (int q = 0; q < nprocs(); ++q) {
+    if (q == p) continue;
+    Cache& oc = l2_[static_cast<std::size_t>(q)];
+    if (write) {
+      if (oc.invalidate(line) != LineState::Invalid) {
+        dropFromL1(static_cast<ProcId>(q), line);
+        ++st.invalidations_sent;
+      }
+    } else if (oc.downgrade(line)) {
+      dirty_elsewhere = true;
+    }
+  }
+  const std::uint64_t bytes = need_data ? prm_.l2.line_bytes : 0;
+  Cycles t = bus_.transact(bytes, engine_.now(p));
+  if (need_data) {
+    // Data supplied by memory, or by the dirty cache (intervention).
+    t += dirty_elsewhere ? prm_.mem_latency + prm_.snoop_latency
+                         : prm_.mem_latency;
+  }
+  ++st.remote_misses;  // on the SMP every L2 miss crosses the shared bus
+  return t;
+}
+
+void SmpPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+  (void)size;
+  const ProcId p = engine_.self();
+  ProcStats& st = engine_.stats(p);
+  if (write) {
+    ++st.writes;
+  } else {
+    ++st.reads;
+  }
+  Cache& l1 = l1_[static_cast<std::size_t>(p)];
+  Cache& l2 = l2_[static_cast<std::size_t>(p)];
+  engine_.advance(1, Bucket::Compute);
+  const auto r1 = l1.access(a, write);
+  if (r1.hit && !r1.upgrade) return;
+  ++st.l1_misses;
+  const auto r2 = l2.access(a, write);
+  if (r2.hit && !r2.upgrade) {
+    l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+    engine_.advance(prm_.l1_miss_penalty, Bucket::CacheStall);
+    return;
+  }
+  const SimAddr line = l2.lineAddr(a);
+  ++st.l2_misses;
+  Cycles done;
+  if (r2.upgrade) {
+    // Invalidation-only (address phase) transaction.
+    done = busTransaction(p, line, true, /*need_data=*/false);
+    l2.setState(line, LineState::Modified);
+  } else {
+    done = busTransaction(p, line, write, /*need_data=*/true);
+    SimAddr victim = 0;
+    if (l2.fill(line, write ? LineState::Modified : LineState::Shared,
+                &victim)) {
+      // Writeback occupies the bus in the background.
+      bus_.transact(prm_.l2.line_bytes, engine_.now(p));
+    }
+    dropFromL1(p, line);
+  }
+  l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+  // On a centralized-memory SMP all misses are "local" in the paper's
+  // breakdown terms: they are CPU-cache stall, not remote data wait.
+  engine_.stallUntil(done > engine_.now(p) ? done : engine_.now(p),
+                     Bucket::CacheStall);
+}
+
+}  // namespace rsvm

@@ -1,0 +1,60 @@
+// Bus-based symmetric multiprocessor with centralized memory, modeled on
+// the SGI Challenge the paper uses (section 2.1.2): 16 x 150 MHz
+// processors, 16 KB L1 + 1 MB L2 with 128 B lines, snooping invalidation
+// protocol over a 1.2 GB/s split-transaction bus (= 8 B/cycle at
+// 150 MHz). All misses cross the single shared bus, so heavy traffic
+// (e.g. Radix) saturates it -- the effect the paper reports in section 5.
+#pragma once
+
+#include "mem/cache.hpp"
+#include "net/network.hpp"
+#include "proto/hw_sync.hpp"
+#include "runtime/platform.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace rsvm {
+
+struct SmpParams {
+  /// Engine drift quantum (interleaving granularity of direct execution).
+  Cycles quantum = 2000;
+  CacheConfig l1{16 * 1024, 32, 1};
+  CacheConfig l2{1024 * 1024, 128, 1};
+  Cycles l1_miss_penalty = 8;   ///< L1 miss that hits in L2
+  Cycles mem_latency = 35;      ///< DRAM latency, overlapped off-bus
+  net::SharedBus::Params bus{4, 4, 8.0};
+  Cycles snoop_latency = 8;     ///< cache-to-cache intervention extra
+  HwSync::Costs sync{12, 70, 90, 60, 80, 12};
+};
+
+class SmpPlatform final : public Platform {
+ public:
+  explicit SmpPlatform(int nprocs, const SmpParams& params = {});
+
+  void access(SimAddr a, std::uint32_t size, bool write) override;
+  void acquireLock(int id) override { sync_.acquire(id); }
+  void releaseLock(int id) override { sync_.release(id); }
+  void barrier(int id) override { sync_.barrier(id, nprocs()); }
+
+  [[nodiscard]] const SmpParams& params() const { return prm_; }
+  [[nodiscard]] const Resource& busResource() const { return bus_.resource(); }
+
+ protected:
+  void onArenaGrown(std::size_t) override {}
+  void onLockCreated(int) override { sync_.onLockCreated(); }
+  void onBarrierCreated(int) override { sync_.onBarrierCreated(); }
+  void setHomes(SimAddr, std::size_t, const HomePolicy&) override {}
+
+ private:
+  /// Put a transaction for `line` on the bus; every other cache snoops.
+  Cycles busTransaction(ProcId p, SimAddr line, bool write, bool need_data);
+  void dropFromL1(ProcId p, SimAddr l2_line);
+
+  SmpParams prm_;
+  net::SharedBus bus_;
+  std::vector<Cache> l1_, l2_;
+  HwSync sync_;
+};
+
+}  // namespace rsvm

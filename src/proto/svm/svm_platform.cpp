@@ -1,0 +1,519 @@
+#include "proto/svm/svm_platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rsvm {
+
+namespace {
+Engine::Config engineConfig(int nprocs, Cycles quantum) {
+  Engine::Config ec;
+  ec.nprocs = nprocs;
+  ec.quantum = quantum;
+  return ec;
+}
+}  // namespace
+
+SvmPlatform::SvmPlatform(int nprocs, const SvmParams& params)
+    : Platform(PlatformKind::SVM, engineConfig(nprocs, params.quantum)),
+      prm_(params),
+      nnodes_((nprocs + params.procs_per_node - 1) / params.procs_per_node),
+      net_(nnodes_, {params.msg_sw_overhead, params.wire_latency,
+                     params.iobus_bytes_per_cycle}),
+      handler_(static_cast<std::size_t>(nnodes_)),
+      pt_(static_cast<std::size_t>(nnodes_)),
+      vc_(static_cast<std::size_t>(nnodes_)),
+      notices_(static_cast<std::size_t>(nnodes_)),
+      dirty_(static_cast<std::size_t>(nnodes_)),
+      locks_held_(static_cast<std::size_t>(nprocs), 0) {
+  if (params.procs_per_node < 1) {
+    throw std::invalid_argument("SvmPlatform: procs_per_node must be >= 1");
+  }
+  l1_.reserve(static_cast<std::size_t>(nprocs));
+  l2_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    l1_.emplace_back(prm_.l1);
+    l2_.emplace_back(prm_.l2);
+  }
+}
+
+void SvmPlatform::onArenaGrown(std::size_t used_bytes) {
+  const std::size_t npages =
+      (used_bytes + prm_.page_bytes - 1) / prm_.page_bytes;
+  home_.resize(npages, 0);
+  last_writer_.resize(npages, -1);
+  for (auto& t : pt_) t.resize(npages);
+}
+
+void SvmPlatform::setHomes(SimAddr base, std::size_t bytes,
+                           const HomePolicy& homes) {
+  const std::uint64_t first_page = pageOf(base);
+  const std::uint64_t npages =
+      (bytes + prm_.page_bytes - 1) / prm_.page_bytes;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    const ProcId hp = homes.fn(i, npages);
+    assert(hp >= 0 && hp < nprocs());
+    const ProcId h = nodeOf(hp);
+    home_[first_page + i] = h;
+    // The home node's copy is always valid.
+    pt_[static_cast<std::size_t>(h)][first_page + i].valid = 1;
+  }
+}
+
+void SvmPlatform::onLockCreated(int id) {
+  LockState ls;
+  ls.home = static_cast<ProcId>(id % nnodes_);
+  locks_.push_back(ls);
+}
+
+void SvmPlatform::onBarrierCreated(int id) {
+  BarrierState bs;
+  // Arbitrary static manager assignment; with 16 nodes the first barrier
+  // is managed by node 10, matching the paper's LU anecdote.
+  bs.manager = static_cast<ProcId>((10 + id) % nnodes_);
+  bs.node_arrived.assign(static_cast<std::size_t>(nnodes_), 0);
+  barriers_.push_back(bs);
+}
+
+void SvmPlatform::warm(ProcId p, SimAddr base, std::size_t len) {
+  if (len == 0) return;
+  const std::uint64_t first = pageOf(base);
+  const std::uint64_t last = pageOf(base + len - 1);
+  for (std::uint64_t pg = first; pg <= last; ++pg) {
+    pt_[static_cast<std::size_t>(nodeOf(p))][pg].valid = 1;
+  }
+}
+
+bool SvmPlatform::resident(ProcId p, SimAddr a) const {
+  return pt_[static_cast<std::size_t>(nodeOf(p))][pageOf(a)].valid != 0;
+}
+
+ProcId SvmPlatform::homeOf(SimAddr a) const { return home_[pageOf(a)]; }
+
+void SvmPlatform::pageFault(ProcId p, std::uint64_t page) {
+  Engine& eng = engine_;
+  eng.stats(p).page_faults++;
+  emit(TraceEvent::Kind::PageFault, p, page, prm_.page_bytes);
+  const ProcId n = nodeOf(p);
+  PageEntry& e = pt_[static_cast<std::size_t>(n)][page];
+  if (free_cs_faults && locks_held_[static_cast<std::size_t>(p)] > 0) {
+    e.valid = 1;  // diagnostic mode: the fetch is free
+    return;
+  }
+  const ProcId h = home_[page];
+  const Cycles t0 = eng.now(p) + prm_.fault_handler;
+  // Request message to the home node.
+  const Cycles t1 = net_.send(n, h, prm_.msg_header_bytes, t0);
+  // Home-side service (serialized at the home's protocol handler).
+  const Cycles t2 =
+      handler_[static_cast<std::size_t>(h)].acquire(t1, prm_.serve_page);
+  eng.chargeHandler(h * prm_.procs_per_node, prm_.serve_page);
+  // Whole-page reply.
+  const Cycles t3 =
+      net_.send(h, n, prm_.page_bytes + prm_.msg_header_bytes, t2);
+  eng.stallUntil(t3 + prm_.map_page, Bucket::DataWait);
+  e.valid = 1;
+  // The fetched page supersedes stale cached lines of every processor in
+  // the node (DMA into node memory).
+  const SimAddr base = static_cast<SimAddr>(page) * prm_.page_bytes;
+  for (int q = n * prm_.procs_per_node;
+       q < std::min((n + 1) * prm_.procs_per_node, nprocs()); ++q) {
+    l1_[static_cast<std::size_t>(q)].invalidateRange(base, prm_.page_bytes);
+    l2_[static_cast<std::size_t>(q)].invalidateRange(base, prm_.page_bytes);
+  }
+}
+
+std::uint64_t SvmPlatform::retainedDiffBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& table : pt_) {
+    for (const PageEntry& e : table) total += e.retained_bytes;
+  }
+  return total;
+}
+
+void SvmPlatform::pageFaultLrc(ProcId p, std::uint64_t page) {
+  Engine& eng = engine_;
+  eng.stats(p).page_faults++;
+  const ProcId n = nodeOf(p);
+  PageEntry& e = pt_[static_cast<std::size_t>(n)][page];
+  if (free_cs_faults && locks_held_[static_cast<std::size_t>(p)] > 0) {
+    e.valid = 1;
+    e.pending_diffs = 0;
+    return;
+  }
+  // Base copy comes from the most recent writer we know of (its own copy
+  // includes its writes); diffs are requested from every other node with
+  // pending modifications, created lazily at each, and applied here.
+  ProcId base_src = last_writer_[page];
+  if (base_src < 0 || base_src == n) base_src = home_[page];
+  const Cycles t0 = eng.now(p) + prm_.fault_handler;
+  Cycles done = t0;
+  if (base_src != n) {
+    const Cycles t1 = net_.send(n, base_src, prm_.msg_header_bytes, t0);
+    const Cycles t2 = handler_[static_cast<std::size_t>(base_src)].acquire(
+        t1, prm_.serve_page);
+    eng.chargeHandler(base_src * prm_.procs_per_node, prm_.serve_page);
+    done = net_.send(base_src, n, prm_.page_bytes + prm_.msg_header_bytes, t2);
+  }
+  std::uint64_t sources = e.pending_diffs & ~(1ull << static_cast<unsigned>(n));
+  if (base_src >= 0) {
+    sources &= ~(1ull << static_cast<unsigned>(base_src));
+  }
+  Cycles apply_cost = 0;
+  while (sources != 0) {
+    const int src = std::countr_zero(sources);
+    sources &= sources - 1;
+    const PageEntry& se = pt_[static_cast<std::size_t>(src)][page];
+    const std::uint32_t bytes =
+        se.retained_bytes > 0 ? se.retained_bytes : prm_.msg_header_bytes;
+    // Request; the writer creates the diff lazily (twin compare) and
+    // replies with it. Requests to distinct writers overlap.
+    const Cycles t1 =
+        net_.send(n, static_cast<ProcId>(src), prm_.msg_header_bytes, t0);
+    const Cycles t2 = handler_[static_cast<std::size_t>(src)].acquire(
+        t1, prm_.diff_scan);
+    eng.chargeHandler(src * prm_.procs_per_node, prm_.diff_scan);
+    const Cycles t3 = net_.send(static_cast<ProcId>(src), n,
+                                bytes + prm_.msg_header_bytes, t2);
+    done = std::max(done, t3);
+    apply_cost += prm_.diff_apply_base +
+                  static_cast<Cycles>(prm_.diff_apply_per_byte * bytes);
+  }
+  eng.stallUntil(done + apply_cost + prm_.map_page, Bucket::DataWait);
+  if (apply_cost > 0) {
+    eng.stats(p).diff_bytes += 0;  // applied, not created, here
+  }
+  e.valid = 1;
+  e.pending_diffs = 0;
+  const SimAddr base = static_cast<SimAddr>(page) * prm_.page_bytes;
+  for (int q = n * prm_.procs_per_node;
+       q < std::min((n + 1) * prm_.procs_per_node, nprocs()); ++q) {
+    l1_[static_cast<std::size_t>(q)].invalidateRange(base, prm_.page_bytes);
+    l2_[static_cast<std::size_t>(q)].invalidateRange(base, prm_.page_bytes);
+  }
+}
+
+void SvmPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+  const ProcId p = engine_.self();
+  ProcStats& st = engine_.stats(p);
+  if (write) {
+    ++st.writes;
+  } else {
+    ++st.reads;
+  }
+  const std::uint64_t page = pageOf(a);
+  const auto ni = static_cast<std::size_t>(nodeOf(p));
+  PageEntry* e = &pt_[ni][page];
+  if (e->valid == 0) {
+    if (prm_.home_based) {
+      pageFault(p, page);
+    } else {
+      pageFaultLrc(p, page);
+    }
+    e = &pt_[ni][page];
+  }
+  if (write) {
+    if (e->in_dirty_list == 0) {
+      e->in_dirty_list = 1;
+      dirty_[ni].push_back(static_cast<std::uint32_t>(page));
+      if (!prm_.home_based || home_[page] != nodeOf(p)) {
+        // First write this interval on a non-home copy: make a twin.
+        ++st.write_faults;
+        emit(TraceEvent::Kind::TwinCreate, p, page);
+        engine_.advance(prm_.twin_create, Bucket::Handler);
+      }
+    }
+    e->dirty_bytes = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(prm_.page_bytes, e->dirty_bytes + size));
+  }
+  // Local cache hierarchy.
+  Cycles cost = 1;  // the load/store instruction itself
+  Cycles stall = 0;
+  Cache& l1 = l1_[static_cast<std::size_t>(p)];
+  if (!l1.access(a, write).hit) {
+    ++st.l1_misses;
+    Cache& l2 = l2_[static_cast<std::size_t>(p)];
+    const auto r2 = l2.access(a, write);
+    if (r2.hit && !r2.upgrade) {
+      stall += prm_.l1_miss_penalty;
+    } else {
+      if (!r2.hit) {
+        ++st.l2_misses;
+        stall += prm_.mem_latency;
+        l2.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+      } else {
+        stall += prm_.l1_miss_penalty;  // upgrade: local, cheap
+        l2.setState(a, LineState::Modified);
+      }
+    }
+    l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
+  }
+  engine_.advance(cost, Bucket::Compute);
+  if (stall > 0) engine_.advance(stall, Bucket::CacheStall);
+}
+
+Cycles SvmPlatform::flushPage(ProcId p, std::uint64_t page, Cycles start) {
+  const ProcId n = nodeOf(p);
+  PageEntry& e = pt_[static_cast<std::size_t>(n)][page];
+  const ProcId h = home_[page];
+  Cycles done = start;
+  if (h != n) {
+    // Diff creation on p, then ship to the home and apply there.
+    engine_.stats(p).diffs_created++;
+    emit(TraceEvent::Kind::DiffSend, p, page, e.dirty_bytes);
+    engine_.stats(p).diff_bytes += e.dirty_bytes;
+    engine_.advance(prm_.diff_scan, Bucket::Handler);
+    const Cycles arr =
+        net_.send(n, h, e.dirty_bytes + prm_.msg_header_bytes, engine_.now(p));
+    const Cycles apply =
+        prm_.diff_apply_base +
+        static_cast<Cycles>(prm_.diff_apply_per_byte * e.dirty_bytes);
+    done = handler_[static_cast<std::size_t>(h)].acquire(arr, apply);
+    engine_.chargeHandler(h * prm_.procs_per_node, apply);
+  }
+  e.in_dirty_list = 0;
+  e.dirty_bytes = 0;
+  return done;
+}
+
+Cycles SvmPlatform::closeInterval(ProcId p) {
+  const auto ni = static_cast<std::size_t>(nodeOf(p));
+  // Reserve the interval number and its notice-log slot atomically (no
+  // simulated yields between these statements): with several processors
+  // per node, a node-mate could otherwise close the next interval while
+  // our diff flush below is still in flight and misalign the log.
+  // Causality is preserved because the new interval only becomes visible
+  // to other nodes through a release/arrival that happens after the
+  // flush stall below.
+  vc_[ni][ni] += 1;
+  notices_[ni].emplace_back(std::move(dirty_[ni]));
+  dirty_[ni].clear();
+  const std::size_t slot = notices_[ni].size() - 1;
+  assert(notices_[ni].size() == vc_[ni][ni]);
+  Cycles done = engine_.now(p);
+  if (prm_.home_based) {
+    for (std::uint32_t page : notices_[ni][slot]) {
+      done = std::max(done, flushPage(p, page, engine_.now(p)));
+    }
+  } else {
+    // TreadMarks: the release is cheap -- modifications are retained at
+    // the writer (twins kept for lazy diff creation) and only write
+    // notices propagate. Memory grows until a (unmodeled) GC.
+    for (std::uint32_t page : notices_[ni][slot]) {
+      PageEntry& e = pt_[ni][page];
+      e.retained_bytes = static_cast<std::uint16_t>(
+          std::min<std::uint32_t>(prm_.page_bytes,
+                                  e.retained_bytes + e.dirty_bytes));
+      e.in_dirty_list = 0;
+      e.dirty_bytes = 0;
+      engine_.stats(p).diffs_created++;
+    }
+  }
+  return done;
+}
+
+void SvmPlatform::applyNotices(ProcId p, const Vc& vq) {
+  const auto ni = static_cast<std::size_t>(nodeOf(p));
+  Vc& mine = vc_[ni];
+  std::uint64_t processed = 0;
+  for (int r = 0; r < nnodes_; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    for (std::uint32_t k = mine[ri] + 1; k <= vq[ri]; ++k) {
+      for (std::uint32_t page : notices_[ri][k - 1]) {
+        ++processed;
+        if (!prm_.home_based) {
+          last_writer_[page] = r;
+          if (r != static_cast<int>(ni)) {
+            PageEntry& le = pt_[ni][page];
+            le.pending_diffs |= 1ull << static_cast<unsigned>(r);
+            if (le.in_dirty_list == 0) le.valid = 0;
+            continue;
+          }
+          continue;
+        }
+        if (home_[page] == static_cast<ProcId>(ni)) continue;  // home is current
+        PageEntry& e = pt_[ni][page];
+        if (e.in_dirty_list != 0) {
+          // Our node holds uncommitted writes to a page another node also
+          // wrote (multiple-writer false sharing): flush, then drop. The
+          // page may already be absent from the open dirty list if a
+          // node-mate is mid-way through closing an interval containing
+          // it -- then the flush below just commits it early.
+          const Cycles fl = flushPage(p, page, engine_.now(p));
+          engine_.stallUntil(fl, Bucket::Handler);
+          auto& d = dirty_[ni];
+          if (auto it = std::find(d.begin(), d.end(), page); it != d.end()) {
+            d.erase(it);
+          }
+        }
+        e.valid = 0;
+      }
+    }
+    mine[ri] = std::max(mine[ri], vq[ri]);
+  }
+  if (processed > 0) {
+    engine_.advance(processed * prm_.notice_process, Bucket::Handler);
+  }
+}
+
+void SvmPlatform::acquireLock(int id) {
+  const ProcId p = engine_.self();
+  auto& lk = locks_[static_cast<std::size_t>(id)];
+  ProcStats& st = engine_.stats(p);
+  ++st.lock_acquires;
+  ++locks_held_[static_cast<std::size_t>(p)];
+  emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
+  if (lk.held) {
+    // Queue and sleep; the releaser hands the lock (and its vc) to us.
+    lk.waiters.push_back(p);
+    engine_.block(Bucket::LockWait);
+    ++st.remote_lock_acquires;
+    emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+    applyNotices(p, lk.vc);
+    return;
+  }
+  lk.held = true;
+  lk.owner = p;
+  if (lk.last_owner == p || lk.last_owner == -1) {
+    // We were the last holder (or the lock is fresh): local re-acquire.
+    engine_.advance(prm_.lock_local_reacquire, Bucket::LockWait);
+  } else if (nodeOf(lk.last_owner) == nodeOf(p)) {
+    // Two-level scheme: hand off inside the SMP node without messages.
+    engine_.advance(prm_.intra_lock_handoff, Bucket::LockWait);
+  } else {
+    ++st.remote_lock_acquires;
+    // Request to the lock's home, forwarded to the last owner, grant back.
+    const ProcId n = nodeOf(p);
+    const ProcId ln = nodeOf(lk.last_owner);
+    const Cycles t1 =
+        net_.send(n, lk.home, prm_.msg_header_bytes, engine_.now(p));
+    const Cycles t2 = handler_[static_cast<std::size_t>(lk.home)].acquire(
+        t1, prm_.lock_handler);
+    engine_.chargeHandler(lk.home * prm_.procs_per_node, prm_.lock_handler);
+    Cycles t3 = t2;
+    if (ln != lk.home) {
+      t3 = net_.send(lk.home, ln, prm_.msg_header_bytes, t2);
+      t3 = handler_[static_cast<std::size_t>(ln)].acquire(t3,
+                                                          prm_.lock_handler);
+      engine_.chargeHandler(lk.last_owner, prm_.lock_handler);
+    }
+    const Cycles t4 =
+        std::max(net_.send(ln, n, prm_.msg_header_bytes, t3), lk.ready_at);
+    engine_.stallUntil(t4, Bucket::LockWait);
+  }
+  emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+  applyNotices(p, lk.vc);
+}
+
+void SvmPlatform::releaseLock(int id) {
+  const ProcId p = engine_.self();
+  auto& lk = locks_[static_cast<std::size_t>(id)];
+  assert(lk.held && lk.owner == p && "release of a lock we do not hold");
+  --locks_held_[static_cast<std::size_t>(p)];
+  emit(TraceEvent::Kind::LockRelease, p, static_cast<std::uint64_t>(id));
+  // LRC: make our writes visible (diffs at homes) before handing off.
+  const Cycles flushed = closeInterval(p);
+  if (flushed > engine_.now(p)) {
+    engine_.stallUntil(flushed, Bucket::LockWait);
+  }
+  lk.vc = vc_[static_cast<std::size_t>(nodeOf(p))];
+  lk.last_owner = p;
+  lk.ready_at = engine_.now(p);
+  if (!lk.waiters.empty()) {
+    const ProcId w = lk.waiters.front();
+    lk.waiters.pop_front();
+    lk.owner = w;
+    Cycles grant;
+    if (nodeOf(w) == nodeOf(p)) {
+      grant = engine_.now(p) + prm_.intra_lock_handoff;
+    } else {
+      // Direct handoff message to the waiter's node.
+      grant = net_.send(nodeOf(p), nodeOf(w), prm_.msg_header_bytes,
+                        engine_.now(p)) +
+              prm_.lock_handler;
+    }
+    engine_.wake(w, grant);
+  } else {
+    lk.held = false;
+    lk.owner = -1;
+  }
+}
+
+void SvmPlatform::barrier(int id) {
+  const ProcId p = engine_.self();
+  auto& b = barriers_[static_cast<std::size_t>(id)];
+  ProcStats& st = engine_.stats(p);
+  ++st.barriers;
+  emit(TraceEvent::Kind::BarrierArrive, p, static_cast<std::uint64_t>(id));
+  const ProcId n = nodeOf(p);
+  const auto ni = static_cast<std::size_t>(n);
+  // Arrival: close the node interval (flush diffs). Within an SMP node
+  // only the first arriver finds dirty pages; the rest flush nothing.
+  const Cycles flushed = closeInterval(p);
+  if (flushed > engine_.now(p)) {
+    engine_.stallUntil(flushed, Bucket::BarrierWait);
+  }
+  if (prm_.procs_per_node > 1) {
+    engine_.advance(prm_.intra_barrier_rmw, Bucket::BarrierWait);
+  }
+  const int node_size =
+      std::min((n + 1) * prm_.procs_per_node, nprocs()) -
+      n * prm_.procs_per_node;
+  for (int r = 0; r < nnodes_; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    b.merged[ri] = std::max(b.merged[ri], vc_[ni][ri]);
+  }
+  if (++b.node_arrived[ni] == node_size) {
+    // Last processor of this node: one arrival message to the manager.
+    const Cycles arr =
+        net_.send(n, b.manager, prm_.msg_header_bytes, engine_.now(p));
+    const Cycles processed = handler_[static_cast<std::size_t>(b.manager)]
+                                 .acquire(arr, prm_.barrier_handler);
+    engine_.chargeHandler(b.manager * prm_.procs_per_node,
+                          prm_.barrier_handler);
+    b.last_arrival = std::max(b.last_arrival, processed);
+  }
+  if (++b.arrived < nprocs()) {
+    b.waiting.push_back(p);
+    engine_.block(Bucket::BarrierWait);
+    emit(TraceEvent::Kind::BarrierDepart, p, static_cast<std::uint64_t>(id));
+    applyNotices(p, b.snapshot);
+    return;
+  }
+  // Last arriver overall: run the manager's release broadcast (one
+  // message per node, fanned out locally within each node).
+  b.snapshot = b.merged;
+  b.merged = Vc{};
+  b.arrived = 0;
+  std::fill(b.node_arrived.begin(), b.node_arrived.end(), 0);
+  Cycles t = b.last_arrival;
+  b.last_arrival = 0;
+  std::vector<ProcId> waiters;
+  waiters.swap(b.waiting);
+  std::vector<Cycles> node_release(static_cast<std::size_t>(nnodes_), 0);
+  for (int r = 0; r < nnodes_; ++r) {
+    engine_.chargeHandler(b.manager * prm_.procs_per_node,
+                          prm_.barrier_handler);
+    t = handler_[static_cast<std::size_t>(b.manager)].acquire(
+        t, prm_.barrier_handler);
+    node_release[static_cast<std::size_t>(r)] =
+        net_.send(b.manager, static_cast<ProcId>(r), prm_.msg_header_bytes, t);
+  }
+  std::vector<int> fanout(static_cast<std::size_t>(nnodes_), 0);
+  for (ProcId w : waiters) {
+    const auto wn = static_cast<std::size_t>(nodeOf(w));
+    engine_.wake(w, node_release[wn] +
+                        static_cast<Cycles>(fanout[wn]++) *
+                            prm_.intra_release_stagger);
+  }
+  const auto self_n = static_cast<std::size_t>(n);
+  engine_.stallUntil(node_release[self_n] +
+                         static_cast<Cycles>(fanout[self_n]) *
+                             prm_.intra_release_stagger,
+                     Bucket::BarrierWait);
+  emit(TraceEvent::Kind::BarrierDepart, p, static_cast<std::uint64_t>(id));
+  applyNotices(p, b.snapshot);
+}
+
+}  // namespace rsvm

@@ -1,0 +1,181 @@
+// All-software, page-grained shared virtual memory platform running a
+// home-based lazy release consistency (HLRC) protocol, after Zhou,
+// Iftode & Li (OSDI'96) as used in the paper (section 2.1.1):
+//
+//  * every page has a home node; the home copy is kept up to date,
+//  * a multiple-writer scheme uses twins and diffs: the first write to a
+//    page in an interval creates a twin; at a release the dirty pages
+//    are compared against their twins and the diffs are sent to the
+//    pages' homes,
+//  * write notices carry vector timestamps; at an acquire the incoming
+//    notices invalidate causally-stale pages, which are then re-fetched
+//    whole from their homes on the next access,
+//  * locks have home nodes and are handed off by messages carrying the
+//    releaser's vector clock; barriers are managed by a designated node.
+//
+// Node model (paper's parameters): 200 MHz 1-CPI x86, 8 KB direct-mapped
+// L1 + 512 KB 2-way L2 (32 B lines), 4 KB pages, Myrinet-class network
+// whose packets cross a 100 MB/s I/O bus (= 0.5 B/cycle at 200 MHz).
+//
+// Setting procs_per_node > 1 gives the paper's section-7 future-work
+// configuration: hardware-coherent SMP nodes connected by SVM. Page
+// state, intervals, vector clocks, twins and diffs are then per *node*;
+// a page fetched by one processor serves its whole node, and locks and
+// barriers use a two-level scheme (cheap within a node, messages across
+// nodes).
+#pragma once
+
+#include "mem/cache.hpp"
+#include "net/network.hpp"
+#include "runtime/platform.hpp"
+#include "sim/resource.hpp"
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace rsvm {
+
+struct SvmParams {
+  /// Engine drift quantum (interleaving granularity of direct execution).
+  Cycles quantum = 10000;
+  /// Processors per SVM node (1 = the paper's base platform; >1 = the
+  /// section-7 "SMP nodes connected by SVM" configuration).
+  int procs_per_node = 1;
+  /// true = home-based LRC (HLRC, the paper's protocol): diffs are eagerly
+  /// created at releases and sent to each page's home, and a fault fetches
+  /// the whole up-to-date page from the home.
+  /// false = TreadMarks-style non-home-based LRC: releases only log write
+  /// notices (cheap), writers *retain* their modifications, and a fault
+  /// fetches a base copy from the last writer plus lazily-created diffs
+  /// from every writer with pending modifications (expensive, and memory
+  /// grows with retained diffs -- the HLRC advantages the paper cites).
+  bool home_based = true;
+  std::uint32_t page_bytes = 4096;
+  CacheConfig l1{8 * 1024, 32, 1};
+  CacheConfig l2{512 * 1024, 32, 2};
+  Cycles l1_miss_penalty = 10;   ///< L1 miss that hits in L2
+  Cycles mem_latency = 60;       ///< L2 miss to local memory
+  // Network: ~6 us/message software path, ~1 us wire, 100 MB/s I/O bus.
+  Cycles msg_sw_overhead = 1200;
+  Cycles wire_latency = 200;
+  double iobus_bytes_per_cycle = 0.5;
+  std::uint32_t msg_header_bytes = 64;
+  // Protocol handler costs (cycles on the node CPU).
+  Cycles fault_handler = 500;    ///< requester-side trap + request build
+  Cycles serve_page = 800;       ///< home-side page service
+  Cycles map_page = 200;         ///< requester-side page install
+  Cycles twin_create = 2500;     ///< copy 4 KB
+  Cycles diff_scan = 3000;       ///< compare 4 KB against twin
+  Cycles diff_apply_base = 300;  ///< home-side diff application, fixed
+  double diff_apply_per_byte = 0.25;
+  Cycles notice_process = 25;    ///< per incoming write notice at acquire
+  Cycles lock_handler = 400;     ///< per lock protocol message
+  Cycles lock_local_reacquire = 150;
+  Cycles barrier_handler = 350;  ///< manager work per arrival/release
+  // Intra-node costs (only used when procs_per_node > 1).
+  Cycles intra_lock_handoff = 200;   ///< lock transfer inside an SMP node
+  Cycles intra_barrier_rmw = 120;    ///< node-local barrier arrival
+  Cycles intra_release_stagger = 60; ///< node-local wakeup fan-out
+};
+
+class SvmPlatform final : public Platform {
+ public:
+  explicit SvmPlatform(int nprocs, const SvmParams& params = {});
+
+  void access(SimAddr a, std::uint32_t size, bool write) override;
+  void acquireLock(int id) override;
+  void releaseLock(int id) override;
+  void barrier(int id) override;
+  void warm(ProcId p, SimAddr base, std::size_t len) override;
+
+  [[nodiscard]] const SvmParams& params() const { return prm_; }
+  [[nodiscard]] int nodes() const { return nnodes_; }
+  [[nodiscard]] ProcId nodeOf(ProcId p) const {
+    return p / prm_.procs_per_node;
+  }
+
+  /// Pages currently resident (valid) at p's node -- exposed for tests.
+  [[nodiscard]] bool resident(ProcId p, SimAddr a) const;
+  /// Total diff bytes currently retained by writers (TreadMarks mode):
+  /// the memory-overhead disadvantage of non-home-based LRC.
+  [[nodiscard]] std::uint64_t retainedDiffBytes() const;
+  /// Home *node* of an address.
+  [[nodiscard]] ProcId homeOf(SimAddr a) const;
+
+ protected:
+  void onArenaGrown(std::size_t used_bytes) override;
+  void onLockCreated(int id) override;
+  void onBarrierCreated(int id) override;
+  void setHomes(SimAddr base, std::size_t bytes,
+                const HomePolicy& homes) override;
+  [[nodiscard]] std::uint32_t homeGranularity() const override {
+    return prm_.page_bytes;
+  }
+
+ private:
+  using Vc = std::array<std::uint32_t, kMaxProcs>;  // indexed by node
+
+  struct PageEntry {
+    std::uint8_t valid = 0;
+    std::uint8_t in_dirty_list = 0;  ///< twinned (non-home) or tracked (home)
+    std::uint16_t dirty_bytes = 0;
+    // Non-home-based (TreadMarks) mode only:
+    std::uint64_t pending_diffs = 0;  ///< nodes with unfetched diffs
+    std::uint16_t retained_bytes = 0; ///< our retained (unGC'd) diff bytes
+  };
+
+  struct LockState {
+    ProcId home = 0;         ///< home *node*
+    bool held = false;
+    ProcId owner = -1;       ///< current logical holder (processor)
+    ProcId last_owner = -1;  ///< processor that last released
+    Vc vc{};                 ///< releaser's node vector clock
+    Cycles ready_at = 0;
+    std::deque<ProcId> waiters;
+  };
+
+  struct BarrierState {
+    ProcId manager = 0;  ///< manager *node*
+    int arrived = 0;     ///< processors arrived this epoch
+    std::vector<ProcId> waiting;
+    std::vector<int> node_arrived;  ///< per node, this epoch
+    Vc merged{};
+    Vc snapshot{};
+    Cycles last_arrival = 0;
+  };
+
+  void pageFault(ProcId p, std::uint64_t page);
+  void pageFaultLrc(ProcId p, std::uint64_t page);
+  /// Close the node's current interval: create/send diffs for dirty
+  /// pages and log write notices. Returns when all diffs are applied.
+  Cycles closeInterval(ProcId p);
+  /// Process incoming causal knowledge `vq` on p's node.
+  void applyNotices(ProcId p, const Vc& vq);
+  Cycles flushPage(ProcId p, std::uint64_t page, Cycles start);
+
+  [[nodiscard]] std::uint64_t pageOf(SimAddr a) const {
+    return a / prm_.page_bytes;
+  }
+
+  SvmParams prm_;
+  int nnodes_ = 1;
+  net::PointToPoint net_;          ///< between nodes
+  std::vector<Resource> handler_;  ///< per-node protocol CPU service
+  std::vector<ProcId> home_;       ///< per page: home node
+  std::vector<std::vector<PageEntry>> pt_;  ///< [node][page]
+  std::vector<Vc> vc_;                      ///< [node]
+  // Outer per-interval container is a deque: applyNotices may yield while
+  // iterating an interval's page list, during which the logging node can
+  // append a new interval; deque growth never invalidates elements.
+  std::vector<std::deque<std::vector<std::uint32_t>>> notices_;  ///< [node]
+  std::vector<std::vector<std::uint32_t>> dirty_;  ///< [node]
+  std::vector<ProcId> last_writer_;  ///< [page] most recent noticing node (LRC)
+  std::vector<Cache> l1_, l2_;   ///< per processor
+  std::vector<int> locks_held_;  ///< per processor (free_cs_faults)
+  std::vector<LockState> locks_;
+  std::vector<BarrierState> barriers_;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,62 @@
+#include "runtime/platform.hpp"
+
+#include "proto/fgs/fgs_platform.hpp"
+#include "proto/numa/numa_platform.hpp"
+#include "proto/smp/smp_platform.hpp"
+#include "proto/svm/svm_platform.hpp"
+
+#include <stdexcept>
+
+namespace rsvm {
+
+SimAddr Platform::alloc(std::size_t bytes, std::size_t align,
+                        const HomePolicy& homes) {
+  if (ran_) throw std::logic_error("Platform: alloc after run()");
+  // Round every allocation to whole home pages so that distinct
+  // allocations never share a page home (false sharing *within* an
+  // allocation is the effect under study; between allocations it would
+  // be an artifact of our allocator).
+  const std::uint32_t grain = homeGranularity();
+  const std::size_t a = std::max<std::size_t>(align, grain);
+  const std::size_t rounded = (bytes + grain - 1) / grain * grain;
+  const SimAddr base = space_.allocate(rounded, a);
+  onArenaGrown(space_.used());
+  setHomes(base, rounded, homes);
+  return base;
+}
+
+void Platform::warm(ProcId, SimAddr, std::size_t) {}
+
+int Platform::makeLock() {
+  const int id = num_locks_++;
+  onLockCreated(id);
+  return id;
+}
+
+int Platform::makeBarrier() {
+  const int id = num_barriers_++;
+  onBarrierCreated(id);
+  return id;
+}
+
+RunStats Platform::run(const std::function<void(Ctx&)>& body) {
+  if (ran_) throw std::logic_error("Platform: run() may only be called once");
+  ran_ = true;
+  engine_.run([this, &body](ProcId p) {
+    Ctx c(*this, p);
+    body(c);
+  });
+  return engine_.collect();
+}
+
+std::unique_ptr<Platform> Platform::create(PlatformKind k, int nprocs) {
+  switch (k) {
+    case PlatformKind::SVM: return std::make_unique<SvmPlatform>(nprocs);
+    case PlatformKind::NUMA: return std::make_unique<NumaPlatform>(nprocs);
+    case PlatformKind::SMP: return std::make_unique<SmpPlatform>(nprocs);
+    case PlatformKind::FGS: return std::make_unique<FgsPlatform>(nprocs);
+  }
+  throw std::invalid_argument("Platform::create: bad kind");
+}
+
+}  // namespace rsvm

@@ -1,0 +1,179 @@
+// The public programming model: a coherent shared address space with
+// locks and barriers, in the style of the SPLASH-2 / ANL macros the
+// paper's applications were written against.
+//
+// A Platform bundles a simulated machine (engine + caches + interconnect
+// + coherence protocol). Applications:
+//   1. allocate shared data (alloc / SharedArray) with a home policy,
+//   2. initialize it untimed through raw host pointers,
+//   3. call run(body) -- body executes on every simulated processor,
+//      with every shared access, lock, and barrier charged simulated
+//      cycles by the platform's protocol,
+//   4. inspect the returned RunStats (paper-style time breakdowns).
+#pragma once
+
+#include "mem/address_space.hpp"
+#include "runtime/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace rsvm {
+
+class Ctx;
+
+enum class PlatformKind { SVM, NUMA, SMP, FGS };
+
+inline const char* platformName(PlatformKind k) {
+  switch (k) {
+    case PlatformKind::SVM: return "SVM";
+    case PlatformKind::NUMA: return "DSM";
+    case PlatformKind::SMP: return "SMP";
+    case PlatformKind::FGS: return "FGS";
+  }
+  return "?";
+}
+
+/// Where the home copy of each page of an allocation lives. Evaluated at
+/// allocation time at the platform's home granularity (4 KB pages).
+struct HomePolicy {
+  using Fn = std::function<ProcId(std::uint64_t page, std::uint64_t npages)>;
+  Fn fn;
+
+  static HomePolicy node(ProcId p) {
+    return {[p](std::uint64_t, std::uint64_t) { return p; }};
+  }
+  static HomePolicy roundRobin(int nprocs) {
+    return {[nprocs](std::uint64_t page, std::uint64_t) {
+      return static_cast<ProcId>(page % static_cast<std::uint64_t>(nprocs));
+    }};
+  }
+  static HomePolicy blocked(int nprocs) {
+    return {[nprocs](std::uint64_t page, std::uint64_t npages) {
+      const std::uint64_t per =
+          (npages + static_cast<std::uint64_t>(nprocs) - 1) /
+          static_cast<std::uint64_t>(nprocs);
+      return static_cast<ProcId>(page / per);
+    }};
+  }
+};
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] PlatformKind kind() const { return kind_; }
+  [[nodiscard]] int nprocs() const { return engine_.nprocs(); }
+  [[nodiscard]] const char* name() const { return platformName(kind_); }
+
+  // ---- allocation (host side, before run) ----
+  SimAddr alloc(std::size_t bytes, std::size_t align, const HomePolicy& homes);
+  [[nodiscard]] std::byte* host(SimAddr a) const { return space_.host(a); }
+  [[nodiscard]] AddressSpace& space() { return space_; }
+
+  /// Simulate that processor `p` already has resident copies of the pages
+  /// in [base, base+len) -- e.g. because it wrote them during untimed
+  /// initialization (the paper's Raytrace processor-0 effect). A no-op on
+  /// hardware-coherent platforms (their caches are far smaller than data).
+  virtual void warm(ProcId p, SimAddr base, std::size_t len);
+
+  int makeLock();
+  int makeBarrier();
+
+  // ---- run the timed parallel section ----
+  RunStats run(const std::function<void(Ctx&)>& body);
+
+  // ---- simulated operations (called from inside processor fibers) ----
+  virtual void access(SimAddr a, std::uint32_t size, bool write) = 0;
+  virtual void acquireLock(int id) = 0;
+  virtual void releaseLock(int id) = 0;
+  virtual void barrier(int id) = 0;
+
+  Engine& engine() { return engine_; }
+
+  /// Diagnostic knob from the paper (Volrend analysis): treat page faults
+  /// that occur while holding a lock as free. Only meaningful on SVM.
+  bool free_cs_faults = false;
+
+  /// Optional protocol event hook (see runtime/trace.hpp). Zero overhead
+  /// when unset; attach a TraceRecorder to performance-debug a run the
+  /// way the paper's authors used their simulator.
+  TraceHook trace;
+
+ protected:
+  void emit(TraceEvent::Kind k, ProcId p, std::uint64_t id,
+            std::uint32_t bytes = 0) {
+    if (trace) trace(TraceEvent{k, p, engine_.now(p), id, bytes});
+  }
+
+ public:
+
+  // ---- factory ----
+  static std::unique_ptr<Platform> create(PlatformKind k, int nprocs);
+
+ protected:
+  Platform(PlatformKind k, const Engine::Config& ec)
+      : kind_(k), engine_(ec) {}
+
+  /// Called when an allocation extends the used arena: protocols size
+  /// their page tables / directories here.
+  virtual void onArenaGrown(std::size_t used_bytes) = 0;
+  virtual void onLockCreated(int id) = 0;
+  virtual void onBarrierCreated(int id) = 0;
+
+  /// Assign homes for the allocation [base, base+bytes); implementations
+  /// evaluate `homes` at their own home granularity.
+  virtual void setHomes(SimAddr base, std::size_t bytes,
+                        const HomePolicy& homes) = 0;
+
+  /// The platform's home/coherence-unit granularity for allocation
+  /// rounding (4 KB for the fixed-page platforms; the configured page
+  /// size for SVM).
+  [[nodiscard]] virtual std::uint32_t homeGranularity() const { return 4096; }
+
+  static constexpr std::uint32_t kHomePageBytes = 4096;
+
+  PlatformKind kind_;
+  Engine engine_;
+  AddressSpace space_;
+  int num_locks_ = 0;
+  int num_barriers_ = 0;
+  bool ran_ = false;
+};
+
+/// Per-processor execution context handed to application bodies.
+class Ctx {
+ public:
+  Ctx(Platform& p, ProcId id) : plat(p), id_(id) {}
+
+  [[nodiscard]] ProcId id() const { return id_; }
+  [[nodiscard]] int nprocs() const { return plat.nprocs(); }
+
+  /// Charge `c` cycles of pure computation (1 CPI cores).
+  void compute(Cycles c) { plat.engine().advance(c, Bucket::Compute); }
+
+  void read(SimAddr a, std::uint32_t size) { plat.access(a, size, false); }
+  void write(SimAddr a, std::uint32_t size) { plat.access(a, size, true); }
+
+  void lock(int id) { plat.acquireLock(id); }
+  void unlock(int id) { plat.releaseLock(id); }
+  void barrier(int id) { plat.barrier(id); }
+
+  ProcStats& stats() { return plat.engine().stats(id_); }
+  [[nodiscard]] Cycles now() const { return plat.engine().now(id_); }
+
+  Platform& plat;
+
+ private:
+  ProcId id_;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,196 @@
+// Typed views over the shared address space. A SharedArray<T> pairs a
+// simulated base address (used for protocol/cache accounting) with the
+// host backing pointer (used for the actual data), so applications
+// compute real results while the platform charges realistic costs.
+#pragma once
+
+#include "runtime/platform.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace rsvm {
+
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+
+  SharedArray(Platform& p, std::size_t n, const HomePolicy& homes,
+              std::size_t align = alignof(T))
+      : n_(n) {
+    base_ = p.alloc(n * sizeof(T), align, homes);
+    host_ = p.space().template hostAs<T>(base_);
+  }
+
+  /// Timed read on the calling simulated processor.
+  T get(Ctx& c, std::size_t i) const {
+    assert(i < n_);
+    c.read(addr(i), sizeof(T));
+    return host_[i];
+  }
+
+  /// Timed write on the calling simulated processor.
+  void set(Ctx& c, std::size_t i, T v) {
+    assert(i < n_);
+    c.write(addr(i), sizeof(T));
+    host_[i] = v;
+  }
+
+  /// Timed read-modify-write (one read access + one write access).
+  template <typename F>
+  void update(Ctx& c, std::size_t i, F&& f) {
+    assert(i < n_);
+    c.read(addr(i), sizeof(T));
+    c.write(addr(i), sizeof(T));
+    host_[i] = f(host_[i]);
+  }
+
+  /// Untimed host access, for initialization and verification only.
+  T& raw(std::size_t i) {
+    assert(i < n_);
+    return host_[i];
+  }
+  const T& raw(std::size_t i) const {
+    assert(i < n_);
+    return host_[i];
+  }
+
+  [[nodiscard]] SimAddr addr(std::size_t i) const {
+    return base_ + i * sizeof(T);
+  }
+  [[nodiscard]] SimAddr base() const { return base_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t bytes() const { return n_ * sizeof(T); }
+  [[nodiscard]] bool valid() const { return host_ != nullptr; }
+
+ private:
+  SimAddr base_ = 0;
+  T* host_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+/// A single shared scalar.
+template <typename T>
+class Shared {
+ public:
+  Shared() = default;
+  Shared(Platform& p, const HomePolicy& homes) : arr_(p, 1, homes) {}
+
+  T get(Ctx& c) const { return arr_.get(c, 0); }
+  void set(Ctx& c, T v) { arr_.set(c, 0, v); }
+  template <typename F>
+  void update(Ctx& c, F&& f) { arr_.update(c, 0, std::forward<F>(f)); }
+  T& raw() { return arr_.raw(0); }
+  const T& raw() const { return arr_.raw(0); }
+  [[nodiscard]] SimAddr addr() const { return arr_.addr(0); }
+
+ private:
+  SharedArray<T> arr_;
+};
+
+/// Row-major 2-d view with an optional padded row stride (elements).
+/// This is the "natural" 2-d array layout the paper's original LU/Ocean
+/// versions use: a processor's square sub-block is *not* contiguous.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(Platform& p, std::size_t rows, std::size_t cols,
+         const HomePolicy& homes, std::size_t row_stride = 0)
+      : rows_(rows), cols_(cols),
+        stride_(row_stride == 0 ? cols : row_stride),
+        arr_(p, rows * (row_stride == 0 ? cols : row_stride), homes) {}
+
+  T get(Ctx& c, std::size_t i, std::size_t j) const {
+    return arr_.get(c, idx(i, j));
+  }
+  void set(Ctx& c, std::size_t i, std::size_t j, T v) {
+    arr_.set(c, idx(i, j), v);
+  }
+  T& raw(std::size_t i, std::size_t j) { return arr_.raw(idx(i, j)); }
+  const T& raw(std::size_t i, std::size_t j) const {
+    return arr_.raw(idx(i, j));
+  }
+  [[nodiscard]] SimAddr addr(std::size_t i, std::size_t j) const {
+    return arr_.addr(idx(i, j));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  SharedArray<T>& flat() { return arr_; }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return i * stride_ + j;
+  }
+
+  std::size_t rows_ = 0, cols_ = 0, stride_ = 0;
+  SharedArray<T> arr_;
+};
+
+/// Block-contiguous "4-d array" view of a 2-d grid: element (i, j) lives
+/// in block (i/bi, j/bj), and each block is contiguous in the address
+/// space (optionally padded to a page). This is the SPLASH-2
+/// "contiguous" layout the paper's DS optimizations introduce.
+template <typename T>
+class Grid4D {
+ public:
+  Grid4D() = default;
+  Grid4D(Platform& p, std::size_t rows, std::size_t cols, std::size_t bi,
+         std::size_t bj, const HomePolicy& homes,
+         std::size_t block_align_bytes = 0)
+      : rows_(rows), cols_(cols), bi_(bi), bj_(bj),
+        nbi_((rows + bi - 1) / bi), nbj_((cols + bj - 1) / bj) {
+    block_elems_ = bi_ * bj_;
+    std::size_t block_bytes = block_elems_ * sizeof(T);
+    if (block_align_bytes > 0) {
+      block_bytes =
+          (block_bytes + block_align_bytes - 1) / block_align_bytes *
+          block_align_bytes;
+    }
+    block_stride_elems_ = block_bytes / sizeof(T);
+    arr_ = SharedArray<T>(p, nbi_ * nbj_ * block_stride_elems_, homes,
+                          block_align_bytes == 0 ? alignof(T)
+                                                 : block_align_bytes);
+  }
+
+  T get(Ctx& c, std::size_t i, std::size_t j) const {
+    return arr_.get(c, idx(i, j));
+  }
+  void set(Ctx& c, std::size_t i, std::size_t j, T v) {
+    arr_.set(c, idx(i, j), v);
+  }
+  T& raw(std::size_t i, std::size_t j) { return arr_.raw(idx(i, j)); }
+  const T& raw(std::size_t i, std::size_t j) const {
+    return arr_.raw(idx(i, j));
+  }
+
+  /// First element index of block (I, J); a block's elements are the
+  /// following bi*bj slots (row-major within the block).
+  [[nodiscard]] std::size_t blockStart(std::size_t I, std::size_t J) const {
+    return (I * nbj_ + J) * block_stride_elems_;
+  }
+  [[nodiscard]] SimAddr blockAddr(std::size_t I, std::size_t J) const {
+    return arr_.addr(blockStart(I, J));
+  }
+  SharedArray<T>& flat() { return arr_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t blockRows() const { return nbi_; }
+  [[nodiscard]] std::size_t blockCols() const { return nbj_; }
+
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return blockStart(i / bi_, j / bj_) + (i % bi_) * bj_ + (j % bj_);
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, bi_ = 1, bj_ = 1, nbi_ = 0, nbj_ = 0;
+  std::size_t block_elems_ = 0, block_stride_elems_ = 0;
+  SharedArray<T> arr_;
+};
+
+}  // namespace rsvm

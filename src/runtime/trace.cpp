@@ -1,0 +1,103 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace rsvm {
+
+std::vector<std::pair<std::uint64_t, std::size_t>> TraceRecorder::hotPages(
+    std::size_t top_n) const {
+  std::map<std::uint64_t, std::size_t> faults;
+  for (const auto& e : events_) {
+    if (e.kind == TraceEvent::Kind::PageFault) ++faults[e.id];
+  }
+  std::vector<std::pair<std::uint64_t, std::size_t>> out(faults.begin(),
+                                                         faults.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+std::vector<TraceRecorder::LockProfile> TraceRecorder::lockProfiles() const {
+  struct Pending {
+    Cycles asked = 0;
+    Cycles granted = 0;
+    bool waiting = false;
+    bool holding = false;
+  };
+  std::map<std::uint64_t, LockProfile> prof;
+  // (lock, proc) -> in-flight acquire/hold state.
+  std::map<std::pair<std::uint64_t, ProcId>, Pending> pending;
+  for (const auto& e : events_) {
+    const auto key = std::make_pair(e.id, e.proc);
+    switch (e.kind) {
+      case TraceEvent::Kind::LockAcquire:
+        pending[key] = {e.at, 0, true, false};
+        break;
+      case TraceEvent::Kind::LockGrant: {
+        auto& p = pending[key];
+        auto& lp = prof[e.id];
+        lp.lock = e.id;
+        ++lp.acquires;
+        if (p.waiting && e.at >= p.asked) lp.total_wait += e.at - p.asked;
+        p.granted = e.at;
+        p.waiting = false;
+        p.holding = true;
+        break;
+      }
+      case TraceEvent::Kind::LockRelease: {
+        auto& p = pending[key];
+        if (p.holding && e.at >= p.granted) {
+          prof[e.id].total_held += e.at - p.granted;
+        }
+        p.holding = false;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  std::vector<LockProfile> out;
+  out.reserve(prof.size());
+  for (const auto& [_, lp] : prof) out.push_back(lp);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_wait > b.total_wait;
+  });
+  return out;
+}
+
+std::string TraceRecorder::report(std::size_t top_n) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "trace: %zu events (%zu faults, %zu twins, %zu diffs, "
+                "%zu lock acquires)\n",
+                events_.size(), count(TraceEvent::Kind::PageFault),
+                count(TraceEvent::Kind::TwinCreate),
+                count(TraceEvent::Kind::DiffSend),
+                count(TraceEvent::Kind::LockAcquire));
+  out += line;
+  out += "hot pages (page, faults):\n";
+  for (const auto& [page, n] : hotPages(top_n)) {
+    std::snprintf(line, sizeof line, "  page %8" PRIu64 "  %6zu faults\n",
+                  page, n);
+    out += line;
+  }
+  out += "contended locks (by total wait):\n";
+  std::size_t shown = 0;
+  for (const auto& lp : lockProfiles()) {
+    if (shown++ == top_n) break;
+    std::snprintf(line, sizeof line,
+                  "  lock %5" PRIu64 "  %6zu acquires  wait %10" PRIu64
+                  "  held %10" PRIu64 "  (avg CS %" PRIu64 " cycles)\n",
+                  lp.lock, lp.acquires, lp.total_wait, lp.total_held,
+                  lp.acquires > 0 ? lp.total_held / lp.acquires : 0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rsvm

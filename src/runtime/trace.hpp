@@ -1,0 +1,85 @@
+// Protocol event tracing -- the paper's section-6 wish made a feature:
+// "the detailed simulator served as an excellent though slow performance
+// debugging tool ... incorporating the ability to deliver such
+// information in real SVM systems would be very useful."
+//
+// Platforms emit TraceEvents through an optional hook (zero cost when
+// unset). TraceRecorder aggregates them into the diagnoses the paper's
+// methodology relies on: hot pages, contended locks, per-processor fault
+// profiles, and critical-section dilation.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsvm {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    PageFault,       ///< SVM page fetch / FGS block fetch begins
+    TwinCreate,      ///< first write to a page in an interval
+    DiffSend,        ///< diff shipped to the home at a release
+    LockAcquire,     ///< processor asks for a lock
+    LockGrant,       ///< processor obtains the lock
+    LockRelease,     ///< processor releases the lock
+    BarrierArrive,
+    BarrierDepart,
+  };
+
+  Kind kind;
+  ProcId proc = -1;          ///< processor performing the event
+  Cycles at = 0;             ///< its virtual time
+  std::uint64_t id = 0;      ///< page number, lock id, or barrier id
+  std::uint32_t bytes = 0;   ///< transfer size where applicable
+};
+
+using TraceHook = std::function<void(const TraceEvent&)>;
+
+/// Collects events and produces the paper-style diagnoses.
+class TraceRecorder {
+ public:
+  /// Returns a hook bound to this recorder (attach to Platform::trace).
+  TraceHook hook() {
+    return [this](const TraceEvent& e) { events_.push_back(e); };
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  [[nodiscard]] std::size_t count(TraceEvent::Kind k) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == k) ++n;
+    }
+    return n;
+  }
+
+  /// Pages with the most faults -- the "which data structure hurts"
+  /// question. Returns (page, fault count), hottest first.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::size_t>> hotPages(
+      std::size_t top_n = 10) const;
+
+  /// Locks ranked by total acquire->grant latency -- distinguishes "lock
+  /// held long" (dilated critical sections) from "lock asked often".
+  struct LockProfile {
+    std::uint64_t lock = 0;
+    std::size_t acquires = 0;
+    Cycles total_wait = 0;          ///< sum of acquire->grant times
+    Cycles total_held = 0;          ///< sum of grant->release times
+  };
+  [[nodiscard]] std::vector<LockProfile> lockProfiles() const;
+
+  /// Human-readable report of the above.
+  [[nodiscard]] std::string report(std::size_t top_n = 8) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rsvm

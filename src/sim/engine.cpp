@@ -1,0 +1,134 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace rsvm {
+
+Engine::Engine(const Config& cfg) : cfg_(cfg) {
+  if (cfg.nprocs < 1 || cfg.nprocs > kMaxProcs) {
+    throw std::invalid_argument("Engine: nprocs out of range");
+  }
+  procs_.resize(static_cast<std::size_t>(cfg.nprocs));
+}
+
+void Engine::run(const std::function<void(ProcId)>& body) {
+  unfinished_ = cfg_.nprocs;
+  for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+    Proc& pr = procs_[static_cast<std::size_t>(p)];
+    pr.fiber = std::make_unique<Fiber>([this, body, p] { body(p); });
+    pr.state = ProcState::Ready;
+    ready_.push({pr.clock, p, seq_++});
+  }
+  scheduleLoop();
+}
+
+void Engine::scheduleLoop() {
+  while (unfinished_ > 0) {
+    if (ready_.empty()) {
+      std::string who;
+      for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+        if (procs_[static_cast<std::size_t>(p)].state == ProcState::Blocked) {
+          who += std::to_string(p) + " ";
+        }
+      }
+      throw std::runtime_error("Engine: deadlock, blocked procs: " + who);
+    }
+    const HeapEntry e = ready_.top();
+    ready_.pop();
+    Proc& pr = procs_[static_cast<std::size_t>(e.proc)];
+    if (pr.state != ProcState::Ready) continue;  // stale heap entry
+    pr.state = ProcState::Running;
+    current_ = e.proc;
+    pr.fiber->resume();
+    current_ = -1;
+    if (pr.fiber->finished()) {
+      pr.state = ProcState::Finished;
+      --unfinished_;
+    }
+    // Blocked or Ready fibers have already updated their own state.
+  }
+}
+
+void Engine::absorbHandler(Proc& p) {
+  if (p.pending_handler == 0) return;
+  p.clock += p.pending_handler;
+  p.stats[Bucket::Handler] += p.pending_handler;
+  p.pending_handler = 0;
+}
+
+void Engine::yieldCurrent() {
+  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  pr.since_yield = 0;
+  pr.state = ProcState::Ready;
+  ready_.push({pr.clock, current_, seq_++});
+  Fiber::yieldToScheduler();
+}
+
+void Engine::advance(Cycles dt, Bucket b) {
+  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  absorbHandler(pr);
+  pr.clock += dt;
+  pr.stats[b] += dt;
+  pr.since_yield += dt;
+  if (pr.since_yield >= cfg_.quantum) {
+    yieldCurrent();
+  }
+}
+
+void Engine::stallUntil(Cycles t, Bucket b) {
+  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  absorbHandler(pr);
+  if (t > pr.clock) {
+    pr.stats[b] += t - pr.clock;
+    pr.clock = t;
+  }
+  yieldCurrent();
+}
+
+void Engine::yieldNow() { yieldCurrent(); }
+
+void Engine::block(Bucket b) {
+  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  absorbHandler(pr);
+  pr.block_start = pr.clock;
+  pr.block_bucket = b;
+  pr.state = ProcState::Blocked;
+  pr.since_yield = 0;
+  Fiber::yieldToScheduler();
+  // Woken: wake() already set our clock and state; charge the wait,
+  // overlapping any handler work that arrived while we were blocked.
+  assert(pr.state == ProcState::Running);
+  Cycles waited = pr.clock - pr.block_start;
+  const Cycles overlapped = std::min(waited, pr.pending_handler);
+  pr.stats[Bucket::Handler] += overlapped;
+  pr.pending_handler -= overlapped;
+  waited -= overlapped;
+  pr.stats[b] += waited;
+}
+
+void Engine::wake(ProcId p, Cycles t) {
+  Proc& pr = procs_[static_cast<std::size_t>(p)];
+  assert(pr.state == ProcState::Blocked && "wake of a non-blocked processor");
+  pr.clock = std::max(pr.clock, t);
+  pr.state = ProcState::Ready;
+  ready_.push({pr.clock, p, seq_++});
+}
+
+void Engine::chargeHandler(ProcId p, Cycles dt) {
+  procs_[static_cast<std::size_t>(p)].pending_handler += dt;
+}
+
+RunStats Engine::collect() const {
+  RunStats rs;
+  rs.procs.reserve(procs_.size());
+  for (const Proc& p : procs_) {
+    rs.procs.push_back(p.stats);
+    rs.exec_cycles = std::max(rs.exec_cycles, p.clock);
+  }
+  return rs;
+}
+
+}  // namespace rsvm

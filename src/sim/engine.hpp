@@ -1,0 +1,121 @@
+// The discrete-event engine. One fiber per simulated processor; the engine
+// always resumes the runnable processor with the smallest virtual clock,
+// which (with a drift-bounding quantum) keeps simulated time approximately
+// globally ordered while letting application code run at native speed.
+//
+// All methods are called either from the host thread (run/collect) or from
+// inside a processor fiber (advance/stall/block/...). The engine is
+// single-threaded and deterministic.
+#pragma once
+
+#include "sim/fiber.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace rsvm {
+
+class Engine {
+ public:
+  struct Config {
+    int nprocs = 16;
+    /// Maximum cycles a processor may advance past the globally minimal
+    /// clock before yielding, bounding clock drift (and thus the error of
+    /// the FIFO resource-contention approximation).
+    Cycles quantum = 10'000;
+  };
+
+  explicit Engine(const Config& cfg);
+
+  /// Run `body(p)` on every simulated processor to completion. Throws if
+  /// the system deadlocks (a processor blocks and is never woken).
+  void run(const std::function<void(ProcId)>& body);
+
+  // ---- fiber-side API (must be called from inside a processor fiber) ----
+
+  /// The processor whose fiber is currently executing.
+  [[nodiscard]] ProcId self() const { return current_; }
+
+  [[nodiscard]] Cycles now(ProcId p) const {
+    return procs_[static_cast<std::size_t>(p)].clock;
+  }
+  [[nodiscard]] Cycles selfNow() const { return now(current_); }
+
+  /// Advance the current processor's clock by `dt`, charged to `b`.
+  /// Yields if the drift quantum is exceeded.
+  void advance(Cycles dt, Bucket b);
+
+  /// Advance the current processor's clock to at least `t`; the waited
+  /// delta is charged to `b`. Always yields (these are protocol events
+  /// that need approximate global ordering).
+  void stallUntil(Cycles t, Bucket b);
+
+  /// Voluntarily yield at the current clock.
+  void yieldNow();
+
+  /// Block the current fiber until another processor calls wake(). The
+  /// blocked duration is charged to `b` (minus any overlapped handler
+  /// work, which goes to Bucket::Handler).
+  void block(Bucket b);
+
+  /// Wake blocked processor `p`; its clock becomes max(clock, t).
+  void wake(ProcId p, Cycles t);
+
+  /// Account protocol-handler work performed at node `p` on behalf of
+  /// another node (e.g. serving a page, applying a diff). The cycles are
+  /// absorbed into p's clock at its next advance, or overlapped with its
+  /// wait time if it is blocked.
+  void chargeHandler(ProcId p, Cycles dt);
+
+  ProcStats& stats(ProcId p) { return procs_[static_cast<std::size_t>(p)].stats; }
+  const ProcStats& stats(ProcId p) const {
+    return procs_[static_cast<std::size_t>(p)].stats;
+  }
+
+  [[nodiscard]] int nprocs() const { return cfg_.nprocs; }
+
+  /// Gather results after run() returns.
+  [[nodiscard]] RunStats collect() const;
+
+ private:
+  enum class ProcState { Ready, Running, Blocked, Finished };
+
+  struct Proc {
+    Cycles clock = 0;
+    Cycles since_yield = 0;      // cycles advanced since last yield
+    Cycles pending_handler = 0;  // handler work not yet absorbed
+    Cycles block_start = 0;
+    Bucket block_bucket = Bucket::Compute;
+    ProcState state = ProcState::Ready;
+    ProcStats stats;
+    std::unique_ptr<Fiber> fiber;
+  };
+
+  void scheduleLoop();
+  void absorbHandler(Proc& p);
+  void yieldCurrent();  // reinsert current at its clock and switch out
+
+  struct HeapEntry {
+    Cycles time;
+    ProcId proc;
+    std::uint64_t seq;  // tie-break for determinism
+    bool operator>(const HeapEntry& o) const {
+      // FIFO among equal times so a yield rotates through ready procs.
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  Config cfg_;
+  std::vector<Proc> procs_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> ready_;
+  ProcId current_ = -1;
+  std::uint64_t seq_ = 0;
+  int unfinished_ = 0;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,57 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rsvm {
+
+namespace {
+thread_local Fiber* g_current = nullptr;
+}  // namespace
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(stack_bytes) {
+  if (getcontext(&ctx_) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  ctx_.uc_stack.ss_sp = stack_.data();
+  ctx_.uc_stack.ss_size = stack_.size();
+  ctx_.uc_link = nullptr;  // trampoline never falls off the end
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // Fibers must run to completion before destruction; destroying a
+  // suspended fiber would leak whatever its stack owns.
+  assert(finished_ || !started_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  assert(self != nullptr);
+  self->fn_();
+  self->finished_ = true;
+  // Return to the scheduler for the last time.
+  swapcontext(&self->ctx_, &self->caller_);
+  // Unreachable: a finished fiber is never resumed.
+  assert(false);
+}
+
+void Fiber::resume() {
+  assert(!finished_);
+  Fiber* prev = g_current;
+  g_current = this;
+  started_ = true;
+  swapcontext(&caller_, &ctx_);
+  g_current = prev;
+}
+
+void Fiber::yieldToScheduler() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "yieldToScheduler called outside any fiber");
+  swapcontext(&self->ctx_, &self->caller_);
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+}  // namespace rsvm

@@ -1,0 +1,55 @@
+// Stackful cooperative fibers used to direct-execute application code on
+// simulated processors. Single-threaded by design: the engine resumes one
+// fiber at a time, so simulated runs are fully deterministic.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace rsvm {
+
+/// One stackful coroutine. resume() transfers control from the caller
+/// (the scheduler) into the fiber; Fiber::yieldToScheduler() transfers
+/// back. Only the engine thread may touch fibers.
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  explicit Fiber(Fn fn, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Run the fiber until it yields or finishes. Must not be called on a
+  /// finished fiber.
+  void resume();
+
+  /// Called from inside a running fiber: suspend and return control to
+  /// whoever called resume().
+  static void yieldToScheduler();
+
+  /// The fiber currently executing on this thread, or nullptr when the
+  /// scheduler itself is running.
+  static Fiber* current();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  static constexpr std::size_t kDefaultStackBytes = 1u << 20;  // 1 MiB
+
+ private:
+  static void trampoline();
+
+  Fn fn_;
+  std::vector<std::byte> stack_;
+  ucontext_t ctx_{};
+  ucontext_t caller_{};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,48 @@
+// FIFO-occupancy resources: the contention model for buses, links, NICs,
+// memory controllers and protocol handlers. A transaction arriving at time
+// t begins service at max(t, free_at) and occupies the resource for its
+// service time. Because the engine bounds clock drift between processors
+// by a quantum, this approximation stays close to true FIFO order.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <algorithm>
+
+namespace rsvm {
+
+class Resource {
+ public:
+  Resource() = default;
+
+  /// Occupy the resource for `busy` cycles starting no earlier than `at`.
+  /// Returns the completion time.
+  Cycles acquire(Cycles at, Cycles busy) {
+    const Cycles start = std::max(at, free_at_);
+    free_at_ = start + busy;
+    total_busy_ += busy;
+    total_queue_ += start - at;
+    ++transactions_;
+    return free_at_;
+  }
+
+  /// Time at which a transaction arriving at `at` would begin service.
+  [[nodiscard]] Cycles startTime(Cycles at) const {
+    return std::max(at, free_at_);
+  }
+
+  [[nodiscard]] Cycles freeAt() const { return free_at_; }
+  [[nodiscard]] Cycles totalBusy() const { return total_busy_; }
+  [[nodiscard]] Cycles totalQueueing() const { return total_queue_; }
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
+
+  void reset() { *this = Resource{}; }
+
+ private:
+  Cycles free_at_ = 0;
+  Cycles total_busy_ = 0;
+  Cycles total_queue_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,28 @@
+#include "sim/stats.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rsvm {
+
+std::string RunStats::breakdownTable() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-5s %12s %12s %12s %12s %12s %12s %12s\n",
+                "proc", "Compute", "CacheStall", "DataWait", "LockWait",
+                "BarrierWait", "Handler", "Total");
+  out += line;
+  for (int p = 0; p < nprocs(); ++p) {
+    const ProcStats& s = procs[static_cast<std::size_t>(p)];
+    std::snprintf(line, sizeof line,
+                  "%-5d %12" PRIu64 " %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 " %12" PRIu64 " %12" PRIu64 "\n",
+                  p, s[Bucket::Compute], s[Bucket::CacheStall],
+                  s[Bucket::DataWait], s[Bucket::LockWait],
+                  s[Bucket::BarrierWait], s[Bucket::Handler], s.total());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rsvm

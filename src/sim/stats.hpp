@@ -1,0 +1,71 @@
+// Per-processor execution-time breakdowns and protocol event counters,
+// mirroring the categories reported in the paper's Figures 3-15.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsvm {
+
+/// Time breakdown plus the protocol event counters the paper discusses
+/// when diagnosing bottlenecks (page/miss counts, diff traffic, ...).
+struct ProcStats {
+  std::array<Cycles, kNumBuckets> buckets{};
+
+  // Protocol / memory-system event counters.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t page_faults = 0;       ///< SVM remote page fetches
+  std::uint64_t write_faults = 0;      ///< SVM twin creations
+  std::uint64_t diffs_created = 0;
+  std::uint64_t diff_bytes = 0;
+  std::uint64_t remote_misses = 0;     ///< HW-coherent: misses served remotely
+  std::uint64_t local_misses = 0;      ///< HW-coherent: misses served locally
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t remote_lock_acquires = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t tasks_executed = 0;    ///< app-level: task-queue tasks run
+  std::uint64_t tasks_stolen = 0;      ///< app-level: tasks taken from others
+
+  Cycles& operator[](Bucket b) { return buckets[static_cast<int>(b)]; }
+  Cycles operator[](Bucket b) const { return buckets[static_cast<int>(b)]; }
+
+  [[nodiscard]] Cycles total() const {
+    Cycles t = 0;
+    for (Cycles c : buckets) t += c;
+    return t;
+  }
+};
+
+/// Result of one timed parallel run.
+struct RunStats {
+  std::vector<ProcStats> procs;
+  Cycles exec_cycles = 0;  ///< max over processors of per-proc total time
+
+  [[nodiscard]] int nprocs() const { return static_cast<int>(procs.size()); }
+
+  [[nodiscard]] Cycles bucketTotal(Bucket b) const {
+    Cycles t = 0;
+    for (const auto& p : procs) t += p[b];
+    return t;
+  }
+
+  [[nodiscard]] std::uint64_t sum(std::uint64_t ProcStats::* field) const {
+    std::uint64_t t = 0;
+    for (const auto& p : procs) t += p.*field;
+    return t;
+  }
+
+  /// Render the per-processor breakdown as an ASCII table (one row per
+  /// processor, one column per bucket), like the paper's breakdown plots.
+  [[nodiscard]] std::string breakdownTable() const;
+};
+
+}  // namespace rsvm

@@ -1,0 +1,46 @@
+// Fundamental types shared by the whole simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace rsvm {
+
+/// Simulated processor cycles. All platform clocks are expressed in the
+/// node CPU's cycles (the paper's simulators assume 1 CPI cores).
+using Cycles = std::uint64_t;
+
+/// Simulated global (virtual) address inside the shared arena.
+using SimAddr = std::uint64_t;
+
+/// Identifier of a simulated processor / node (one CPU per node).
+using ProcId = int;
+
+inline constexpr int kMaxProcs = 64;
+
+/// Execution-time buckets, exactly as defined under Figure 3 of the paper.
+enum class Bucket : int {
+  Compute = 0,     ///< executing application instructions
+  CacheStall,      ///< stalled on local cache misses
+  DataWait,        ///< waiting for remote data (page faults / remote misses)
+  LockWait,        ///< waiting at lock acquires (incl. lock op overhead)
+  BarrierWait,     ///< waiting at barriers (incl. barrier op overhead)
+  Handler,         ///< protocol handler compute (diff create/apply, serving)
+  kCount,
+};
+
+inline constexpr int kNumBuckets = static_cast<int>(Bucket::kCount);
+
+inline const char* bucketName(Bucket b) {
+  switch (b) {
+    case Bucket::Compute: return "Compute";
+    case Bucket::CacheStall: return "CacheStall";
+    case Bucket::DataWait: return "DataWait";
+    case Bucket::LockWait: return "LockWait";
+    case Bucket::BarrierWait: return "BarrierWait";
+    case Bucket::Handler: return "Handler";
+    default: return "?";
+  }
+}
+
+}  // namespace rsvm

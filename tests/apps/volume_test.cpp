@@ -1,0 +1,84 @@
+// Synthetic volume and RLE encoder invariants (the substitute for the
+// paper's CT head data set -- see DESIGN.md).
+#include "apps/common/volume.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm::apps {
+namespace {
+
+TEST(Volume, HeadHasEmptyBorderAndDenseShell) {
+  const Volume v = makeHeadVolume(64, 64, 56, 1);
+  // Corners are empty space.
+  EXPECT_EQ(v.at(0, 0, 0), 0);
+  EXPECT_EQ(v.at(63, 63, 55), 0);
+  // Center is tissue.
+  EXPECT_GT(v.at(32, 32, 28), 40);
+  // Some voxel on the shell radius is bone-dense.
+  bool found_bone = false;
+  for (int x = 0; x < 64; ++x) {
+    if (v.at(x, 32, 28) > 180) found_bone = true;
+  }
+  EXPECT_TRUE(found_bone);
+}
+
+TEST(Volume, DeterministicPerSeed) {
+  const Volume a = makeHeadVolume(32, 32, 28, 7);
+  const Volume b = makeHeadVolume(32, 32, 28, 7);
+  const Volume c = makeHeadVolume(32, 32, 28, 8);
+  EXPECT_EQ(a.density, b.density);
+  EXPECT_NE(a.density, c.density);
+}
+
+TEST(Volume, OpacityTransferFunction) {
+  EXPECT_EQ(opacityOf(0), 0.0f);
+  EXPECT_EQ(opacityOf(39), 0.0f);
+  EXPECT_GT(opacityOf(40), 0.0f);
+  EXPECT_GT(opacityOf(200), opacityOf(100));
+  EXPECT_LE(opacityOf(255), 1.0f);
+}
+
+TEST(Rle, RoundTripReconstructsNonEmptyVoxels) {
+  const Volume v = makeHeadVolume(48, 48, 40, 3);
+  const RleVolume r = rleEncode(v, 40);
+  for (int z = 0; z < v.nz; ++z) {
+    for (int y = 0; y < v.ny; ++y) {
+      const int li = r.lineIndex(y, z);
+      const std::int32_t first = r.line_first[static_cast<std::size_t>(li)];
+      const std::int32_t cnt = r.line_count[static_cast<std::size_t>(li)];
+      int x = 0;
+      for (std::int32_t k = 0; k < cnt; ++k) {
+        const RleVolume::Run& run = r.runs[static_cast<std::size_t>(first + k)];
+        for (std::int32_t s = 0; s < run.skip; ++s, ++x) {
+          ASSERT_LT(v.at(x, y, z), 40) << x << "," << y << "," << z;
+        }
+        for (std::int32_t s = 0; s < run.count; ++s, ++x) {
+          ASSERT_EQ(r.samples[static_cast<std::size_t>(run.offset + s)],
+                    v.at(x, y, z));
+        }
+      }
+      // Any trailing voxels not covered by runs must be empty.
+      for (; x < v.nx; ++x) {
+        ASSERT_LT(v.at(x, y, z), 40);
+      }
+    }
+  }
+}
+
+TEST(Rle, CompressesEmptySpace) {
+  const Volume v = makeHeadVolume(64, 64, 56, 5);
+  const RleVolume r = rleEncode(v, 40);
+  // The head occupies well under the full box: samples << voxels.
+  EXPECT_LT(r.samples.size(), v.size() / 2);
+  EXPECT_GT(r.samples.size(), v.size() / 20);
+}
+
+TEST(Rle, LineIndexingCoversEveryScanline) {
+  const Volume v = makeHeadVolume(16, 16, 12, 2);
+  const RleVolume r = rleEncode(v, 40);
+  EXPECT_EQ(r.line_first.size(), static_cast<std::size_t>(16 * 12));
+  EXPECT_EQ(r.line_count.size(), static_cast<std::size_t>(16 * 12));
+}
+
+}  // namespace
+}  // namespace rsvm::apps

@@ -1,0 +1,79 @@
+// Workload-signature characterization: each application's original
+// version must exhibit the protocol behaviour the paper attributes to it
+// (section 2.2). These pin the *mechanisms* -- if a refactor silently
+// removes Radix's scattered writes or Raytrace's per-ray lock, the
+// reproduction is no longer reproducing the paper, even if it's faster.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+class Signature : public ::testing::Test {
+ protected:
+  static RunStats runOrig(const char* app_name) {
+    registerAllApps();
+    const AppDesc* app = Registry::instance().find(app_name);
+    return Experiment::runOnce(PlatformKind::SVM, app->original(), app->tiny,
+                               8)
+        .stats;
+  }
+};
+
+TEST_F(Signature, LuIsBarrierStructuredAndLockFree) {
+  const RunStats rs = runOrig("lu");
+  EXPECT_EQ(rs.sum(&ProcStats::lock_acquires), 0u);
+  EXPECT_GT(rs.procs[0].barriers, 10u);  // 3 per elimination step
+  // 2-d layout: writers are not page-home owners -> twins and diffs.
+  EXPECT_GT(rs.sum(&ProcStats::write_faults), 0u);
+}
+
+TEST_F(Signature, OceanHasManyBarriersAndAReductionLock) {
+  const RunStats rs = runOrig("ocean");
+  // ~23 barrier-separated phases per multigrid time-step.
+  EXPECT_GE(rs.procs[0].barriers, 20u);
+  EXPECT_GT(rs.sum(&ProcStats::lock_acquires), 0u);   // residual reduction
+  EXPECT_GT(rs.sum(&ProcStats::page_faults), 0u);     // boundary exchange
+}
+
+TEST_F(Signature, VolrendUsesTaskQueuesAndStealing) {
+  const RunStats rs = runOrig("volrend");
+  EXPECT_GT(rs.sum(&ProcStats::tasks_executed), 0u);
+  EXPECT_GT(rs.sum(&ProcStats::lock_acquires),
+            rs.sum(&ProcStats::tasks_executed) / 2);  // queue ops are locked
+}
+
+TEST_F(Signature, RaytraceLocksOncePerPixel) {
+  const RunStats rs = runOrig("raytrace");
+  // 32x32 tiny image: >= one stats-lock acquire per pixel plus queue ops.
+  EXPECT_GE(rs.sum(&ProcStats::lock_acquires), 1024u);
+  EXPECT_GT(rs.bucketTotal(Bucket::LockWait),
+            rs.bucketTotal(Bucket::BarrierWait));
+}
+
+TEST_F(Signature, BarnesIsLockIntensiveInTreeBuild) {
+  const RunStats rs = runOrig("barnes");
+  // Shared-tree insertion: locks scale with bodies (512 tiny, 2 steps).
+  EXPECT_GT(rs.sum(&ProcStats::lock_acquires), 512u);
+  EXPECT_GT(rs.sum(&ProcStats::remote_lock_acquires), 50u);
+}
+
+TEST_F(Signature, RadixMovesBulkDataThroughDiffs) {
+  const RunStats rs = runOrig("radix");
+  // The permutation writes nearly every output page remotely: diff bytes
+  // are of the order of the key array itself (16K keys * 4 B, 2 passes).
+  EXPECT_GT(rs.sum(&ProcStats::diff_bytes), 32'000u);
+  EXPECT_EQ(rs.sum(&ProcStats::tasks_stolen), 0u);  // no task queues
+}
+
+TEST_F(Signature, ShearWarpIsBarrierPhasedWithRedistribution) {
+  const RunStats rs = runOrig("shearwarp");
+  EXPECT_GT(rs.procs[0].barriers, 2u);  // per-frame phase barriers
+  // The warp re-reads intermediate scanlines written by others.
+  EXPECT_GT(rs.sum(&ProcStats::page_faults), 8u);
+  EXPECT_EQ(rs.sum(&ProcStats::lock_acquires), 0u);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,113 @@
+// Registry and experiment-driver tests.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(Registry, AllSevenPaperApplicationsRegistered) {
+  registerAllApps();
+  const Registry& r = Registry::instance();
+  for (const char* name : {"lu", "ocean", "volrend", "shearwarp", "raytrace",
+                           "barnes", "radix"}) {
+    const AppDesc* app = r.find(name);
+    ASSERT_NE(app, nullptr) << name;
+    EXPECT_FALSE(app->versions.empty());
+    EXPECT_EQ(app->versions.front().cls, OptClass::Orig)
+        << name << ": first version must be the original";
+  }
+  EXPECT_EQ(r.all().size(), 7u);
+}
+
+TEST(Registry, RegistrationIsIdempotent) {
+  registerAllApps();
+  const std::size_t n = Registry::instance().all().size();
+  registerAllApps();
+  EXPECT_EQ(Registry::instance().all().size(), n);
+}
+
+TEST(Registry, EveryAppHasAnAlgorithmicVersionExceptWhereInfeasible) {
+  registerAllApps();
+  for (const AppDesc& app : Registry::instance().all()) {
+    bool has_alg = false;
+    for (const VersionDesc& v : app.versions) {
+      if (v.cls == OptClass::Alg) has_alg = true;
+      EXPECT_NE(app.version(v.name), nullptr);
+      EXPECT_FALSE(v.summary.empty());
+    }
+    EXPECT_TRUE(has_alg) << app.name;
+  }
+}
+
+TEST(Registry, UnknownLookupsReturnNull) {
+  registerAllApps();
+  EXPECT_EQ(Registry::instance().find("fft"), nullptr);
+  const AppDesc* lu = Registry::instance().find("lu");
+  EXPECT_EQ(lu->version("nonexistent"), nullptr);
+}
+
+TEST(Experiment, SpeedupUsesOriginalUniprocessorBaseline) {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  Experiment ex(*lu);
+  const CellResult orig1 =
+      ex.run(PlatformKind::SMP, lu->original(), lu->tiny, 1);
+  // The original on one processor defines speedup 1.0 by construction.
+  EXPECT_NEAR(orig1.speedup(), 1.0, 1e-9);
+  const CellResult opt =
+      ex.run(PlatformKind::SMP, *lu->version("4d-aligned"), lu->tiny, 4);
+  // Optimized versions measure against the same original baseline.
+  EXPECT_EQ(opt.base_cycles, orig1.base_cycles);
+  EXPECT_GT(opt.speedup(), 1.0);
+}
+
+TEST(Experiment, BaselineIsCachedPerPlatform) {
+  registerAllApps();
+  const AppDesc* radix = Registry::instance().find("radix");
+  Experiment ex(*radix);
+  const CellResult a = ex.run(PlatformKind::SVM, radix->original(),
+                              radix->tiny, 2);
+  const CellResult b = ex.run(PlatformKind::SVM, *radix->version("alg-local"),
+                              radix->tiny, 2);
+  EXPECT_EQ(a.base_cycles, b.base_cycles);
+  const CellResult c = ex.run(PlatformKind::NUMA, radix->original(),
+                              radix->tiny, 2);
+  EXPECT_NE(c.base_cycles, a.base_cycles);  // different platform baseline
+}
+
+TEST(Experiment, IncorrectResultsAreFatal) {
+  registerAllApps();
+  VersionDesc bad{"bad", OptClass::Orig, "always wrong",
+                  [](Platform& p, const AppParams&) {
+                    AppResult r;
+                    r.stats = p.run([](Ctx&) {}), r.correct = false;
+                    r.note = "intentional";
+                    return r;
+                  }};
+  EXPECT_THROW(Experiment::runOnce(PlatformKind::SMP, bad, {}, 2),
+               std::runtime_error);
+}
+
+TEST(Formatting, BreakdownTableHasOneRowPerProcessor) {
+  RunStats rs;
+  rs.procs.resize(4);
+  rs.procs[2][Bucket::Compute] = 123;
+  rs.exec_cycles = 123;
+  const std::string table = rs.breakdownTable();
+  int lines = 0;
+  for (char ch : table) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);  // header + 4 processors
+  EXPECT_NE(table.find("123"), std::string::npos);
+}
+
+TEST(Formatting, SpeedupRowAligns) {
+  const std::string row = fmt::speedupRow("lu/4d [DS]", 18.7, 15.9, 14.1);
+  EXPECT_NE(row.find("18.70"), std::string::npos);
+  EXPECT_NE(row.find("14.10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,66 @@
+// Time-accounting invariants: every simulated cycle lands in exactly one
+// of the six buckets, on every platform, for whole-application runs.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+class Accounting : public ::testing::TestWithParam<PlatformKind> {};
+
+TEST_P(Accounting, BucketsSumToPerProcessorClocks) {
+  registerAllApps();
+  for (const char* app_name : {"lu", "ocean", "volrend", "radix"}) {
+    const AppDesc* app = Registry::instance().find(app_name);
+    auto plat = Platform::create(GetParam(), 8);
+    const AppResult r = app->original().run(*plat, app->tiny);
+    ASSERT_TRUE(r.correct) << app_name << ": " << r.note;
+    for (int p = 0; p < 8; ++p) {
+      // The engine's final clock for p must equal the bucket total: no
+      // cycle is double-counted or dropped.
+      EXPECT_EQ(r.stats.procs[static_cast<std::size_t>(p)].total(),
+                plat->engine().now(p))
+          << app_name << " proc " << p << " on "
+          << platformName(GetParam());
+    }
+    EXPECT_EQ(r.stats.exec_cycles,
+              [&] {
+                Cycles m = 0;
+                for (int p = 0; p < 8; ++p) {
+                  m = std::max(m, plat->engine().now(p));
+                }
+                return m;
+              }());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, Accounting,
+                         ::testing::Values(PlatformKind::SVM,
+                                           PlatformKind::SMP,
+                                           PlatformKind::NUMA,
+                                           PlatformKind::FGS),
+                         [](const ::testing::TestParamInfo<PlatformKind>& i) {
+                           return platformName(i.param);
+                         });
+
+TEST(Accounting, CountersAreInternallyConsistent) {
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("ocean");
+  const AppResult r =
+      Experiment::runOnce(PlatformKind::SVM, app->original(), app->tiny, 8);
+  const RunStats& rs = r.stats;
+  // Cache misses can't exceed accesses; L2 misses can't exceed L1 misses.
+  EXPECT_LE(rs.sum(&ProcStats::l1_misses),
+            rs.sum(&ProcStats::reads) + rs.sum(&ProcStats::writes));
+  EXPECT_LE(rs.sum(&ProcStats::l2_misses), rs.sum(&ProcStats::l1_misses));
+  // Every diff corresponds to a twin (non-home first writes).
+  EXPECT_LE(rs.sum(&ProcStats::diffs_created),
+            rs.sum(&ProcStats::write_faults) + 1);
+  // Remote locks are a subset of lock acquires.
+  EXPECT_LE(rs.sum(&ProcStats::remote_lock_acquires),
+            rs.sum(&ProcStats::lock_acquires));
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,172 @@
+// End-to-end properties from the paper, checked as orderings (not
+// absolute numbers) at reduced scale. These are the claims the
+// benchmarks reproduce quantitatively; here they gate regressions.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+class PaperProperties : public ::testing::Test {
+ protected:
+  void SetUp() override { registerAllApps(); }
+
+  static Cycles cyclesOf(const char* app, const char* ver, PlatformKind k,
+                         int nprocs, bool paper_scale = false) {
+    const AppDesc* a = Registry::instance().find(app);
+    EXPECT_NE(a, nullptr);
+    const VersionDesc* v = a->version(ver);
+    EXPECT_NE(v, nullptr);
+    return Experiment::runOnce(k, *v, paper_scale ? a->small : a->tiny,
+                               nprocs)
+        .stats.exec_cycles;
+  }
+};
+
+TEST_F(PaperProperties, LuContiguousBeatsTwoDOnSvm) {
+  // Section 4.1.1: the 4-d layout is the decisive LU optimization on SVM.
+  const Cycles two_d = cyclesOf("lu", "2d", PlatformKind::SVM, 8, true);
+  const Cycles four_d =
+      cyclesOf("lu", "4d-aligned", PlatformKind::SVM, 8, true);
+  EXPECT_LT(four_d * 2, two_d);
+}
+
+TEST_F(PaperProperties, LuPageAlignmentHelpsOnceBlocksAreContiguous) {
+  // "once the data structure is altered ... padding and alignment helps".
+  const Cycles four_d = cyclesOf("lu", "4d", PlatformKind::SVM, 16, true);
+  const Cycles aligned =
+      cyclesOf("lu", "4d-aligned", PlatformKind::SVM, 16, true);
+  EXPECT_LT(aligned, four_d);
+}
+
+TEST_F(PaperProperties, OceanRowwiseBeatsSquarePartitionsOnSvm) {
+  // Section 4.1.2: row-wise partitions eliminate the fine-grained column
+  // boundaries (8.5 -> 13.2 in the paper).
+  const Cycles square = cyclesOf("ocean", "4d", PlatformKind::SVM, 16, true);
+  const Cycles rows =
+      cyclesOf("ocean", "rowwise", PlatformKind::SVM, 16, true);
+  EXPECT_LT(rows, square);
+}
+
+TEST_F(PaperProperties, RaytraceStatsLockIsCatastrophicOnSvmOnly) {
+  // Section 4.2.3: 0.5 -> 11.05 on SVM by removing one lock; hardware
+  // coherence shrugs the same lock off.
+  const Cycles svm_orig =
+      cyclesOf("raytrace", "orig", PlatformKind::SVM, 8, true);
+  const Cycles svm_nolock =
+      cyclesOf("raytrace", "alg-nolock", PlatformKind::SVM, 8, true);
+  EXPECT_GT(svm_orig, svm_nolock * 5);
+  const Cycles smp_orig =
+      cyclesOf("raytrace", "orig", PlatformKind::SMP, 8, true);
+  const Cycles smp_nolock =
+      cyclesOf("raytrace", "alg-nolock", PlatformKind::SMP, 8, true);
+  EXPECT_LT(smp_orig, smp_nolock * 5);
+}
+
+TEST_F(PaperProperties, BarnesSpatialBeatsSharedTreeOnSvm) {
+  // Section 4.2.4: 2.76 -> 10.5 via the spatial tree build.
+  const Cycles orig = cyclesOf("barnes", "orig", PlatformKind::SVM, 8, true);
+  const Cycles spatial =
+      cyclesOf("barnes", "spatial", PlatformKind::SVM, 8, true);
+  EXPECT_LT(spatial * 2, orig);
+}
+
+TEST_F(PaperProperties, BarnesTreeLadderIsMonotoneOnSvm) {
+  const Cycles orig = cyclesOf("barnes", "orig", PlatformKind::SVM, 8, true);
+  const Cycles update =
+      cyclesOf("barnes", "update-tree", PlatformKind::SVM, 8, true);
+  const Cycles partree =
+      cyclesOf("barnes", "partree", PlatformKind::SVM, 8, true);
+  const Cycles spatial =
+      cyclesOf("barnes", "spatial", PlatformKind::SVM, 8, true);
+  EXPECT_LT(update, orig);
+  EXPECT_LT(partree, orig);
+  EXPECT_LT(spatial, partree);
+}
+
+TEST_F(PaperProperties, VolrendStealingHelpsDsmButNotSvm) {
+  // Figure 17: with the balanced partition, turning stealing off wins on
+  // SVM and loses on CC-NUMA.
+  const Cycles svm_steal =
+      cyclesOf("volrend", "alg-steal", PlatformKind::SVM, 16, true);
+  const Cycles svm_nosteal =
+      cyclesOf("volrend", "alg-nosteal", PlatformKind::SVM, 16, true);
+  EXPECT_LT(svm_nosteal, svm_steal);
+  const Cycles dsm_steal =
+      cyclesOf("volrend", "alg-steal", PlatformKind::NUMA, 16, true);
+  const Cycles dsm_nosteal =
+      cyclesOf("volrend", "alg-nosteal", PlatformKind::NUMA, 16, true);
+  EXPECT_LT(dsm_steal, dsm_nosteal);
+}
+
+TEST_F(PaperProperties, ShearWarpRestructuringWinsBigOnSvm) {
+  // Section 4.2.2: 3.47 -> 9.21 from the same-partition, no-barrier
+  // restructuring.
+  const Cycles orig =
+      cyclesOf("shearwarp", "orig", PlatformKind::SVM, 16, true);
+  const Cycles alg = cyclesOf("shearwarp", "alg", PlatformKind::SVM, 16, true);
+  EXPECT_LT(alg * 5, orig * 4);  // at least 25% faster
+}
+
+TEST_F(PaperProperties, RadixStaysBadEverywhere) {
+  // Section 4.2.5 + section 5: Radix is a challenge on every platform;
+  // the local-buffer variant helps only modestly on SVM.
+  const AppDesc* radix = Registry::instance().find("radix");
+  Experiment ex(*radix);
+  const CellResult svm =
+      ex.run(PlatformKind::SVM, *radix->version("orig"), radix->small, 16);
+  EXPECT_LT(svm.speedup(), 4.0);
+  const CellResult svm_alg =
+      ex.run(PlatformKind::SVM, *radix->version("alg-local"), radix->small, 16);
+  EXPECT_LT(svm_alg.speedup(), 6.0);
+  EXPECT_GT(svm_alg.speedup(), svm.speedup() * 0.9);
+}
+
+TEST_F(PaperProperties, OptimizedVersionsScaleWithProcessors) {
+  // Sanity: the final versions actually speed up 1 -> 4 -> 16 on SVM.
+  for (const char* av : {"lu/4d-aligned", "ocean/rowwise",
+                         "raytrace/alg-splitq", "barnes/spatial"}) {
+    const std::string s(av);
+    const auto slash = s.find('/');
+    const std::string app = s.substr(0, slash), ver = s.substr(slash + 1);
+    const Cycles t1 = cyclesOf(app.c_str(), ver.c_str(), PlatformKind::SVM, 1,
+                               true);
+    const Cycles t4 = cyclesOf(app.c_str(), ver.c_str(), PlatformKind::SVM, 4,
+                               true);
+    const Cycles t16 = cyclesOf(app.c_str(), ver.c_str(), PlatformKind::SVM,
+                                16, true);
+    EXPECT_LT(t4, t1) << av;
+    EXPECT_LT(t16, t4) << av;
+  }
+}
+
+TEST_F(PaperProperties, WholeAppRunsAreDeterministic) {
+  for (const char* app : {"lu", "ocean", "volrend", "radix"}) {
+    const AppDesc* a = Registry::instance().find(app);
+    const Cycles c1 =
+        Experiment::runOnce(PlatformKind::SVM, a->original(), a->tiny, 8)
+            .stats.exec_cycles;
+    const Cycles c2 =
+        Experiment::runOnce(PlatformKind::SVM, a->original(), a->tiny, 8)
+            .stats.exec_cycles;
+    EXPECT_EQ(c1, c2) << app;
+  }
+}
+
+TEST_F(PaperProperties, FreeCsFaultsDiagnosisRecoversVolrendSpeedup) {
+  // The paper diagnosed Volrend's lock problem by pretending page faults
+  // inside critical sections are free and watching speedups become
+  // almost perfect.
+  const AppDesc* a = Registry::instance().find("volrend");
+  const VersionDesc* v = a->version("orig");
+  const Cycles normal =
+      Experiment::runOnce(PlatformKind::SVM, *v, a->tiny, 8).stats.exec_cycles;
+  const Cycles free_cs =
+      Experiment::runOnce(PlatformKind::SVM, *v, a->tiny, 8, true)
+          .stats.exec_cycles;
+  EXPECT_LT(free_cs, normal);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,153 @@
+// Unit tests for the set-associative cache model and the address space.
+#include "mem/address_space.hpp"
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(AddressSpace, AllocatesAlignedNonOverlapping) {
+  AddressSpace as(1 << 20);
+  const SimAddr a = as.allocate(100, 64);
+  const SimAddr b = as.allocate(100, 64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_NE(a, 0u);  // page 0 is reserved as a null sentinel
+}
+
+TEST(AddressSpace, HostPointersAreStableAndWritable) {
+  AddressSpace as(1 << 20);
+  const SimAddr a = as.allocate(sizeof(double) * 8, alignof(double));
+  double* d = as.hostAs<double>(a);
+  d[0] = 3.5;
+  d[7] = -1.0;
+  EXPECT_EQ(as.hostAs<double>(a)[0], 3.5);
+  EXPECT_EQ(as.hostAs<double>(a)[7], -1.0);
+}
+
+TEST(AddressSpace, ThrowsWhenExhausted) {
+  AddressSpace as(64 * 1024);
+  EXPECT_THROW(as.allocate(1 << 20, 8), std::bad_alloc);
+}
+
+TEST(AddressSpace, RejectsBadAlignment) {
+  AddressSpace as(1 << 20);
+  EXPECT_THROW(as.allocate(8, 3), std::invalid_argument);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c({1024, 32, 2});
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  c.fill(0x100, LineState::Shared, nullptr);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x11f, false).hit);   // same 32 B line
+  EXPECT_FALSE(c.access(0x120, false).hit);  // next line
+}
+
+TEST(Cache, WriteHitOnSharedReportsUpgrade) {
+  Cache c({1024, 32, 2});
+  c.fill(0x40, LineState::Shared, nullptr);
+  const auto r = c.access(0x40, true);
+  EXPECT_TRUE(r.hit);
+  EXPECT_TRUE(r.upgrade);
+  c.setState(0x40, LineState::Modified);
+  const auto r2 = c.access(0x40, true);
+  EXPECT_TRUE(r2.hit);
+  EXPECT_FALSE(r2.upgrade);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  // 1 KB direct-mapped, 32 B lines -> 32 sets; addresses 1 KB apart
+  // conflict in set 0.
+  Cache c({1024, 32, 1});
+  c.fill(0x0, LineState::Shared, nullptr);
+  EXPECT_TRUE(c.access(0x0, false).hit);
+  c.fill(0x400, LineState::Shared, nullptr);  // evicts 0x0
+  EXPECT_FALSE(c.access(0x0, false).hit);
+  EXPECT_TRUE(c.access(0x400, false).hit);
+}
+
+TEST(Cache, LruEvictionInSet) {
+  Cache c({1024, 32, 2});  // 16 sets; 0x0, 0x200, 0x400 share set 0
+  c.fill(0x0, LineState::Shared, nullptr);
+  c.fill(0x200, LineState::Shared, nullptr);
+  ASSERT_TRUE(c.access(0x0, false).hit);  // 0x200 becomes LRU
+  c.fill(0x400, LineState::Shared, nullptr);
+  EXPECT_TRUE(c.access(0x0, false).hit);
+  EXPECT_FALSE(c.access(0x200, false).hit);
+  EXPECT_TRUE(c.access(0x400, false).hit);
+}
+
+TEST(Cache, ModifiedVictimReportsWriteback) {
+  Cache c({64, 32, 1});  // 2 sets
+  c.fill(0x0, LineState::Modified, nullptr);
+  SimAddr victim = 0;
+  EXPECT_TRUE(c.fill(0x40, LineState::Shared, &victim));  // set 0 again
+  EXPECT_EQ(victim, 0x0u);
+}
+
+TEST(Cache, InvalidateAndDowngrade) {
+  Cache c({1024, 32, 2});
+  c.fill(0x80, LineState::Modified, nullptr);
+  EXPECT_TRUE(c.downgrade(0x80));
+  EXPECT_EQ(c.probe(0x80), LineState::Shared);
+  EXPECT_FALSE(c.downgrade(0x80));  // already Shared
+  EXPECT_EQ(c.invalidate(0x80), LineState::Shared);
+  EXPECT_EQ(c.probe(0x80), LineState::Invalid);
+  EXPECT_EQ(c.invalidate(0x80), LineState::Invalid);  // idempotent
+}
+
+TEST(Cache, InvalidateRangeCoversWholePage) {
+  Cache c({8192, 32, 2});
+  for (SimAddr a = 0; a < 4096; a += 32) c.fill(a, LineState::Shared, nullptr);
+  c.invalidateRange(0, 4096);
+  for (SimAddr a = 0; a < 4096; a += 32) {
+    EXPECT_EQ(c.probe(a), LineState::Invalid) << "addr " << a;
+  }
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache({1024, 24, 2}), std::invalid_argument);  // non-pow2 line
+  EXPECT_THROW(Cache({1000, 32, 2}), std::invalid_argument);  // bad size
+  EXPECT_THROW(Cache({1024, 32, 0}), std::invalid_argument);  // zero assoc
+}
+
+// Parameterized sweep: geometry invariants hold for many configurations.
+class CacheGeometry : public ::testing::TestWithParam<CacheConfig> {};
+
+TEST_P(CacheGeometry, FillThenHitEverywhere) {
+  const CacheConfig cfg = GetParam();
+  Cache c(cfg);
+  // Fill exactly size/line distinct lines contiguously: all must hit.
+  const std::size_t nlines = cfg.size_bytes / cfg.line_bytes;
+  for (std::size_t i = 0; i < nlines; ++i) {
+    c.fill(static_cast<SimAddr>(i) * cfg.line_bytes, LineState::Shared,
+           nullptr);
+  }
+  for (std::size_t i = 0; i < nlines; ++i) {
+    EXPECT_TRUE(
+        c.access(static_cast<SimAddr>(i) * cfg.line_bytes, false).hit);
+  }
+  // One more line evicts exactly one resident line.
+  c.fill(static_cast<SimAddr>(nlines) * cfg.line_bytes, LineState::Shared,
+         nullptr);
+  int hits = 0;
+  for (std::size_t i = 0; i <= nlines; ++i) {
+    if (c.access(static_cast<SimAddr>(i) * cfg.line_bytes, false).hit) ++hits;
+  }
+  EXPECT_EQ(hits, static_cast<int>(nlines));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(CacheConfig{8 * 1024, 32, 1},
+                      CacheConfig{512 * 1024, 32, 2},
+                      CacheConfig{16 * 1024, 32, 1},
+                      CacheConfig{1024 * 1024, 64, 4},
+                      CacheConfig{1024 * 1024, 128, 1},
+                      CacheConfig{4096, 64, 2}));
+
+}  // namespace
+}  // namespace rsvm

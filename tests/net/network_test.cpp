@@ -1,0 +1,70 @@
+// Interconnect model tests: latency composition, bandwidth occupancy,
+// contention at ports and on the shared bus.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(PointToPoint, UncontendedLatency) {
+  net::PointToPoint net(2, {.sw_overhead = 100, .wire_latency = 50,
+                            .bytes_per_cycle = 2.0});
+  // 64 bytes at 2 B/cycle = 32 cycles occupancy; cut-through:
+  // arrival = sw + wire + occupancy.
+  EXPECT_EQ(net.send(0, 1, 64, 0), 100u + 50u + 32u);
+}
+
+TEST(PointToPoint, LargeMessageCostsOneOccupancyNotTwo) {
+  net::PointToPoint net(2, {.sw_overhead = 0, .wire_latency = 10,
+                            .bytes_per_cycle = 1.0});
+  // Cut-through: 1000 B should arrive at ~10 + 1000, not 10 + 2000.
+  EXPECT_EQ(net.send(0, 1, 1000, 0), 1010u);
+}
+
+TEST(PointToPoint, SenderPortSerializesBackToBackSends) {
+  net::PointToPoint net(3, {.sw_overhead = 0, .wire_latency = 0,
+                            .bytes_per_cycle = 1.0});
+  EXPECT_EQ(net.send(0, 1, 100, 0), 100u);
+  // Same sender, different receiver: tx port busy until 100.
+  EXPECT_EQ(net.send(0, 2, 100, 0), 200u);
+}
+
+TEST(PointToPoint, ReceiverPortQueuesConcurrentSenders) {
+  net::PointToPoint net(3, {.sw_overhead = 0, .wire_latency = 0,
+                            .bytes_per_cycle = 1.0});
+  EXPECT_EQ(net.send(0, 2, 100, 0), 100u);
+  // Different sender into the same receiver queues behind the first.
+  EXPECT_EQ(net.send(1, 2, 100, 0), 200u);
+}
+
+TEST(SharedBus, TransactionCostAndContention) {
+  net::SharedBus bus({.arbitration = 4, .address_phase = 4,
+                      .bytes_per_cycle = 8.0});
+  // 128 B: 4 (addr) + 16 (data) occupancy after 4 arbitration.
+  EXPECT_EQ(bus.transact(128, 0), 24u);
+  // Second transaction queues behind the first's occupancy.
+  EXPECT_EQ(bus.transact(128, 0), 44u);
+  // Address-only transaction (upgrade).
+  EXPECT_EQ(bus.transact(0, 100), 108u);
+}
+
+TEST(SharedBus, TracksUtilization) {
+  net::SharedBus bus({.arbitration = 0, .address_phase = 10,
+                      .bytes_per_cycle = 8.0});
+  bus.transact(0, 0);
+  bus.transact(0, 0);
+  EXPECT_EQ(bus.resource().totalBusy(), 20u);
+  EXPECT_EQ(bus.resource().transactions(), 2u);
+  EXPECT_EQ(bus.resource().totalQueueing(), 10u);
+}
+
+TEST(TransferCycles, CeilsFractionalCycles) {
+  EXPECT_EQ(net::transferCycles(1, 0.5), 2u);
+  EXPECT_EQ(net::transferCycles(4096, 0.5), 8192u);
+  EXPECT_EQ(net::transferCycles(64, 8.0), 8u);
+  EXPECT_EQ(net::transferCycles(0, 8.0), 0u);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,137 @@
+// Two-level "SMP nodes connected by SVM" configuration (paper section 7
+// future work): procs_per_node > 1 shares page state within a node.
+#include "core/app.hpp"
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+SvmParams clustered(int ppn) {
+  SvmParams sp;
+  sp.procs_per_node = ppn;
+  return sp;
+}
+
+TEST(ClusteredSvm, NodeMappingAndCounts) {
+  SvmPlatform plat(8, clustered(4));
+  EXPECT_EQ(plat.nodes(), 2);
+  EXPECT_EQ(plat.nodeOf(0), 0);
+  EXPECT_EQ(plat.nodeOf(3), 0);
+  EXPECT_EQ(plat.nodeOf(4), 1);
+  EXPECT_EQ(plat.nodeOf(7), 1);
+}
+
+TEST(ClusteredSvm, OnePageFetchServesTheWholeNode) {
+  SvmPlatform plat(8, clustered(4));
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 4) a.get(c, 0);  // node 1 faults once
+    c.barrier(bar);
+    if (c.id() >= 5) a.get(c, 0);  // node mates hit the node's copy
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_EQ(rs.sum(&ProcStats::page_faults), 1u);
+}
+
+TEST(ClusteredSvm, IntraNodeLockHandoffIsCheap) {
+  SvmPlatform plat(8, clustered(4));
+  const int lk = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    // Procs 0..3 (one node) pass the lock around; then 0 and 4 ping-pong
+    // across nodes.
+    for (int i = 0; i < 8; ++i) {
+      if (c.id() == i % 4) {
+        c.lock(lk);
+        c.unlock(lk);
+      }
+      c.barrier(bar);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  // All handoffs stayed inside node 0: no cross-node lock cost beyond a
+  // couple hundred cycles each.
+  Cycles intra = 0;
+  for (int p = 0; p < 4; ++p) intra += rs.procs[static_cast<std::size_t>(p)][Bucket::LockWait];
+  EXPECT_LT(intra, 10'000u);
+}
+
+TEST(ClusteredSvm, CrossNodeLockStillCostsMessages) {
+  SvmPlatform plat(8, clustered(4));
+  const int lk = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    for (int i = 0; i < 6; ++i) {
+      if (c.id() == (i % 2) * 4) {  // procs 0 and 4: different nodes
+        c.lock(lk);
+        c.unlock(lk);
+      }
+      c.barrier(bar);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_GT(rs.procs[0][Bucket::LockWait] + rs.procs[4][Bucket::LockWait],
+            10'000u);
+}
+
+TEST(ClusteredSvm, BarrierSendsOneArrivalPerNode) {
+  // 16 procs in 4 nodes: the manager handles 4 arrivals + 4 releases,
+  // so the barrier is much cheaper than 16-node flat SVM.
+  SvmPlatform flat(16);
+  const int fb = flat.makeBarrier();
+  flat.run([&](Ctx& c) { c.barrier(fb); });
+  const Cycles flat_cost = flat.engine().collect().exec_cycles;
+
+  SvmPlatform clus(16, clustered(4));
+  const int cb = clus.makeBarrier();
+  clus.run([&](Ctx& c) { c.barrier(cb); });
+  const Cycles clus_cost = clus.engine().collect().exec_cycles;
+  EXPECT_LT(clus_cost, flat_cost);
+}
+
+TEST(ClusteredSvm, CoherenceAcrossNodesStillLazy) {
+  SvmPlatform plat(4, clustered(2));
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int lk = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    a.get(c, 0);
+    c.barrier(bar);
+    if (c.id() == 0) {  // node 0 writes under a lock
+      c.lock(lk);
+      a.set(c, 0, 9);
+      c.unlock(lk);
+    }
+    c.barrier(bar);
+    if (c.id() == 2) {  // node 1 acquires: must see the write
+      c.lock(lk);
+      EXPECT_EQ(a.get(c, 0), 9);
+      c.unlock(lk);
+    }
+  });
+}
+
+TEST(ClusteredSvm, WholeAppCorrectAndFasterThanFlatSvm) {
+  // Ocean's row-wise version on 16 flat SVM nodes vs 4 SMP nodes of 4:
+  // clustering removes three quarters of the inter-node traffic.
+  registerAllApps();
+  const AppDesc* ocean = Registry::instance().find("ocean");
+  const VersionDesc* v = ocean->version("rowwise");
+
+  SvmPlatform flat(16);
+  const AppResult rf = v->run(flat, ocean->tiny);
+  ASSERT_TRUE(rf.correct) << rf.note;
+
+  SvmPlatform clus(16, clustered(4));
+  const AppResult rc = v->run(clus, ocean->tiny);
+  ASSERT_TRUE(rc.correct) << rc.note;
+
+  EXPECT_LT(rc.stats.exec_cycles, rf.stats.exec_cycles);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,138 @@
+// Fine-grained software shared memory (the section-7 extension platform).
+#include "proto/fgs/fgs_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(Fgs, EveryAccessPaysTheSoftwareCheck) {
+  FgsPlatform plat(2);
+  const FgsParams& prm = plat.params();
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) {
+      for (int i = 0; i < 100; ++i) a.get(c, 0);
+    }
+  });
+  // 100 loads: >= 100 * (1 + load_check) compute cycles.
+  EXPECT_GE(plat.engine().collect().procs[0][Bucket::Compute],
+            100 * (1 + prm.load_check));
+}
+
+TEST(Fgs, MissMovesOneBlockNotAPage) {
+  FgsPlatform plat(2);
+  SharedArray<int> a(plat, 4096, HomePolicy::node(0));  // 4 pages
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.get(c, 0);  // one 128 B block
+  });
+  const Cycles wait = plat.engine().collect().procs[1][Bucket::DataWait];
+  EXPECT_GT(wait, 1'000u);
+  EXPECT_LT(wait, 8'000u);  // far below an SVM 4 KB page fetch (~13k)
+}
+
+TEST(Fgs, NoPageGranularityFalseSharing) {
+  // Two processors write adjacent 128 B blocks on the SAME page: no
+  // interference (each gets Exclusive on its own block and keeps it).
+  FgsPlatform plat(2);
+  SharedArray<int> a(plat, 1024, HomePolicy::node(0));  // one page
+  plat.run([&](Ctx& c) {
+    const std::size_t slot = c.id() == 0 ? 0 : 32;  // 128 B apart
+    for (int i = 0; i < 50; ++i) a.set(c, slot, i);
+  });
+  const RunStats rs = plat.engine().collect();
+  // One upgrade each; no repeated bouncing.
+  EXPECT_LE(rs.sum(&ProcStats::page_faults), 3u);
+}
+
+TEST(Fgs, WriteInvalidatesSharersEagerly) {
+  // Unlike LRC, invalidations happen at write time: a reader sees the
+  // new value after a write with no synchronization in between (the
+  // platform is sequentially consistent for DRF and non-DRF programs).
+  FgsPlatform plat(3);
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    a.get(c, 0);  // all sharers
+    c.barrier(bar);
+    if (c.id() == 1) a.set(c, 0, 77);
+    c.barrier(bar);
+    EXPECT_EQ(a.get(c, 0), 77);
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_EQ(rs.procs[1].invalidations_sent, 2u);
+}
+
+TEST(Fgs, DirtyBlockFetchedBackThroughOwner) {
+  FgsPlatform plat(3);
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.set(c, 0, 5);
+    c.barrier(bar);
+    if (c.id() == 2) {
+      EXPECT_EQ(a.get(c, 0), 5);
+    }
+  });
+}
+
+TEST(Fgs, LocksAndBarriersAreMessageBasedButLrcFree) {
+  // Cheaper than SVM's (no diff flush / write-notice processing), more
+  // expensive than hardware (still messages).
+  FgsPlatform plat(16);
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    for (int i = 0; i < 4; ++i) c.barrier(bar);
+  });
+  const Cycles per_barrier = plat.engine().collect().exec_cycles / 4;
+  EXPECT_GT(per_barrier, 3'000u);    // >> hardware (~2k at 16p)
+  EXPECT_LT(per_barrier, 40'000u);   // << SVM (~50k+ at 16p)
+}
+
+TEST(Fgs, LockMutualExclusion) {
+  FgsPlatform plat(4);
+  Shared<int> counter(plat, HomePolicy::node(0));
+  const int lk = plat.makeLock();
+  counter.raw() = 0;
+  plat.run([&](Ctx& c) {
+    for (int i = 0; i < 30; ++i) {
+      c.lock(lk);
+      counter.update(c, [](int v) { return v + 1; });
+      c.unlock(lk);
+    }
+  });
+  EXPECT_EQ(counter.raw(), 120);
+}
+
+TEST(Fgs, WarmBlocksSkipColdMisses) {
+  FgsPlatform plat(2);
+  SharedArray<int> a(plat, 4096, HomePolicy::node(0));
+  plat.warm(1, a.base(), a.bytes());
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      for (std::size_t i = 0; i < a.size(); i += 32) a.get(c, i);
+    }
+  });
+  EXPECT_EQ(plat.engine().collect().procs[1].page_faults, 0u);
+}
+
+TEST(Fgs, DeterministicCycleCounts) {
+  auto trial = [] {
+    FgsPlatform plat(4);
+    SharedArray<int> a(plat, 2048, HomePolicy::roundRobin(4));
+    const int bar = plat.makeBarrier();
+    plat.run([&](Ctx& c) {
+      for (std::size_t i = static_cast<std::size_t>(c.id()); i < a.size();
+           i += 4) {
+        a.set(c, i, static_cast<int>(i));
+      }
+      c.barrier(bar);
+    });
+    return plat.engine().collect().exec_cycles;
+  };
+  EXPECT_EQ(trial(), trial());
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,98 @@
+// Hardware-platform synchronization model: FIFO lock handoff, barrier
+// epochs, and the cached-vs-remote cost asymmetry.
+#include "proto/numa/numa_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(HwSync, LockGrantsInFifoOrder) {
+  NumaPlatform plat(4);
+  const int lk = plat.makeLock();
+  std::vector<int> order;
+  plat.run([&](Ctx& c) {
+    // Stagger arrival so the queue order is deterministic: 0,1,2,3.
+    c.compute(static_cast<Cycles>(1 + c.id() * 500));
+    c.lock(lk);
+    order.push_back(c.id());
+    c.compute(3'000);  // hold long enough that everyone queues
+    c.unlock(lk);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(HwSync, CachedReacquireCheaperThanRemoteTransfer) {
+  NumaPlatform plat(2);
+  const int lk_local = plat.makeLock();
+  const int lk_pp = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    // Phase 1: proc 0 re-acquires its own lock 10 times.
+    if (c.id() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        c.lock(lk_local);
+        c.unlock(lk_local);
+      }
+    }
+    c.barrier(bar);
+    // Phase 2: the second lock ping-pongs 10 times.
+    for (int i = 0; i < 10; ++i) {
+      if (c.id() == i % 2) {
+        c.lock(lk_pp);
+        c.unlock(lk_pp);
+      }
+      c.barrier(bar);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  const Cycles local = rs.procs[0][Bucket::LockWait];
+  const Cycles total = rs.bucketTotal(Bucket::LockWait);
+  EXPECT_GT(total - local, local);  // ping-pong dominates
+}
+
+TEST(HwSync, BarrierReusableAcrossEpochs) {
+  NumaPlatform plat(8);
+  const int bar = plat.makeBarrier();
+  SharedArray<int> stage(plat, 8, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    for (int e = 0; e < 5; ++e) {
+      stage.set(c, static_cast<std::size_t>(c.id()), e);
+      c.barrier(bar);
+      for (int p = 0; p < 8; ++p) {
+        EXPECT_EQ(stage.get(c, static_cast<std::size_t>(p)), e)
+            << "epoch " << e;
+      }
+      c.barrier(bar);
+    }
+  });
+  EXPECT_EQ(plat.engine().collect().procs[0].barriers, 10u);
+}
+
+TEST(HwSync, UncontendedBarrierScalesWithArrivalSerialization) {
+  // Arrivals serialize on the counter line, so cost grows with P.
+  auto cost = [](int procs) {
+    NumaPlatform plat(procs);
+    const int bar = plat.makeBarrier();
+    plat.run([&](Ctx& c) { c.barrier(bar); });
+    return plat.engine().collect().exec_cycles;
+  };
+  EXPECT_LT(cost(2), cost(8));
+  EXPECT_LT(cost(8), cost(16));
+}
+
+TEST(HwSync, ContendedCriticalSectionsSerializeTime) {
+  NumaPlatform plat(4);
+  const int lk = plat.makeLock();
+  plat.run([&](Ctx& c) {
+    c.lock(lk);
+    c.compute(10'000);
+    c.unlock(lk);
+  });
+  // Four 10k-cycle critical sections must take at least 40k end to end.
+  EXPECT_GE(plat.engine().collect().exec_cycles, 40'000u);
+}
+
+}  // namespace
+}  // namespace rsvm

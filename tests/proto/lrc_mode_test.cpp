@@ -1,0 +1,157 @@
+// Non-home-based (TreadMarks-style) LRC mode: correctness and the
+// HLRC-vs-LRC cost/memory contrasts the paper cites from [21].
+#include "core/app.hpp"
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+SvmParams lrcParams() {
+  SvmParams sp;
+  sp.home_based = false;
+  return sp;
+}
+
+TEST(LrcMode, BasicCoherenceThroughBarrier) {
+  SvmPlatform plat(2, lrcParams());
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.get(c, 0);  // resident copy
+    c.barrier(bar);
+    if (c.id() == 0) a.set(c, 0, 42);
+    c.barrier(bar);
+    EXPECT_EQ(a.get(c, 0), 42);
+  });
+  // Proc 1's copy was invalidated by the notice and re-assembled from
+  // the writer's retained modifications.
+  EXPECT_GE(plat.engine().collect().procs[1].page_faults, 2u);
+}
+
+TEST(LrcMode, ReleaseIsCheapFaultIsExpensive) {
+  // The defining cost inversion vs HLRC: a release does no diff traffic;
+  // the fault pays for lazy diff creation instead.
+  auto measure = [](bool home_based) {
+    SvmParams sp;
+    sp.home_based = home_based;
+    SvmPlatform plat(2, sp);
+    SharedArray<int> a(plat, 1024, HomePolicy::node(0));
+    const int bar = plat.makeBarrier();
+    plat.run([&](Ctx& c) {
+      if (c.id() == 1) {
+        for (int i = 0; i < 64; ++i) a.set(c, static_cast<std::size_t>(i), i);
+      }
+      c.barrier(bar);  // release point
+    });
+    // Barrier wait of the writer contains its release-time flush cost.
+    return plat.engine().collect().procs[1][Bucket::BarrierWait] +
+           plat.engine().collect().procs[1][Bucket::Handler];
+  };
+  EXPECT_LT(measure(false), measure(true));
+}
+
+TEST(LrcMode, MultipleWritersAssembleAllDiffs) {
+  // Three nodes write disjoint words of one page; a fourth reads all
+  // three values after a barrier -- it must collect diffs from every
+  // writer (or their merged copies), not just one.
+  SvmPlatform plat(4, lrcParams());
+  SharedArray<int> a(plat, 1024, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() < 3) a.set(c, static_cast<std::size_t>(c.id()), 100 + c.id());
+    c.barrier(bar);
+    if (c.id() == 3) {
+      EXPECT_EQ(a.get(c, 0), 100);
+      EXPECT_EQ(a.get(c, 1), 101);
+      EXPECT_EQ(a.get(c, 2), 102);
+    }
+  });
+}
+
+TEST(LrcMode, RetainedDiffMemoryGrows) {
+  // HLRC's memory advantage: in TreadMarks mode writers retain their
+  // diffs (no home to absorb them).
+  SvmPlatform hlrc(4);
+  SvmPlatform lrc(4, lrcParams());
+  for (SvmPlatform* plat : {&hlrc, &lrc}) {
+    SharedArray<int> a(*plat, 16 * 1024, HomePolicy::roundRobin(4));
+    const int bar = plat->makeBarrier();
+    plat->run([&](Ctx& c) {
+      for (int r = 0; r < 4; ++r) {
+        for (std::size_t i = static_cast<std::size_t>(c.id()) * 16;
+             i < a.size(); i += 64) {
+          a.set(c, i, r);
+        }
+        c.barrier(bar);
+      }
+    });
+  }
+  EXPECT_EQ(hlrc.retainedDiffBytes(), 0u);
+  EXPECT_GT(lrc.retainedDiffBytes(), 1'000u);
+}
+
+TEST(LrcMode, LockChainCausalityStillHolds) {
+  SvmPlatform plat(3, lrcParams());
+  SharedArray<int> x(plat, 4, HomePolicy::node(0));
+  SharedArray<int> y(plat, 4, HomePolicy::node(1));
+  const int l1 = plat.makeLock();
+  const int l2 = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    x.get(c, 0);
+    y.get(c, 0);
+    c.barrier(bar);
+    if (c.id() == 0) {
+      c.lock(l1);
+      x.set(c, 0, 7);
+      c.unlock(l1);
+    }
+    c.barrier(bar);
+    if (c.id() == 1) {
+      c.lock(l1);
+      EXPECT_EQ(x.get(c, 0), 7);
+      c.unlock(l1);
+      c.lock(l2);
+      y.set(c, 0, 8);
+      c.unlock(l2);
+    }
+    c.barrier(bar);
+    if (c.id() == 2) {
+      c.lock(l2);
+      EXPECT_EQ(y.get(c, 0), 8);
+      EXPECT_EQ(x.get(c, 0), 7);
+      c.unlock(l2);
+    }
+  });
+}
+
+TEST(LrcMode, AllApplicationsStayCorrect) {
+  registerAllApps();
+  for (const AppDesc& app : Registry::instance().all()) {
+    SvmPlatform plat(8, lrcParams());
+    const AppResult r = app.original().run(plat, app.tiny);
+    EXPECT_TRUE(r.correct) << app.name << ": " << r.note;
+  }
+}
+
+TEST(LrcMode, HlrcWinsOnMultipleWriterWorkloads) {
+  // The paper's premise (section 2.1.1, citing [21]): HLRC equals or
+  // outperforms non-home-based LRC, most clearly under multiple-writer
+  // false sharing, where TreadMarks faults must assemble diffs from many
+  // writers.
+  registerAllApps();
+  const AppDesc* radix = Registry::instance().find("radix");
+  SvmPlatform hlrc(8);
+  const Cycles t_hlrc =
+      radix->original().run(hlrc, radix->tiny).stats.exec_cycles;
+  SvmPlatform lrc(8, lrcParams());
+  const Cycles t_lrc =
+      radix->original().run(lrc, radix->tiny).stats.exec_cycles;
+  EXPECT_LT(t_hlrc, t_lrc);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,123 @@
+// Parameterized protocol invariants swept over processor counts: the
+// platforms must stay correct (and their costs monotone where expected)
+// from 2 to 32 processors.
+#include "proto/fgs/fgs_platform.hpp"
+#include "proto/numa/numa_platform.hpp"
+#include "proto/smp/smp_platform.hpp"
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+struct SweepCase {
+  PlatformKind kind;
+  int procs;
+};
+
+std::string sweepName(const ::testing::TestParamInfo<SweepCase>& i) {
+  return std::string(platformName(i.param.kind)) + "_" +
+         std::to_string(i.param.procs) + "p";
+}
+
+class ProcSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  std::unique_ptr<Platform> make() const {
+    return Platform::create(GetParam().kind, GetParam().procs);
+  }
+};
+
+TEST_P(ProcSweep, LockProtectedCounterIsExact) {
+  auto plat = make();
+  const int P = plat->nprocs();
+  Shared<int> counter(*plat, HomePolicy::node(0));
+  counter.raw() = 0;
+  const int lk = plat->makeLock();
+  plat->run([&](Ctx& c) {
+    for (int i = 0; i < 20; ++i) {
+      c.lock(lk);
+      counter.update(c, [](int v) { return v + 1; });
+      c.unlock(lk);
+    }
+  });
+  EXPECT_EQ(counter.raw(), 20 * P);
+}
+
+TEST_P(ProcSweep, BarrierSeparatedPhasesSeeEachOthersWrites) {
+  auto plat = make();
+  const int P = plat->nprocs();
+  SharedArray<int> slots(*plat, static_cast<std::size_t>(P) * 1024,
+                         HomePolicy::roundRobin(P));
+  const int bar = plat->makeBarrier();
+  plat->run([&](Ctx& c) {
+    for (int round = 0; round < 3; ++round) {
+      slots.set(c, static_cast<std::size_t>(c.id()) * 1024,
+                round * 1000 + c.id());
+      c.barrier(bar);
+      for (int q = 0; q < P; ++q) {
+        EXPECT_EQ(slots.get(c, static_cast<std::size_t>(q) * 1024),
+                  round * 1000 + q);
+      }
+      c.barrier(bar);
+    }
+  });
+}
+
+TEST_P(ProcSweep, ProducerConsumerPipelineThroughLocks) {
+  auto plat = make();
+  const int P = plat->nprocs();
+  if (P < 2) GTEST_SKIP();
+  SharedArray<int> ring(*plat, static_cast<std::size_t>(P), HomePolicy::node(0));
+  const int bar = plat->makeBarrier();
+  const int lk = plat->makeLock();
+  for (int i = 0; i < P; ++i) ring.raw(static_cast<std::size_t>(i)) = 0;
+  plat->run([&](Ctx& c) {
+    // Each proc increments its left neighbor's slot under the lock, then
+    // everyone checks the full ring after a barrier.
+    const auto left = static_cast<std::size_t>((c.id() + P - 1) % P);
+    c.lock(lk);
+    ring.update(c, left, [](int v) { return v + 1; });
+    c.unlock(lk);
+    c.barrier(bar);
+    for (int q = 0; q < P; ++q) {
+      EXPECT_EQ(ring.get(c, static_cast<std::size_t>(q)), 1);
+    }
+  });
+}
+
+TEST_P(ProcSweep, DeterministicAcrossIdenticalRuns) {
+  auto one = [this] {
+    auto plat = make();
+    const int P = plat->nprocs();
+    SharedArray<int> a(*plat, 4096, HomePolicy::roundRobin(P));
+    const int bar = plat->makeBarrier();
+    plat->run([&](Ctx& c) {
+      for (std::size_t i = static_cast<std::size_t>(c.id()); i < a.size();
+           i += static_cast<std::size_t>(c.nprocs())) {
+        a.set(c, i, static_cast<int>(i));
+      }
+      c.barrier(bar);
+    });
+    return plat->engine().collect().exec_cycles;
+  };
+  EXPECT_EQ(one(), one());
+}
+
+std::vector<SweepCase> sweepCases() {
+  std::vector<SweepCase> cases;
+  for (PlatformKind k : {PlatformKind::SVM, PlatformKind::SMP,
+                         PlatformKind::NUMA, PlatformKind::FGS}) {
+    for (int p : {2, 3, 8, 16, 32}) {
+      cases.push_back({k, p});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ProcSweep, ::testing::ValuesIn(sweepCases()),
+                         sweepName);
+
+}  // namespace
+}  // namespace rsvm

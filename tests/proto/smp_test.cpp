@@ -1,0 +1,98 @@
+// Snooping-bus SMP protocol behaviour tests.
+#include "proto/smp/smp_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(Smp, MissesAreCacheStallNotDataWait) {
+  SmpPlatform plat(2);
+  SharedArray<int> a(plat, 4096, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) {
+      for (std::size_t i = 0; i < a.size(); i += 32) a.get(c, i);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_GT(rs.procs[0][Bucket::CacheStall], 0u);
+  EXPECT_EQ(rs.procs[0][Bucket::DataWait], 0u);
+  EXPECT_GT(rs.procs[0].l2_misses, 0u);
+}
+
+TEST(Smp, SnoopInvalidatesOtherCopiesOnWrite) {
+  SmpPlatform plat(3);
+  SharedArray<int> a(plat, 64, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    a.get(c, 0);
+    c.barrier(bar);
+    if (c.id() == 2) a.set(c, 0, 3);
+    c.barrier(bar);
+    EXPECT_EQ(a.get(c, 0), 3);
+  });
+  EXPECT_EQ(plat.engine().collect().procs[2].invalidations_sent, 2u);
+}
+
+TEST(Smp, BusSaturatesUnderStreamingTraffic) {
+  // With every processor streaming misses, bus busy time approaches the
+  // run length: the Radix-on-SMP bandwidth wall from section 5.
+  SmpPlatform plat(8);
+  SharedArray<int> a(plat, 1 << 20, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    const std::size_t chunk = a.size() / 8;
+    const std::size_t base = chunk * static_cast<std::size_t>(c.id());
+    for (std::size_t i = 0; i < chunk; i += 32) {
+      a.set(c, base + i, 1);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  const auto& bus = plat.busResource();
+  EXPECT_GT(bus.totalBusy() * 10, rs.exec_cycles * 5)
+      << "bus should be >50% occupied under streaming writes";
+  EXPECT_GT(bus.totalQueueing(), 0u);
+}
+
+TEST(Smp, UniprocessorHasNoCoherenceTraffic) {
+  SmpPlatform plat(1);
+  SharedArray<int> a(plat, 4096, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    for (std::size_t i = 0; i < a.size(); ++i) a.set(c, i, 1);
+    for (std::size_t i = 0; i < a.size(); ++i) a.get(c, i);
+  });
+  EXPECT_EQ(plat.engine().collect().procs[0].invalidations_sent, 0u);
+}
+
+TEST(Smp, LockContentionSerializesCriticalSections) {
+  SmpPlatform plat(4);
+  Shared<int> counter(plat, HomePolicy::node(0));
+  const int lk = plat.makeLock();
+  counter.raw() = 0;
+  plat.run([&](Ctx& c) {
+    for (int i = 0; i < 50; ++i) {
+      c.lock(lk);
+      counter.update(c, [](int v) { return v + 1; });
+      c.unlock(lk);
+    }
+  });
+  EXPECT_EQ(counter.raw(), 200);
+}
+
+TEST(Smp, BarrierReleasesEveryoneTogether) {
+  SmpPlatform plat(8);
+  const int bar = plat.makeBarrier();
+  std::vector<Cycles> depart(8);
+  plat.run([&](Ctx& c) {
+    if (c.id() == 3) c.compute(5'000);  // straggler
+    c.barrier(bar);
+    depart[static_cast<std::size_t>(c.id())] = c.now();
+  });
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_GE(depart[static_cast<std::size_t>(p)], 5'000u);
+    EXPECT_LT(depart[static_cast<std::size_t>(p)], 7'000u);
+  }
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,227 @@
+// Deeper lazy-release-consistency semantics: causal transitivity through
+// lock chains, interval bookkeeping, manager accounting, and the cost
+// asymmetries the paper's analysis rests on.
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(SvmLrc, CausalityIsTransitiveAcrossDifferentLocks) {
+  // p0 writes x, releases L1. p1 acquires L1 (sees x), writes y,
+  // releases L2. p2 acquires L2: it must see BOTH y and x -- the write
+  // notices travel with the full vector clock, not per-lock.
+  SvmPlatform plat(3);
+  SharedArray<int> x(plat, 4, HomePolicy::node(0));
+  SharedArray<int> y(plat, 4, HomePolicy::node(0));
+  const int l1 = plat.makeLock();
+  const int l2 = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    // Prime resident copies everywhere so staleness is observable.
+    x.get(c, 0);
+    y.get(c, 0);
+    c.barrier(bar);
+    if (c.id() == 0) {
+      c.lock(l1);
+      x.set(c, 0, 11);
+      c.unlock(l1);
+    }
+    c.barrier(bar);  // sequence the three critical sections
+    if (c.id() == 1) {
+      c.lock(l1);
+      EXPECT_EQ(x.get(c, 0), 11);
+      c.unlock(l1);
+      c.lock(l2);
+      y.set(c, 0, 22);
+      c.unlock(l2);
+    }
+    c.barrier(bar);
+    if (c.id() == 2) {
+      c.lock(l2);
+      EXPECT_EQ(y.get(c, 0), 22);
+      EXPECT_EQ(x.get(c, 0), 11);  // transitively visible
+      c.unlock(l2);
+    }
+  });
+}
+
+TEST(SvmLrc, RepeatedAcquireByOwnerIsCheap) {
+  SvmPlatform plat(2);
+  const int lk = plat.makeLock();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) {
+      for (int i = 0; i < 20; ++i) {
+        c.lock(lk);
+        c.unlock(lk);
+      }
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  // 20 local re-acquires: way below one remote handoff's cost.
+  EXPECT_LT(rs.procs[0][Bucket::LockWait], 5'000u);
+  EXPECT_EQ(rs.procs[0].remote_lock_acquires, 0u);
+}
+
+TEST(SvmLrc, LockPingPongIsExpensive) {
+  SvmPlatform plat(2);
+  const int lk = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    for (int i = 0; i < 10; ++i) {
+      if (c.id() == i % 2) {
+        c.lock(lk);
+        c.unlock(lk);
+      }
+      c.barrier(bar);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  // 9 remote transfers at thousands of cycles each.
+  EXPECT_GT(rs.bucketTotal(Bucket::LockWait), 20'000u);
+}
+
+TEST(SvmLrc, DiffBytesTrackActuallyWrittenData) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 2048, HomePolicy::node(0));  // two pages
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      for (int i = 0; i < 10; ++i) a.set(c, static_cast<std::size_t>(i), i);
+      a.set(c, 1024, 1);  // second page, one word
+    }
+    c.barrier(bar);
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_EQ(rs.procs[1].diffs_created, 2u);
+  EXPECT_EQ(rs.procs[1].diff_bytes, 10u * 4u + 4u);
+}
+
+TEST(SvmLrc, BarrierManagerAccruesHandlerTime) {
+  SvmPlatform plat(16);
+  const int bar = plat.makeBarrier();  // manager = proc 10 (16 procs)
+  plat.run([&](Ctx& c) {
+    for (int i = 0; i < 4; ++i) c.barrier(bar);
+  });
+  const RunStats rs = plat.engine().collect();
+  Cycles mgr = rs.procs[10][Bucket::Handler];
+  for (int p = 0; p < 16; ++p) {
+    if (p == 10) continue;
+    EXPECT_GT(mgr, rs.procs[static_cast<std::size_t>(p)][Bucket::Handler])
+        << "manager should do the most protocol work, proc " << p;
+  }
+}
+
+TEST(SvmLrc, WriterDoesNotInvalidateItself) {
+  // A processor's own writes never cause it a fault.
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.set(c, 0, 1);
+    c.barrier(bar);
+    if (c.id() == 1) {
+      const auto faults_before = c.stats().page_faults;
+      EXPECT_EQ(a.get(c, 0), 1);
+      EXPECT_EQ(c.stats().page_faults, faults_before);
+    }
+  });
+}
+
+TEST(SvmLrc, IntervalsAccumulateAcrossBarriers) {
+  SvmPlatform plat(4);
+  SharedArray<int> a(plat, 1024, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    for (int r = 0; r < 5; ++r) {
+      a.set(c, static_cast<std::size_t>(c.id()), r);  // false sharing
+      c.barrier(bar);
+      // Everyone re-reads everyone's slot: values must be current.
+      for (int p = 0; p < 4; ++p) {
+        EXPECT_EQ(a.get(c, static_cast<std::size_t>(p)), r);
+      }
+      c.barrier(bar);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_EQ(rs.procs[0].barriers, 10u);
+}
+
+TEST(SvmLrc, ColdFaultCostMatchesModelParameters) {
+  SvmPlatform plat(2);
+  const SvmParams& prm = plat.params();
+  SharedArray<int> a(plat, 1024, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.get(c, 0);
+  });
+  const Cycles wait = plat.engine().collect().procs[1][Bucket::DataWait];
+  // Uncontended fetch: two messages + page transfer + handlers, within
+  // an order-of-magnitude envelope of the configured parameters.
+  const Cycles floor = prm.wire_latency * 2 +
+                       static_cast<Cycles>((prm.page_bytes) /
+                                           prm.iobus_bytes_per_cycle);
+  EXPECT_GT(wait, floor);
+  EXPECT_LT(wait, floor + 8 * prm.msg_sw_overhead);
+}
+
+TEST(SvmLrc, SixteenProcessorFalseSharingStorm) {
+  // All processors write distinct words of one page between barriers --
+  // the protocol must stay correct (diff merging) while costs explode.
+  SvmPlatform plat(16);
+  SharedArray<int> a(plat, 1024, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    for (int r = 0; r < 3; ++r) {
+      a.set(c, static_cast<std::size_t>(c.id()), r * 100 + c.id());
+      c.barrier(bar);
+    }
+  });
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(a.raw(static_cast<std::size_t>(p)), 200 + p);
+  }
+  const RunStats rs = plat.engine().collect();
+  // 15 twins per round (the home writes without one).
+  EXPECT_EQ(rs.sum(&ProcStats::diffs_created), 45u);
+}
+
+}  // namespace
+}  // namespace rsvm
+
+namespace rsvm {
+namespace {
+
+// Regression: non-default page sizes must keep home bookkeeping in the
+// right units (a 4 KB assumption once corrupted the heap at 16 KB pages).
+class SvmPageSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SvmPageSize, ProtocolStaysCorrect) {
+  SvmParams sp;
+  sp.page_bytes = GetParam();
+  SvmPlatform plat(4, sp);
+  SharedArray<int> a(plat, 64 * 1024, HomePolicy::roundRobin(4));
+  const int bar = plat.makeBarrier();
+  const int lk = plat.makeLock();
+  plat.run([&](Ctx& c) {
+    for (std::size_t i = static_cast<std::size_t>(c.id()); i < a.size();
+         i += 4) {
+      a.set(c, i, static_cast<int>(i));
+    }
+    c.barrier(bar);
+    c.lock(lk);
+    a.set(c, 0, c.id());
+    c.unlock(lk);
+    c.barrier(bar);
+    for (std::size_t i = 1; i < a.size(); i += 1024) {
+      EXPECT_EQ(a.get(c, i), static_cast<int>(i));
+    }
+  });
+  EXPECT_GT(plat.engine().collect().exec_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, SvmPageSize,
+                         ::testing::Values(1024u, 4096u, 16384u));
+
+}  // namespace
+}  // namespace rsvm

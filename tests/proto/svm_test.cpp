@@ -1,0 +1,242 @@
+// HLRC protocol behaviour tests: residency, twins/diffs, lazy invalidation
+// via write notices, lock handoff carrying causal knowledge, barriers,
+// and the paper's diagnostic knobs.
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(Svm, ColdAccessFaultsOnceThenResident) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  a.raw(3) = 7;
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      EXPECT_FALSE(plat.resident(1, a.addr(3)));
+      EXPECT_EQ(a.get(c, 3), 7);
+      EXPECT_TRUE(plat.resident(1, a.addr(3)));
+      EXPECT_EQ(a.get(c, 3), 7);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_EQ(rs.procs[1].page_faults, 1u);
+  EXPECT_EQ(rs.procs[0].page_faults, 0u);
+  EXPECT_GT(rs.procs[1][Bucket::DataWait], 0u);
+}
+
+TEST(Svm, HomeNeverFaultsOnItsOwnPages) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 1024, HomePolicy::node(1));
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      for (std::size_t i = 0; i < a.size(); ++i) a.set(c, i, 1);
+    }
+  });
+  EXPECT_EQ(plat.engine().collect().procs[1].page_faults, 0u);
+}
+
+TEST(Svm, FirstWriteInIntervalCreatesOneTwin) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 64, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      for (int i = 0; i < 10; ++i) a.set(c, static_cast<std::size_t>(i), i);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_EQ(rs.procs[1].write_faults, 1u);  // one page, one twin
+  EXPECT_GT(rs.procs[1][Bucket::Handler], 0u);
+}
+
+TEST(Svm, HomeWritesNeedNoTwin) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 64, HomePolicy::node(0));
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) a.set(c, 0, 1);
+  });
+  EXPECT_EQ(plat.engine().collect().procs[0].write_faults, 0u);
+}
+
+TEST(Svm, BarrierPropagatesWritesViaInvalidation) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  a.raw(0) = 0;
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      a.get(c, 0);  // fetch the page: resident copy at proc 1
+    }
+    c.barrier(bar);
+    if (c.id() == 0) {
+      a.set(c, 0, 99);  // home writes
+    }
+    c.barrier(bar);
+    if (c.id() == 1) {
+      // The write notice from proc 0's barrier arrival invalidated our
+      // copy; this access re-fetches the up-to-date home page.
+      EXPECT_FALSE(plat.resident(1, a.addr(0)));
+      EXPECT_EQ(a.get(c, 0), 99);
+    }
+  });
+  EXPECT_EQ(plat.engine().collect().procs[1].page_faults, 2u);
+}
+
+TEST(Svm, NoInvalidationWithoutSynchronization) {
+  // LRC is lazy: writes by one processor do not disturb another's
+  // resident copy until an acquire creates the causal obligation.
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.get(c, 0);
+    c.barrier(bar);
+    if (c.id() == 0) {
+      a.set(c, 0, 5);
+    } else {
+      for (int i = 0; i < 100; ++i) a.get(c, 0);  // no sync: stays resident
+    }
+  });
+  EXPECT_EQ(plat.engine().collect().procs[1].page_faults, 1u);
+}
+
+TEST(Svm, LockHandoffCarriesWriteNotices) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 16, HomePolicy::node(0));
+  const int lk = plat.makeLock();
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.get(c, 0);  // resident at 1
+    c.barrier(bar);
+    if (c.id() == 0) {
+      c.lock(lk);
+      a.set(c, 0, 42);
+      c.unlock(lk);
+    }
+    c.barrier(bar);  // order the two critical sections deterministically
+    if (c.id() == 1) {
+      c.lock(lk);
+      // Acquiring the lock after proc 0's release must invalidate our
+      // stale copy and deliver the new value.
+      EXPECT_EQ(a.get(c, 0), 42);
+      c.unlock(lk);
+    }
+  });
+}
+
+TEST(Svm, FalseSharingMultipleWritersBothDiffsSurvive) {
+  // Two processors write disjoint words of the same page between
+  // barriers: the multiple-writer scheme must merge both diffs at the
+  // home without losing either update.
+  SvmPlatform plat(3);
+  SharedArray<int> a(plat, 1024, HomePolicy::node(0));  // one page
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) a.set(c, 1, 111);
+    if (c.id() == 2) a.set(c, 2, 222);
+    c.barrier(bar);
+    EXPECT_EQ(a.get(c, 1), 111);
+    EXPECT_EQ(a.get(c, 2), 222);
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_GE(rs.procs[1].diffs_created, 1u);
+  EXPECT_GE(rs.procs[2].diffs_created, 1u);
+}
+
+TEST(Svm, LockMutualExclusionProtectsReadModifyWrite) {
+  SvmPlatform plat(4);
+  Shared<int> counter(plat, HomePolicy::node(0));
+  const int lk = plat.makeLock();
+  counter.raw() = 0;
+  constexpr int kPer = 25;
+  plat.run([&](Ctx& c) {
+    for (int i = 0; i < kPer; ++i) {
+      c.lock(lk);
+      counter.update(c, [](int v) { return v + 1; });
+      c.unlock(lk);
+    }
+  });
+  EXPECT_EQ(counter.raw(), 4 * kPer);
+  const RunStats rs = plat.engine().collect();
+  EXPECT_GT(rs.bucketTotal(Bucket::LockWait), 0u);
+}
+
+TEST(Svm, BarrierIsExpensiveRelativeToHwScale) {
+  // An empty barrier on 16-node SVM costs tens of thousands of cycles
+  // (protocol messages through the manager) -- the effect behind the
+  // paper's "barriers are in general expensive in SVM" finding.
+  SvmPlatform plat(16);
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) { c.barrier(bar); });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_GT(rs.exec_cycles, 10'000u);
+  EXPECT_LT(rs.exec_cycles, 1'000'000u);
+}
+
+TEST(Svm, WarmPagesDoNotFault) {
+  SvmPlatform plat(2);
+  SharedArray<int> a(plat, 2048, HomePolicy::node(0));  // two pages
+  plat.warm(1, a.base(), a.bytes());
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      for (std::size_t i = 0; i < a.size(); i += 256) a.get(c, i);
+    }
+  });
+  EXPECT_EQ(plat.engine().collect().procs[1].page_faults, 0u);
+}
+
+TEST(Svm, FreeCsFaultsKnobSuppressesFaultCostInsideCriticalSections) {
+  auto runOnce = [](bool knob) {
+    SvmPlatform plat(2);
+    plat.free_cs_faults = knob;
+    SharedArray<int> a(plat, 4096, HomePolicy::node(0));  // 4 pages
+    const int lk = plat.makeLock();
+    plat.run([&](Ctx& c) {
+      if (c.id() == 1) {
+        c.lock(lk);
+        for (std::size_t i = 0; i < a.size(); i += 512) a.get(c, i);
+        c.unlock(lk);
+      }
+    });
+    return plat.engine().collect().procs[1][Bucket::DataWait];
+  };
+  EXPECT_GT(runOnce(false), 0u);
+  EXPECT_EQ(runOnce(true), 0u);
+}
+
+TEST(Svm, RoundRobinHomesDistributePages) {
+  SvmPlatform plat(4);
+  SharedArray<int> a(plat, 4 * 1024 * 4, HomePolicy::roundRobin(4));
+  // 16 KB = 4 pages -> homes 0,1,2,3.
+  for (int pg = 0; pg < 4; ++pg) {
+    EXPECT_EQ(plat.homeOf(a.addr(static_cast<std::size_t>(pg) * 1024)), pg);
+  }
+}
+
+TEST(Svm, DeterministicCycleCounts) {
+  auto trial = [] {
+    SvmPlatform plat(4);
+    SharedArray<int> a(plat, 4096, HomePolicy::roundRobin(4));
+    const int bar = plat.makeBarrier();
+    const int lk = plat.makeLock();
+    plat.run([&](Ctx& c) {
+      for (int rep = 0; rep < 3; ++rep) {
+        for (std::size_t i = static_cast<std::size_t>(c.id()); i < a.size();
+             i += static_cast<std::size_t>(c.nprocs())) {
+          a.set(c, i, static_cast<int>(i));
+        }
+        c.lock(lk);
+        a.set(c, 0, c.id());
+        c.unlock(lk);
+        c.barrier(bar);
+      }
+    });
+    return plat.engine().collect().exec_cycles;
+  };
+  EXPECT_EQ(trial(), trial());
+}
+
+}  // namespace
+}  // namespace rsvm

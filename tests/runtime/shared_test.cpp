@@ -1,0 +1,116 @@
+// Runtime-layer tests: typed shared views, layout mappings, home policies.
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rsvm {
+namespace {
+
+TEST(SharedArray, RawAndTimedViewsAgree) {
+  SvmPlatform plat(2);
+  SharedArray<double> a(plat, 128, HomePolicy::node(0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.raw(i) = static_cast<double>(i) * 1.5;
+  }
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) {
+      EXPECT_EQ(a.get(c, 10), 15.0);
+      a.set(c, 10, -1.0);
+      EXPECT_EQ(a.get(c, 10), -1.0);
+      a.update(c, 3, [](double v) { return v * 2; });
+    }
+  });
+  EXPECT_EQ(a.raw(10), -1.0);
+  EXPECT_EQ(a.raw(3), 9.0);
+}
+
+TEST(SharedArray, DistinctAllocationsNeverSharePages) {
+  SvmPlatform plat(2);
+  SharedArray<char> a(plat, 100, HomePolicy::node(0));
+  SharedArray<char> b(plat, 100, HomePolicy::node(1));
+  EXPECT_NE(a.base() / 4096, b.base() / 4096);
+}
+
+TEST(Grid2D, RowMajorMapping) {
+  SvmPlatform plat(2);
+  Grid2D<int> g(plat, 8, 8, HomePolicy::node(0));
+  g.raw(3, 5) = 42;
+  EXPECT_EQ(g.flat().raw(3 * 8 + 5), 42);
+  EXPECT_EQ(g.addr(0, 1) - g.addr(0, 0), sizeof(int));
+  EXPECT_EQ(g.addr(1, 0) - g.addr(0, 0), 8 * sizeof(int));
+}
+
+TEST(Grid2D, PaddedStride) {
+  SvmPlatform plat(2);
+  Grid2D<double> g(plat, 4, 4, HomePolicy::node(0), 512);
+  EXPECT_EQ(g.addr(1, 0) - g.addr(0, 0), 512 * sizeof(double));
+}
+
+TEST(Grid4D, BlocksAreContiguousAndComplete) {
+  SvmPlatform plat(2);
+  Grid4D<int> g(plat, 16, 16, 4, 4, HomePolicy::node(0));
+  // Each 4x4 block occupies 16 consecutive slots; the mapping is a
+  // bijection over all 256 elements.
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      seen.insert(g.idx(i, j));
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  // Elements of block (0,0):
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_LT(g.idx(i, j), 16u);
+    }
+  }
+  // Block (1,2) starts at its blockStart.
+  EXPECT_EQ(g.idx(4, 8), g.blockStart(1, 2));
+}
+
+TEST(Grid4D, PageAlignedBlocks) {
+  SvmPlatform plat(2);
+  Grid4D<double> g(plat, 32, 32, 16, 16, HomePolicy::node(0), 4096);
+  // 16x16 doubles = 2 KB, padded to one page per block.
+  EXPECT_EQ((g.blockStart(0, 1) - g.blockStart(0, 0)) * sizeof(double), 4096u);
+}
+
+TEST(HomePolicy, BlockedCoversAllProcsEvenly) {
+  const HomePolicy hp = HomePolicy::blocked(4);
+  std::array<int, 4> count{};
+  for (std::uint64_t pg = 0; pg < 16; ++pg) {
+    count[static_cast<std::size_t>(hp.fn(pg, 16))]++;
+  }
+  for (int c : count) EXPECT_EQ(c, 4);
+}
+
+TEST(HomePolicy, RoundRobinCycles) {
+  const HomePolicy hp = HomePolicy::roundRobin(3);
+  EXPECT_EQ(hp.fn(0, 100), 0);
+  EXPECT_EQ(hp.fn(1, 100), 1);
+  EXPECT_EQ(hp.fn(2, 100), 2);
+  EXPECT_EQ(hp.fn(3, 100), 0);
+}
+
+TEST(Platform, AllocAfterRunIsRejected) {
+  SvmPlatform plat(2);
+  plat.run([](Ctx&) {});
+  EXPECT_THROW(plat.alloc(64, 8, HomePolicy::node(0)), std::logic_error);
+  EXPECT_THROW(plat.run([](Ctx&) {}), std::logic_error);
+}
+
+TEST(Platform, FactoryProducesAllKinds) {
+  for (PlatformKind k :
+       {PlatformKind::SVM, PlatformKind::SMP, PlatformKind::NUMA}) {
+    auto p = Platform::create(k, 4);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->kind(), k);
+    EXPECT_EQ(p->nprocs(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace rsvm

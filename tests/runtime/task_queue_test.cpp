@@ -1,0 +1,128 @@
+// Distributed task queue semantics: work conservation, stealing,
+// padding/split options.
+#include "apps/common/task_queue.hpp"
+#include "proto/numa/numa_platform.hpp"
+#include "proto/svm/svm_platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace rsvm {
+namespace {
+
+std::vector<std::int32_t> iota(int n, int from = 0) {
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), from);
+  return v;
+}
+
+TEST(TaskQueues, OwnerDrainsOwnQueueInOrder) {
+  SvmPlatform plat(2);
+  apps::TaskQueues q(plat, {.capacity = 8});
+  q.fillInitial(0, iota(5));
+  std::vector<std::int32_t> got;
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) {
+      for (;;) {
+        const std::int32_t t = q.next(c, false);
+        if (t < 0) break;
+        got.push_back(t);
+      }
+    }
+  });
+  EXPECT_EQ(got, iota(5));
+}
+
+TEST(TaskQueues, EveryTaskExecutesExactlyOnceWithStealing) {
+  NumaPlatform plat(4);
+  apps::TaskQueues q(plat, {.capacity = 64});
+  for (int p = 0; p < 4; ++p) q.fillInitial(p, iota(16, p * 16));
+  std::set<std::int32_t> done;
+  plat.run([&](Ctx& c) {
+    for (;;) {
+      const std::int32_t t = q.next(c, true);
+      if (t < 0) break;
+      EXPECT_TRUE(done.insert(t).second) << "task " << t << " ran twice";
+      // Uneven work so fast processors go stealing.
+      c.compute(static_cast<Cycles>(100 + (t % 16) * 300));
+    }
+  });
+  EXPECT_EQ(done.size(), 64u);
+}
+
+TEST(TaskQueues, StealingMovesWorkFromLoadedVictims) {
+  NumaPlatform plat(4);
+  apps::TaskQueues q(plat, {.capacity = 64});
+  q.fillInitial(0, iota(40));  // all work at processor 0
+  for (int p = 1; p < 4; ++p) q.fillInitial(p, {});
+  plat.run([&](Ctx& c) {
+    for (;;) {
+      const std::int32_t t = q.next(c, true);
+      if (t < 0) break;
+      c.compute(2000);
+    }
+  });
+  const RunStats rs = plat.engine().collect();
+  EXPECT_GT(rs.sum(&ProcStats::tasks_stolen), 10u);
+  EXPECT_EQ(rs.sum(&ProcStats::tasks_executed), 40u);
+}
+
+TEST(TaskQueues, SplitQueuesKeepPrivatePortionUnstealable) {
+  NumaPlatform plat(2);
+  apps::TaskQueues q(plat, {.capacity = 64, .entry_stride_words = 1,
+                            .split_steal = true, .public_fraction = 0.25});
+  q.fillInitial(0, iota(16));
+  q.fillInitial(1, {});
+  std::vector<std::int32_t> stolen_by_1;
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      for (;;) {
+        const std::int32_t t = q.steal(c, 0);
+        if (t < 0) break;
+        stolen_by_1.push_back(t);
+      }
+    }
+  });
+  // Only the public 25% tail (tasks 12..15) is stealable.
+  EXPECT_EQ(stolen_by_1.size(), 4u);
+  for (std::int32_t t : stolen_by_1) EXPECT_GE(t, 12);
+}
+
+TEST(TaskQueues, PaddedEntriesLandOnDistinctPages) {
+  SvmPlatform plat(2);
+  apps::TaskQueues q(plat, {.capacity = 4, .entry_stride_words = 1024});
+  q.fillInitial(0, iota(4));
+  std::vector<std::int32_t> got;
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) {
+      for (;;) {
+        const std::int32_t t = q.next(c, false);
+        if (t < 0) break;
+        got.push_back(t);
+      }
+    }
+  });
+  EXPECT_EQ(got, iota(4));
+}
+
+TEST(TaskQueues, RefillRestoresAllTasks) {
+  NumaPlatform plat(2);
+  apps::TaskQueues q(plat, {.capacity = 16});
+  q.fillInitial(0, iota(8));
+  q.fillInitial(1, {});
+  int total = 0;
+  plat.run([&](Ctx& c) {
+    if (c.id() == 0) {
+      for (int round = 0; round < 3; ++round) {
+        if (round > 0) q.refill(c, iota(8));
+        while (q.next(c, false) >= 0) ++total;
+      }
+    }
+  });
+  EXPECT_EQ(total, 24);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,104 @@
+// Protocol trace facility (runtime/trace.hpp).
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/shared.hpp"
+#include "runtime/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(Trace, RecordsFaultsTwinsAndDiffs) {
+  SvmPlatform plat(2);
+  TraceRecorder rec;
+  plat.trace = rec.hook();
+  SharedArray<int> a(plat, 2048, HomePolicy::node(0));  // two pages
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    if (c.id() == 1) {
+      a.set(c, 0, 1);     // fault + twin on page 0
+      a.set(c, 1024, 2);  // fault + twin on page 1
+    }
+    c.barrier(bar);  // diffs flush
+  });
+  EXPECT_EQ(rec.count(TraceEvent::Kind::PageFault), 2u);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::TwinCreate), 2u);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::DiffSend), 2u);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::BarrierArrive), 2u);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::BarrierDepart), 2u);
+}
+
+TEST(Trace, HotPagesRanksByFaultCount) {
+  SvmPlatform plat(3);
+  TraceRecorder rec;
+  plat.trace = rec.hook();
+  SharedArray<int> a(plat, 2048, HomePolicy::node(0));
+  const int bar = plat.makeBarrier();
+  plat.run([&](Ctx& c) {
+    for (int r = 0; r < 3; ++r) {
+      if (c.id() == 0) a.set(c, 0, r);         // page 0 written each round
+      if (c.id() != 0) a.get(c, 0);            // both readers re-fault it
+      if (c.id() == 1 && r == 0) a.get(c, 1024);  // page 1 faulted once
+      c.barrier(bar);
+    }
+  });
+  const auto hot = rec.hotPages(2);
+  ASSERT_GE(hot.size(), 2u);
+  EXPECT_GT(hot[0].second, hot[1].second);
+  EXPECT_EQ(hot[0].first, a.base() / 4096);  // page 0 is hottest
+}
+
+TEST(Trace, LockProfileSeparatesWaitFromHold) {
+  SvmPlatform plat(2);
+  TraceRecorder rec;
+  plat.trace = rec.hook();
+  const int lk = plat.makeLock();
+  plat.run([&](Ctx& c) {
+    c.lock(lk);
+    c.compute(5'000);  // long critical section
+    c.unlock(lk);
+  });
+  const auto profiles = rec.lockProfiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].acquires, 2u);
+  // One processor waited for the other's 5k-cycle critical section.
+  EXPECT_GE(profiles[0].total_wait, 5'000u);
+  EXPECT_GE(profiles[0].total_held, 10'000u);
+}
+
+TEST(Trace, ZeroOverheadWhenUnset) {
+  auto run = [](bool traced) {
+    SvmPlatform plat(2);
+    TraceRecorder rec;
+    if (traced) plat.trace = rec.hook();
+    SharedArray<int> a(plat, 1024, HomePolicy::node(0));
+    plat.run([&](Ctx& c) {
+      if (c.id() == 1) {
+        for (int i = 0; i < 100; ++i) a.set(c, static_cast<std::size_t>(i), i);
+      }
+    });
+    return plat.engine().collect().exec_cycles;
+  };
+  // Tracing must not change simulated time at all.
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Trace, ReportMentionsKeyQuantities) {
+  SvmPlatform plat(2);
+  TraceRecorder rec;
+  plat.trace = rec.hook();
+  SharedArray<int> a(plat, 1024, HomePolicy::node(0));
+  const int lk = plat.makeLock();
+  plat.run([&](Ctx& c) {
+    c.lock(lk);
+    a.set(c, 0, c.id());
+    c.unlock(lk);
+  });
+  const std::string rep = rec.report();
+  EXPECT_NE(rep.find("hot pages"), std::string::npos);
+  EXPECT_NE(rep.find("contended locks"), std::string::npos);
+  EXPECT_NE(rep.find("faults"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,205 @@
+// Unit tests for the discrete-event engine, fibers and resources.
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldAndResume) {
+  std::vector<int> trace;
+  Fiber f([&] {
+    trace.push_back(1);
+    Fiber::yieldToScheduler();
+    trace.push_back(3);
+  });
+  f.resume();
+  trace.push_back(2);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fiber, NestedFibers) {
+  std::vector<int> trace;
+  Fiber outer([&] {
+    trace.push_back(1);
+    Fiber inner([&] {
+      trace.push_back(2);
+      Fiber::yieldToScheduler();
+      trace.push_back(4);
+    });
+    inner.resume();
+    trace.push_back(3);
+    inner.resume();
+    trace.push_back(5);
+  });
+  outer.resume();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Resource, UncontendedStartsImmediately) {
+  Resource r;
+  EXPECT_EQ(r.acquire(100, 10), 110u);
+  EXPECT_EQ(r.freeAt(), 110u);
+}
+
+TEST(Resource, QueuesFifo) {
+  Resource r;
+  EXPECT_EQ(r.acquire(0, 10), 10u);
+  EXPECT_EQ(r.acquire(5, 10), 20u);   // waits for the first
+  EXPECT_EQ(r.acquire(50, 10), 60u);  // idle gap, starts at arrival
+  EXPECT_EQ(r.totalQueueing(), 5u);
+  EXPECT_EQ(r.transactions(), 3u);
+}
+
+TEST(Engine, AdvanceAccumulatesClockAndBuckets) {
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  eng.run([&](ProcId p) {
+    eng.advance(100, Bucket::Compute);
+    if (p == 1) eng.advance(50, Bucket::CacheStall);
+  });
+  EXPECT_EQ(eng.now(0), 100u);
+  EXPECT_EQ(eng.now(1), 150u);
+  EXPECT_EQ(eng.stats(1)[Bucket::CacheStall], 50u);
+  RunStats rs = eng.collect();
+  EXPECT_EQ(rs.exec_cycles, 150u);
+}
+
+TEST(Engine, LowestClockRunsFirstAcrossYields) {
+  // Processor clocks interleave in global time order at yield points.
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  std::vector<std::pair<ProcId, Cycles>> order;
+  eng.run([&](ProcId p) {
+    for (int i = 0; i < 3; ++i) {
+      order.emplace_back(p, eng.now(p));  // record at each resume point
+      eng.advance(p == 0 ? 10 : 25, Bucket::Compute);
+      eng.yieldNow();
+    }
+  });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1].second, order[i].second)
+        << "event " << i << " ran out of time order";
+  }
+}
+
+TEST(Engine, QuantumBoundsDrift) {
+  Engine eng({.nprocs = 2, .quantum = 10});
+  Cycles max_gap = 0;
+  eng.run([&](ProcId p) {
+    for (int i = 0; i < 100; ++i) {
+      eng.advance(3, Bucket::Compute);
+      const Cycles other = eng.now(p == 0 ? 1 : 0);
+      const Cycles mine = eng.now(p);
+      if (mine > other) max_gap = std::max(max_gap, mine - other);
+    }
+  });
+  // Drift never exceeds quantum + one advance.
+  EXPECT_LE(max_gap, 13u);
+}
+
+TEST(Engine, BlockAndWake) {
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  eng.run([&](ProcId p) {
+    if (p == 0) {
+      eng.block(Bucket::LockWait);
+      EXPECT_EQ(eng.now(0), 500u);
+    } else {
+      eng.advance(200, Bucket::Compute);
+      eng.wake(0, 500);
+    }
+  });
+  EXPECT_EQ(eng.stats(0)[Bucket::LockWait], 500u);
+}
+
+TEST(Engine, WakeInThePastClampsToBlockerClock) {
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  eng.run([&](ProcId p) {
+    if (p == 0) {
+      eng.advance(300, Bucket::Compute);
+      eng.block(Bucket::BarrierWait);
+      EXPECT_EQ(eng.now(0), 300u);  // woken "in the past": no wait charged
+    } else {
+      eng.advance(400, Bucket::Compute);
+      eng.wake(0, 100);
+    }
+  });
+  EXPECT_EQ(eng.stats(0)[Bucket::BarrierWait], 0u);
+}
+
+TEST(Engine, HandlerChargesAbsorbIntoClock) {
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  eng.run([&](ProcId p) {
+    if (p == 0) {
+      eng.yieldNow();  // let proc 1 charge us first
+      eng.advance(10, Bucket::Compute);
+      // 10 compute + 40 handler absorbed
+      EXPECT_EQ(eng.now(0), 50u);
+    } else {
+      eng.chargeHandler(0, 40);
+      eng.advance(1, Bucket::Compute);
+    }
+  });
+  EXPECT_EQ(eng.stats(0)[Bucket::Handler], 40u);
+}
+
+TEST(Engine, HandlerOverlapsWithBlockedWait) {
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  eng.run([&](ProcId p) {
+    if (p == 0) {
+      eng.block(Bucket::BarrierWait);
+    } else {
+      eng.chargeHandler(0, 30);
+      eng.advance(100, Bucket::Compute);
+      eng.wake(0, 100);
+    }
+  });
+  // 100 cycles blocked: 30 overlapped as handler work, 70 as wait.
+  EXPECT_EQ(eng.stats(0)[Bucket::Handler], 30u);
+  EXPECT_EQ(eng.stats(0)[Bucket::BarrierWait], 70u);
+  EXPECT_EQ(eng.now(0), 100u);
+}
+
+TEST(Engine, DeadlockIsDetected) {
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  EXPECT_THROW(eng.run([&](ProcId) { eng.block(Bucket::LockWait); }),
+               std::runtime_error);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto trial = [] {
+    Engine eng({.nprocs = 4, .quantum = 50});
+    eng.run([&](ProcId p) {
+      for (int i = 0; i < 1000; ++i) {
+        eng.advance(static_cast<Cycles>(1 + (i * (p + 1)) % 7),
+                    Bucket::Compute);
+      }
+    });
+    Cycles sum = 0;
+    for (ProcId p = 0; p < 4; ++p) sum = sum * 31 + eng.now(p);
+    return sum;
+  };
+  EXPECT_EQ(trial(), trial());
+}
+
+TEST(Engine, RejectsBadProcCounts) {
+  EXPECT_THROW(Engine({.nprocs = 0, .quantum = 1}), std::invalid_argument);
+  EXPECT_THROW(Engine({.nprocs = kMaxProcs + 1, .quantum = 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsvm

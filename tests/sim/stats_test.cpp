@@ -1,0 +1,52 @@
+// RunStats / ProcStats helpers.
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+TEST(Stats, BucketIndexingAndTotal) {
+  ProcStats p;
+  p[Bucket::Compute] = 10;
+  p[Bucket::DataWait] = 30;
+  p[Bucket::Handler] = 2;
+  EXPECT_EQ(p.total(), 42u);
+  EXPECT_EQ(p[Bucket::Compute], 10u);
+  EXPECT_EQ(p[Bucket::LockWait], 0u);
+}
+
+TEST(Stats, RunAggregates) {
+  RunStats rs;
+  rs.procs.resize(3);
+  rs.procs[0][Bucket::Compute] = 5;
+  rs.procs[1][Bucket::Compute] = 7;
+  rs.procs[2][Bucket::BarrierWait] = 11;
+  rs.procs[0].page_faults = 2;
+  rs.procs[2].page_faults = 3;
+  EXPECT_EQ(rs.bucketTotal(Bucket::Compute), 12u);
+  EXPECT_EQ(rs.bucketTotal(Bucket::BarrierWait), 11u);
+  EXPECT_EQ(rs.sum(&ProcStats::page_faults), 5u);
+  EXPECT_EQ(rs.nprocs(), 3);
+}
+
+TEST(Stats, BucketNamesAreStable) {
+  EXPECT_STREQ(bucketName(Bucket::Compute), "Compute");
+  EXPECT_STREQ(bucketName(Bucket::Handler), "Handler");
+  EXPECT_STREQ(bucketName(Bucket::DataWait), "DataWait");
+}
+
+TEST(Stats, BreakdownTableContainsEveryProcessorRow) {
+  RunStats rs;
+  rs.procs.resize(16);
+  for (int p = 0; p < 16; ++p) {
+    rs.procs[static_cast<std::size_t>(p)][Bucket::Compute] =
+        static_cast<Cycles>(1000 + p);
+  }
+  const std::string t = rs.breakdownTable();
+  EXPECT_NE(t.find("1000"), std::string::npos);
+  EXPECT_NE(t.find("1015"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsvm
