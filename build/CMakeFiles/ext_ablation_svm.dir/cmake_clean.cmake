@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_svm.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/ext_ablation_svm.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/ext_ablation_svm.dir/bench/ext_ablation_svm.cpp.o"
+  "CMakeFiles/ext_ablation_svm.dir/bench/ext_ablation_svm.cpp.o.d"
+  "bench/ext_ablation_svm"
+  "bench/ext_ablation_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_clustered_svm.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/ext_clustered_svm.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/ext_clustered_svm.dir/bench/ext_clustered_svm.cpp.o"
+  "CMakeFiles/ext_clustered_svm.dir/bench/ext_clustered_svm.cpp.o.d"
+  "bench/ext_clustered_svm"
+  "bench/ext_clustered_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clustered_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

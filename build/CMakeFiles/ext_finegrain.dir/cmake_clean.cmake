@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_finegrain.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/ext_finegrain.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/ext_finegrain.dir/bench/ext_finegrain.cpp.o"
+  "CMakeFiles/ext_finegrain.dir/bench/ext_finegrain.cpp.o.d"
+  "bench/ext_finegrain"
+  "bench/ext_finegrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_finegrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hlrc_vs_lrc.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/ext_hlrc_vs_lrc.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/ext_hlrc_vs_lrc.dir/bench/ext_hlrc_vs_lrc.cpp.o"
+  "CMakeFiles/ext_hlrc_vs_lrc.dir/bench/ext_hlrc_vs_lrc.cpp.o.d"
+  "bench/ext_hlrc_vs_lrc"
+  "bench/ext_hlrc_vs_lrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hlrc_vs_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

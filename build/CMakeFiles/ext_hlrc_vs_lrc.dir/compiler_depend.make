@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_hlrc_vs_lrc.
+# This may be replaced when dependencies are built.

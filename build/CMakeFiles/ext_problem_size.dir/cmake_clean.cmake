@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_problem_size.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/ext_problem_size.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/ext_problem_size.dir/bench/ext_problem_size.cpp.o"
+  "CMakeFiles/ext_problem_size.dir/bench/ext_problem_size.cpp.o.d"
+  "bench/ext_problem_size"
+  "bench/ext_problem_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_problem_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scaling.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/ext_scaling.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/ext_scaling.dir/bench/ext_scaling.cpp.o"
+  "CMakeFiles/ext_scaling.dir/bench/ext_scaling.cpp.o.d"
+  "bench/ext_scaling"
+  "bench/ext_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

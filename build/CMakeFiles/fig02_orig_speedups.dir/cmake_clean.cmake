@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_orig_speedups.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig02_orig_speedups.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig02_orig_speedups.dir/bench/fig02_orig_speedups.cpp.o"
+  "CMakeFiles/fig02_orig_speedups.dir/bench/fig02_orig_speedups.cpp.o.d"
+  "bench/fig02_orig_speedups"
+  "bench/fig02_orig_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_orig_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

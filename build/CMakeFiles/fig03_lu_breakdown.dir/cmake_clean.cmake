@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_lu_breakdown.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig03_lu_breakdown.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig03_lu_breakdown.dir/bench/fig03_lu_breakdown.cpp.o"
+  "CMakeFiles/fig03_lu_breakdown.dir/bench/fig03_lu_breakdown.cpp.o.d"
+  "bench/fig03_lu_breakdown"
+  "bench/fig03_lu_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lu_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ocean_contig.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig04_ocean_contig.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig04_ocean_contig.dir/bench/fig04_ocean_contig.cpp.o"
+  "CMakeFiles/fig04_ocean_contig.dir/bench/fig04_ocean_contig.cpp.o.d"
+  "bench/fig04_ocean_contig"
+  "bench/fig04_ocean_contig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ocean_contig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

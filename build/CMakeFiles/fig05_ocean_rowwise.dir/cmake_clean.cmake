@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ocean_rowwise.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig05_ocean_rowwise.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig05_ocean_rowwise.dir/bench/fig05_ocean_rowwise.cpp.o"
+  "CMakeFiles/fig05_ocean_rowwise.dir/bench/fig05_ocean_rowwise.cpp.o.d"
+  "bench/fig05_ocean_rowwise"
+  "bench/fig05_ocean_rowwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ocean_rowwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

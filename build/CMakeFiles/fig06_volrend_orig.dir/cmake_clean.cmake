@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_volrend_orig.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig06_volrend_orig.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig06_volrend_orig.dir/bench/fig06_volrend_orig.cpp.o"
+  "CMakeFiles/fig06_volrend_orig.dir/bench/fig06_volrend_orig.cpp.o.d"
+  "bench/fig06_volrend_orig"
+  "bench/fig06_volrend_orig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_volrend_orig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

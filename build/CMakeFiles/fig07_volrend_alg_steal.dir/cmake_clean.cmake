@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_volrend_alg_steal.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig07_volrend_alg_steal.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig07_volrend_alg_steal.dir/bench/fig07_volrend_alg_steal.cpp.o"
+  "CMakeFiles/fig07_volrend_alg_steal.dir/bench/fig07_volrend_alg_steal.cpp.o.d"
+  "bench/fig07_volrend_alg_steal"
+  "bench/fig07_volrend_alg_steal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_volrend_alg_steal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_volrend_alg_steal.
+# This may be replaced when dependencies are built.

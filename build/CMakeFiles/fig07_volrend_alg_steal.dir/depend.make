@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_volrend_alg_steal.
+# This may be replaced when dependencies are built.

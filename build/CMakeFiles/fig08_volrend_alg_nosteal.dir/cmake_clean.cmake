@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_volrend_alg_nosteal.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig08_volrend_alg_nosteal.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig08_volrend_alg_nosteal.dir/bench/fig08_volrend_alg_nosteal.cpp.o"
+  "CMakeFiles/fig08_volrend_alg_nosteal.dir/bench/fig08_volrend_alg_nosteal.cpp.o.d"
+  "bench/fig08_volrend_alg_nosteal"
+  "bench/fig08_volrend_alg_nosteal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_volrend_alg_nosteal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

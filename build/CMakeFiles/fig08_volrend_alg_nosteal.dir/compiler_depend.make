@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_volrend_alg_nosteal.
+# This may be replaced when dependencies are built.

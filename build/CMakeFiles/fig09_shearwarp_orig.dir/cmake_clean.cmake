@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_shearwarp_orig.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig09_shearwarp_orig.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig09_shearwarp_orig.dir/bench/fig09_shearwarp_orig.cpp.o"
+  "CMakeFiles/fig09_shearwarp_orig.dir/bench/fig09_shearwarp_orig.cpp.o.d"
+  "bench/fig09_shearwarp_orig"
+  "bench/fig09_shearwarp_orig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_shearwarp_orig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

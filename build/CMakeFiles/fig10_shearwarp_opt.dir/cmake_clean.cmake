@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_shearwarp_opt.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig10_shearwarp_opt.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig10_shearwarp_opt.dir/bench/fig10_shearwarp_opt.cpp.o"
+  "CMakeFiles/fig10_shearwarp_opt.dir/bench/fig10_shearwarp_opt.cpp.o.d"
+  "bench/fig10_shearwarp_opt"
+  "bench/fig10_shearwarp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_shearwarp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

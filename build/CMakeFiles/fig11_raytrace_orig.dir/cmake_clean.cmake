@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_raytrace_orig.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig11_raytrace_orig.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig11_raytrace_orig.dir/bench/fig11_raytrace_orig.cpp.o"
+  "CMakeFiles/fig11_raytrace_orig.dir/bench/fig11_raytrace_orig.cpp.o.d"
+  "bench/fig11_raytrace_orig"
+  "bench/fig11_raytrace_orig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_raytrace_orig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

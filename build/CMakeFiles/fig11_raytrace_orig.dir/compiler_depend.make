@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_raytrace_orig.
+# This may be replaced when dependencies are built.

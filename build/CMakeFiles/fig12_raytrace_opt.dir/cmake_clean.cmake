@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_raytrace_opt.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig12_raytrace_opt.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig12_raytrace_opt.dir/bench/fig12_raytrace_opt.cpp.o"
+  "CMakeFiles/fig12_raytrace_opt.dir/bench/fig12_raytrace_opt.cpp.o.d"
+  "bench/fig12_raytrace_opt"
+  "bench/fig12_raytrace_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_raytrace_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_barnes_splash2.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig13_barnes_splash2.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig13_barnes_splash2.dir/bench/fig13_barnes_splash2.cpp.o"
+  "CMakeFiles/fig13_barnes_splash2.dir/bench/fig13_barnes_splash2.cpp.o.d"
+  "bench/fig13_barnes_splash2"
+  "bench/fig13_barnes_splash2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_barnes_splash2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_barnes_splash2.
+# This may be replaced when dependencies are built.

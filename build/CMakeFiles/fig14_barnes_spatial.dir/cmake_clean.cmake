@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_barnes_spatial.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig14_barnes_spatial.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig14_barnes_spatial.dir/bench/fig14_barnes_spatial.cpp.o"
+  "CMakeFiles/fig14_barnes_spatial.dir/bench/fig14_barnes_spatial.cpp.o.d"
+  "bench/fig14_barnes_spatial"
+  "bench/fig14_barnes_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_barnes_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "CMakeFiles/fig15_radix_orig.dir/bench/bench_common.cpp.o" "gcc" "CMakeFiles/fig15_radix_orig.dir/bench/bench_common.cpp.o.d"
+  "/root/repo/bench/fig15_radix_orig.cpp" "CMakeFiles/fig15_radix_orig.dir/bench/fig15_radix_orig.cpp.o" "gcc" "CMakeFiles/fig15_radix_orig.dir/bench/fig15_radix_orig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rsvm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_radix_orig.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig15_radix_orig.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig15_radix_orig.dir/bench/fig15_radix_orig.cpp.o"
+  "CMakeFiles/fig15_radix_orig.dir/bench/fig15_radix_orig.cpp.o.d"
+  "bench/fig15_radix_orig"
+  "bench/fig15_radix_orig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_radix_orig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_portability.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig16_portability.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig16_portability.dir/bench/fig16_portability.cpp.o"
+  "CMakeFiles/fig16_portability.dir/bench/fig16_portability.cpp.o.d"
+  "bench/fig16_portability"
+  "bench/fig16_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

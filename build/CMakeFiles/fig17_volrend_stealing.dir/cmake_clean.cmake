@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_volrend_stealing.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig17_volrend_stealing.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig17_volrend_stealing.dir/bench/fig17_volrend_stealing.cpp.o"
+  "CMakeFiles/fig17_volrend_stealing.dir/bench/fig17_volrend_stealing.cpp.o.d"
+  "bench/fig17_volrend_stealing"
+  "bench/fig17_volrend_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_volrend_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

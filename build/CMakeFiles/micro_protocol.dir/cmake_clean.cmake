@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_protocol.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/micro_protocol.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/micro_protocol.dir/bench/micro_protocol.cpp.o"
+  "CMakeFiles/micro_protocol.dir/bench/micro_protocol.cpp.o.d"
+  "bench/micro_protocol"
+  "bench/micro_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

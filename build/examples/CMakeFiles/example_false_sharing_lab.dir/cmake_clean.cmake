@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_false_sharing_lab.dir/false_sharing_lab.cpp.o"
+  "CMakeFiles/example_false_sharing_lab.dir/false_sharing_lab.cpp.o.d"
+  "example_false_sharing_lab"
+  "example_false_sharing_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_false_sharing_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

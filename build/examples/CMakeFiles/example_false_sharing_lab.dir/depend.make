@@ -1,0 +1,2 @@
+# Empty dependencies file for example_false_sharing_lab.
+# This may be replaced when dependencies are built.

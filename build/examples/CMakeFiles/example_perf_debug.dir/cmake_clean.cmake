@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_perf_debug.dir/perf_debug.cpp.o"
+  "CMakeFiles/example_perf_debug.dir/perf_debug.cpp.o.d"
+  "example_perf_debug"
+  "example_perf_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_perf_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

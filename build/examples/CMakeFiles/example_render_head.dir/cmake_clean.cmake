@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_render_head.dir/render_head.cpp.o"
+  "CMakeFiles/example_render_head.dir/render_head.cpp.o.d"
+  "example_render_head"
+  "example_render_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_render_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

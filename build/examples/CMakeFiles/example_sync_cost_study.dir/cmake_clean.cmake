@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sync_cost_study.dir/sync_cost_study.cpp.o"
+  "CMakeFiles/example_sync_cost_study.dir/sync_cost_study.cpp.o.d"
+  "example_sync_cost_study"
+  "example_sync_cost_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sync_cost_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

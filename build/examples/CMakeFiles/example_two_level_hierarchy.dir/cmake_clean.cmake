@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_two_level_hierarchy.dir/two_level_hierarchy.cpp.o"
+  "CMakeFiles/example_two_level_hierarchy.dir/two_level_hierarchy.cpp.o.d"
+  "example_two_level_hierarchy"
+  "example_two_level_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_two_level_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app.cpp" "src/CMakeFiles/rsvm.dir/core/app.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/core/app.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/rsvm.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/rsvm.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/rsvm.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/proto/fgs/fgs_platform.cpp" "src/CMakeFiles/rsvm.dir/proto/fgs/fgs_platform.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/proto/fgs/fgs_platform.cpp.o.d"
+  "/root/repo/src/proto/numa/numa_platform.cpp" "src/CMakeFiles/rsvm.dir/proto/numa/numa_platform.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/proto/numa/numa_platform.cpp.o.d"
+  "/root/repo/src/proto/smp/smp_platform.cpp" "src/CMakeFiles/rsvm.dir/proto/smp/smp_platform.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/proto/smp/smp_platform.cpp.o.d"
+  "/root/repo/src/proto/svm/svm_platform.cpp" "src/CMakeFiles/rsvm.dir/proto/svm/svm_platform.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/proto/svm/svm_platform.cpp.o.d"
+  "/root/repo/src/runtime/platform.cpp" "src/CMakeFiles/rsvm.dir/runtime/platform.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/runtime/platform.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/rsvm.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/rsvm.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/rsvm.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/rsvm.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/rsvm.dir/sim/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

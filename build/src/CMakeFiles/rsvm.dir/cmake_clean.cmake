@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsvm.dir/core/app.cpp.o"
+  "CMakeFiles/rsvm.dir/core/app.cpp.o.d"
+  "CMakeFiles/rsvm.dir/core/experiment.cpp.o"
+  "CMakeFiles/rsvm.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/rsvm.dir/mem/address_space.cpp.o"
+  "CMakeFiles/rsvm.dir/mem/address_space.cpp.o.d"
+  "CMakeFiles/rsvm.dir/mem/cache.cpp.o"
+  "CMakeFiles/rsvm.dir/mem/cache.cpp.o.d"
+  "CMakeFiles/rsvm.dir/proto/fgs/fgs_platform.cpp.o"
+  "CMakeFiles/rsvm.dir/proto/fgs/fgs_platform.cpp.o.d"
+  "CMakeFiles/rsvm.dir/proto/numa/numa_platform.cpp.o"
+  "CMakeFiles/rsvm.dir/proto/numa/numa_platform.cpp.o.d"
+  "CMakeFiles/rsvm.dir/proto/smp/smp_platform.cpp.o"
+  "CMakeFiles/rsvm.dir/proto/smp/smp_platform.cpp.o.d"
+  "CMakeFiles/rsvm.dir/proto/svm/svm_platform.cpp.o"
+  "CMakeFiles/rsvm.dir/proto/svm/svm_platform.cpp.o.d"
+  "CMakeFiles/rsvm.dir/runtime/platform.cpp.o"
+  "CMakeFiles/rsvm.dir/runtime/platform.cpp.o.d"
+  "CMakeFiles/rsvm.dir/runtime/trace.cpp.o"
+  "CMakeFiles/rsvm.dir/runtime/trace.cpp.o.d"
+  "CMakeFiles/rsvm.dir/sim/engine.cpp.o"
+  "CMakeFiles/rsvm.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/rsvm.dir/sim/fiber.cpp.o"
+  "CMakeFiles/rsvm.dir/sim/fiber.cpp.o.d"
+  "CMakeFiles/rsvm.dir/sim/stats.cpp.o"
+  "CMakeFiles/rsvm.dir/sim/stats.cpp.o.d"
+  "librsvm.a"
+  "librsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rsvm.
+# This may be replaced when dependencies are built.

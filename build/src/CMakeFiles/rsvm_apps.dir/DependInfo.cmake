@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes/barnes.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/barnes/barnes.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/barnes/barnes.cpp.o.d"
+  "/root/repo/src/apps/common/volume.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/common/volume.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/common/volume.cpp.o.d"
+  "/root/repo/src/apps/lu/lu.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/lu/lu.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/lu/lu.cpp.o.d"
+  "/root/repo/src/apps/ocean/ocean.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/ocean/ocean.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/ocean/ocean.cpp.o.d"
+  "/root/repo/src/apps/radix/radix.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/radix/radix.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/radix/radix.cpp.o.d"
+  "/root/repo/src/apps/raytrace/raytrace.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/raytrace/raytrace.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/raytrace/raytrace.cpp.o.d"
+  "/root/repo/src/apps/register_all.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/register_all.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/register_all.cpp.o.d"
+  "/root/repo/src/apps/shearwarp/shearwarp.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/shearwarp/shearwarp.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/shearwarp/shearwarp.cpp.o.d"
+  "/root/repo/src/apps/volrend/volrend.cpp" "src/CMakeFiles/rsvm_apps.dir/apps/volrend/volrend.cpp.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/volrend/volrend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rsvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsvm_apps.dir/apps/barnes/barnes.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/barnes/barnes.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/common/volume.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/common/volume.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/lu/lu.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/lu/lu.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/ocean/ocean.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/ocean/ocean.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/radix/radix.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/radix/radix.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/raytrace/raytrace.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/raytrace/raytrace.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/register_all.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/register_all.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/shearwarp/shearwarp.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/shearwarp/shearwarp.cpp.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/volrend/volrend.cpp.o"
+  "CMakeFiles/rsvm_apps.dir/apps/volrend/volrend.cpp.o.d"
+  "librsvm_apps.a"
+  "librsvm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsvm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

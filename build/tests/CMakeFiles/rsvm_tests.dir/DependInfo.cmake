@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/app_correctness_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/apps/app_correctness_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/apps/app_correctness_test.cpp.o.d"
+  "/root/repo/tests/apps/volume_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/apps/volume_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/apps/volume_test.cpp.o.d"
+  "/root/repo/tests/apps/workload_signature_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/apps/workload_signature_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/apps/workload_signature_test.cpp.o.d"
+  "/root/repo/tests/core/registry_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/core/registry_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/core/registry_test.cpp.o.d"
+  "/root/repo/tests/integration/accounting_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/integration/accounting_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/integration/accounting_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_properties_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/integration/paper_properties_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/integration/paper_properties_test.cpp.o.d"
+  "/root/repo/tests/mem/cache_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/mem/cache_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/mem/cache_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/proto/clustered_svm_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/clustered_svm_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/clustered_svm_test.cpp.o.d"
+  "/root/repo/tests/proto/fgs_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/fgs_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/fgs_test.cpp.o.d"
+  "/root/repo/tests/proto/hw_sync_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/hw_sync_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/hw_sync_test.cpp.o.d"
+  "/root/repo/tests/proto/lrc_mode_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/lrc_mode_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/lrc_mode_test.cpp.o.d"
+  "/root/repo/tests/proto/numa_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/numa_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/numa_test.cpp.o.d"
+  "/root/repo/tests/proto/proc_count_sweep_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/proc_count_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/proc_count_sweep_test.cpp.o.d"
+  "/root/repo/tests/proto/smp_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/smp_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/smp_test.cpp.o.d"
+  "/root/repo/tests/proto/svm_lrc_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/svm_lrc_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/svm_lrc_test.cpp.o.d"
+  "/root/repo/tests/proto/svm_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/proto/svm_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/proto/svm_test.cpp.o.d"
+  "/root/repo/tests/runtime/shared_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/runtime/shared_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/runtime/shared_test.cpp.o.d"
+  "/root/repo/tests/runtime/task_queue_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/runtime/task_queue_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/runtime/task_queue_test.cpp.o.d"
+  "/root/repo/tests/runtime/trace_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/runtime/trace_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/runtime/trace_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_stress_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/sim/engine_stress_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/sim/engine_stress_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/rsvm_tests.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/rsvm_tests.dir/sim/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rsvm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
