@@ -1,0 +1,77 @@
+// Race-checking session: attach the happens-before checker to a run,
+// the correctness companion to perf_debug's performance diagnosis.
+//
+// Three acts:
+//   1. a deliberately buggy micro-app (unsynchronized counter) is
+//      flagged, with the nearest sync events to look behind;
+//   2. a word-disjoint neighbor pattern is diagnosed as false sharing,
+//      quantified per allocation -- the paper's P/A target;
+//   3. a real application (Ocean) runs under the checker AND the trace
+//      recorder at once (teeHooks) and comes back clean, at identical
+//      simulated cost to an untraced run.
+//
+//   $ ./example_race_check
+#include "check/race_checker.hpp"
+#include "core/experiment.hpp"
+#include "runtime/shared.hpp"
+
+#include <cstdio>
+
+using namespace rsvm;
+
+int main() {
+  // -- 1: an unsynchronized counter, caught --------------------------
+  {
+    auto plat = Platform::create(PlatformKind::SVM, 4);
+    RaceChecker chk(*plat);
+    plat->trace = chk.hook();
+    Shared<long> counter(*plat, HomePolicy::node(0));
+    counter.raw() = 0;
+    plat->run([&](Ctx& c) {
+      for (int i = 0; i < 4; ++i) {
+        counter.update(c, [](long v) { return v + 1; });  // no lock!
+      }
+    });
+    std::printf("== buggy counter on SVM/4p ==\n%s\n",
+                chk.report().summary().c_str());
+  }
+
+  // -- 2: false sharing, quantified ----------------------------------
+  {
+    auto plat = Platform::create(PlatformKind::SMP, 4);
+    RaceChecker chk(*plat);
+    plat->trace = chk.hook();
+    SharedArray<long> slots(*plat, 512, HomePolicy::node(0));
+    for (std::size_t i = 0; i < slots.size(); ++i) slots.raw(i) = 0;
+    plat->run([&](Ctx& c) {
+      const auto me = static_cast<std::size_t>(c.id());
+      for (int i = 0; i < 64; ++i) slots.set(c, me, i);  // packed slots
+    });
+    std::printf("== per-processor slots packed into one line (SMP) ==\n%s\n",
+                chk.report().summary().c_str());
+  }
+
+  // -- 3: a real app, clean, at zero simulated overhead --------------
+  registerAllApps();
+  const AppDesc* ocean = Registry::instance().find("ocean");
+  Cycles untraced = 0;
+  {
+    auto plat = Platform::create(PlatformKind::SVM, 4);
+    untraced = ocean->original().run(*plat, ocean->tiny).stats.exec_cycles;
+  }
+  auto plat = Platform::create(PlatformKind::SVM, 4);
+  TraceRecorder rec;
+  RaceChecker chk(*plat);
+  plat->trace = teeHooks(rec.hook(), chk.hook());
+  const AppResult r = ocean->original().run(*plat, ocean->tiny);
+  const RaceReport report = chk.report();
+  std::printf("== ocean/orig on SVM/4p ==\n%s", report.summary().c_str());
+  std::printf("clean: %s; %llu cycles traced vs %llu untraced (%s)\n",
+              report.clean() ? "yes" : "NO",
+              static_cast<unsigned long long>(r.stats.exec_cycles),
+              static_cast<unsigned long long>(untraced),
+              r.stats.exec_cycles == untraced ? "identical" : "DRIFT");
+  std::printf("recorder saw %zu page faults alongside the checker\n",
+              rec.count(TraceEvent::Kind::PageFault));
+  return report.clean() && r.stats.exec_cycles == untraced ? 0 : 1;
+}

@@ -144,6 +144,10 @@ struct BarnesSim {
   float getf(Ctx& c, int node, std::size_t f) {
     return nf.get(c, static_cast<std::size_t>(node) * nf_stride + f);
   }
+  /// Unlocked float-field peek (see the update-tree move check).
+  float getfRacy(Ctx& c, int node, std::size_t f) {
+    return nf.getRacy(c, static_cast<std::size_t>(node) * nf_stride + f);
+  }
   void setf(Ctx& c, int node, std::size_t f, float v) {
     nf.set(c, static_cast<std::size_t>(node) * nf_stride + f, v);
   }
@@ -239,13 +243,34 @@ struct BarnesSim {
         return;
       }
       if (geti(c, slot, 0) == kLeaf) {
+        // Mutating (or splitting) a leaf requires the leaf's lock as
+        // well as the parent's: the update-tree variant removes bodies
+        // under the leaf's lock alone. Acquire the pair in sorted id
+        // order (deadlock-free under the hashed lock pool) and
+        // revalidate the slot pointer, which may have changed while no
+        // lock was held.
+        const int lkl = cellLock(slot);
+        if (lkl != lk) {
+          c.unlock(lk);
+          c.lock(std::min(lk, lkl));
+          c.lock(std::max(lk, lkl));
+          if (geti(c, cur, 2 + static_cast<std::size_t>(oct)) != slot) {
+            c.unlock(std::max(lk, lkl));
+            c.unlock(std::min(lk, lkl));
+            continue;  // slot replaced while unlocked: retry this cell
+          }
+        }
+        const auto unlockBoth = [&] {
+          if (lkl != lk) c.unlock(std::max(lk, lkl));
+          c.unlock(std::min(lk, lkl));
+        };
         const std::int32_t cnt = geti(c, slot, 1);
         const int level = geti(c, slot, 10);
         if (cnt < kLeafCap || (level >= kMaxLevel && cnt < kLeafMax)) {
           seti(c, slot, 2 + static_cast<std::size_t>(cnt), b);
           seti(c, slot, 1, cnt + 1);
           body_leaf.set(c, static_cast<std::size_t>(b), slot);
-          c.unlock(lk);
+          unlockBoth();
           return;
         }
         // Split: privately rebuild the leaf's bodies plus ours into a
@@ -261,7 +286,7 @@ struct BarnesSim {
                                      getf(c, slot, 7), level,
                                      /*with_com=*/false);
         seti(c, cur, 2 + static_cast<std::size_t>(oct), sub);
-        c.unlock(lk);
+        unlockBoth();
         return;
       }
       c.unlock(lk);
@@ -629,33 +654,46 @@ AppResult runImpl(Platform& plat, const AppParams& prm, Variant variant) {
               sim.insertShared(c, static_cast<std::int32_t>(i), sim.root);
             }
           } else {
-            // Move only bodies that left their leaf's box.
+            // Move only bodies that left their leaf's box. The leaf id
+            // and its box are peeked without a lock (annotated racy): a
+            // concurrent split may be re-homing the body this instant,
+            // so the locked removal below revalidates, and a stale
+            // "still inside" verdict is corrected next step.
             for (std::size_t i = lo; i < hi; ++i) {
-              const std::int32_t leaf = sim.body_leaf.get(c, i);
+              const std::int32_t leaf = sim.body_leaf.getRacy(c, i);
               const float x = sim.bx.get(c, i), y = sim.by.get(c, i),
                           z = sim.bz.get(c, i);
-              const float mx = sim.getf(c, leaf, 4), my = sim.getf(c, leaf, 5),
-                          mz = sim.getf(c, leaf, 6), hs = sim.getf(c, leaf, 7);
+              const float mx = sim.getfRacy(c, leaf, 4),
+                          my = sim.getfRacy(c, leaf, 5),
+                          mz = sim.getfRacy(c, leaf, 6),
+                          hs = sim.getfRacy(c, leaf, 7);
               c.compute(10);
               if (std::abs(x - mx) <= hs && std::abs(y - my) <= hs &&
                   std::abs(z - mz) <= hs) {
                 continue;
               }
-              // Remove from the old leaf (locked), insert from the root.
+              // Remove from the old leaf (locked), insert from the
+              // root. If the body is no longer listed there, a
+              // concurrent split already re-homed it by its current
+              // position -- nothing to reinsert.
               const int lk = sim.cellLock(leaf);
               c.lock(lk);
               const std::int32_t cnt = sim.geti(c, leaf, 1);
+              bool removed = false;
               for (std::int32_t k = 0; k < cnt; ++k) {
                 if (sim.geti(c, leaf, 2 + static_cast<std::size_t>(k)) ==
                     static_cast<std::int32_t>(i)) {
                   sim.seti(c, leaf, 2 + static_cast<std::size_t>(k),
                            sim.geti(c, leaf, 2 + static_cast<std::size_t>(cnt - 1)));
                   sim.seti(c, leaf, 1, cnt - 1);
+                  removed = true;
                   break;
                 }
               }
               c.unlock(lk);
-              sim.insertShared(c, static_cast<std::int32_t>(i), sim.root);
+              if (removed) {
+                sim.insertShared(c, static_cast<std::int32_t>(i), sim.root);
+              }
             }
           }
           c.barrier(sim.bar);

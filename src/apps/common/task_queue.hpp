@@ -117,7 +117,9 @@ class TaskQueues {
   /// owners always drain their own queues.
   std::int32_t steal(Ctx& c, int v) {
     const auto vi = static_cast<std::size_t>(v);
-    if (qs_[vi].get(c, 0) >= qs_[vi].get(c, 1)) return -1;  // looks empty
+    // The peek is deliberately lock-free (getRacy): reading stale bounds
+    // only makes the thief skip a robbable victim.
+    if (qs_[vi].getRacy(c, 0) >= qs_[vi].getRacy(c, 1)) return -1;
     const std::int32_t t = popFrom(c, qs_[vi], locks_[vi]);
     if (t >= 0) ++c.stats().tasks_stolen;
     return t;

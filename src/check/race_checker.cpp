@@ -1,0 +1,313 @@
+#include "check/race_checker.hpp"
+
+#include "runtime/platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rsvm {
+
+namespace {
+
+int rwKind(bool prev_write, bool cur_write) {
+  return (prev_write ? 2 : 0) | (cur_write ? 1 : 0);
+}
+
+std::string describeSync(const SyncRef& s) {
+  if (!s.valid) return "start of run";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s(%" PRIu64 ")@%" PRIu64,
+                traceKindName(s.kind), s.id, s.at);
+  return buf;
+}
+
+std::string describeConflict(const RaceReport::Conflict& c) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "P%d %s [0x%" PRIx64 "+%u] vs P%d %s [0x%" PRIx64
+      "+%u] in unit 0x%" PRIx64 " (%u B); last sync: P%d %s, P%d %s",
+      c.first_proc, c.first_write ? "write" : "read", c.first_addr,
+      c.first_len, c.second_proc, c.second_write ? "write" : "read",
+      c.second_addr, c.second_len, c.unit_base, c.unit_bytes, c.first_proc,
+      describeSync(c.first_sync).c_str(), c.second_proc,
+      describeSync(c.second_sync).c_str());
+  return buf;
+}
+
+}  // namespace
+
+RaceChecker::RaceChecker(const Config& cfg) : cfg_(cfg) {
+  assert(cfg_.nprocs > 0);
+  assert(cfg_.word_bytes > 0 && cfg_.coherence_bytes > 0);
+  vc_.assign(static_cast<std::size_t>(cfg_.nprocs),
+             Clock(static_cast<std::size_t>(cfg_.nprocs), 0));
+  for (int p = 0; p < cfg_.nprocs; ++p) {
+    vc_[static_cast<std::size_t>(p)][static_cast<std::size_t>(p)] = 1;
+  }
+  last_sync_.assign(static_cast<std::size_t>(cfg_.nprocs), SyncRef{});
+  word_.unit = cfg_.word_bytes;
+  coh_.unit = cfg_.coherence_bytes;
+}
+
+RaceChecker::RaceChecker(const Platform& plat)
+    : RaceChecker(Config{plat.nprocs(), 4, plat.coherenceBytes(), 32}) {}
+
+void RaceChecker::join(Clock& into, const Clock& from) {
+  if (into.empty()) into.assign(from.size(), 0);
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+bool RaceChecker::orderedBefore(const Access& prev, ProcId p) const {
+  if (prev.proc == p) return true;  // program order
+  return vc_[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+             prev.proc)] >= prev.clock;
+}
+
+bool RaceChecker::bytesOverlap(const Access& a, const Access& b) {
+  return a.lo < b.lo + b.len && b.lo < a.lo + a.len;
+}
+
+void RaceChecker::onEvent(const TraceEvent& e) {
+  using K = TraceEvent::Kind;
+  switch (e.kind) {
+    case K::SharedRead:
+      onAccess(e, /*write=*/false, /*racy=*/false);
+      return;
+    case K::SharedWrite:
+      onAccess(e, /*write=*/true, /*racy=*/false);
+      return;
+    case K::RacyRead:
+      onAccess(e, /*write=*/false, /*racy=*/true);
+      return;
+    case K::RacyWrite:
+      onAccess(e, /*write=*/true, /*racy=*/true);
+      return;
+    case K::Alloc: {
+      const AllocInfo ai{e.id, e.bytes};
+      const auto it = std::lower_bound(
+          allocs_.begin(), allocs_.end(), ai,
+          [](const AllocInfo& a, const AllocInfo& b) { return a.base < b.base; });
+      allocs_.insert(it, ai);
+      return;
+    }
+    default:
+      break;
+  }
+  // Synchronization events.
+  if (e.proc < 0 || e.proc >= cfg_.nprocs) return;
+  const auto pi = static_cast<std::size_t>(e.proc);
+  Clock& my = vc_[pi];
+  switch (e.kind) {
+    case K::LockRelease: {
+      LockSt& lk = locks_[e.id];
+      join(lk.vc, my);
+      ++my[pi];
+      break;
+    }
+    case K::LockGrant: {
+      const auto it = locks_.find(e.id);
+      if (it != locks_.end()) join(my, it->second.vc);
+      ++my[pi];
+      break;
+    }
+    case K::BarrierArrive: {
+      BarrierSt& b = barriers_[e.id];
+      if (b.arrive_idx.empty()) {
+        b.arrive_idx.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+        b.depart_idx.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+      }
+      const std::size_t epoch = b.arrive_idx[pi]++;
+      if (b.epochs.size() <= epoch) b.epochs.resize(epoch + 1);
+      join(b.epochs[epoch], my);
+      ++my[pi];
+      break;
+    }
+    case K::BarrierDepart: {
+      const auto it = barriers_.find(e.id);
+      if (it == barriers_.end() || it->second.depart_idx.empty()) break;
+      BarrierSt& b = it->second;
+      const std::size_t epoch = b.depart_idx[pi]++;
+      if (epoch < b.epochs.size()) join(my, b.epochs[epoch]);
+      ++my[pi];
+      break;
+    }
+    case K::LockAcquire:
+      break;  // the grant is the synchronization point
+    default:
+      return;  // protocol events carry no ordering information
+  }
+  last_sync_[pi] = SyncRef{true, e.kind, e.id, e.at};
+}
+
+void RaceChecker::onAccess(const TraceEvent& e, bool write, bool racy) {
+  if (e.proc < 0 || e.proc >= cfg_.nprocs) return;
+  const auto pi = static_cast<std::size_t>(e.proc);
+  ++report_.accesses;
+  Access cur;
+  cur.clock = vc_[pi][pi];
+  cur.proc = e.proc;
+  cur.lo = e.id;
+  cur.len = std::max<std::uint32_t>(e.bytes, 1);
+  cur.write = write;
+  cur.racy = racy;
+  cur.sync = last_sync_[pi];
+  checkShadow(word_, cur, /*coherence_level=*/false);
+  if (coh_.unit != word_.unit) {
+    checkShadow(coh_, cur, /*coherence_level=*/true);
+  }
+}
+
+void RaceChecker::checkShadow(Shadow& sh, const Access& cur,
+                              bool coherence_level) {
+  const std::uint64_t first = cur.lo / sh.unit;
+  const std::uint64_t last = (cur.lo + cur.len - 1) / sh.unit;
+  for (std::uint64_t u = first; u <= last; ++u) {
+    Cell& cell = sh.cells[u];
+    const SimAddr unit_base = u * sh.unit;
+    if (cell.w.clock != 0 && !orderedBefore(cell.w, cur.proc)) {
+      onConflict(cell.w, cur, unit_base, sh.unit, coherence_level);
+    }
+    if (cur.write) {
+      for (const Access& r : cell.reads) {
+        if (r.proc != cur.proc && !orderedBefore(r, cur.proc)) {
+          onConflict(r, cur, unit_base, sh.unit, coherence_level);
+        }
+      }
+      // The committed write supersedes prior state: later accesses that
+      // are unordered with the cleared reads are also unordered with
+      // this write (transitivity), so nothing is lost.
+      cell.reads.clear();
+      cell.w = cur;
+    } else {
+      bool found = false;
+      for (Access& r : cell.reads) {
+        if (r.proc == cur.proc) {
+          r = cur;
+          found = true;
+          break;
+        }
+      }
+      if (!found) cell.reads.push_back(cur);
+    }
+  }
+}
+
+void RaceChecker::onConflict(const Access& prev, const Access& cur,
+                             SimAddr unit_base, std::uint32_t unit_bytes,
+                             bool coherence_level) {
+  const int pa = std::min(prev.proc, cur.proc);
+  const int pb = std::max(prev.proc, cur.proc);
+  const int rw = rwKind(prev.write, cur.write);
+  auto makeConflict = [&] {
+    RaceReport::Conflict c;
+    c.unit_base = unit_base;
+    c.unit_bytes = unit_bytes;
+    c.first_proc = prev.proc;
+    c.second_proc = cur.proc;
+    c.first_write = prev.write;
+    c.second_write = cur.write;
+    c.first_addr = prev.lo;
+    c.second_addr = cur.lo;
+    c.first_len = prev.len;
+    c.second_len = cur.len;
+    c.first_sync = prev.sync;
+    c.second_sync = cur.sync;
+    return c;
+  };
+  if (!coherence_level) {
+    // Word granularity: only byte-overlapping conflicts are data races
+    // (byte-disjoint neighbors sharing a word bin are sub-unit false
+    // sharing, which the coherence-level pass accounts for). Annotated
+    // accesses are deliberate (stale peeks), not bugs.
+    if (!bytesOverlap(prev, cur)) return;
+    if (prev.racy || cur.racy) {
+      ++report_.suppressed_racy;
+      return;
+    }
+    if (!seen_races_.emplace(unit_base, pa, pb, rw).second) return;
+    ++report_.races_total;
+    if (report_.races.size() < cfg_.max_reports) {
+      report_.races.push_back(makeConflict());
+    }
+    return;
+  }
+  // Coherence granularity: conflicts whose byte ranges overlap are the
+  // word-level analysis' business; byte-disjoint ones are false sharing.
+  if (bytesOverlap(prev, cur)) return;
+  SimAddr key = unit_base;
+  std::size_t alloc_bytes = 0;
+  if (!allocs_.empty()) {
+    auto it = std::upper_bound(
+        allocs_.begin(), allocs_.end(), unit_base,
+        [](SimAddr a, const AllocInfo& ai) { return a < ai.base; });
+    if (it != allocs_.begin()) {
+      --it;
+      if (unit_base < it->base + it->bytes) {
+        key = it->base;
+        alloc_bytes = it->bytes;
+      }
+    }
+  }
+  if (!seen_fs_.emplace(unit_base, pa, pb, rw).second) return;
+  FsAccum& acc = fs_[key];
+  if (acc.pairs == 0) acc.example = makeConflict();
+  ++acc.pairs;
+  acc.units.insert(unit_base);
+  // Stash the allocation size alongside the example for report().
+  if (alloc_bytes > 0) acc.example_alloc_bytes = alloc_bytes;
+}
+
+RaceReport RaceChecker::report() const {
+  RaceReport out = report_;
+  out.false_sharing.clear();
+  out.false_sharing.reserve(fs_.size());
+  for (const auto& [base, acc] : fs_) {
+    RaceReport::FalseSharingDiag d;
+    d.alloc_base = base;
+    d.alloc_bytes = acc.example_alloc_bytes;
+    d.units = acc.units.size();
+    d.pairs = acc.pairs;
+    d.example = acc.example;
+    out.false_sharing.push_back(d);
+  }
+  std::sort(out.false_sharing.begin(), out.false_sharing.end(),
+            [](const auto& a, const auto& b) { return a.pairs > b.pairs; });
+  return out;
+}
+
+std::string RaceReport::summary() const {
+  std::string out;
+  char line[320];
+  std::snprintf(line, sizeof line,
+                "race check: %zu shared accesses, %zu data races "
+                "(%zu annotated-racy conflicts suppressed), "
+                "%zu false-sharing allocation(s), %zu word-disjoint "
+                "conflict pair(s)\n",
+                accesses, races_total, suppressed_racy, false_sharing.size(),
+                falseSharingPairs());
+  out += line;
+  for (const auto& r : races) {
+    out += "  RACE: " + describeConflict(r) + "\n";
+  }
+  if (races_total > races.size()) {
+    std::snprintf(line, sizeof line, "  ... and %zu more race(s)\n",
+                  races_total - races.size());
+    out += line;
+  }
+  for (const auto& f : false_sharing) {
+    std::snprintf(line, sizeof line,
+                  "  FALSE SHARING: alloc 0x%" PRIx64
+                  " (%zu B): %zu unit(s), %zu pair(s)\n",
+                  f.alloc_base, f.alloc_bytes, f.units, f.pairs);
+    out += line;
+    out += "    e.g. " + describeConflict(f.example) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rsvm

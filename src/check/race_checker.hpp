@@ -1,0 +1,182 @@
+// Online happens-before correctness checker for the simulation substrate.
+//
+// The paper's protocols (HLRC in particular) are only correct for
+// data-race-free programs, and its whole P/A optimization ladder is about
+// diagnosing false sharing. This checker mechanizes both diagnoses from
+// the extended trace stream the platforms emit:
+//
+//  * it maintains one vector clock per simulated processor, advanced by
+//    the lock release->grant and barrier arrive->depart events every
+//    platform emits, and flags conflicting shared accesses that are not
+//    ordered by synchronization as data races (at word granularity);
+//  * it runs the same conflict analysis at the platform's coherence
+//    granularity (SVM page / cache line / FGS block); conflicts that
+//    exist there but whose word ranges are disjoint are exactly the
+//    paper's false sharing, reported quantified per allocation.
+//
+// Accesses annotated RacyRead/RacyWrite (Ctx::readRacy, e.g. the task
+// queues' steal peek) are deliberate stale reads, counted but never
+// reported as races.
+//
+// Attach with plat.trace = checker.hook() (or teeHooks with a
+// TraceRecorder); zero overhead when no hook is set.
+#pragma once
+
+#include "runtime/trace.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rsvm {
+
+class Platform;
+
+/// The nearest synchronization event a processor performed before an
+/// access -- the "where to look" pointer in a race report.
+struct SyncRef {
+  bool valid = false;
+  TraceEvent::Kind kind = TraceEvent::Kind::LockAcquire;
+  std::uint64_t id = 0;  ///< lock or barrier id
+  Cycles at = 0;
+};
+
+struct RaceReport {
+  /// One conflicting, synchronization-unordered access pair.
+  struct Conflict {
+    SimAddr unit_base = 0;        ///< conflicting unit (word or coherence)
+    std::uint32_t unit_bytes = 0;
+    ProcId first_proc = -1;
+    ProcId second_proc = -1;
+    bool first_write = false;
+    bool second_write = false;
+    SimAddr first_addr = 0;
+    SimAddr second_addr = 0;
+    std::uint32_t first_len = 0;
+    std::uint32_t second_len = 0;
+    SyncRef first_sync;   ///< nearest sync before the earlier access
+    SyncRef second_sync;  ///< nearest sync before the later access
+  };
+
+  /// Word-disjoint conflicts within one allocation's coherence units --
+  /// the paper's false sharing, quantified per data structure.
+  struct FalseSharingDiag {
+    SimAddr alloc_base = 0;
+    std::size_t alloc_bytes = 0;  ///< 0 when the address was unattributed
+    std::size_t units = 0;        ///< distinct coherence units affected
+    std::size_t pairs = 0;        ///< deduplicated conflicting pairs
+    Conflict example;
+  };
+
+  std::vector<Conflict> races;  ///< word-granularity data races (capped)
+  std::vector<FalseSharingDiag> false_sharing;
+  std::size_t accesses = 0;        ///< shared accesses checked
+  std::size_t races_total = 0;     ///< deduplicated races incl. beyond cap
+  std::size_t suppressed_racy = 0; ///< conflicts involving annotated accesses
+
+  [[nodiscard]] bool clean() const { return races_total == 0; }
+  [[nodiscard]] std::size_t falseSharingPairs() const {
+    std::size_t n = 0;
+    for (const auto& f : false_sharing) n += f.pairs;
+    return n;
+  }
+  /// Human-readable diagnosis (pairs with TraceRecorder::report()).
+  [[nodiscard]] std::string summary() const;
+};
+
+class RaceChecker {
+ public:
+  struct Config {
+    int nprocs = 0;
+    std::uint32_t word_bytes = 4;        ///< word-shadow binning granularity
+    std::uint32_t coherence_bytes = 4096;
+    std::size_t max_reports = 32;        ///< stored Conflict records
+  };
+
+  explicit RaceChecker(const Config& cfg);
+  /// Configure from a platform: its processor count and coherence unit.
+  explicit RaceChecker(const Platform& plat);
+
+  /// Returns a hook bound to this checker (attach to Platform::trace).
+  TraceHook hook() {
+    return [this](const TraceEvent& e) { onEvent(e); };
+  }
+
+  void onEvent(const TraceEvent& e);
+
+  /// Snapshot of everything diagnosed so far.
+  [[nodiscard]] RaceReport report() const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  using Clock = std::vector<std::uint32_t>;  ///< one slot per processor
+
+  struct Access {
+    std::uint32_t clock = 0;  ///< owner's vc component when it happened
+    ProcId proc = -1;
+    SimAddr lo = 0;
+    std::uint32_t len = 0;
+    bool write = false;
+    bool racy = false;
+    SyncRef sync;
+  };
+
+  struct Cell {
+    Access w;                    ///< last write (clock 0 = none)
+    std::vector<Access> reads;   ///< reads since the last write
+  };
+
+  /// One conflict analysis at a fixed granularity.
+  struct Shadow {
+    std::uint32_t unit = 0;
+    std::unordered_map<std::uint64_t, Cell> cells;
+  };
+
+  void onAccess(const TraceEvent& e, bool write, bool racy);
+  void checkShadow(Shadow& sh, const Access& cur, bool coherence_level);
+  void onConflict(const Access& prev, const Access& cur, SimAddr unit_base,
+                  std::uint32_t unit_bytes, bool coherence_level);
+  void join(Clock& into, const Clock& from);
+  [[nodiscard]] bool orderedBefore(const Access& prev, ProcId p) const;
+  /// Do the two accesses touch a common byte? Overlapping conflicts are
+  /// data races; disjoint ones sharing a coherence unit are false sharing.
+  [[nodiscard]] static bool bytesOverlap(const Access& a, const Access& b);
+
+  struct LockSt {
+    Clock vc;  ///< clock carried by the lock (last releaser's knowledge)
+  };
+  struct BarrierSt {
+    std::vector<Clock> epochs;           ///< merged clock per epoch
+    std::vector<std::size_t> arrive_idx; ///< per proc: next arrive epoch
+    std::vector<std::size_t> depart_idx; ///< per proc: next depart epoch
+  };
+  struct AllocInfo {
+    SimAddr base = 0;
+    std::size_t bytes = 0;
+  };
+  struct FsAccum {
+    std::set<std::uint64_t> units;
+    std::size_t pairs = 0;
+    std::size_t example_alloc_bytes = 0;
+    RaceReport::Conflict example;
+  };
+
+  Config cfg_;
+  std::vector<Clock> vc_;        ///< per processor
+  std::vector<SyncRef> last_sync_;
+  std::map<std::uint64_t, LockSt> locks_;
+  std::map<std::uint64_t, BarrierSt> barriers_;
+  std::vector<AllocInfo> allocs_;  ///< sorted by base
+  Shadow word_;
+  Shadow coh_;
+  // Deduplication: (unit, procA, procB, rw-kind) per granularity level.
+  std::set<std::tuple<std::uint64_t, int, int, int>> seen_races_;
+  std::set<std::tuple<std::uint64_t, int, int, int>> seen_fs_;
+  std::map<SimAddr, FsAccum> fs_;  ///< keyed by allocation base
+  RaceReport report_;
+};
+
+}  // namespace rsvm

@@ -159,7 +159,7 @@ Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
   return t > eng.now(p) ? t - eng.now(p) : 0;
 }
 
-void FgsPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+void FgsPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
   (void)size;
   const ProcId p = engine_.self();
   ProcStats& st = engine_.stats(p);
@@ -251,6 +251,7 @@ void FgsPlatform::barrier(int id) {
   const ProcId p = engine_.self();
   auto& b = barriers_[static_cast<std::size_t>(id)];
   ++engine_.stats(p).barriers;
+  emit(TraceEvent::Kind::BarrierArrive, p, static_cast<std::uint64_t>(id));
   const Cycles arr =
       net_.send(p, b.manager, prm_.msg_header_bytes, engine_.now(p));
   const Cycles processed = handler_[static_cast<std::size_t>(b.manager)]
@@ -260,6 +261,7 @@ void FgsPlatform::barrier(int id) {
   if (++b.arrived < nprocs()) {
     b.waiting.push_back(p);
     engine_.block(Bucket::BarrierWait);
+    emit(TraceEvent::Kind::BarrierDepart, p, static_cast<std::uint64_t>(id));
     return;
   }
   b.arrived = 0;
@@ -278,6 +280,7 @@ void FgsPlatform::barrier(int id) {
       t, prm_.barrier_handler);
   engine_.stallUntil(net_.send(b.manager, p, prm_.msg_header_bytes, t),
                      Bucket::BarrierWait);
+  emit(TraceEvent::Kind::BarrierDepart, p, static_cast<std::uint64_t>(id));
 }
 
 }  // namespace rsvm

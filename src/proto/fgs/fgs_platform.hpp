@@ -56,16 +56,19 @@ class FgsPlatform final : public Platform {
  public:
   explicit FgsPlatform(int nprocs, const FgsParams& params = {});
 
-  void access(SimAddr a, std::uint32_t size, bool write) override;
   void acquireLock(int id) override;
   void releaseLock(int id) override;
   void barrier(int id) override;
   void warm(ProcId p, SimAddr base, std::size_t len) override;
+  [[nodiscard]] std::uint32_t coherenceBytes() const override {
+    return prm_.block_bytes;
+  }
 
   [[nodiscard]] const FgsParams& params() const { return prm_; }
   [[nodiscard]] int blockState(ProcId p, SimAddr a) const;
 
  protected:
+  void doAccess(SimAddr a, std::uint32_t size, bool write) override;
   void onArenaGrown(std::size_t used_bytes) override;
   void onLockCreated(int id) override;
   void onBarrierCreated(int id) override;

@@ -133,7 +133,7 @@ NumaPlatform::MissOutcome NumaPlatform::serveMiss(ProcId p, SimAddr line_addr,
   return {t > eng.now(p) ? t - eng.now(p) : 0, remote};
 }
 
-void NumaPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+void NumaPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
   (void)size;
   const ProcId p = engine_.self();
   ProcStats& st = engine_.stats(p);

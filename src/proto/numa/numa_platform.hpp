@@ -36,10 +36,28 @@ class NumaPlatform final : public Platform {
  public:
   explicit NumaPlatform(int nprocs, const NumaParams& params = {});
 
-  void access(SimAddr a, std::uint32_t size, bool write) override;
-  void acquireLock(int id) override { sync_.acquire(id); }
-  void releaseLock(int id) override { sync_.release(id); }
-  void barrier(int id) override { sync_.barrier(id, nprocs()); }
+  // Hardware locks/barriers, bracketed by trace events so consumers see
+  // the same synchronization stream on every platform.
+  void acquireLock(int id) override {
+    const ProcId p = engine_.self();
+    emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
+    sync_.acquire(id);
+    emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+  }
+  void releaseLock(int id) override {
+    emit(TraceEvent::Kind::LockRelease, engine_.self(),
+         static_cast<std::uint64_t>(id));
+    sync_.release(id);
+  }
+  void barrier(int id) override {
+    const ProcId p = engine_.self();
+    emit(TraceEvent::Kind::BarrierArrive, p, static_cast<std::uint64_t>(id));
+    sync_.barrier(id, nprocs());
+    emit(TraceEvent::Kind::BarrierDepart, p, static_cast<std::uint64_t>(id));
+  }
+  [[nodiscard]] std::uint32_t coherenceBytes() const override {
+    return prm_.l2.line_bytes;
+  }
 
   [[nodiscard]] const NumaParams& params() const { return prm_; }
   [[nodiscard]] ProcId homeOf(SimAddr a) const { return home_[a >> 12]; }
@@ -48,6 +66,7 @@ class NumaPlatform final : public Platform {
   [[nodiscard]] std::uint64_t dirSharers(SimAddr a) const;
 
  protected:
+  void doAccess(SimAddr a, std::uint32_t size, bool write) override;
   void onArenaGrown(std::size_t used_bytes) override;
   void onLockCreated(int) override { sync_.onLockCreated(); }
   void onBarrierCreated(int) override { sync_.onBarrierCreated(); }

@@ -58,7 +58,7 @@ Cycles SmpPlatform::busTransaction(ProcId p, SimAddr line, bool write,
   return t;
 }
 
-void SmpPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+void SmpPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
   (void)size;
   const ProcId p = engine_.self();
   ProcStats& st = engine_.stats(p);

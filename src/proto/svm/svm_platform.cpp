@@ -194,7 +194,7 @@ void SvmPlatform::pageFaultLrc(ProcId p, std::uint64_t page) {
   }
 }
 
-void SvmPlatform::access(SimAddr a, std::uint32_t size, bool write) {
+void SvmPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
   const ProcId p = engine_.self();
   ProcStats& st = engine_.stats(p);
   if (write) {

@@ -84,11 +84,13 @@ class SvmPlatform final : public Platform {
  public:
   explicit SvmPlatform(int nprocs, const SvmParams& params = {});
 
-  void access(SimAddr a, std::uint32_t size, bool write) override;
   void acquireLock(int id) override;
   void releaseLock(int id) override;
   void barrier(int id) override;
   void warm(ProcId p, SimAddr base, std::size_t len) override;
+  [[nodiscard]] std::uint32_t coherenceBytes() const override {
+    return prm_.page_bytes;
+  }
 
   [[nodiscard]] const SvmParams& params() const { return prm_; }
   [[nodiscard]] int nodes() const { return nnodes_; }
@@ -105,6 +107,7 @@ class SvmPlatform final : public Platform {
   [[nodiscard]] ProcId homeOf(SimAddr a) const;
 
  protected:
+  void doAccess(SimAddr a, std::uint32_t size, bool write) override;
   void onArenaGrown(std::size_t used_bytes) override;
   void onLockCreated(int id) override;
   void onBarrierCreated(int id) override;

@@ -5,6 +5,7 @@
 #include "proto/smp/smp_platform.hpp"
 #include "proto/svm/svm_platform.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rsvm {
@@ -22,6 +23,13 @@ SimAddr Platform::alloc(std::size_t bytes, std::size_t align,
   const SimAddr base = space_.allocate(rounded, a);
   onArenaGrown(space_.used());
   setHomes(base, rounded, homes);
+  if (trace) {
+    // Host-side event (no fiber is running): lets trace consumers
+    // attribute addresses to allocations.
+    trace(TraceEvent{TraceEvent::Kind::Alloc, -1, 0, base,
+                     static_cast<std::uint32_t>(
+                         std::min<std::size_t>(rounded, UINT32_MAX))});
+  }
   return base;
 }
 

@@ -92,10 +92,32 @@ class Platform {
   RunStats run(const std::function<void(Ctx&)>& body);
 
   // ---- simulated operations (called from inside processor fibers) ----
-  virtual void access(SimAddr a, std::uint32_t size, bool write) = 0;
+
+  /// One timed shared access. When a trace hook is attached, a
+  /// SharedRead/SharedWrite event (RacyRead/RacyWrite if `racy`) is
+  /// emitted before the protocol runs; the simulated cost is identical
+  /// either way. `racy` marks accesses that are intentionally
+  /// unsynchronized (e.g. a thief peeking at a victim's queue bounds) so
+  /// the race checker can distinguish them from bugs.
+  void access(SimAddr a, std::uint32_t size, bool write, bool racy = false) {
+    if (trace) {
+      const TraceEvent::Kind k =
+          racy ? (write ? TraceEvent::Kind::RacyWrite
+                        : TraceEvent::Kind::RacyRead)
+               : (write ? TraceEvent::Kind::SharedWrite
+                        : TraceEvent::Kind::SharedRead);
+      emit(k, engine_.self(), a, size);
+    }
+    doAccess(a, size, write);
+  }
   virtual void acquireLock(int id) = 0;
   virtual void releaseLock(int id) = 0;
   virtual void barrier(int id) = 0;
+
+  /// The coherence-unit size at which the platform's protocol shares data
+  /// (SVM page, hardware cache line, FGS block) -- the granularity at
+  /// which false sharing happens on this platform.
+  [[nodiscard]] virtual std::uint32_t coherenceBytes() const = 0;
 
   Engine& engine() { return engine_; }
 
@@ -122,6 +144,9 @@ class Platform {
  protected:
   Platform(PlatformKind k, const Engine::Config& ec)
       : kind_(k), engine_(ec) {}
+
+  /// Protocol implementation of one timed access (see access()).
+  virtual void doAccess(SimAddr a, std::uint32_t size, bool write) = 0;
 
   /// Called when an allocation extends the used arena: protocols size
   /// their page tables / directories here.
@@ -162,6 +187,16 @@ class Ctx {
 
   void read(SimAddr a, std::uint32_t size) { plat.access(a, size, false); }
   void write(SimAddr a, std::uint32_t size) { plat.access(a, size, true); }
+
+  /// Deliberately unsynchronized accesses (same simulated cost as
+  /// read/write; traced as RacyRead/RacyWrite so the race checker treats
+  /// them as annotated, not as bugs).
+  void readRacy(SimAddr a, std::uint32_t size) {
+    plat.access(a, size, false, /*racy=*/true);
+  }
+  void writeRacy(SimAddr a, std::uint32_t size) {
+    plat.access(a, size, true, /*racy=*/true);
+  }
 
   void lock(int id) { plat.acquireLock(id); }
   void unlock(int id) { plat.releaseLock(id); }

@@ -46,6 +46,15 @@ class SharedArray {
     host_[i] = f(host_[i]);
   }
 
+  /// Timed read annotated as deliberately unsynchronized -- same
+  /// simulated cost as get(), but the race checker treats it as an
+  /// intentional stale peek rather than a data race.
+  T getRacy(Ctx& c, std::size_t i) const {
+    assert(i < n_);
+    c.readRacy(addr(i), sizeof(T));
+    return host_[i];
+  }
+
   /// Untimed host access, for initialization and verification only.
   T& raw(std::size_t i) {
     assert(i < n_);

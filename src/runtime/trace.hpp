@@ -11,6 +11,7 @@
 
 #include "sim/types.hpp"
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -29,23 +30,73 @@ struct TraceEvent {
     LockRelease,     ///< processor releases the lock
     BarrierArrive,
     BarrierDepart,
+    SharedRead,      ///< timed shared read (id = address, bytes = size)
+    SharedWrite,     ///< timed shared write (id = address, bytes = size)
+    RacyRead,        ///< annotated intentionally-racy read (e.g. a steal peek)
+    RacyWrite,       ///< annotated intentionally-racy write
+    Alloc,           ///< shared allocation (id = base, bytes = size, proc = -1)
   };
 
   Kind kind;
   ProcId proc = -1;          ///< processor performing the event
   Cycles at = 0;             ///< its virtual time
-  std::uint64_t id = 0;      ///< page number, lock id, or barrier id
-  std::uint32_t bytes = 0;   ///< transfer size where applicable
+  std::uint64_t id = 0;      ///< page number, address, lock id, or barrier id
+  std::uint32_t bytes = 0;   ///< transfer/access size where applicable
 };
+
+inline const char* traceKindName(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::PageFault: return "PageFault";
+    case TraceEvent::Kind::TwinCreate: return "TwinCreate";
+    case TraceEvent::Kind::DiffSend: return "DiffSend";
+    case TraceEvent::Kind::LockAcquire: return "LockAcquire";
+    case TraceEvent::Kind::LockGrant: return "LockGrant";
+    case TraceEvent::Kind::LockRelease: return "LockRelease";
+    case TraceEvent::Kind::BarrierArrive: return "BarrierArrive";
+    case TraceEvent::Kind::BarrierDepart: return "BarrierDepart";
+    case TraceEvent::Kind::SharedRead: return "SharedRead";
+    case TraceEvent::Kind::SharedWrite: return "SharedWrite";
+    case TraceEvent::Kind::RacyRead: return "RacyRead";
+    case TraceEvent::Kind::RacyWrite: return "RacyWrite";
+    case TraceEvent::Kind::Alloc: return "Alloc";
+  }
+  return "?";
+}
 
 using TraceHook = std::function<void(const TraceEvent&)>;
 
-/// Collects events and produces the paper-style diagnoses.
+/// Compose two hooks into one (e.g. a TraceRecorder plus a RaceChecker
+/// observing the same run).
+inline TraceHook teeHooks(TraceHook a, TraceHook b) {
+  return [a = std::move(a), b = std::move(b)](const TraceEvent& e) {
+    if (a) a(e);
+    if (b) b(e);
+  };
+}
+
+/// Collects events and produces the paper-style diagnoses. Per-access
+/// events (SharedRead/SharedWrite/RacyRead/RacyWrite) are only counted,
+/// not stored -- they are per-instruction and would dwarf the protocol
+/// events the recorder aggregates (the RaceChecker consumes them
+/// streamingly instead).
 class TraceRecorder {
  public:
   /// Returns a hook bound to this recorder (attach to Platform::trace).
   TraceHook hook() {
-    return [this](const TraceEvent& e) { events_.push_back(e); };
+    return [this](const TraceEvent& e) { record(e); };
+  }
+
+  void record(const TraceEvent& e) {
+    switch (e.kind) {
+      case TraceEvent::Kind::SharedRead:
+      case TraceEvent::Kind::SharedWrite:
+      case TraceEvent::Kind::RacyRead:
+      case TraceEvent::Kind::RacyWrite:
+        ++access_counts_[static_cast<std::size_t>(e.kind)];
+        return;
+      default:
+        events_.push_back(e);
+    }
   }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
@@ -53,6 +104,15 @@ class TraceRecorder {
   }
 
   [[nodiscard]] std::size_t count(TraceEvent::Kind k) const {
+    switch (k) {
+      case TraceEvent::Kind::SharedRead:
+      case TraceEvent::Kind::SharedWrite:
+      case TraceEvent::Kind::RacyRead:
+      case TraceEvent::Kind::RacyWrite:
+        return access_counts_[static_cast<std::size_t>(k)];
+      default:
+        break;
+    }
     std::size_t n = 0;
     for (const auto& e : events_) {
       if (e.kind == k) ++n;
@@ -80,6 +140,8 @@ class TraceRecorder {
 
  private:
   std::vector<TraceEvent> events_;
+  // Indexed by Kind; only the access kinds are used.
+  std::array<std::size_t, 16> access_counts_{};
 };
 
 }  // namespace rsvm

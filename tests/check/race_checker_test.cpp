@@ -1,0 +1,208 @@
+// Vector-clock happens-before checker (check/race_checker.hpp), driven
+// by hand-constructed event streams: each test is a tiny execution whose
+// race/no-race verdict is known by construction.
+#include "check/race_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+using K = TraceEvent::Kind;
+
+TraceEvent ev(K k, ProcId p, std::uint64_t id, std::uint32_t bytes = 0,
+              Cycles at = 0) {
+  return TraceEvent{k, p, at, id, bytes};
+}
+
+RaceChecker::Config cfg(int nprocs, std::uint32_t coherence = 4096) {
+  return {nprocs, 8, coherence, 32};
+}
+
+TEST(RaceChecker, EmptyStreamIsClean) {
+  RaceChecker chk(cfg(4));
+  const RaceReport r = chk.report();
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.accesses, 0u);
+  EXPECT_TRUE(r.false_sharing.empty());
+  EXPECT_NE(r.summary().find("0 data races"), std::string::npos);
+}
+
+TEST(RaceChecker, UnorderedWritesToSameWordAreARace) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x100, 8));
+  const RaceReport r = chk.report();
+  EXPECT_EQ(r.races_total, 1u);
+  ASSERT_EQ(r.races.size(), 1u);
+  EXPECT_EQ(r.races[0].first_proc, 0);
+  EXPECT_EQ(r.races[0].second_proc, 1);
+  EXPECT_TRUE(r.races[0].first_write);
+  EXPECT_TRUE(r.races[0].second_write);
+  EXPECT_EQ(r.races[0].unit_bytes, 8u);
+  EXPECT_NE(r.summary().find("RACE"), std::string::npos);
+}
+
+TEST(RaceChecker, WriteThenUnorderedReadIsARace) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x40, 8));
+  chk.onEvent(ev(K::SharedRead, 1, 0x40, 8));
+  const RaceReport r = chk.report();
+  ASSERT_EQ(r.races.size(), 1u);
+  EXPECT_TRUE(r.races[0].first_write);
+  EXPECT_FALSE(r.races[0].second_write);
+}
+
+TEST(RaceChecker, ReadSharingIsNotARace) {
+  RaceChecker chk(cfg(3));
+  chk.onEvent(ev(K::SharedRead, 0, 0x40, 8));
+  chk.onEvent(ev(K::SharedRead, 1, 0x40, 8));
+  chk.onEvent(ev(K::SharedRead, 2, 0x40, 8));
+  EXPECT_TRUE(chk.report().clean());
+}
+
+TEST(RaceChecker, LockOrderingMakesAccessesRaceFree) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::LockGrant, 0, 7));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::LockRelease, 0, 7));
+  chk.onEvent(ev(K::LockGrant, 1, 7));  // release handed to proc 1
+  chk.onEvent(ev(K::SharedWrite, 1, 0x100, 8));
+  chk.onEvent(ev(K::LockRelease, 1, 7));
+  EXPECT_TRUE(chk.report().clean());
+}
+
+TEST(RaceChecker, DifferentLocksDoNotOrder) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::LockGrant, 0, 1));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::LockRelease, 0, 1));
+  chk.onEvent(ev(K::LockGrant, 1, 2));  // a different lock: no edge
+  chk.onEvent(ev(K::SharedWrite, 1, 0x100, 8));
+  chk.onEvent(ev(K::LockRelease, 1, 2));
+  EXPECT_EQ(chk.report().races_total, 1u);
+}
+
+TEST(RaceChecker, BarrierOrdersBothDirections) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::BarrierArrive, 0, 0));
+  chk.onEvent(ev(K::BarrierArrive, 1, 0));
+  chk.onEvent(ev(K::BarrierDepart, 1, 0));
+  chk.onEvent(ev(K::BarrierDepart, 0, 0));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x100, 8));  // ordered after proc 0's
+  chk.onEvent(ev(K::SharedRead, 0, 0x200, 8));
+  chk.onEvent(ev(K::BarrierArrive, 0, 0));  // second epoch of the barrier
+  chk.onEvent(ev(K::BarrierArrive, 1, 0));
+  chk.onEvent(ev(K::BarrierDepart, 0, 0));
+  chk.onEvent(ev(K::BarrierDepart, 1, 0));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x200, 8));
+  EXPECT_TRUE(chk.report().clean()) << chk.report().summary();
+}
+
+TEST(RaceChecker, HappensBeforeIsTransitiveAcrossLockChains) {
+  RaceChecker chk(cfg(3));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::LockRelease, 0, 1));
+  chk.onEvent(ev(K::LockGrant, 1, 1));
+  chk.onEvent(ev(K::LockRelease, 1, 2));  // proc 1 passes knowledge on
+  chk.onEvent(ev(K::LockGrant, 2, 2));
+  chk.onEvent(ev(K::SharedWrite, 2, 0x100, 8));
+  EXPECT_TRUE(chk.report().clean()) << chk.report().summary();
+}
+
+TEST(RaceChecker, WordDisjointConflictsInOneUnitAreFalseSharingNotRaces) {
+  RaceChecker chk(cfg(2, 4096));
+  chk.onEvent(ev(K::Alloc, -1, 0x0, 8192));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x0, 8));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x8, 8));  // same page, different word
+  const RaceReport r = chk.report();
+  EXPECT_TRUE(r.clean()) << r.summary();
+  ASSERT_EQ(r.false_sharing.size(), 1u);
+  EXPECT_EQ(r.false_sharing[0].alloc_base, 0x0u);
+  EXPECT_EQ(r.false_sharing[0].alloc_bytes, 8192u);
+  EXPECT_EQ(r.false_sharing[0].units, 1u);
+  EXPECT_EQ(r.false_sharing[0].pairs, 1u);
+  EXPECT_NE(r.summary().find("FALSE SHARING"), std::string::npos);
+}
+
+TEST(RaceChecker, FalseSharingIsQuantifiedPerAllocation) {
+  RaceChecker chk(cfg(2, 4096));
+  chk.onEvent(ev(K::Alloc, -1, 0x0, 4096));
+  chk.onEvent(ev(K::Alloc, -1, 0x1000, 4096));
+  // Two word-disjoint conflicting pairs in allocation 0, one in alloc 1.
+  chk.onEvent(ev(K::SharedWrite, 0, 0x0, 8));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x8, 8));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::SharedRead, 1, 0x108, 8));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x1000, 8));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x1008, 8));
+  const RaceReport r = chk.report();
+  EXPECT_TRUE(r.clean()) << r.summary();
+  ASSERT_EQ(r.false_sharing.size(), 2u);
+  // Sorted by pair count: allocation 0 first with 2 pairs.
+  EXPECT_EQ(r.false_sharing[0].alloc_base, 0x0u);
+  EXPECT_EQ(r.false_sharing[0].pairs, 2u);
+  EXPECT_EQ(r.false_sharing[1].alloc_base, 0x1000u);
+  EXPECT_EQ(r.false_sharing[1].pairs, 1u);
+  EXPECT_EQ(r.falseSharingPairs(), 3u);
+}
+
+TEST(RaceChecker, SynchronizedDisjointWritesAreNotFalseSharing) {
+  RaceChecker chk(cfg(2, 4096));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x0, 8));
+  chk.onEvent(ev(K::LockRelease, 0, 1));
+  chk.onEvent(ev(K::LockGrant, 1, 1));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x8, 8));
+  const RaceReport r = chk.report();
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.false_sharing.empty()) << r.summary();
+}
+
+TEST(RaceChecker, AnnotatedRacyAccessesAreSuppressed) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::RacyRead, 1, 0x100, 8));
+  const RaceReport r = chk.report();
+  EXPECT_TRUE(r.clean());
+  EXPECT_GE(r.suppressed_racy, 1u);
+}
+
+TEST(RaceChecker, RepeatedRacingPairIsReportedOnce) {
+  RaceChecker chk(cfg(2));
+  for (int i = 0; i < 10; ++i) {
+    chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+    chk.onEvent(ev(K::SharedWrite, 1, 0x100, 8));
+  }
+  EXPECT_EQ(chk.report().races_total, 1u);
+}
+
+TEST(RaceChecker, NearestSyncEventsAreReported) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::LockGrant, 0, 3, 0, 100));
+  chk.onEvent(ev(K::LockRelease, 0, 3, 0, 200));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x100, 8));
+  chk.onEvent(ev(K::BarrierArrive, 1, 5, 0, 150));
+  chk.onEvent(ev(K::SharedWrite, 1, 0x100, 8));
+  const RaceReport r = chk.report();
+  ASSERT_EQ(r.races.size(), 1u);
+  ASSERT_TRUE(r.races[0].first_sync.valid);
+  EXPECT_EQ(r.races[0].first_sync.kind, K::LockRelease);
+  EXPECT_EQ(r.races[0].first_sync.id, 3u);
+  EXPECT_EQ(r.races[0].first_sync.at, 200u);
+  ASSERT_TRUE(r.races[0].second_sync.valid);
+  EXPECT_EQ(r.races[0].second_sync.kind, K::BarrierArrive);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("LockRelease(3)"), std::string::npos);
+  EXPECT_NE(s.find("BarrierArrive(5)"), std::string::npos);
+}
+
+TEST(RaceChecker, AccessSpanningTwoUnitsChecksBoth) {
+  RaceChecker chk(cfg(2));
+  chk.onEvent(ev(K::SharedWrite, 0, 0x4, 8));  // words 0x0 and 0x8
+  chk.onEvent(ev(K::SharedWrite, 1, 0x8, 8));
+  EXPECT_EQ(chk.report().races_total, 1u);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,83 @@
+// The simulator is a deterministic discrete-event machine: the same
+// application on the same platform must produce bit-identical statistics
+// run to run. Any drift here means scheduling leaked host
+// nondeterminism into simulated time, which would poison every
+// comparison the experiment driver makes.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+void expectIdentical(const ProcStats& a, const ProcStats& b, int p) {
+  for (std::size_t i = 0; i < a.buckets.size(); ++i) {
+    EXPECT_EQ(a.buckets[i], b.buckets[i]) << "proc " << p << " bucket " << i;
+  }
+  EXPECT_EQ(a.reads, b.reads) << "proc " << p;
+  EXPECT_EQ(a.writes, b.writes) << "proc " << p;
+  EXPECT_EQ(a.l1_misses, b.l1_misses) << "proc " << p;
+  EXPECT_EQ(a.l2_misses, b.l2_misses) << "proc " << p;
+  EXPECT_EQ(a.page_faults, b.page_faults) << "proc " << p;
+  EXPECT_EQ(a.write_faults, b.write_faults) << "proc " << p;
+  EXPECT_EQ(a.diffs_created, b.diffs_created) << "proc " << p;
+  EXPECT_EQ(a.diff_bytes, b.diff_bytes) << "proc " << p;
+  EXPECT_EQ(a.remote_misses, b.remote_misses) << "proc " << p;
+  EXPECT_EQ(a.local_misses, b.local_misses) << "proc " << p;
+  EXPECT_EQ(a.invalidations_sent, b.invalidations_sent) << "proc " << p;
+  EXPECT_EQ(a.lock_acquires, b.lock_acquires) << "proc " << p;
+  EXPECT_EQ(a.remote_lock_acquires, b.remote_lock_acquires) << "proc " << p;
+  EXPECT_EQ(a.barriers, b.barriers) << "proc " << p;
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed) << "proc " << p;
+  EXPECT_EQ(a.tasks_stolen, b.tasks_stolen) << "proc " << p;
+}
+
+struct Case {
+  const char* app;
+  PlatformKind kind;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(info.param.app) + "_" + platformName(info.param.kind);
+}
+
+class Determinism : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Determinism, RepeatedRunsAreBitIdentical) {
+  registerAllApps();
+  const Case& tc = GetParam();
+  const AppDesc* app = Registry::instance().find(tc.app);
+  ASSERT_NE(app, nullptr) << tc.app;
+  const VersionDesc& ver = app->original();
+
+  const AppResult r1 = Experiment::runOnce(tc.kind, ver, app->tiny, 4);
+  const AppResult r2 = Experiment::runOnce(tc.kind, ver, app->tiny, 4);
+  ASSERT_TRUE(r1.correct) << r1.note;
+  ASSERT_TRUE(r2.correct) << r2.note;
+
+  EXPECT_EQ(r1.stats.exec_cycles, r2.stats.exec_cycles);
+  ASSERT_EQ(r1.stats.procs.size(), r2.stats.procs.size());
+  for (std::size_t p = 0; p < r1.stats.procs.size(); ++p) {
+    expectIdentical(r1.stats.procs[p], r2.stats.procs[p],
+                    static_cast<int>(p));
+  }
+}
+
+// One app per platform, including volrend whose task-queue stealing is
+// the most scheduling-sensitive code in the suite.
+const Case kCases[] = {
+    {"lu", PlatformKind::SVM},
+    {"ocean", PlatformKind::SMP},
+    {"radix", PlatformKind::NUMA},
+    {"volrend", PlatformKind::FGS},
+    {"volrend", PlatformKind::SVM},
+};
+
+INSTANTIATE_TEST_SUITE_P(OnePerPlatform, Determinism,
+                         ::testing::ValuesIn(kCases), caseName);
+
+}  // namespace
+}  // namespace rsvm

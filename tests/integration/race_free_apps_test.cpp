@@ -1,0 +1,74 @@
+// Every registered application version must be data-race-free on every
+// platform under the happens-before checker -- the condition the paper's
+// relaxed-consistency protocols (HLRC in particular) require for
+// correctness. Deliberately-racy accesses must be annotated (RacyRead /
+// RacyWrite) to pass, so this sweep also keeps those annotations honest.
+#include "check/race_checker.hpp"
+#include "core/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+struct Case {
+  const char* app;
+  const char* version;
+  PlatformKind kind;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = std::string(info.param.app) + "_" + info.param.version +
+                  "_" + platformName(info.param.kind);
+  for (char& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class RaceFreeApps : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RaceFreeApps, NoDataRacesUnderHappensBeforeChecker) {
+  registerAllApps();
+  const Case& tc = GetParam();
+  const AppDesc* app = Registry::instance().find(tc.app);
+  ASSERT_NE(app, nullptr) << tc.app;
+  const VersionDesc* ver = app->version(tc.version);
+  ASSERT_NE(ver, nullptr) << tc.version;
+
+  auto plat = Platform::create(tc.kind, 4);
+  RaceChecker chk(*plat);
+  plat->trace = chk.hook();
+  const AppResult r = ver->run(*plat, app->tiny);
+  EXPECT_TRUE(r.correct) << r.note;
+
+  const RaceReport report = chk.report();
+  EXPECT_GT(report.accesses, 0u) << "no shared accesses traced";
+  EXPECT_TRUE(report.clean()) << tc.app << "/" << tc.version << " on "
+                              << platformName(tc.kind) << ":\n"
+                              << report.summary();
+}
+
+std::vector<Case> allCases() {
+  registerAllApps();
+  std::vector<Case> cases;
+  for (const AppDesc& app : Registry::instance().all()) {
+    for (const VersionDesc& v : app.versions) {
+      for (PlatformKind k :
+           {PlatformKind::SVM, PlatformKind::SMP, PlatformKind::NUMA,
+            PlatformKind::FGS}) {
+        cases.push_back({app.name.c_str(), v.name.c_str(), k});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, RaceFreeApps,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+}  // namespace
+}  // namespace rsvm

@@ -83,6 +83,92 @@ TEST(Trace, ZeroOverheadWhenUnset) {
   EXPECT_EQ(run(false), run(true));
 }
 
+// ---- TraceRecorder analyses on hand-constructed event sequences ----
+
+TraceEvent at(TraceEvent::Kind k, ProcId p, Cycles t, std::uint64_t id) {
+  return TraceEvent{k, p, t, id, 0};
+}
+
+TEST(Trace, AnalysesAreEmptyOnZeroEvents) {
+  TraceRecorder rec;
+  EXPECT_TRUE(rec.hotPages().empty());
+  EXPECT_TRUE(rec.lockProfiles().empty());
+  EXPECT_NE(rec.report().find("0 events"), std::string::npos);
+}
+
+TEST(Trace, HotPagesRanksHandConstructedFaults) {
+  TraceRecorder rec;
+  for (int i = 0; i < 3; ++i) rec.record(at(TraceEvent::Kind::PageFault, 0, 0, 5));
+  for (int i = 0; i < 2; ++i) rec.record(at(TraceEvent::Kind::PageFault, 1, 0, 9));
+  rec.record(at(TraceEvent::Kind::PageFault, 0, 0, 7));
+  const auto hot = rec.hotPages(10);
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_EQ(hot[0], (std::pair<std::uint64_t, std::size_t>{5, 3}));
+  EXPECT_EQ(hot[1], (std::pair<std::uint64_t, std::size_t>{9, 2}));
+  EXPECT_EQ(hot[2], (std::pair<std::uint64_t, std::size_t>{7, 1}));
+  EXPECT_EQ(rec.hotPages(1).size(), 1u);  // top_n truncates
+}
+
+TEST(Trace, LockProfileAccumulatesWaitAndHoldAcrossProcs) {
+  TraceRecorder rec;
+  rec.record(at(TraceEvent::Kind::LockAcquire, 0, 100, 3));
+  rec.record(at(TraceEvent::Kind::LockAcquire, 1, 120, 3));
+  rec.record(at(TraceEvent::Kind::LockGrant, 0, 150, 3));
+  rec.record(at(TraceEvent::Kind::LockRelease, 0, 400, 3));
+  rec.record(at(TraceEvent::Kind::LockGrant, 1, 400, 3));
+  rec.record(at(TraceEvent::Kind::LockRelease, 1, 500, 3));
+  const auto profiles = rec.lockProfiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].lock, 3u);
+  EXPECT_EQ(profiles[0].acquires, 2u);
+  EXPECT_EQ(profiles[0].total_wait, 50u + 280u);
+  EXPECT_EQ(profiles[0].total_held, 250u + 100u);
+}
+
+TEST(Trace, AcquireWithoutGrantProducesNoProfile) {
+  TraceRecorder rec;
+  rec.record(at(TraceEvent::Kind::LockAcquire, 0, 100, 3));
+  EXPECT_TRUE(rec.lockProfiles().empty());
+}
+
+TEST(Trace, GrantWithoutAcquireCountsZeroWait) {
+  TraceRecorder rec;
+  rec.record(at(TraceEvent::Kind::LockGrant, 0, 200, 3));
+  rec.record(at(TraceEvent::Kind::LockRelease, 0, 450, 3));
+  const auto profiles = rec.lockProfiles();
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].acquires, 1u);
+  EXPECT_EQ(profiles[0].total_wait, 0u);
+  EXPECT_EQ(profiles[0].total_held, 250u);
+}
+
+TEST(Trace, PerAccessEventsAreCountedNotStored) {
+  TraceRecorder rec;
+  for (int i = 0; i < 3; ++i) {
+    rec.record(TraceEvent{TraceEvent::Kind::SharedRead, 0, 0, 0x10, 8});
+  }
+  rec.record(TraceEvent{TraceEvent::Kind::SharedWrite, 1, 0, 0x18, 8});
+  rec.record(TraceEvent{TraceEvent::Kind::RacyRead, 2, 0, 0x20, 8});
+  EXPECT_TRUE(rec.events().empty());  // bounded memory under access streams
+  EXPECT_EQ(rec.count(TraceEvent::Kind::SharedRead), 3u);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::SharedWrite), 1u);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::RacyRead), 1u);
+  EXPECT_EQ(rec.count(TraceEvent::Kind::RacyWrite), 0u);
+}
+
+TEST(Trace, TeeHooksFanOutToBothSinks) {
+  TraceRecorder a;
+  TraceRecorder b;
+  TraceHook tee = teeHooks(a.hook(), b.hook());
+  tee(at(TraceEvent::Kind::PageFault, 0, 10, 42));
+  EXPECT_EQ(a.count(TraceEvent::Kind::PageFault), 1u);
+  EXPECT_EQ(b.count(TraceEvent::Kind::PageFault), 1u);
+  // A null side is tolerated.
+  TraceHook half = teeHooks(a.hook(), nullptr);
+  half(at(TraceEvent::Kind::PageFault, 0, 11, 42));
+  EXPECT_EQ(a.count(TraceEvent::Kind::PageFault), 2u);
+}
+
 TEST(Trace, ReportMentionsKeyQuantities) {
   SvmPlatform plat(2);
   TraceRecorder rec;
