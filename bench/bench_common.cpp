@@ -1,10 +1,33 @@
 #include "bench_common.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 namespace rsvm::bench {
+
+namespace {
+
+/// Strict positive-integer flag parsing: the whole value must be a
+/// decimal number > 0 (std::atoi's silent 0 on garbage crashed
+/// downstream with "nprocs out of range" at best).
+int parsePositiveInt(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (*text == '\0' || end == nullptr || *end != '\0' || errno != 0 ||
+      v <= 0 || v > 1'000'000) {
+    throw std::invalid_argument(std::string(flag) +
+                                " expects a positive integer, got '" + text +
+                                "'");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
 
 Options parse(int argc, char** argv) {
   Options o;
@@ -14,9 +37,19 @@ Options parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--tiny") == 0) {
       o.tiny = true;
     } else if (std::strncmp(argv[i], "--procs=", 8) == 0) {
-      o.procs = std::atoi(argv[i] + 8);
+      o.procs = parsePositiveInt("--procs", argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      o.jobs = parsePositiveInt("--jobs", argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      o.json_path = argv[i] + 7;
+      if (o.json_path.empty()) {
+        throw std::invalid_argument("--json expects a file path");
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--paper-scale|--tiny] [--procs=N]\n", argv[0]);
+      std::printf(
+          "usage: %s [--paper-scale|--tiny] [--procs=N] [--jobs=N] "
+          "[--json=FILE]\n",
+          argv[0]);
       std::exit(0);
     } else {
       throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
@@ -29,6 +62,11 @@ Options parse(int argc, char** argv) {
 const AppParams& pick(const AppDesc& app, const Options& opt) {
   if (opt.tiny) return app.tiny;
   return opt.paper_scale ? app.paper : app.small;
+}
+
+const char* scaleName(const Options& opt) {
+  if (opt.tiny) return "tiny";
+  return opt.paper_scale ? "paper" : "small";
 }
 
 void printHeader(const std::string& title) {
@@ -47,8 +85,9 @@ void breakdownFigure(const std::string& figure, const std::string& app,
   printHeader(figure + " -- " + app + "/" + version + " on SVM, " +
               std::to_string(opt.procs) + " processors (n=" +
               std::to_string(prm.n) + ")");
-  const AppResult r =
-      Experiment::runOnce(PlatformKind::SVM, *v, prm, opt.procs);
+  const AppResult r = Experiment::runOnce(PlatformKind::SVM, *v, prm,
+                                          opt.procs, /*free_cs_faults=*/false,
+                                          app);
   std::printf("%s", fmt::breakdown("execution time breakdown (cycles)",
                                    r.stats)
                         .c_str());
@@ -74,6 +113,196 @@ CellResult cell(Experiment& ex, PlatformKind kind, const AppDesc& app,
   const VersionDesc* v = app.version(version);
   if (v == nullptr) throw std::runtime_error("unknown version " + version);
   return ex.run(kind, *v, pick(app, opt), opt.procs);
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+
+namespace {
+
+void jsonEscape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void field(std::string& out, const char* key, const std::string& v,
+           bool last = false) {
+  out += '"';
+  out += key;
+  out += "\": \"";
+  jsonEscape(out, v);
+  out += last ? "\"" : "\", ";
+}
+
+void field(std::string& out, const char* key, std::uint64_t v,
+           bool last = false) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += buf;
+  if (!last) out += ", ";
+}
+
+void field(std::string& out, const char* key, int v, bool last = false) {
+  field(out, key, static_cast<std::uint64_t>(v < 0 ? 0 : v), last);
+}
+
+void fieldF(std::string& out, const char* key, double v, const char* spec,
+            bool last = false) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, spec, v);
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += buf;
+  if (!last) out += ", ";
+}
+
+void fieldB(std::string& out, const char* key, bool v, bool last = false) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += v ? "true" : "false";
+  if (!last) out += ", ";
+}
+
+const char* optClassOf(const SweepPoint& p) {
+  const AppDesc* a = Registry::instance().find(p.app);
+  if (a == nullptr) return "?";
+  const VersionDesc* v = a->version(p.version);
+  return v == nullptr ? "?" : optClassName(v->cls);
+}
+
+}  // namespace
+
+Report::Report(std::string bench_name, const Options& opt)
+    : bench_(std::move(bench_name)),
+      scale_(scaleName(opt)),
+      procs_(opt.procs),
+      jobs_(opt.jobs > 0 ? opt.jobs : SweepRunner::defaultJobs()) {}
+
+void Report::add(const SweepPoint& point, const SweepResult& result) {
+  entries_.push_back({point, result});
+}
+
+void Report::add(const std::vector<SweepPoint>& points,
+                 const std::vector<SweepResult>& results) {
+  for (std::size_t i = 0; i < points.size() && i < results.size(); ++i) {
+    add(points[i], results[i]);
+  }
+}
+
+std::string Report::json() const {
+  std::string out = "{\n  ";
+  field(out, "schema", std::string("rsvm-bench-1"));
+  field(out, "bench", bench_);
+  field(out, "scale", scale_);
+  field(out, "procs_default", procs_);
+  field(out, "jobs", jobs_);
+  fieldF(out, "wall_ms", wall_ms_, "%.3f");
+  out += "\"points\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const SweepPoint& p = entries_[i].point;
+    const SweepResult& r = entries_[i].result;
+    const RunStats& rs = r.app.stats;
+    out += i == 0 ? "\n    {" : ",\n    {";
+    field(out, "app", p.app);
+    field(out, "version", p.version);
+    field(out, "opt_class", std::string(optClassOf(p)));
+    field(out, "platform", std::string(platformName(p.kind)));
+    field(out, "config", p.config);
+    field(out, "procs", p.procs);
+    field(out, "n", p.params.n);
+    field(out, "iters", p.params.iters);
+    field(out, "block", p.params.block);
+    field(out, "seed", p.params.seed);
+    fieldB(out, "ok", r.ok());
+    field(out, "error", r.error);
+    field(out, "exec_cycles", r.cycles);
+    field(out, "base_cycles", r.base_cycles);
+    fieldF(out, "speedup", r.speedup(), "%.6f");
+    fieldF(out, "wall_ms", r.wall_ms, "%.3f");
+    out += "\"buckets\": {";
+    field(out, "compute", rs.bucketTotal(Bucket::Compute));
+    field(out, "cache_stall", rs.bucketTotal(Bucket::CacheStall));
+    field(out, "data_wait", rs.bucketTotal(Bucket::DataWait));
+    field(out, "lock_wait", rs.bucketTotal(Bucket::LockWait));
+    field(out, "barrier_wait", rs.bucketTotal(Bucket::BarrierWait));
+    field(out, "handler", rs.bucketTotal(Bucket::Handler), /*last=*/true);
+    out += "}, \"counters\": {";
+    field(out, "reads", rs.sum(&ProcStats::reads));
+    field(out, "writes", rs.sum(&ProcStats::writes));
+    field(out, "l1_misses", rs.sum(&ProcStats::l1_misses));
+    field(out, "l2_misses", rs.sum(&ProcStats::l2_misses));
+    field(out, "page_faults", rs.sum(&ProcStats::page_faults));
+    field(out, "write_faults", rs.sum(&ProcStats::write_faults));
+    field(out, "diffs_created", rs.sum(&ProcStats::diffs_created));
+    field(out, "diff_bytes", rs.sum(&ProcStats::diff_bytes));
+    field(out, "remote_misses", rs.sum(&ProcStats::remote_misses));
+    field(out, "local_misses", rs.sum(&ProcStats::local_misses));
+    field(out, "invalidations_sent", rs.sum(&ProcStats::invalidations_sent));
+    field(out, "lock_acquires", rs.sum(&ProcStats::lock_acquires));
+    field(out, "remote_lock_acquires",
+          rs.sum(&ProcStats::remote_lock_acquires));
+    field(out, "barriers", rs.sum(&ProcStats::barriers));
+    field(out, "tasks_executed", rs.sum(&ProcStats::tasks_executed));
+    field(out, "tasks_stolen", rs.sum(&ProcStats::tasks_stolen),
+          /*last=*/true);
+    out += "}}";
+  }
+  out += entries_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void Report::writeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("report: cannot open '" + path +
+                             "' for writing");
+  }
+  const std::string body = json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !ok) {
+    throw std::runtime_error("report: short write to '" + path + "'");
+  }
+}
+
+bool Report::maybeWrite(const Options& opt) const {
+  if (opt.json_path.empty()) return false;
+  writeJson(opt.json_path);
+  std::printf("[%s: %zu points -> %s]\n", bench_.c_str(), entries_.size(),
+              opt.json_path.c_str());
+  return true;
+}
+
+std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
+                               const Options& opt, Report& report) {
+  SweepRunner runner(opt.jobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<SweepResult> results = runner.run(points);
+  report.addWallMs(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+  report.add(points, results);
+  return results;
 }
 
 }  // namespace rsvm::bench

@@ -3,9 +3,12 @@
 //   --paper-scale   run the paper's input sizes (default: scaled-down)
 //   --tiny          run integration-test sizes (for smoke runs)
 //   --procs=N       simulated processor count (default 16, as the paper)
+//   --jobs=N        host threads for sweep binaries (default: all cores)
+//   --json=FILE     write machine-readable results (sweep binaries)
 #pragma once
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 #include <string>
 #include <vector>
@@ -16,11 +19,18 @@ struct Options {
   bool paper_scale = false;
   bool tiny = false;
   int procs = 16;
+  int jobs = 0;           ///< host worker threads; 0 = hardware concurrency
+  std::string json_path;  ///< empty = no JSON output
 };
 
+/// Parse argv. Throws std::invalid_argument on unknown flags and on
+/// malformed or non-positive --procs= / --jobs= values.
 Options parse(int argc, char** argv);
 
 const AppParams& pick(const AppDesc& app, const Options& opt);
+
+/// "tiny" / "small" / "paper" (matches pick()'s precedence: tiny wins).
+const char* scaleName(const Options& opt);
 
 /// Print one figure-style per-processor breakdown for a version on SVM.
 void breakdownFigure(const std::string& figure, const std::string& app,
@@ -31,5 +41,52 @@ CellResult cell(Experiment& ex, PlatformKind kind, const AppDesc& app,
                 const std::string& version, const Options& opt);
 
 void printHeader(const std::string& title);
+
+/// Machine-readable results of one bench binary: a stable JSON schema
+/// ("rsvm-bench-1") holding, per sweep point, the speedup, exec cycles,
+/// the six paper breakdown buckets, the protocol counters and the host
+/// wall-clock. Intended for BENCH_*.json perf-trajectory tracking.
+class Report {
+ public:
+  Report(std::string bench_name, const Options& opt);
+
+  void add(const SweepPoint& point, const SweepResult& result);
+  void add(const std::vector<SweepPoint>& points,
+           const std::vector<SweepResult>& results);
+
+  /// Total host wall-clock of the sweep; accumulated by sweep(), or set
+  /// explicitly (tests pin it for golden comparisons).
+  void setWallMs(double ms) { wall_ms_ = ms; }
+  void addWallMs(double ms) { wall_ms_ += ms; }
+
+  /// Render the full report as JSON (deterministic key order).
+  [[nodiscard]] std::string json() const;
+
+  /// Write json() to `path`; throws std::runtime_error on I/O failure.
+  void writeJson(const std::string& path) const;
+
+  /// Write to opt.json_path when --json=FILE was given; returns whether
+  /// a file was written (and prints where).
+  bool maybeWrite(const Options& opt) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SweepPoint point;
+    SweepResult result;
+  };
+  std::string bench_;
+  std::string scale_;
+  int procs_;
+  int jobs_;
+  double wall_ms_ = 0.0;
+  std::vector<Entry> entries_;
+};
+
+/// Run `points` on a SweepRunner honoring --jobs, append every
+/// (point, result) pair to `report` and account the wall-clock there.
+std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
+                               const Options& opt, Report& report);
 
 }  // namespace rsvm::bench

@@ -8,6 +8,10 @@
 // nearly free), so the *original* versions recover much of their lost
 // performance -- while the restructured versions gain less, since they
 // already minimized inter-node interactions.
+//
+// All three clusterings share the flat uniprocessor baseline (the paper
+// measures everything against the same T1); cells run host-parallel
+// under --jobs=N.
 #include "bench_common.hpp"
 
 #include "proto/svm/svm_platform.hpp"
@@ -17,17 +21,6 @@
 namespace {
 
 using namespace rsvm;
-
-double speedup(const AppDesc&, const VersionDesc& ver,
-               const AppParams& prm, int procs, int ppn, Cycles base) {
-  SvmParams sp;
-  sp.procs_per_node = ppn;
-  SvmPlatform plat(procs, sp);
-  const AppResult r = ver.run(plat, prm);
-  if (!r.correct) std::printf("  !! verification failed: %s\n", r.note.c_str());
-  return static_cast<double>(base) /
-         static_cast<double>(r.stats.exec_cycles);
-}
 
 const char* bestOf(const std::string& app) {
   if (app == "lu") return "4d-aligned";
@@ -39,6 +32,12 @@ const char* bestOf(const std::string& app) {
   return "alg-local";  // radix
 }
 
+std::unique_ptr<Platform> makeClustered(int nprocs, int ppn) {
+  SvmParams sp;
+  sp.procs_per_node = ppn;
+  return std::make_unique<SvmPlatform>(nprocs, sp);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,22 +45,60 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse(argc, argv);
   bench::printHeader("Extension: SMP-node SVM (16 processors as 16x1 / "
                      "4 nodes x 4 / 2 nodes x 8)");
-  std::printf("%-24s %10s %10s %10s\n", "app/version", "flat 16x1", "4x4",
-              "2x8");
+
+  struct Cluster {
+    const char* tag;
+    int ppn;
+  };
+  const Cluster clusters[] = {{"16x1", 1}, {"4x4", 4}, {"2x8", 8}};
+
+  std::vector<SweepPoint> points;
   for (const AppDesc& app : Registry::instance().all()) {
-    const AppParams& prm = bench::pick(app, opt);
-    // Uniprocessor baseline of the original (paper methodology).
-    SvmPlatform uni(1);
-    const AppResult base_r = app.original().run(uni, prm);
-    const Cycles base = base_r.stats.exec_cycles;
-    for (const char* vn : {app.original().name.c_str(), bestOf(app.name)}) {
-      const VersionDesc* v = app.version(vn);
-      const double flat = speedup(app, *v, prm, opt.procs, 1, base);
-      const double c4 = speedup(app, *v, prm, opt.procs, 4, base);
-      const double c8 = speedup(app, *v, prm, opt.procs, 8, base);
-      std::printf("%-24s %10.2f %10.2f %10.2f\n",
-                  (app.name + "/" + vn).c_str(), flat, c4, c8);
+    for (const char* ver : {app.original().name.c_str(),
+                            bestOf(app.name)}) {
+      for (const Cluster& cl : clusters) {
+        SweepPoint p;
+        p.kind = PlatformKind::SVM;
+        p.app = app.name;
+        p.version = ver;
+        p.params = bench::pick(app, opt);
+        p.procs = opt.procs;
+        p.config = cl.tag;
+        // Paper methodology: every clustering is measured against the
+        // *flat* uniprocessor time, so all columns share one baseline.
+        p.baseline_key = "flat";
+        const int ppn = cl.ppn;
+        p.make_platform = [ppn](int nprocs) {
+          return makeClustered(nprocs, ppn);
+        };
+        p.make_baseline = [](int nprocs) -> std::unique_ptr<Platform> {
+          return std::make_unique<SvmPlatform>(nprocs);
+        };
+        points.push_back(std::move(p));
+      }
     }
   }
+
+  bench::Report report("ext_clustered_svm", opt);
+  const auto results = bench::sweep(points, opt, report);
+
+  std::printf("%-24s %10s %10s %10s\n", "app/version", "flat 16x1", "4x4",
+              "2x8");
+  std::size_t i = 0;
+  for (const AppDesc& app : Registry::instance().all()) {
+    for (const char* ver : {app.original().name.c_str(),
+                            bestOf(app.name)}) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        if (!results[i + k].ok()) {
+          std::fprintf(stderr, "!! %s\n", results[i + k].error.c_str());
+        }
+      }
+      std::printf("%-24s %10.2f %10.2f %10.2f\n",
+                  (app.name + "/" + ver).c_str(), results[i].speedup(),
+                  results[i + 1].speedup(), results[i + 2].speedup());
+      i += 3;
+    }
+  }
+  report.maybeWrite(opt);
   return 0;
 }

@@ -5,6 +5,11 @@
 // pathologies (the originals run far better than on SVM), so the
 // restructurings matter much less -- at the price of an access-check tax
 // that shows up even in the best versions.
+//
+// Three platform configurations per app (SVM, Shasta-style FGS, and a
+// Typhoon-Zero-like commodity-controller preset), each with its own
+// uniprocessor baseline (paper methodology); all cells run host-parallel
+// under --jobs=N.
 #include "bench_common.hpp"
 
 #include "proto/fgs/fgs_platform.hpp"
@@ -12,6 +17,9 @@
 #include <cstdio>
 
 namespace {
+
+using namespace rsvm;
+
 // The paper's final (best) version of each application.
 const char* bestOf(const std::string& app) {
   if (app == "lu") return "4d-aligned";
@@ -22,15 +30,12 @@ const char* bestOf(const std::string& app) {
   if (app == "barnes") return "spatial";
   return "alg-local";  // radix
 }
-}  // namespace
-
-namespace {
 
 /// Typhoon-Zero-like preset: the same fine-grained protocol, but with a
 /// commodity hardware controller doing the access checks and handlers
 /// (paper section 7: "more commodity-oriented controllers [16]").
-rsvm::FgsParams typhoonParams() {
-  rsvm::FgsParams fp;
+FgsParams typhoonParams() {
+  FgsParams fp;
   fp.load_check = 0;      // checks in hardware
   fp.store_check = 0;
   fp.miss_handler = 80;   // controller, not interrupt + software dispatch
@@ -42,18 +47,6 @@ rsvm::FgsParams typhoonParams() {
   return fp;
 }
 
-double fgsSpeedup(const rsvm::VersionDesc& ver,
-                  const rsvm::AppParams& prm, int procs,
-                  const rsvm::FgsParams& fp, rsvm::Cycles base) {
-  rsvm::FgsPlatform plat(procs, fp);
-  const rsvm::AppResult r = ver.run(plat, prm);
-  if (!r.correct) {
-    std::printf("  !! verification failed: %s\n", r.note.c_str());
-  }
-  return static_cast<double>(base) /
-         static_cast<double>(r.stats.exec_cycles);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,34 +56,59 @@ int main(int argc, char** argv) {
       "Extension: fine-grained coherence, software (Shasta-style) and "
       "commodity-controller (Typhoon-0-style), vs SVM (" +
       std::to_string(opt.procs) + " processors)");
+
+  std::vector<SweepPoint> points;
+  for (const AppDesc& app : Registry::instance().all()) {
+    for (const char* ver : {app.original().name.c_str(),
+                            bestOf(app.name)}) {
+      // Stock SVM and FGS columns.
+      for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::FGS}) {
+        SweepPoint p;
+        p.kind = kind;
+        p.app = app.name;
+        p.version = ver;
+        p.params = bench::pick(app, opt);
+        p.procs = opt.procs;
+        points.push_back(std::move(p));
+      }
+      // Typhoon-0 preset: custom FGS platform, its own baseline.
+      SweepPoint p;
+      p.kind = PlatformKind::FGS;
+      p.app = app.name;
+      p.version = ver;
+      p.params = bench::pick(app, opt);
+      p.procs = opt.procs;
+      p.config = "typhoon0";
+      p.make_platform = [](int nprocs) -> std::unique_ptr<Platform> {
+        return std::make_unique<FgsPlatform>(nprocs, typhoonParams());
+      };
+      points.push_back(std::move(p));
+    }
+  }
+
+  bench::Report report("ext_finegrain", opt);
+  const auto results = bench::sweep(points, opt, report);
+
   std::printf("%-12s %11s %11s %11s %11s %11s %11s\n", "app", "SVM orig",
               "SVM best", "FGS orig", "FGS best", "TY0 orig", "TY0 best");
+  std::size_t i = 0;
   for (const AppDesc& app : Registry::instance().all()) {
-    Experiment ex(app);
-    const AppParams& prm = bench::pick(app, opt);
-    const std::string best = bestOf(app.name);
-    const double svm_o =
-        bench::cell(ex, PlatformKind::SVM, app, app.original().name, opt)
-            .speedup();
-    const double svm_b =
-        bench::cell(ex, PlatformKind::SVM, app, best, opt).speedup();
-    const double fgs_o =
-        bench::cell(ex, PlatformKind::FGS, app, app.original().name, opt)
-            .speedup();
-    const double fgs_b =
-        bench::cell(ex, PlatformKind::FGS, app, best, opt).speedup();
-    // Typhoon preset: its own uniprocessor baseline, paper methodology.
-    FgsPlatform uni(1, typhoonParams());
-    const Cycles ty_base =
-        app.original().run(uni, prm).stats.exec_cycles;
-    const double ty_o = fgsSpeedup(app.original(), prm, opt.procs,
-                                   typhoonParams(), ty_base);
-    const double ty_b = fgsSpeedup(*app.version(best), prm, opt.procs,
-                                   typhoonParams(), ty_base);
+    // Six cells per app: (orig, best) x (SVM, FGS, TY0), laid out
+    // orig-SVM, orig-FGS, orig-TY0, best-SVM, best-FGS, best-TY0.
+    for (std::size_t k = 0; k < 6; ++k) {
+      if (!results[i + k].ok()) {
+        std::fprintf(stderr, "!! %s\n", results[i + k].error.c_str());
+      }
+    }
     std::printf("%-12s %11.2f %11.2f %11.2f %11.2f %11.2f %11.2f\n",
-                app.name.c_str(), svm_o, svm_b, fgs_o, fgs_b, ty_o, ty_b);
+                app.name.c_str(), results[i].speedup(),
+                results[i + 3].speedup(), results[i + 1].speedup(),
+                results[i + 4].speedup(), results[i + 2].speedup(),
+                results[i + 5].speedup());
+    i += 6;
   }
   std::printf("\nSpeedups are vs the original version on one processor of\n"
               "the same platform (the paper's methodology).\n");
+  report.maybeWrite(opt);
   return 0;
 }

@@ -2,8 +2,12 @@
 // Sweep problem sizes for LU and Ocean on SVM: the paper's hypothesis is
 // that larger problems amortize page-grain overheads, shrinking (but not
 // closing) the gap between the original and restructured versions.
+//
+// Each (app, n, version) cell is independent; the sweep fans out over
+// host threads (--jobs=N) with one cached baseline per (app, n).
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 int main(int argc, char** argv) {
@@ -11,42 +15,59 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse(argc, argv);
   bench::printHeader("Extension: problem-size sensitivity on SVM");
 
-  {
-    const AppDesc* lu = Registry::instance().find("lu");
-    Experiment ex(*lu);
-    std::printf("-- LU (block = n/16) --\n%8s %10s %14s %10s\n", "n", "2d",
-                "4d-aligned", "ratio");
-    for (int n : {128, 256, 512}) {
-      AppParams prm = lu->small;
+  struct Row {
+    const char* app;
+    const char* orig;
+    const char* best;
+    int sizes[3];
+    bool block_tracks_n;  // LU keeps block = n/16
+  };
+  const Row rows[] = {
+      {"lu", "2d", "4d-aligned", {128, 256, 512}, true},
+      {"ocean", "2d", "rowwise", {130, 258, 514}, false},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const Row& row : rows) {
+    const AppDesc* app = Registry::instance().find(row.app);
+    for (int n : row.sizes) {
+      AppParams prm = app->small;
       prm.n = n;
-      prm.block = std::max(8, n / 16);
-      const double orig =
-          ex.run(PlatformKind::SVM, *lu->version("2d"), prm, opt.procs)
-              .speedup();
-      const double best =
-          ex.run(PlatformKind::SVM, *lu->version("4d-aligned"), prm,
-                 opt.procs)
-              .speedup();
-      std::printf("%8d %10.2f %14.2f %10.2f\n", n, orig, best, best / orig);
+      if (row.block_tracks_n) prm.block = std::max(8, n / 16);
+      for (const char* ver : {row.orig, row.best}) {
+        SweepPoint p;
+        p.kind = PlatformKind::SVM;
+        p.app = app->name;
+        p.version = ver;
+        p.params = prm;
+        p.procs = opt.procs;
+        points.push_back(std::move(p));
+      }
     }
   }
-  {
-    const AppDesc* ocean = Registry::instance().find("ocean");
-    Experiment ex(*ocean);
-    std::printf("\n-- Ocean --\n%8s %10s %14s %10s\n", "n", "2d", "rowwise",
-                "ratio");
-    for (int n : {130, 258, 514}) {
-      AppParams prm = ocean->small;
-      prm.n = n;
-      const double orig =
-          ex.run(PlatformKind::SVM, *ocean->version("2d"), prm, opt.procs)
-              .speedup();
-      const double best =
-          ex.run(PlatformKind::SVM, *ocean->version("rowwise"), prm,
-                 opt.procs)
-              .speedup();
-      std::printf("%8d %10.2f %14.2f %10.2f\n", n, orig, best, best / orig);
+
+  bench::Report report("ext_problem_size", opt);
+  const auto results = bench::sweep(points, opt, report);
+
+  std::size_t i = 0;
+  for (const Row& row : rows) {
+    if (&row != &rows[0]) std::printf("\n");
+    std::printf("-- %s%s --\n%8s %10s %14s %10s\n", row.app,
+                row.block_tracks_n ? " (block = n/16)" : "", "n", row.orig,
+                row.best, "ratio");
+    for (int n : row.sizes) {
+      const double orig = results[i].speedup();
+      const double best = results[i + 1].speedup();
+      for (std::size_t k = 0; k < 2; ++k) {
+        if (!results[i + k].ok()) {
+          std::fprintf(stderr, "!! %s\n", results[i + k].error.c_str());
+        }
+      }
+      i += 2;
+      std::printf("%8d %10.2f %14.2f %10.2f\n", n, orig, best,
+                  orig > 0 ? best / orig : 0.0);
     }
   }
+  report.maybeWrite(opt);
   return 0;
 }

@@ -4,6 +4,9 @@
 // gap widens with processor count (synchronization and contention costs
 // grow), and the paper's optimizations grow more important with scale on
 // CC-NUMA too (its hypothesis from [2]).
+//
+// The whole grid (app x platform x procs x version) runs host-parallel
+// under --jobs=N; every column shares one cached uniprocessor baseline.
 #include "bench_common.hpp"
 
 #include <cstdio>
@@ -21,23 +24,48 @@ int main(int argc, char** argv) {
   const Pick picks[] = {{"ocean", "2d", "rowwise"},
                         {"barnes", "orig", "spatial"},
                         {"volrend", "orig", "alg-nosteal"}};
+
+  std::vector<SweepPoint> points;
   for (const Pick& pk : picks) {
     const AppDesc* app = Registry::instance().find(pk.app);
-    Experiment ex(*app);
+    for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::NUMA}) {
+      for (int procs : counts) {
+        for (const char* ver : {pk.orig, pk.best}) {
+          SweepPoint p;
+          p.kind = kind;
+          p.app = app->name;
+          p.version = ver;
+          p.params = bench::pick(*app, opt);
+          p.procs = procs;
+          points.push_back(std::move(p));
+        }
+      }
+    }
+  }
+
+  bench::Report report("ext_scaling", opt);
+  const auto results = bench::sweep(points, opt, report);
+
+  std::size_t i = 0;
+  for (const Pick& pk : picks) {
     for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::NUMA}) {
       std::printf("-- %s on %s --\n%8s %12s %12s\n", pk.app,
                   platformName(kind), "procs", pk.orig, pk.best);
-      for (int p : counts) {
-        auto opt_p = opt;
-        opt_p.procs = p;
-        const double so =
-            bench::cell(ex, kind, *app, pk.orig, opt_p).speedup();
-        const double sb =
-            bench::cell(ex, kind, *app, pk.best, opt_p).speedup();
-        std::printf("%8d %12.2f %12.2f\n", p, so, sb);
+      for (int procs : counts) {
+        const SweepResult& ro = results[i];
+        const SweepResult& rb = results[i + 1];
+        for (std::size_t k = 0; k < 2; ++k) {
+          if (!results[i + k].ok()) {
+            std::fprintf(stderr, "!! %s\n", results[i + k].error.c_str());
+          }
+        }
+        i += 2;
+        std::printf("%8d %12.2f %12.2f\n", procs, ro.speedup(),
+                    rb.speedup());
       }
       std::printf("\n");
     }
   }
+  report.maybeWrite(opt);
   return 0;
 }

@@ -3,6 +3,11 @@
 // (read off the figure): good-to-reasonable on SMP/DSM for everything,
 // while on SVM LU/Ocean/Raytrace fall below 1 and Volrend, Shear-Warp,
 // Barnes and Radix underperform.
+//
+// Every (app, platform) cell is an independent deterministic simulation,
+// so the whole figure fans out over host threads (--jobs=N) and the
+// results are printed -- and optionally emitted as JSON (--json=FILE) --
+// in figure order.
 #include "bench_common.hpp"
 
 #include <cstdio>
@@ -13,23 +18,40 @@ int main(int argc, char** argv) {
   bench::printHeader(
       "Figure 2: speedups of original versions across platforms (" +
       std::to_string(opt.procs) + " processors)");
+
+  const PlatformKind kinds[] = {PlatformKind::SVM, PlatformKind::SMP,
+                                PlatformKind::NUMA};
+  std::vector<SweepPoint> points;
+  for (const AppDesc& app : Registry::instance().all()) {
+    for (PlatformKind kind : kinds) {
+      SweepPoint p;
+      p.kind = kind;
+      p.app = app.name;
+      p.version = app.original().name;
+      p.params = bench::pick(app, opt);
+      p.procs = opt.procs;
+      points.push_back(std::move(p));
+    }
+  }
+
+  bench::Report report("fig02_orig_speedups", opt);
+  const auto results = bench::sweep(points, opt, report);
+
   std::printf("%-28s %8s %8s %8s\n", "application (orig version)", "SVM",
               "SMP", "DSM");
-  for (const AppDesc& app : Registry::instance().all()) {
-    Experiment ex(app);
-    const double svm =
-        bench::cell(ex, PlatformKind::SVM, app, app.original().name, opt)
-            .speedup();
-    const double smp =
-        bench::cell(ex, PlatformKind::SMP, app, app.original().name, opt)
-            .speedup();
-    const double dsm =
-        bench::cell(ex, PlatformKind::NUMA, app, app.original().name, opt)
-            .speedup();
-    std::printf("%s",
-                fmt::speedupRow(app.name + "/" + app.original().name, svm,
-                                smp, dsm)
-                    .c_str());
+  for (std::size_t i = 0; i < points.size(); i += 3) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      if (!results[i + k].ok()) {
+        std::fprintf(stderr, "!! %s\n", results[i + k].error.c_str());
+      }
+    }
+    std::printf("%s", fmt::speedupRow(points[i].app + "/" +
+                                          points[i].version,
+                                      results[i].speedup(),
+                                      results[i + 1].speedup(),
+                                      results[i + 2].speedup())
+                          .c_str());
   }
+  report.maybeWrite(opt);
   return 0;
 }

@@ -5,8 +5,14 @@
 // version's uniprocessor time on the same platform, exactly as in the
 // paper. Expected shape: the optimizations transform SVM performance,
 // help modestly on DSM, and are mostly neutral on the SMP.
+//
+// This is the repo's biggest sweep (every app x every version x three
+// platforms, plus baselines); all cells are independent deterministic
+// simulations and run host-parallel under --jobs=N, printed in figure
+// order. --json=FILE emits the machine-readable results.
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 int main(int argc, char** argv) {
@@ -15,17 +21,46 @@ int main(int argc, char** argv) {
   bench::printHeader(
       "Figure 16: speedups per optimization class across platforms (" +
       std::to_string(opt.procs) + " processors)");
+
+  const PlatformKind kinds[] = {PlatformKind::SVM, PlatformKind::SMP,
+                                PlatformKind::NUMA};
+  std::vector<SweepPoint> points;
   for (const AppDesc& app : Registry::instance().all()) {
-    Experiment ex(app);
-    std::printf("-- %s (%s) --\n", app.name.c_str(), app.summary.c_str());
-    std::printf("%-28s %8s %8s %8s\n", "version [class]", "SVM", "SMP", "DSM");
     for (const VersionDesc& v : app.versions) {
-      const double svm =
-          bench::cell(ex, PlatformKind::SVM, app, v.name, opt).speedup();
-      const double smp =
-          bench::cell(ex, PlatformKind::SMP, app, v.name, opt).speedup();
-      const double dsm =
-          bench::cell(ex, PlatformKind::NUMA, app, v.name, opt).speedup();
+      for (PlatformKind kind : kinds) {
+        SweepPoint p;
+        p.kind = kind;
+        p.app = app.name;
+        p.version = v.name;
+        p.params = bench::pick(app, opt);
+        p.procs = opt.procs;
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  bench::Report report("fig16_portability", opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = bench::sweep(points, opt, report);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  std::size_t i = 0;
+  for (const AppDesc& app : Registry::instance().all()) {
+    std::printf("-- %s (%s) --\n", app.name.c_str(), app.summary.c_str());
+    std::printf("%-28s %8s %8s %8s\n", "version [class]", "SVM", "SMP",
+                "DSM");
+    for (const VersionDesc& v : app.versions) {
+      const double svm = results[i].speedup();
+      const double smp = results[i + 1].speedup();
+      const double dsm = results[i + 2].speedup();
+      for (std::size_t k = 0; k < 3; ++k) {
+        if (!results[i + k].ok()) {
+          std::fprintf(stderr, "!! %s\n", results[i + k].error.c_str());
+        }
+      }
+      i += 3;
       std::printf("%s", fmt::speedupRow(v.name + " [" +
                                             optClassName(v.cls) + "]",
                                         svm, smp, dsm)
@@ -33,5 +68,8 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  std::printf("[%zu points in %.2f s wall, --jobs=%d]\n", points.size(),
+              wall_s, opt.jobs > 0 ? opt.jobs : SweepRunner::defaultJobs());
+  report.maybeWrite(opt);
   return 0;
 }

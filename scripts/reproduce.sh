@@ -2,17 +2,37 @@
 # Reproduce the full study: build, test, regenerate every paper figure,
 # run the extensions. Pass --paper-scale to use the paper's input sizes
 # (slower); default is the scaled-down configuration.
+#
+# Sweep binaries fan out over all host cores (--jobs) and drop their
+# machine-readable results (rsvm-bench-1 JSON) into build/bench-results/
+# for BENCH_*.json perf-trajectory tracking.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-}"
+JOBS="${JOBS:-$(nproc)}"
+RESULTS=build/bench-results
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+mkdir -p "$RESULTS"
+
 for b in build/bench/*; do
+  name="$(basename "$b")"
   echo
-  echo "########## $(basename "$b") $SCALE"
-  "$b" $SCALE
+  echo "########## $name $SCALE (--jobs=$JOBS)"
+  if [ "$name" = micro_protocol ]; then
+    # google-benchmark binary: takes no rsvm flags
+    "$b"
+  else
+    # Every figure binary accepts --jobs/--json; only the sweep binaries
+    # (fig02, fig16, ext_*) actually write the JSON report.
+    "$b" $SCALE "--jobs=$JOBS" "--json=$RESULTS/$name.json"
+  fi
 done
+
+echo
+echo "machine-readable results:"
+ls -l "$RESULTS" 2>/dev/null || true

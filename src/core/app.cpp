@@ -1,23 +1,28 @@
 #include "core/app.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace rsvm {
 
 Registry& Registry::instance() {
-  static Registry r;
+  static Registry r;  // thread-safe magic-static initialization
   return r;
 }
 
 void Registry::add(AppDesc d) {
-  if (find(d.name) != nullptr) return;  // idempotent registration
   if (d.versions.empty()) {
     throw std::invalid_argument("Registry: app without versions: " + d.name);
+  }
+  std::unique_lock lk(mu_);
+  for (const auto& a : apps_) {
+    if (a.name == d.name) return;  // idempotent registration
   }
   apps_.push_back(std::move(d));
 }
 
 const AppDesc* Registry::find(std::string_view name) const {
+  std::shared_lock lk(mu_);
   for (const auto& a : apps_) {
     if (a.name == name) return &a;
   }

@@ -8,7 +8,9 @@
 #include "sim/stats.hpp"
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,16 +68,25 @@ struct AppDesc {
   [[nodiscard]] const VersionDesc& original() const { return versions.front(); }
 };
 
+/// Thread-safe application registry. Registration and lookup may race
+/// freely (host-parallel sweeps look versions up from worker threads);
+/// storage is a deque so descriptors returned by find()/all() stay
+/// valid across later registrations.
 class Registry {
  public:
   static Registry& instance();
 
   void add(AppDesc d);
   [[nodiscard]] const AppDesc* find(std::string_view name) const;
-  [[nodiscard]] const std::vector<AppDesc>& all() const { return apps_; }
+
+  /// Snapshot view of the registered apps. Descriptor references remain
+  /// stable, but iterate only after registration has quiesced (benches
+  /// call registerAllApps() before any sweep starts).
+  [[nodiscard]] const std::deque<AppDesc>& all() const { return apps_; }
 
  private:
-  std::vector<AppDesc> apps_;
+  mutable std::shared_mutex mu_;
+  std::deque<AppDesc> apps_;
 };
 
 /// Populate the registry with every application (idempotent). Defined in

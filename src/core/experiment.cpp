@@ -7,32 +7,63 @@ namespace rsvm {
 
 AppResult Experiment::runOnce(PlatformKind kind, const VersionDesc& ver,
                               const AppParams& prm, int nprocs,
-                              bool free_cs_faults) {
+                              bool free_cs_faults,
+                              std::string_view app_name) {
   auto plat = Platform::create(kind, nprocs);
   plat->free_cs_faults = free_cs_faults;
   AppResult r = ver.run(*plat, prm);
   if (!r.correct) {
-    throw std::runtime_error("experiment: incorrect result from version '" +
-                             ver.name + "': " + r.note);
+    // The platform (and any attached trace) dies with this scope, so the
+    // message must carry enough context to attribute the failure.
+    std::string who = app_name.empty()
+                          ? "version '" + ver.name + "'"
+                          : std::string(app_name) + "/" + ver.name;
+    throw std::runtime_error(
+        "experiment: incorrect result from " + who + " on " +
+        platformName(kind) + " with " + std::to_string(nprocs) +
+        " procs (n=" + std::to_string(prm.n) +
+        ", iters=" + std::to_string(prm.iters) +
+        ", block=" + std::to_string(prm.block) +
+        ", seed=" + std::to_string(prm.seed) + "): " + r.note);
   }
   return r;
 }
 
 Cycles Experiment::baseline(PlatformKind kind, const AppParams& prm) {
   const auto key = std::make_pair(static_cast<int>(kind), prm.n);
-  if (const auto it = base_cache_.find(key); it != base_cache_.end()) {
-    return it->second;
+  std::shared_future<Cycles> fut;
+  std::promise<Cycles> prom;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (const auto it = base_cache_.find(key); it != base_cache_.end()) {
+      fut = it->second;
+    } else {
+      fut = prom.get_future().share();
+      base_cache_.emplace(key, fut);
+      owner = true;
+    }
   }
-  const AppResult r = runOnce(kind, app_.original(), prm, 1);
-  base_cache_[key] = r.stats.exec_cycles;
-  return r.stats.exec_cycles;
+  if (owner) {
+    // Run outside the lock; concurrent callers of other cells proceed,
+    // callers of this cell wait on the future.
+    try {
+      const AppResult r = runOnce(kind, app_.original(), prm, 1,
+                                  /*free_cs_faults=*/false, app_.name);
+      prom.set_value(r.stats.exec_cycles);
+    } catch (...) {
+      prom.set_exception(std::current_exception());
+    }
+  }
+  return fut.get();
 }
 
 CellResult Experiment::run(PlatformKind kind, const VersionDesc& ver,
                            const AppParams& prm, int nprocs) {
   CellResult cell;
   cell.base_cycles = baseline(kind, prm);
-  cell.app = runOnce(kind, ver, prm, nprocs);
+  cell.app = runOnce(kind, ver, prm, nprocs, /*free_cs_faults=*/false,
+                     app_.name);
   cell.cycles = cell.app.stats.exec_cycles;
   return cell;
 }

@@ -6,9 +6,12 @@
 
 #include "core/app.hpp"
 
+#include <future>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace rsvm {
 
@@ -23,6 +26,9 @@ struct CellResult {
   }
 };
 
+/// Concurrency-safe: run() may be called from several host threads at
+/// once (e.g. a SweepRunner fanning a figure out over a thread pool);
+/// each baseline is computed exactly once and other threads wait on it.
 class Experiment {
  public:
   explicit Experiment(const AppDesc& app) : app_(app) {}
@@ -33,9 +39,12 @@ class Experiment {
                  const AppParams& prm, int nprocs);
 
   /// Raw single run without baseline (e.g. for breakdown figures).
+  /// `app_name`, when provided, is included in the error thrown on an
+  /// incorrect result so sweep failures are attributable.
   static AppResult runOnce(PlatformKind kind, const VersionDesc& ver,
                            const AppParams& prm, int nprocs,
-                           bool free_cs_faults = false);
+                           bool free_cs_faults = false,
+                           std::string_view app_name = {});
 
   const AppDesc& app() const { return app_; }
 
@@ -43,7 +52,10 @@ class Experiment {
   Cycles baseline(PlatformKind kind, const AppParams& prm);
 
   const AppDesc& app_;
-  std::map<std::pair<int, int>, Cycles> base_cache_;  ///< (kind, n) -> T1
+  std::mutex mu_;  ///< guards base_cache_
+  /// (kind, n) -> T1, shared-future so concurrent callers of the same
+  /// cell block on the one in-flight baseline instead of recomputing.
+  std::map<std::pair<int, int>, std::shared_future<Cycles>> base_cache_;
 };
 
 /// Pretty-printers used by the bench binaries.

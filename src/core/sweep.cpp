@@ -1,0 +1,137 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace rsvm {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string describePoint(const SweepPoint& p) {
+  std::string s = p.app + "/" + p.version + " on " + platformName(p.kind);
+  if (!p.config.empty()) s += "[" + p.config + "]";
+  s += " with " + std::to_string(p.procs) + " procs (n=" +
+       std::to_string(p.params.n) + ")";
+  return s;
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs > 0 ? jobs : defaultJobs()) {}
+
+int SweepRunner::defaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+Cycles SweepRunner::baseline(const SweepPoint& p) {
+  const BaselineKey key{static_cast<int>(p.kind), p.app,
+                        p.baseline_key.empty() ? p.config : p.baseline_key,
+                        p.params.n, p.params.iters, p.params.block,
+                        p.params.seed};
+  std::shared_future<Cycles> fut;
+  std::promise<Cycles> prom;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (const auto it = base_cache_.find(key); it != base_cache_.end()) {
+      fut = it->second;
+    } else {
+      fut = prom.get_future().share();
+      base_cache_.emplace(key, fut);
+      owner = true;
+    }
+  }
+  if (owner) {
+    // Compute outside the lock so other baselines proceed concurrently;
+    // waiters block on the shared future, not on the cache mutex.
+    try {
+      const AppDesc* app = Registry::instance().find(p.app);
+      if (app == nullptr) {
+        throw std::runtime_error("sweep baseline: unknown app '" + p.app +
+                                 "'");
+      }
+      const auto& factory = p.make_baseline ? p.make_baseline
+                                            : p.make_platform;
+      auto plat = factory ? factory(1) : Platform::create(p.kind, 1);
+      const AppResult r = app->original().run(*plat, p.params);
+      if (!r.correct) {
+        throw std::runtime_error("sweep baseline: incorrect result from " +
+                                 p.app + "/" + app->original().name + " on " +
+                                 platformName(p.kind) + " uniprocessor (n=" +
+                                 std::to_string(p.params.n) + "): " + r.note);
+      }
+      prom.set_value(r.stats.exec_cycles);
+    } catch (...) {
+      prom.set_exception(std::current_exception());
+    }
+  }
+  return fut.get();
+}
+
+SweepResult SweepRunner::runPoint(const SweepPoint& p) {
+  SweepResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    const AppDesc* app = Registry::instance().find(p.app);
+    if (app == nullptr) {
+      throw std::runtime_error("sweep: unknown app '" + p.app + "'");
+    }
+    const VersionDesc* ver = app->version(p.version);
+    if (ver == nullptr) {
+      throw std::runtime_error("sweep: unknown version '" + p.version +
+                               "' of app '" + p.app + "'");
+    }
+    if (p.with_baseline) res.base_cycles = baseline(p);
+    auto plat = p.make_platform ? p.make_platform(p.procs)
+                                : Platform::create(p.kind, p.procs);
+    plat->free_cs_faults = p.free_cs_faults;
+    res.app = ver->run(*plat, p.params);
+    res.cycles = res.app.stats.exec_cycles;
+    if (!res.app.correct) {
+      res.error = "incorrect result from " + describePoint(p) + ": " +
+                  res.app.note;
+    }
+  } catch (const std::exception& e) {
+    res.error = describePoint(p) + ": " + e.what();
+  }
+  res.wall_ms = msSince(t0);
+  return res;
+}
+
+std::vector<SweepResult> SweepRunner::run(
+    const std::vector<SweepPoint>& points) {
+  std::vector<SweepResult> out(points.size());
+  if (points.empty()) return out;
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      out[i] = runPoint(points[i]);
+    }
+  };
+  const int nworkers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(jobs_), points.size()));
+  if (nworkers <= 1) {
+    work();  // run inline: zero thread overhead, trivially deterministic
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(nworkers));
+    for (int t = 0; t < nworkers; ++t) workers.emplace_back(work);
+    for (auto& t : workers) t.join();
+  }
+  return out;
+}
+
+}  // namespace rsvm

@@ -1,0 +1,111 @@
+// Host-parallel experiment sweeps. A sweep is a list of independent
+// simulation points (platform x app x version x params x procs); each
+// point is a fully self-contained single-threaded simulation, so a pool
+// of host threads can run many points concurrently while every point
+// stays bit-identical to a sequential run. Results come back in
+// submission order regardless of how many workers ran them.
+#pragma once
+
+#include "core/app.hpp"
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace rsvm {
+
+/// One simulation to run. `kind` selects a stock platform via
+/// Platform::create; custom configurations (SMP-node clustering,
+/// Typhoon-style FGS presets, ...) supply `make_platform` instead and
+/// tag themselves with `config` so results and baseline caching can
+/// tell configurations apart.
+struct SweepPoint {
+  PlatformKind kind = PlatformKind::SVM;
+  std::string app;      ///< registry name, e.g. "lu"
+  std::string version;  ///< version name, e.g. "4d-aligned"
+  AppParams params;
+  int procs = 16;
+  bool free_cs_faults = false;
+
+  /// Compute the paper-style baseline (original version, one processor,
+  /// same platform configuration and params) so speedup() is defined.
+  bool with_baseline = true;
+
+  /// Tag for non-stock platform configurations (e.g. "4x4", "typhoon0").
+  /// Purely descriptive except that it defaults the baseline cache key.
+  std::string config;
+
+  /// Baseline-cache discriminator; points sharing (kind, app, params,
+  /// baseline_key) share one uniprocessor baseline run. Defaults to
+  /// `config`. Used e.g. to let clustered-SVM columns share the flat
+  /// baseline the paper measures against.
+  std::string baseline_key;
+
+  /// Optional factory for the point's platform (argument: nprocs).
+  /// Default: Platform::create(kind, nprocs).
+  std::function<std::unique_ptr<Platform>(int)> make_platform;
+
+  /// Optional factory for the baseline's uniprocessor platform.
+  /// Default: make_platform, falling back to Platform::create(kind, 1).
+  std::function<std::unique_ptr<Platform>(int)> make_baseline;
+};
+
+/// Outcome of one point. `error` is non-empty when the run (or its
+/// baseline) failed -- the sweep never throws for individual points, so
+/// one bad cell cannot abort a long figure run.
+struct SweepResult {
+  AppResult app;           ///< stats + correctness of the point's run
+  Cycles cycles = 0;       ///< parallel execution time
+  Cycles base_cycles = 0;  ///< uniprocessor baseline (0 if none requested)
+  double wall_ms = 0.0;    ///< host wall-clock spent on this point
+  std::string error;       ///< why the point failed, with full context
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] double speedup() const {
+    return (cycles == 0 || base_cycles == 0)
+               ? 0.0
+               : static_cast<double>(base_cycles) /
+                     static_cast<double>(cycles);
+  }
+};
+
+/// Bounded host-thread pool over sweep points. Workers self-schedule
+/// from a shared index (work-stealing over the tail of the job list), so
+/// slow points do not serialize the sweep behind them. Baselines are
+/// deduplicated across points and computed exactly once each.
+class SweepRunner {
+ public:
+  /// jobs <= 0 selects defaultJobs() (hardware concurrency).
+  explicit SweepRunner(int jobs = 0);
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Run every point; results[i] corresponds to points[i] regardless of
+  /// the worker count or completion order.
+  std::vector<SweepResult> run(const std::vector<SweepPoint>& points);
+
+  /// Hardware concurrency, clamped to at least 1.
+  static int defaultJobs();
+
+ private:
+  using BaselineKey =
+      std::tuple<int, std::string, std::string, int, int, int, std::uint64_t>;
+
+  Cycles baseline(const SweepPoint& p);
+  SweepResult runPoint(const SweepPoint& p);
+
+  int jobs_;
+  std::mutex mu_;  ///< guards base_cache_
+  std::map<BaselineKey, std::shared_future<Cycles>> base_cache_;
+};
+
+/// Human-readable point label for error messages and logs:
+/// "lu/4d-aligned on SVM[4x4] with 16 procs (n=512)".
+std::string describePoint(const SweepPoint& p);
+
+}  // namespace rsvm

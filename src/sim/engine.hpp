@@ -5,7 +5,10 @@
 //
 // All methods are called either from the host thread (run/collect) or from
 // inside a processor fiber (advance/stall/block/...). The engine is
-// single-threaded and deterministic.
+// single-threaded and deterministic. It holds no global state: distinct
+// Engine instances are fully isolated, so independent simulations can run
+// concurrently on different host threads -- but each individual engine is
+// confined to the one host thread that calls run().
 #pragma once
 
 #include "sim/fiber.hpp"

@@ -1,6 +1,11 @@
 // Stackful cooperative fibers used to direct-execute application code on
 // simulated processors. Single-threaded by design: the engine resumes one
 // fiber at a time, so simulated runs are fully deterministic.
+//
+// The "current fiber" is thread_local, so independent simulations may run
+// concurrently on distinct host threads (one engine per thread) with no
+// shared state; a fiber must always be resumed on the host thread that
+// is driving its engine.
 #pragma once
 
 #include <ucontext.h>
@@ -33,8 +38,9 @@ class Fiber {
   /// whoever called resume().
   static void yieldToScheduler();
 
-  /// The fiber currently executing on this thread, or nullptr when the
-  /// scheduler itself is running.
+  /// The fiber currently executing on the calling host thread, or
+  /// nullptr when the scheduler itself is running. Per-thread state:
+  /// fibers of engines on other host threads are invisible here.
   static Fiber* current();
 
   [[nodiscard]] bool finished() const { return finished_; }

@@ -1,0 +1,98 @@
+// Flag parsing and scale selection for the bench binaries. Parsing must
+// reject malformed numeric flags loudly: std::atoi's silent 0 used to
+// flow into Engine::Config and crash far from the typo that caused it.
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rsvm::bench {
+namespace {
+
+Options parseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench_test");
+  return parse(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(BenchParse, Defaults) {
+  const Options o = parseArgs({});
+  EXPECT_FALSE(o.paper_scale);
+  EXPECT_FALSE(o.tiny);
+  EXPECT_EQ(o.procs, 16);
+  EXPECT_EQ(o.jobs, 0);  // 0 = hardware concurrency, resolved later
+  EXPECT_TRUE(o.json_path.empty());
+}
+
+TEST(BenchParse, AllFlagsTogether) {
+  const Options o = parseArgs(
+      {"--tiny", "--procs=8", "--jobs=4", "--json=out.json"});
+  EXPECT_TRUE(o.tiny);
+  EXPECT_EQ(o.procs, 8);
+  EXPECT_EQ(o.jobs, 4);
+  EXPECT_EQ(o.json_path, "out.json");
+}
+
+TEST(BenchParse, PaperScale) {
+  EXPECT_TRUE(parseArgs({"--paper-scale"}).paper_scale);
+}
+
+TEST(BenchParse, UnknownFlagRejected) {
+  EXPECT_THROW(parseArgs({"--frobnicate"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"procs=4"}), std::invalid_argument);
+}
+
+TEST(BenchParse, MalformedProcsRejected) {
+  EXPECT_THROW(parseArgs({"--procs=abc"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--procs="}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--procs=0"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--procs=-4"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--procs=4x"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--procs=99999999999999"}), std::invalid_argument);
+}
+
+TEST(BenchParse, MalformedJobsRejected) {
+  EXPECT_THROW(parseArgs({"--jobs=fast"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--jobs=0"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--jobs=-1"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--jobs=2.5"}), std::invalid_argument);
+}
+
+TEST(BenchParse, EmptyJsonPathRejected) {
+  EXPECT_THROW(parseArgs({"--json="}), std::invalid_argument);
+}
+
+TEST(BenchParse, ErrorMessagesNameTheFlagAndValue) {
+  try {
+    parseArgs({"--procs=banana"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--procs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("banana"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchPick, TinyWinsOverPaperScale) {
+  const Options both = parseArgs({"--tiny", "--paper-scale"});
+  const AppDesc* lu = Registry::instance().find("lu");
+  ASSERT_NE(lu, nullptr);
+  EXPECT_EQ(&pick(*lu, both), &lu->tiny);
+  EXPECT_STREQ(scaleName(both), "tiny");
+}
+
+TEST(BenchPick, ScaleSelection) {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  ASSERT_NE(lu, nullptr);
+  EXPECT_EQ(&pick(*lu, parseArgs({})), &lu->small);
+  EXPECT_EQ(&pick(*lu, parseArgs({"--paper-scale"})), &lu->paper);
+  EXPECT_EQ(&pick(*lu, parseArgs({"--tiny"})), &lu->tiny);
+  EXPECT_STREQ(scaleName(parseArgs({})), "small");
+  EXPECT_STREQ(scaleName(parseArgs({"--paper-scale"})), "paper");
+}
+
+}  // namespace
+}  // namespace rsvm::bench

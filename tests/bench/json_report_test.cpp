@@ -1,0 +1,300 @@
+// The JSON bench report is the repo's perf-trajectory interchange format
+// (BENCH_*.json): its schema must stay stable, so (1) a golden test pins
+// the exact rendering and (2) a minimal JSON parser round-trips a real
+// sweep's output and validates the structure.
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rsvm::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A deliberately tiny recursive-descent JSON parser -- just enough to
+// validate the emitter without external dependencies.
+
+struct Json {
+  enum class Type { Object, Array, String, Number, Bool, Null };
+  Type type = Type::Null;
+  std::map<std::string, Json> obj;
+  std::vector<Json> arr;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return type == Type::Object && obj.count(key) > 0;
+  }
+  const Json& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing key: " + key);
+    return obj.at(key);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                   s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': pos_ += 4; out += '?'; break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++pos_;
+    return out;
+  }
+  Json value() {
+    ws();
+    Json v;
+    switch (peek()) {
+      case '{': {
+        v.type = Json::Type::Object;
+        ++pos_;
+        ws();
+        if (peek() == '}') { ++pos_; return v; }
+        for (;;) {
+          ws();
+          std::string key = string();
+          ws();
+          expect(':');
+          v.obj[key] = value();
+          ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = Json::Type::Array;
+        ++pos_;
+        ws();
+        if (peek() == ']') { ++pos_; return v; }
+        for (;;) {
+          v.arr.push_back(value());
+          ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type = Json::Type::String;
+        v.str = string();
+        return v;
+      case 't':
+        pos_ += 4;
+        v.type = Json::Type::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        pos_ += 5;
+        v.type = Json::Type::Bool;
+        return v;
+      case 'n':
+        pos_ += 4;
+        return v;
+      default: {
+        v.type = Json::Type::Number;
+        std::size_t end = pos_;
+        while (end < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+                s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+                s_[end] == 'e' || s_[end] == 'E')) {
+          ++end;
+        }
+        if (end == pos_) fail("bad number");
+        v.num = std::stod(s_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+Options tinyOptions() {
+  Options o;
+  o.tiny = true;
+  o.procs = 2;
+  o.jobs = 3;
+  return o;
+}
+
+TEST(JsonReport, GoldenRendering) {
+  // A synthetic entry exercising every field deterministically; the app
+  // name is deliberately not in the registry so opt_class is "?".
+  SweepPoint p;
+  p.kind = PlatformKind::SMP;
+  p.app = "phantom";
+  p.version = "v1";
+  p.params.n = 64;
+  p.params.iters = 1;
+  p.params.block = 16;
+  p.params.seed = 42;
+  p.procs = 2;
+
+  SweepResult r;
+  r.app.stats.procs.resize(2);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    r.app.stats.procs[0].buckets[static_cast<std::size_t>(b)] =
+        static_cast<Cycles>(b + 1);
+    r.app.stats.procs[1].buckets[static_cast<std::size_t>(b)] =
+        static_cast<Cycles>(10 * (b + 1));
+  }
+  r.app.stats.procs[0].reads = 100;
+  r.app.stats.procs[0].writes = 50;
+  r.app.stats.procs[1].l1_misses = 5;
+  r.app.stats.procs[1].page_faults = 2;
+  r.cycles = 500;
+  r.base_cycles = 1000;
+  r.wall_ms = 1.5;
+
+  Report report("golden", tinyOptions());
+  report.add(p, r);
+  report.setWallMs(12.345);
+
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"rsvm-bench-1\", \"bench\": \"golden\", "
+      "\"scale\": \"tiny\", \"procs_default\": 2, \"jobs\": 3, "
+      "\"wall_ms\": 12.345, \"points\": [\n"
+      "    {\"app\": \"phantom\", \"version\": \"v1\", "
+      "\"opt_class\": \"?\", \"platform\": \"SMP\", \"config\": \"\", "
+      "\"procs\": 2, \"n\": 64, \"iters\": 1, \"block\": 16, "
+      "\"seed\": 42, \"ok\": true, \"error\": \"\", "
+      "\"exec_cycles\": 500, \"base_cycles\": 1000, "
+      "\"speedup\": 2.000000, \"wall_ms\": 1.500, "
+      "\"buckets\": {\"compute\": 11, \"cache_stall\": 22, "
+      "\"data_wait\": 33, \"lock_wait\": 44, \"barrier_wait\": 55, "
+      "\"handler\": 66}, "
+      "\"counters\": {\"reads\": 100, \"writes\": 50, \"l1_misses\": 5, "
+      "\"l2_misses\": 0, \"page_faults\": 2, \"write_faults\": 0, "
+      "\"diffs_created\": 0, \"diff_bytes\": 0, \"remote_misses\": 0, "
+      "\"local_misses\": 0, \"invalidations_sent\": 0, "
+      "\"lock_acquires\": 0, \"remote_lock_acquires\": 0, "
+      "\"barriers\": 0, \"tasks_executed\": 0, \"tasks_stolen\": 0}}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(report.json(), expected);
+}
+
+TEST(JsonReport, EmptyReportIsValid) {
+  Report report("empty", tinyOptions());
+  const Json root = Parser(report.json()).parse();
+  EXPECT_EQ(root.at("schema").str, "rsvm-bench-1");
+  EXPECT_EQ(root.at("points").arr.size(), 0u);
+}
+
+TEST(JsonReport, StringsAreEscaped) {
+  SweepPoint p;
+  p.app = "a\"b\\c";
+  p.version = "v\n1";
+  SweepResult r;
+  r.error = "tab\there";
+  Report report("escapes", tinyOptions());
+  report.add(p, r);
+  const Json root = Parser(report.json()).parse();
+  const Json& pt = root.at("points").arr.at(0);
+  EXPECT_EQ(pt.at("app").str, "a\"b\\c");
+  EXPECT_EQ(pt.at("version").str, "v\n1");
+  EXPECT_EQ(pt.at("error").str, "tab\there");
+  EXPECT_FALSE(pt.at("ok").boolean);
+}
+
+TEST(JsonReport, RealSweepRoundTripsAndValidates) {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  ASSERT_NE(lu, nullptr);
+
+  std::vector<SweepPoint> points;
+  for (int procs : {1, 2}) {
+    SweepPoint p;
+    p.kind = PlatformKind::SMP;
+    p.app = "lu";
+    p.version = lu->original().name;
+    p.params = lu->tiny;
+    p.procs = procs;
+    points.push_back(std::move(p));
+  }
+
+  const Options opt = tinyOptions();
+  Report report("roundtrip", opt);
+  const auto results = sweep(points, opt, report);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_TRUE(results[1].ok()) << results[1].error;
+
+  const Json root = Parser(report.json()).parse();
+  EXPECT_EQ(root.at("schema").str, "rsvm-bench-1");
+  EXPECT_EQ(root.at("bench").str, "roundtrip");
+  EXPECT_EQ(root.at("scale").str, "tiny");
+  EXPECT_GT(root.at("wall_ms").num, 0.0);
+  ASSERT_EQ(root.at("points").arr.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Json& pt = root.at("points").arr[i];
+    EXPECT_EQ(pt.at("app").str, "lu");
+    EXPECT_EQ(pt.at("opt_class").str, "Orig");
+    EXPECT_EQ(pt.at("platform").str, "SMP");
+    EXPECT_EQ(static_cast<int>(pt.at("procs").num), i == 0 ? 1 : 2);
+    EXPECT_TRUE(pt.at("ok").boolean);
+    EXPECT_GT(pt.at("exec_cycles").num, 0.0);
+    EXPECT_GT(pt.at("base_cycles").num, 0.0);
+    EXPECT_GT(pt.at("speedup").num, 0.0);
+    EXPECT_EQ(pt.at("buckets").obj.size(), 6u);
+    EXPECT_EQ(pt.at("counters").obj.size(), 16u);
+  }
+  // The uniprocessor original defines speedup 1.0 by construction.
+  EXPECT_NEAR(root.at("points").arr[0].at("speedup").num, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rsvm::bench

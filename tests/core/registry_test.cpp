@@ -89,6 +89,33 @@ TEST(Experiment, IncorrectResultsAreFatal) {
                std::runtime_error);
 }
 
+TEST(Experiment, IncorrectResultErrorsCarryFullContext) {
+  // The platform (and its trace) is gone by the time the error reaches a
+  // sweep driver, so the message itself must attribute the failure.
+  VersionDesc bad{"badver", OptClass::Orig, "always wrong",
+                  [](Platform& p, const AppParams&) {
+                    AppResult r;
+                    r.stats = p.run([](Ctx&) {}), r.correct = false;
+                    r.note = "checksum mismatch 42 != 41";
+                    return r;
+                  }};
+  AppParams prm;
+  prm.n = 99;
+  try {
+    Experiment::runOnce(PlatformKind::SMP, bad, prm, 3,
+                        /*free_cs_faults=*/false, "fakeapp");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fakeapp/badver"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("SMP"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3 procs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n=99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("checksum mismatch 42 != 41"), std::string::npos)
+        << msg;
+  }
+}
+
 TEST(Formatting, BreakdownTableHasOneRowPerProcessor) {
   RunStats rs;
   rs.procs.resize(4);

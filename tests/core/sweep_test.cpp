@@ -1,0 +1,184 @@
+// SweepRunner: host-parallel sweeps must be invisible to simulated time.
+// The same point list run with 1 worker and with 8 workers has to yield
+// bit-identical per-point RunStats, in submission order, and the registry
+// must tolerate concurrent lookups while a sweep is in flight.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+void expectIdenticalStats(const ProcStats& a, const ProcStats& b, int p) {
+  for (std::size_t i = 0; i < a.buckets.size(); ++i) {
+    EXPECT_EQ(a.buckets[i], b.buckets[i]) << "proc " << p << " bucket " << i;
+  }
+  EXPECT_EQ(a.reads, b.reads) << "proc " << p;
+  EXPECT_EQ(a.writes, b.writes) << "proc " << p;
+  EXPECT_EQ(a.l1_misses, b.l1_misses) << "proc " << p;
+  EXPECT_EQ(a.l2_misses, b.l2_misses) << "proc " << p;
+  EXPECT_EQ(a.page_faults, b.page_faults) << "proc " << p;
+  EXPECT_EQ(a.write_faults, b.write_faults) << "proc " << p;
+  EXPECT_EQ(a.diffs_created, b.diffs_created) << "proc " << p;
+  EXPECT_EQ(a.diff_bytes, b.diff_bytes) << "proc " << p;
+  EXPECT_EQ(a.remote_misses, b.remote_misses) << "proc " << p;
+  EXPECT_EQ(a.local_misses, b.local_misses) << "proc " << p;
+  EXPECT_EQ(a.invalidations_sent, b.invalidations_sent) << "proc " << p;
+  EXPECT_EQ(a.lock_acquires, b.lock_acquires) << "proc " << p;
+  EXPECT_EQ(a.remote_lock_acquires, b.remote_lock_acquires) << "proc " << p;
+  EXPECT_EQ(a.barriers, b.barriers) << "proc " << p;
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed) << "proc " << p;
+  EXPECT_EQ(a.tasks_stolen, b.tasks_stolen) << "proc " << p;
+}
+
+std::vector<SweepPoint> samplePoints() {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  const AppDesc* radix = Registry::instance().find("radix");
+  std::vector<SweepPoint> points;
+  for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::SMP}) {
+    for (const char* ver : {"2d", "4d-aligned"}) {
+      SweepPoint p;
+      p.kind = kind;
+      p.app = "lu";
+      p.version = ver;
+      p.params = lu->tiny;
+      p.procs = 4;
+      points.push_back(std::move(p));
+    }
+  }
+  SweepPoint p;
+  p.kind = PlatformKind::NUMA;
+  p.app = "radix";
+  p.version = radix->original().name;
+  p.params = radix->tiny;
+  p.procs = 2;
+  points.push_back(std::move(p));
+  return points;
+}
+
+TEST(SweepRunner, JobsCountDoesNotChangeSimulatedResults) {
+  const auto points = samplePoints();
+
+  const auto serial = SweepRunner(1).run(points);
+  const auto parallel = SweepRunner(8).run(points);
+
+  ASSERT_EQ(serial.size(), points.size());
+  ASSERT_EQ(parallel.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+    EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << "point " << i;
+    EXPECT_EQ(serial[i].base_cycles, parallel[i].base_cycles)
+        << "point " << i;
+    ASSERT_EQ(serial[i].app.stats.procs.size(),
+              parallel[i].app.stats.procs.size());
+    for (std::size_t pr = 0; pr < serial[i].app.stats.procs.size(); ++pr) {
+      expectIdenticalStats(serial[i].app.stats.procs[pr],
+                           parallel[i].app.stats.procs[pr],
+                           static_cast<int>(pr));
+    }
+  }
+}
+
+TEST(SweepRunner, ResultsComeBackInSubmissionOrder) {
+  const auto points = samplePoints();
+  const auto results = SweepRunner(8).run(points);
+  ASSERT_EQ(results.size(), points.size());
+  // Each point asked for a distinct (kind, procs) shape; the stats must
+  // reflect the submitted processor count slot by slot.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(results[i].app.stats.nprocs(), points[i].procs)
+        << "point " << i;
+  }
+}
+
+TEST(SweepRunner, SharedBaselinesAreConsistent) {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  // Many points sharing one baseline cell, raced across 8 workers: all
+  // must observe the same cached uniprocessor time.
+  std::vector<SweepPoint> points;
+  for (int i = 0; i < 8; ++i) {
+    SweepPoint p;
+    p.kind = PlatformKind::SMP;
+    p.app = "lu";
+    p.version = "2d";
+    p.params = lu->tiny;
+    p.procs = 2;
+    points.push_back(std::move(p));
+  }
+  const auto results = SweepRunner(8).run(points);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.base_cycles, results[0].base_cycles);
+    EXPECT_EQ(r.cycles, results[0].cycles);
+  }
+}
+
+TEST(SweepRunner, FailuresAreAttributedNotFatal) {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  std::vector<SweepPoint> points;
+  SweepPoint bad;
+  bad.kind = PlatformKind::SMP;
+  bad.app = "lu";
+  bad.version = "no-such-version";
+  bad.params = lu->tiny;
+  bad.procs = 2;
+  points.push_back(bad);
+  SweepPoint good = bad;
+  good.version = "2d";
+  points.push_back(good);
+  SweepPoint ghost = bad;
+  ghost.app = "no-such-app";
+  points.push_back(ghost);
+
+  const auto results = SweepRunner(2).run(points);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_NE(results[0].error.find("no-such-version"), std::string::npos)
+      << results[0].error;
+  EXPECT_NE(results[0].error.find("lu"), std::string::npos)
+      << results[0].error;
+  EXPECT_TRUE(results[1].ok()) << results[1].error;  // unaffected neighbor
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_NE(results[2].error.find("no-such-app"), std::string::npos)
+      << results[2].error;
+}
+
+TEST(Registry, ConcurrentLookupsDuringASweep) {
+  const auto points = samplePoints();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> finders;
+  for (int t = 0; t < 4; ++t) {
+    finders.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const AppDesc* lu = Registry::instance().find("lu");
+        if (lu == nullptr || lu->version("2d") == nullptr) {
+          ADD_FAILURE() << "registry lookup failed under concurrency";
+          return;
+        }
+        if (Registry::instance().find("fft") != nullptr) {
+          ADD_FAILURE() << "phantom app appeared";
+          return;
+        }
+        registerAllApps();  // idempotent re-registration races the finds
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const auto results = SweepRunner(4).run(points);
+  stop.store(true);
+  for (auto& t : finders) t.join();
+  EXPECT_GT(lookups.load(), 0u);
+  for (const auto& r : results) EXPECT_TRUE(r.ok()) << r.error;
+}
+
+}  // namespace
+}  // namespace rsvm
