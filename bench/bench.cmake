@@ -1,6 +1,17 @@
 # One binary per paper table/figure, plus protocol microbenchmarks.
 # Included from the top-level CMakeLists so build/bench/ holds only the
 # executables (handy for `for b in build/bench/*; do $b; done`).
+#
+# Simulated results are build-type independent, but the host-throughput
+# numbers (ext_simperf, the wall_ms / host_accesses_per_sec JSON fields)
+# are meaningless without optimization.
+if(CMAKE_BUILD_TYPE STREQUAL "Debug")
+  message(WARNING
+    "Bench targets are being built with CMAKE_BUILD_TYPE=Debug: "
+    "host-throughput numbers (ext_simperf, wall_ms fields) will be "
+    "unrepresentative. Use Release or RelWithDebInfo for benchmarking.")
+endif()
+
 file(GLOB BENCH_SOURCES CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/bench/*.cpp)
 
 foreach(src ${BENCH_SOURCES})

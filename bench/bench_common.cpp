@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include "runtime/platform.hpp"
+
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -40,6 +42,8 @@ Options parse(int argc, char** argv) {
       o.procs = parsePositiveInt("--procs", argv[i] + 8);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       o.jobs = parsePositiveInt("--jobs", argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--no-fastpath") == 0) {
+      o.no_fastpath = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       o.json_path = argv[i] + 7;
       if (o.json_path.empty()) {
@@ -48,7 +52,7 @@ Options parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--paper-scale|--tiny] [--procs=N] [--jobs=N] "
-          "[--json=FILE]\n",
+          "[--json=FILE] [--no-fastpath]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -56,6 +60,7 @@ Options parse(int argc, char** argv) {
     }
   }
   registerAllApps();
+  Platform::setFastPathDefault(!o.no_fastpath);
   return o;
 }
 
@@ -197,7 +202,8 @@ Report::Report(std::string bench_name, const Options& opt)
     : bench_(std::move(bench_name)),
       scale_(scaleName(opt)),
       procs_(opt.procs),
-      jobs_(opt.jobs > 0 ? opt.jobs : SweepRunner::defaultJobs()) {}
+      jobs_(opt.jobs > 0 ? opt.jobs : SweepRunner::defaultJobs()),
+      fastpath_(!opt.no_fastpath) {}
 
 void Report::add(const SweepPoint& point, const SweepResult& result) {
   entries_.push_back({point, result});
@@ -217,6 +223,7 @@ std::string Report::json() const {
   field(out, "scale", scale_);
   field(out, "procs_default", procs_);
   field(out, "jobs", jobs_);
+  fieldB(out, "fastpath", fastpath_);
   fieldF(out, "wall_ms", wall_ms_, "%.3f");
   out += "\"points\": [";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -240,6 +247,13 @@ std::string Report::json() const {
     field(out, "base_cycles", r.base_cycles);
     fieldF(out, "speedup", r.speedup(), "%.6f");
     fieldF(out, "wall_ms", r.wall_ms, "%.3f");
+    const double accesses = static_cast<double>(rs.sum(&ProcStats::reads) +
+                                                rs.sum(&ProcStats::writes));
+    fieldF(out, "host_accesses_per_sec",
+           r.wall_ms > 0.0 ? accesses / (r.wall_ms / 1000.0) : 0.0, "%.1f");
+    fieldF(out, "sim_cycles_per_wall_ms",
+           r.wall_ms > 0.0 ? static_cast<double>(r.cycles) / r.wall_ms : 0.0,
+           "%.1f");
     out += "\"buckets\": {";
     field(out, "compute", rs.bucketTotal(Bucket::Compute));
     field(out, "cache_stall", rs.bucketTotal(Bucket::CacheStall));

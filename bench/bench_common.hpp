@@ -5,6 +5,9 @@
 //   --procs=N       simulated processor count (default 16, as the paper)
 //   --jobs=N        host threads for sweep binaries (default: all cores)
 //   --json=FILE     write machine-readable results (sweep binaries)
+//   --no-fastpath   force every access through the slow path (the
+//                   simulated results are bit-identical by construction;
+//                   this exists so CI can prove it)
 #pragma once
 
 #include "core/experiment.hpp"
@@ -20,6 +23,7 @@ struct Options {
   bool tiny = false;
   int procs = 16;
   int jobs = 0;           ///< host worker threads; 0 = hardware concurrency
+  bool no_fastpath = false;  ///< disable the access fast path process-wide
   std::string json_path;  ///< empty = no JSON output
 };
 
@@ -44,8 +48,11 @@ void printHeader(const std::string& title);
 
 /// Machine-readable results of one bench binary: a stable JSON schema
 /// ("rsvm-bench-1") holding, per sweep point, the speedup, exec cycles,
-/// the six paper breakdown buckets, the protocol counters and the host
-/// wall-clock. Intended for BENCH_*.json perf-trajectory tracking.
+/// the six paper breakdown buckets, the protocol counters, the host
+/// wall-clock and host-throughput derivatives (host_accesses_per_sec,
+/// sim_cycles_per_wall_ms -- how fast the *simulator* chews through
+/// simulated accesses). Intended for BENCH_*.json perf-trajectory
+/// tracking.
 class Report {
  public:
   Report(std::string bench_name, const Options& opt);
@@ -80,6 +87,7 @@ class Report {
   std::string scale_;
   int procs_;
   int jobs_;
+  bool fastpath_ = true;
   double wall_ms_ = 0.0;
   std::vector<Entry> entries_;
 };

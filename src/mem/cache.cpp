@@ -37,6 +37,18 @@ const Cache::Way* Cache::find(SimAddr a) const {
   return const_cast<Cache*>(this)->find(a);
 }
 
+std::uint32_t Cache::findWayIndex(SimAddr a) const {
+  const std::uint64_t tag = tagOf(a);
+  const std::size_t base = setIndex(a) * cfg_.assoc;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.state != LineState::Invalid && way.tag == tag) {
+      return static_cast<std::uint32_t>(base + w);
+    }
+  }
+  return kNoWay;
+}
+
 void Cache::touch(std::size_t /*set*/, Way& w) { w.lru = ++lru_tick_; }
 
 Cache::AccessResult Cache::access(SimAddr addr, bool write) {

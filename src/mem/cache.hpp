@@ -58,12 +58,46 @@ class Cache {
 
   void clear();
 
- private:
+  // ---- access-fast-path support (runtime/platform.hpp) ----
+  //
+  // The per-processor line-permission filter caches a line's way index
+  // and revalidates it on every use directly against the way array: the
+  // way must still hold the line's tag in a sufficient state. Any
+  // protocol action that reduces the line's permission (invalidate,
+  // downgrade, eviction by fill, clear) changes exactly that tag or
+  // state, so a stale filter entry can never authorize an access the
+  // slow path would not.
+
   struct Way {
     std::uint64_t tag = 0;
-    std::uint32_t lru = 0;  // higher = more recently used
+    // Higher = more recently used. 64-bit: a 32-bit tick wraps after ~4B
+    // touches, at which point the most-recently-used way compares as
+    // least-recently-used and LRU inverts (see
+    // CacheTest.LruTickSurvivesUint32Wraparound).
+    std::uint64_t lru = 0;
     LineState state = LineState::Invalid;
   };
+
+  static constexpr std::uint32_t kNoWay = 0xFFFFFFFFu;
+
+  /// Index of the way currently holding `addr`, or kNoWay. Indices stay
+  /// valid for the cache's lifetime (the way array never reallocates),
+  /// but the *occupant* of a way can change at any fill.
+  [[nodiscard]] std::uint32_t findWayIndex(SimAddr a) const;
+
+  /// Raw way array (num_sets * assoc; stable for the cache's lifetime).
+  /// The fast path revalidates and LRU-touches ways through this pointer
+  /// without re-running the associative search or this extra call frame.
+  [[nodiscard]] Way* fastWays() { return ways_.data(); }
+
+  /// The global LRU tick, advanced on every touch; the fast path bumps
+  /// it through this pointer exactly as a slow-path hit would.
+  [[nodiscard]] std::uint64_t* fastLruTick() { return &lru_tick_; }
+
+  /// Test hook: preload the global LRU tick (wraparound regression test).
+  void seedLruTick(std::uint64_t t) { lru_tick_ = t; }
+
+ private:
 
   [[nodiscard]] std::size_t setIndex(SimAddr a) const {
     return (a >> line_shift_) & set_mask_;
@@ -79,7 +113,7 @@ class Cache {
   SimAddr line_mask_ = 0;
   std::size_t num_sets_ = 0;
   std::size_t set_mask_ = 0;
-  std::uint32_t lru_tick_ = 0;
+  std::uint64_t lru_tick_ = 0;
   std::vector<Way> ways_;  // num_sets_ * assoc
 };
 

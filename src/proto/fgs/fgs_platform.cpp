@@ -20,12 +20,22 @@ FgsPlatform::FgsPlatform(int nprocs, const FgsParams& params)
       net_(nprocs, {params.msg_sw_overhead, params.wire_latency,
                     params.iobus_bytes_per_cycle}),
       handler_(static_cast<std::size_t>(nprocs)),
-      bs_(static_cast<std::size_t>(nprocs)) {
+      bs_(static_cast<std::size_t>(nprocs)),
+      bs_gen_(static_cast<std::size_t>(nprocs), 0) {
   l1_.reserve(static_cast<std::size_t>(nprocs));
   l2_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {
     l1_.emplace_back(prm_.l1);
     l2_.emplace_back(prm_.l2);
+  }
+  // Fast path: an L1 hit still pays the inline software access check
+  // (the tax the paper charges on *every* shared access), batched along
+  // with the load/store cycle.
+  initFastPath(prm_.l1.line_bytes, 1 + prm_.load_check, 1 + prm_.store_check,
+               /*write_needs_modified=*/true);
+  for (int i = 0; i < nprocs; ++i) {
+    setFastPathProc(i, &l1_[static_cast<std::size_t>(i)],
+                    &bs_gen_[static_cast<std::size_t>(i)]);
   }
 }
 
@@ -106,6 +116,7 @@ Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
     eng.chargeHandler(o, prm_.inval_handler);
     bs_[static_cast<std::size_t>(o)][block] = static_cast<std::uint8_t>(
         write ? BState::Invalid : BState::Shared);
+    ++bs_gen_[static_cast<std::size_t>(o)];  // owner downgraded
     t = net_.send(o, h, prm_.block_bytes + prm_.msg_header_bytes, t2);
     d.dirty = 0;
     d.owner = -1;
@@ -127,6 +138,7 @@ Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
       eng.chargeHandler(static_cast<ProcId>(s), prm_.inval_handler);
       bs_[static_cast<std::size_t>(s)][block] =
           static_cast<std::uint8_t>(BState::Invalid);
+      ++bs_gen_[static_cast<std::size_t>(s)];  // sharer invalidated
       l1_[static_cast<std::size_t>(s)].invalidateRange(
           block * prm_.block_bytes, prm_.block_bytes);
       l2_[static_cast<std::size_t>(s)].invalidateRange(
@@ -197,7 +209,23 @@ void FgsPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
   engine_.advance(prm_.mem_latency, Bucket::CacheStall);
 }
 
-void FgsPlatform::acquireLock(int id) {
+void FgsPlatform::fastPrime(ProcId p, SimAddr a, bool /*write*/,
+                            FastPrimeInfo& fp) {
+  // Prime from the *current* block state, not the one doAccess was granted:
+  // a concurrent serveMiss can revoke the block while this processor
+  // stalls for its own miss, and the hardware caches are refilled
+  // afterwards regardless (they are permission-blind here -- the software
+  // check in front of them is what enforces coherence).
+  const auto st =
+      static_cast<BState>(bs_[static_cast<std::size_t>(p)][blockOf(a)]);
+  if (st == BState::Invalid) {
+    fp.install = false;
+    return;
+  }
+  fp.writable = st == BState::Exclusive;
+}
+
+void FgsPlatform::acquireLockImpl(int id) {
   const ProcId p = engine_.self();
   auto& lk = locks_[static_cast<std::size_t>(id)];
   ProcStats& st = engine_.stats(p);
@@ -226,7 +254,7 @@ void FgsPlatform::acquireLock(int id) {
   emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
 }
 
-void FgsPlatform::releaseLock(int id) {
+void FgsPlatform::releaseLockImpl(int id) {
   const ProcId p = engine_.self();
   auto& lk = locks_[static_cast<std::size_t>(id)];
   assert(lk.held && lk.owner == p);
@@ -247,7 +275,7 @@ void FgsPlatform::releaseLock(int id) {
   }
 }
 
-void FgsPlatform::barrier(int id) {
+void FgsPlatform::barrierImpl(int id) {
   const ProcId p = engine_.self();
   auto& b = barriers_[static_cast<std::size_t>(id)];
   ++engine_.stats(p).barriers;

@@ -56,9 +56,6 @@ class FgsPlatform final : public Platform {
  public:
   explicit FgsPlatform(int nprocs, const FgsParams& params = {});
 
-  void acquireLock(int id) override;
-  void releaseLock(int id) override;
-  void barrier(int id) override;
   void warm(ProcId p, SimAddr base, std::size_t len) override;
   [[nodiscard]] std::uint32_t coherenceBytes() const override {
     return prm_.block_bytes;
@@ -69,6 +66,12 @@ class FgsPlatform final : public Platform {
 
  protected:
   void doAccess(SimAddr a, std::uint32_t size, bool write) override;
+  void acquireLockImpl(int id) override;
+  void releaseLockImpl(int id) override;
+  void barrierImpl(int id) override;
+  /// Writes may take the fast path only while the processor's software
+  /// block state is Exclusive; guarded by the processor's bs_gen_.
+  void fastPrime(ProcId p, SimAddr a, bool write, FastPrimeInfo& fp) override;
   void onArenaGrown(std::size_t used_bytes) override;
   void onLockCreated(int id) override;
   void onBarrierCreated(int id) override;
@@ -113,6 +116,11 @@ class FgsPlatform final : public Platform {
   std::vector<ProcId> home_;                   ///< per 4 KB page
   std::vector<DirEntry> dir_;                  ///< per block
   std::vector<std::vector<std::uint8_t>> bs_;  ///< [proc][block] BState
+  // Per-processor block-permission generation for the access fast path.
+  // Bumped whenever the protocol *downgrades* one of the processor's
+  // block states (exclusive fetch-back, sharer invalidation); upgrades
+  // (own misses, warm, setHomes) never invalidate entries.
+  std::vector<std::uint64_t> bs_gen_;  ///< [proc]
   std::vector<Cache> l1_, l2_;
   std::vector<LockState> locks_;
   std::vector<BarrierState> barriers_;

@@ -26,6 +26,13 @@ NumaPlatform::NumaPlatform(int nprocs, const NumaParams& params)
     l1_.emplace_back(prm_.l1);
     l2_.emplace_back(prm_.l2);
   }
+  // Fast path: an L1 hit costs 1 Compute cycle; every permission-reducing
+  // directory action goes through the victim's caches, so no
+  // platform-level generation is needed.
+  initFastPath(prm_.l1.line_bytes, 1, 1, /*write_needs_modified=*/true);
+  for (int i = 0; i < nprocs; ++i) {
+    setFastPathProc(i, &l1_[static_cast<std::size_t>(i)], nullptr);
+  }
 }
 
 void NumaPlatform::onArenaGrown(std::size_t used_bytes) {

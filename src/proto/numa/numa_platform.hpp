@@ -36,25 +36,6 @@ class NumaPlatform final : public Platform {
  public:
   explicit NumaPlatform(int nprocs, const NumaParams& params = {});
 
-  // Hardware locks/barriers, bracketed by trace events so consumers see
-  // the same synchronization stream on every platform.
-  void acquireLock(int id) override {
-    const ProcId p = engine_.self();
-    emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
-    sync_.acquire(id);
-    emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
-  }
-  void releaseLock(int id) override {
-    emit(TraceEvent::Kind::LockRelease, engine_.self(),
-         static_cast<std::uint64_t>(id));
-    sync_.release(id);
-  }
-  void barrier(int id) override {
-    const ProcId p = engine_.self();
-    emit(TraceEvent::Kind::BarrierArrive, p, static_cast<std::uint64_t>(id));
-    sync_.barrier(id, nprocs());
-    emit(TraceEvent::Kind::BarrierDepart, p, static_cast<std::uint64_t>(id));
-  }
   [[nodiscard]] std::uint32_t coherenceBytes() const override {
     return prm_.l2.line_bytes;
   }
@@ -67,6 +48,25 @@ class NumaPlatform final : public Platform {
 
  protected:
   void doAccess(SimAddr a, std::uint32_t size, bool write) override;
+  // Hardware locks/barriers, bracketed by trace events so consumers see
+  // the same synchronization stream on every platform.
+  void acquireLockImpl(int id) override {
+    const ProcId p = engine_.self();
+    emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
+    sync_.acquire(id);
+    emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+  }
+  void releaseLockImpl(int id) override {
+    emit(TraceEvent::Kind::LockRelease, engine_.self(),
+         static_cast<std::uint64_t>(id));
+    sync_.release(id);
+  }
+  void barrierImpl(int id) override {
+    const ProcId p = engine_.self();
+    emit(TraceEvent::Kind::BarrierArrive, p, static_cast<std::uint64_t>(id));
+    sync_.barrier(id, nprocs());
+    emit(TraceEvent::Kind::BarrierDepart, p, static_cast<std::uint64_t>(id));
+  }
   void onArenaGrown(std::size_t used_bytes) override;
   void onLockCreated(int) override { sync_.onLockCreated(); }
   void onBarrierCreated(int) override { sync_.onBarrierCreated(); }

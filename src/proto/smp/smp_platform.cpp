@@ -22,6 +22,12 @@ SmpPlatform::SmpPlatform(int nprocs, const SmpParams& params)
     l1_.emplace_back(prm_.l1);
     l2_.emplace_back(prm_.l2);
   }
+  // Fast path: an L1 hit costs 1 Compute cycle; permission lives entirely
+  // in the hardware caches (no platform-level generation needed).
+  initFastPath(prm_.l1.line_bytes, 1, 1, /*write_needs_modified=*/true);
+  for (int i = 0; i < nprocs; ++i) {
+    setFastPathProc(i, &l1_[static_cast<std::size_t>(i)], nullptr);
+  }
 }
 
 void SmpPlatform::dropFromL1(ProcId p, SimAddr l2_line) {

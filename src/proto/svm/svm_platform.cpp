@@ -23,6 +23,7 @@ SvmPlatform::SvmPlatform(int nprocs, const SvmParams& params)
                      params.iobus_bytes_per_cycle}),
       handler_(static_cast<std::size_t>(nnodes_)),
       pt_(static_cast<std::size_t>(nnodes_)),
+      pt_gen_(static_cast<std::size_t>(nnodes_), 0),
       vc_(static_cast<std::size_t>(nnodes_)),
       notices_(static_cast<std::size_t>(nnodes_)),
       dirty_(static_cast<std::size_t>(nnodes_)),
@@ -36,6 +37,15 @@ SvmPlatform::SvmPlatform(int nprocs, const SvmParams& params)
     l1_.emplace_back(prm_.l1);
     l2_.emplace_back(prm_.l2);
   }
+  // Fast path: an L1 hit costs 1 Compute cycle. Write-hits do not need
+  // an L1 Modified line (the node caches are not hardware-coherent; the
+  // slow path ignores the upgrade bit), but they do need page-level
+  // permission, guarded by the node's pt_gen_.
+  initFastPath(prm_.l1.line_bytes, 1, 1, /*write_needs_modified=*/false);
+  for (int i = 0; i < nprocs; ++i) {
+    setFastPathProc(i, &l1_[static_cast<std::size_t>(i)],
+                    &pt_gen_[static_cast<std::size_t>(nodeOf(i))]);
+  }
 }
 
 void SvmPlatform::onArenaGrown(std::size_t used_bytes) {
@@ -44,6 +54,9 @@ void SvmPlatform::onArenaGrown(std::size_t used_bytes) {
   home_.resize(npages, 0);
   last_writer_.resize(npages, -1);
   for (auto& t : pt_) t.resize(npages);
+  // Growing a page table may reallocate its PageEntry storage; kill any
+  // fast-path entries holding dirty_bytes pointers into the old storage.
+  for (auto& g : pt_gen_) ++g;
 }
 
 void SvmPlatform::setHomes(SimAddr base, std::size_t bytes,
@@ -274,6 +287,7 @@ Cycles SvmPlatform::flushPage(ProcId p, std::uint64_t page, Cycles start) {
   }
   e.in_dirty_list = 0;
   e.dirty_bytes = 0;
+  ++pt_gen_[static_cast<std::size_t>(n)];  // write permission reduced
   return done;
 }
 
@@ -307,6 +321,7 @@ Cycles SvmPlatform::closeInterval(ProcId p) {
                                   e.retained_bytes + e.dirty_bytes));
       e.in_dirty_list = 0;
       e.dirty_bytes = 0;
+      ++pt_gen_[ni];  // write permission reduced
       engine_.stats(p).diffs_created++;
     }
   }
@@ -327,7 +342,10 @@ void SvmPlatform::applyNotices(ProcId p, const Vc& vq) {
           if (r != static_cast<int>(ni)) {
             PageEntry& le = pt_[ni][page];
             le.pending_diffs |= 1ull << static_cast<unsigned>(r);
-            if (le.in_dirty_list == 0) le.valid = 0;
+            if (le.in_dirty_list == 0) {
+              le.valid = 0;
+              ++pt_gen_[ni];  // page invalidated
+            }
             continue;
           }
           continue;
@@ -348,6 +366,7 @@ void SvmPlatform::applyNotices(ProcId p, const Vc& vq) {
           }
         }
         e.valid = 0;
+        ++pt_gen_[ni];  // page invalidated
       }
     }
     mine[ri] = std::max(mine[ri], vq[ri]);
@@ -357,7 +376,21 @@ void SvmPlatform::applyNotices(ProcId p, const Vc& vq) {
   }
 }
 
-void SvmPlatform::acquireLock(int id) {
+void SvmPlatform::fastPrime(ProcId p, SimAddr a, bool /*write*/,
+                            FastPrimeInfo& fp) {
+  PageEntry& e = pt_[static_cast<std::size_t>(nodeOf(p))][pageOf(a)];
+  if (e.valid == 0) {  // defensive; doAccess just validated the page
+    fp.install = false;
+    return;
+  }
+  fp.writable = e.in_dirty_list != 0;
+  if (fp.writable) {
+    fp.dirty = &e.dirty_bytes;
+    fp.dirty_cap = prm_.page_bytes;
+  }
+}
+
+void SvmPlatform::acquireLockImpl(int id) {
   const ProcId p = engine_.self();
   auto& lk = locks_[static_cast<std::size_t>(id)];
   ProcStats& st = engine_.stats(p);
@@ -406,7 +439,7 @@ void SvmPlatform::acquireLock(int id) {
   applyNotices(p, lk.vc);
 }
 
-void SvmPlatform::releaseLock(int id) {
+void SvmPlatform::releaseLockImpl(int id) {
   const ProcId p = engine_.self();
   auto& lk = locks_[static_cast<std::size_t>(id)];
   assert(lk.held && lk.owner == p && "release of a lock we do not hold");
@@ -440,7 +473,7 @@ void SvmPlatform::releaseLock(int id) {
   }
 }
 
-void SvmPlatform::barrier(int id) {
+void SvmPlatform::barrierImpl(int id) {
   const ProcId p = engine_.self();
   auto& b = barriers_[static_cast<std::size_t>(id)];
   ProcStats& st = engine_.stats(p);

@@ -84,9 +84,6 @@ class SvmPlatform final : public Platform {
  public:
   explicit SvmPlatform(int nprocs, const SvmParams& params = {});
 
-  void acquireLock(int id) override;
-  void releaseLock(int id) override;
-  void barrier(int id) override;
   void warm(ProcId p, SimAddr base, std::size_t len) override;
   [[nodiscard]] std::uint32_t coherenceBytes() const override {
     return prm_.page_bytes;
@@ -108,6 +105,13 @@ class SvmPlatform final : public Platform {
 
  protected:
   void doAccess(SimAddr a, std::uint32_t size, bool write) override;
+  void acquireLockImpl(int id) override;
+  void releaseLockImpl(int id) override;
+  void barrierImpl(int id) override;
+  /// Writes may take the fast path only while the page is valid and
+  /// already on the node's dirty list (twin made, dirty bytes tracked);
+  /// both conditions are guarded by the node's pt_gen_.
+  void fastPrime(ProcId p, SimAddr a, bool write, FastPrimeInfo& fp) override;
   void onArenaGrown(std::size_t used_bytes) override;
   void onLockCreated(int id) override;
   void onBarrierCreated(int id) override;
@@ -168,6 +172,11 @@ class SvmPlatform final : public Platform {
   std::vector<Resource> handler_;  ///< per-node protocol CPU service
   std::vector<ProcId> home_;       ///< per page: home node
   std::vector<std::vector<PageEntry>> pt_;  ///< [node][page]
+  // Per-node page-permission generation for the access fast path. Bumped
+  // whenever a node's page state is *reduced* (valid -> 0 at acquire or
+  // barrier, dirty list cleared at a release) or its PageEntry storage
+  // moves; raising permissions (fault, warm) never invalidates entries.
+  std::vector<std::uint64_t> pt_gen_;  ///< [node]
   std::vector<Vc> vc_;                      ///< [node]
   // Outer per-interval container is a deque: applyNotices may yield while
   // iterating an interval's page list, during which the logging node can

@@ -6,9 +6,87 @@
 #include "proto/svm/svm_platform.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <stdexcept>
 
 namespace rsvm {
+
+
+namespace {
+// Process-wide default for newly constructed platforms (bench
+// --no-fastpath). Atomic: sweep worker threads construct platforms
+// concurrently.
+std::atomic<bool> g_fastpath_default{true};
+}  // namespace
+
+void Platform::setFastPathDefault(bool on) {
+  g_fastpath_default.store(on, std::memory_order_relaxed);
+}
+
+bool Platform::fastPathDefault() {
+  return g_fastpath_default.load(std::memory_order_relaxed);
+}
+
+void Platform::initFastPath(std::uint32_t line_bytes, Cycles read_cost,
+                            Cycles write_cost, bool write_needs_modified) {
+  fast_line_shift_ = static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+  fast_read_cost_ = read_cost;
+  fast_write_cost_ = write_cost;
+  fast_write_needs_mod_ = write_needs_modified;
+  fast_quantum_ = engine_.quantum();
+  fast_.resize(static_cast<std::size_t>(engine_.nprocs()));
+  fast_on_ = fastPathDefault();
+}
+
+void Platform::setFastPathProc(ProcId p, Cache* l1,
+                               const std::uint64_t* plat_gen) {
+  ProcFastState& fs = fast_[static_cast<std::size_t>(p)];
+  fs.l1 = l1;
+  fs.ways = l1->fastWays();
+  fs.lru_tick = l1->fastLruTick();
+  fs.stats = &engine_.stats(p);
+  fs.since_yield = engine_.sinceYieldPtr(p);
+  fs.plat_gen = plat_gen != nullptr ? plat_gen : &kZeroGen;
+}
+
+void Platform::accessSlow(SimAddr a, std::uint32_t size, bool write,
+                          bool racy) {
+  ++slow_access_calls_;
+  flushAccess();
+  if (trace) {
+    const TraceEvent::Kind k =
+        racy ? (write ? TraceEvent::Kind::RacyWrite : TraceEvent::Kind::RacyRead)
+             : (write ? TraceEvent::Kind::SharedWrite
+                      : TraceEvent::Kind::SharedRead);
+    emit(k, engine_.self(), a, size);
+    doAccess(a, size, write);
+    return;
+  }
+  doAccess(a, size, write);
+  if (fast_on_) primeFastPath(engine_.self(), a, write);
+}
+
+void Platform::primeFastPath(ProcId p, SimAddr a, bool write) {
+  ProcFastState& fs = fast_[static_cast<std::size_t>(p)];
+  if (fs.l1 == nullptr) return;
+  // After doAccess the line is normally resident in L1 with a state
+  // matching the access; if not (e.g. a pathological configuration), no
+  // entry is installed and the line simply stays on the slow path.
+  const std::uint32_t w = fs.l1->findWayIndex(a);
+  if (w == Cache::kNoWay) return;
+  FastPrimeInfo fp;
+  fastPrime(p, a, write, fp);
+  if (!fp.install) return;
+  FastEntry fe;
+  fe.line = a >> fast_line_shift_;
+  fe.way = w;
+  fe.writable = fp.writable;
+  fe.dirty = fp.dirty;
+  fe.dirty_cap = fp.dirty_cap;
+  fe.plat_gen = *fs.plat_gen;
+  fs.entries[ProcFastState::fastIndex(fe.line)] = fe;
+}
 
 SimAddr Platform::alloc(std::size_t bytes, std::size_t align,
                         const HomePolicy& homes) {
@@ -53,6 +131,9 @@ RunStats Platform::run(const std::function<void(Ctx&)>& body) {
   engine_.run([this, &body](ProcId p) {
     Ctx c(*this, p);
     body(c);
+    // The fiber is about to finish: charge any batched fast-path cycles
+    // so collect() sees final clocks.
+    flushAccess();
   });
   return engine_.collect();
 }

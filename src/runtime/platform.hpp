@@ -13,15 +13,19 @@
 #pragma once
 
 #include "mem/address_space.hpp"
+#include "mem/cache.hpp"
 #include "runtime/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace rsvm {
 
@@ -99,20 +103,99 @@ class Platform {
   /// either way. `racy` marks accesses that are intentionally
   /// unsynchronized (e.g. a thief peeking at a victim's queue bounds) so
   /// the race checker can distinguish them from bugs.
+  ///
+  /// Hot path: a small per-processor line-permission filter is consulted
+  /// before any virtual dispatch (see DESIGN.md, "Access fast
+  /// path"). A hit replicates the slow path's observable effects exactly
+  /// -- counters and LRU inline, the L1-hit cycles through a batched
+  /// accumulator -- and is only taken while the batch provably cannot
+  /// cross a yield point, so simulated results are bit-identical. A
+  /// trace hook disables the filter entirely: consumers (race checker,
+  /// recorder) must see every access.
   void access(SimAddr a, std::uint32_t size, bool write, bool racy = false) {
-    if (trace) {
-      const TraceEvent::Kind k =
-          racy ? (write ? TraceEvent::Kind::RacyWrite
-                        : TraceEvent::Kind::RacyRead)
-               : (write ? TraceEvent::Kind::SharedWrite
-                        : TraceEvent::Kind::SharedRead);
-      emit(k, engine_.self(), a, size);
+    if (fast_on_ && !trace) {
+      ProcFastState& fs = fast_[static_cast<std::size_t>(engine_.self())];
+      const SimAddr line = a >> fast_line_shift_;
+      FastEntry& fe = fs.entries[ProcFastState::fastIndex(line)];
+      const Cycles cost = write ? fast_write_cost_ : fast_read_cost_;
+      // All probe state was flattened to raw pointers in setFastPathProc;
+      // a hit is a handful of loads with no call leaving this frame. The
+      // way check inlines Cache's hit test (tag present, state
+      // sufficient); the quantum check inlines Engine::fitsInQuantum for
+      // the whole batch including this access.
+      Cache::Way* w = fs.ways + fe.way;
+      if (fe.line == line && (!write || fe.writable) &&
+          fe.plat_gen == *fs.plat_gen && w->tag == line &&
+          (write && fast_write_needs_mod_
+               ? w->state == LineState::Modified
+               : w->state != LineState::Invalid) &&
+          *fs.since_yield + fs.batch + cost < fast_quantum_) {
+        if (write) {
+          ++fs.stats->writes;
+          if (fe.dirty != nullptr) {
+            // SVM dirty-byte tracking, same min-cap as the slow path.
+            *fe.dirty = static_cast<std::uint16_t>(std::min<std::uint32_t>(
+                fe.dirty_cap, static_cast<std::uint32_t>(*fe.dirty) + size));
+          }
+        } else {
+          ++fs.stats->reads;
+        }
+        // LRU touch stays inline (not batched): the tick is a global
+        // sequence feeding victim selection, so it must advance in true
+        // access order for bit-identical eviction decisions.
+        w->lru = ++*fs.lru_tick;
+        fs.batch += cost;
+        return;
+      }
     }
-    doAccess(a, size, write);
+    accessSlow(a, size, write, racy);
   }
-  virtual void acquireLock(int id) = 0;
-  virtual void releaseLock(int id) = 0;
-  virtual void barrier(int id) = 0;
+
+  // Synchronization. Non-virtual wrappers: every sync operation is a
+  // fast-path flush point (the batched cycles must be charged before the
+  // protocol reads or publishes this processor's clock).
+  void acquireLock(int id) {
+    flushAccess();
+    acquireLockImpl(id);
+  }
+  void releaseLock(int id) {
+    flushAccess();
+    releaseLockImpl(id);
+  }
+  void barrier(int id) {
+    flushAccess();
+    barrierImpl(id);
+  }
+
+  /// Charge any batched fast-path cycles to the engine. Callable only
+  /// from inside a processor fiber (a no-op elsewhere); never yields,
+  /// because the fast path only batches while the whole batch fits
+  /// strictly inside the drift quantum.
+  void flushAccess() {
+    if (fast_.empty()) return;
+    const ProcId p = engine_.self();
+    if (p < 0) return;
+    ProcFastState& fs = fast_[static_cast<std::size_t>(p)];
+    if (fs.batch == 0) return;
+    const Cycles b = fs.batch;
+    fs.batch = 0;
+    engine_.advance(b, Bucket::Compute);
+  }
+
+  /// Force the fast path off (or back on) for this instance; used to
+  /// demonstrate bit-identical results. The process-wide default for new
+  /// platforms is setFastPathDefault() (bench `--no-fastpath`).
+  void setFastPathEnabled(bool on) { fast_on_ = on && !fast_.empty(); }
+  [[nodiscard]] bool fastPathEnabled() const { return fast_on_; }
+
+  /// Diagnostic: how many accesses took the slow path (counted there, so
+  /// the hot path pays nothing). With the total from ProcStats
+  /// reads+writes this gives the filter hit rate (bench ext_simperf).
+  [[nodiscard]] std::uint64_t slowAccessCalls() const {
+    return slow_access_calls_;
+  }
+  static void setFastPathDefault(bool on);
+  [[nodiscard]] static bool fastPathDefault();
 
   /// The coherence-unit size at which the platform's protocol shares data
   /// (SVM page, hardware cache line, FGS block) -- the granularity at
@@ -147,6 +230,100 @@ class Platform {
 
   /// Protocol implementation of one timed access (see access()).
   virtual void doAccess(SimAddr a, std::uint32_t size, bool write) = 0;
+
+  /// Protocol implementations of the sync operations (see the public
+  /// flushing wrappers above).
+  virtual void acquireLockImpl(int id) = 0;
+  virtual void releaseLockImpl(int id) = 0;
+  virtual void barrierImpl(int id) = 0;
+
+  // ---- access fast path (see DESIGN.md, "Access fast path") ----
+  //
+  // Validity of a filter entry is checked structurally on every use:
+  //  * the cached L1 way must still hold the line's tag in a sufficient
+  //    state (checked directly against the raw way array -- survives
+  //    unrelated evictions, dies with any invalidate/downgrade/eviction
+  //    of this line), and
+  //  * the platform-level permission generation (if the platform has
+  //    permission state outside the hardware caches: SVM page table,
+  //    FGS block state) must be unchanged since the entry was primed.
+
+  struct FastEntry {
+    SimAddr line = ~SimAddr{0};   ///< line id (addr >> fast_line_shift_)
+    std::uint64_t plat_gen = 0;   ///< platform permission gen at prime
+    std::uint32_t way = 0;        ///< L1 way index holding the line
+    bool writable = false;        ///< platform-level write permission held
+    std::uint32_t dirty_cap = 0;  ///< SVM: page_bytes cap for dirty_bytes
+    std::uint16_t* dirty = nullptr;  ///< SVM: &PageEntry::dirty_bytes
+  };
+
+  struct ProcFastState {
+    // Direct-mapped, indexed by an XOR-fold of the line number (see
+    // fastIndex). A plain `line % kEntries` is pathological for strided
+    // numeric code: a column walk through a row-major matrix whose row
+    // stride is a multiple of kEntries lines maps *every* element to the
+    // same entry and the filter thrashes. Folding the upper line bits in
+    // spreads such walks across the whole table.
+    static constexpr std::size_t kEntries = 64;
+    static constexpr unsigned kIndexShift = 6;  // log2(kEntries)
+    [[nodiscard]] static std::size_t fastIndex(SimAddr line) {
+      return static_cast<std::size_t>(line ^ (line >> kIndexShift)) &
+             (kEntries - 1);
+    }
+    // Hot probe state first (one cache line): every pointer is resolved
+    // once in setFastPathProc against storage that is stable for the
+    // platform's lifetime (Engine::procs_ and Cache::ways_ never
+    // reallocate), so a filter hit never calls into Cache or Engine.
+    Cycles batch = 0;                     ///< L1-hit cycles not yet charged
+    Cache::Way* ways = nullptr;           ///< the L1's raw way array
+    std::uint64_t* lru_tick = nullptr;    ///< the L1's global LRU tick
+    ProcStats* stats = nullptr;           ///< this processor's counters
+    const Cycles* since_yield = nullptr;  ///< engine drift-quantum counter
+    /// Platform permission generation; points at kZeroGen when the
+    /// hardware caches are the whole permission story (SMP, NUMA), so
+    /// the hot path never branches on null.
+    const std::uint64_t* plat_gen = nullptr;
+    std::array<FastEntry, kEntries> entries{};
+    Cache* l1 = nullptr;  ///< cold: priming only (findWayIndex)
+  };
+
+  /// Platform hook consulted when priming an entry after a slow-path
+  /// access: report whether writes may take the fast path and any extra
+  /// per-entry state. Default (hardware-coherent platforms): the L1
+  /// Modified check is the only write gate.
+  struct FastPrimeInfo {
+    bool install = true;
+    bool writable = true;
+    std::uint16_t* dirty = nullptr;
+    std::uint32_t dirty_cap = 0;
+  };
+  virtual void fastPrime(ProcId /*p*/, SimAddr /*a*/, bool /*write*/,
+                         FastPrimeInfo& /*fp*/) {}
+
+  /// Derived-constructor wiring. `write_needs_modified` mirrors the
+  /// platform's slow path: SMP/NUMA/FGS write-hits require an L1
+  /// Modified line, SVM write-hits do not (no hardware coherence between
+  /// node caches; dirty tracking is per page).
+  void initFastPath(std::uint32_t line_bytes, Cycles read_cost,
+                    Cycles write_cost, bool write_needs_modified);
+  void setFastPathProc(ProcId p, Cache* l1, const std::uint64_t* plat_gen);
+
+ private:
+  void accessSlow(SimAddr a, std::uint32_t size, bool write, bool racy);
+  void primeFastPath(ProcId p, SimAddr a, bool write);
+
+  static constexpr std::uint64_t kZeroGen = 0;
+
+  std::vector<ProcFastState> fast_;
+  std::uint32_t fast_line_shift_ = 0;
+  Cycles fast_read_cost_ = 1;
+  Cycles fast_write_cost_ = 1;
+  Cycles fast_quantum_ = 0;  ///< cached Engine::quantum()
+  bool fast_write_needs_mod_ = true;
+  bool fast_on_ = false;
+  std::uint64_t slow_access_calls_ = 0;
+
+ protected:
 
   /// Called when an allocation extends the used arena: protocols size
   /// their page tables / directories here.
@@ -183,7 +360,10 @@ class Ctx {
   [[nodiscard]] int nprocs() const { return plat.nprocs(); }
 
   /// Charge `c` cycles of pure computation (1 CPI cores).
-  void compute(Cycles c) { plat.engine().advance(c, Bucket::Compute); }
+  void compute(Cycles c) {
+    plat.flushAccess();
+    plat.engine().advance(c, Bucket::Compute);
+  }
 
   void read(SimAddr a, std::uint32_t size) { plat.access(a, size, false); }
   void write(SimAddr a, std::uint32_t size) { plat.access(a, size, true); }
@@ -202,8 +382,16 @@ class Ctx {
   void unlock(int id) { plat.releaseLock(id); }
   void barrier(int id) { plat.barrier(id); }
 
-  ProcStats& stats() { return plat.engine().stats(id_); }
-  [[nodiscard]] Cycles now() const { return plat.engine().now(id_); }
+  // Stats and clock reads flush the fast-path batch first so callers
+  // always observe fully-charged cycle totals.
+  ProcStats& stats() {
+    plat.flushAccess();
+    return plat.engine().stats(id_);
+  }
+  [[nodiscard]] Cycles now() {
+    plat.flushAccess();
+    return plat.engine().now(id_);
+  }
 
   Platform& plat;
 

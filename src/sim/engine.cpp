@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -22,7 +23,11 @@ void Engine::run(const std::function<void(ProcId)>& body) {
     pr.state = ProcState::Ready;
     ready_.push({pr.clock, p, seq_++});
   }
+  const auto t0 = std::chrono::steady_clock::now();
   scheduleLoop();
+  run_wall_ms_ += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
 }
 
 void Engine::scheduleLoop() {
@@ -123,6 +128,7 @@ void Engine::chargeHandler(ProcId p, Cycles dt) {
 
 RunStats Engine::collect() const {
   RunStats rs;
+  rs.host_wall_ms = run_wall_ms_;
   rs.procs.reserve(procs_.size());
   for (const Proc& p : procs_) {
     rs.procs.push_back(p.stats);

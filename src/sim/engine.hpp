@@ -52,6 +52,27 @@ class Engine {
   /// Yields if the drift quantum is exceeded.
   void advance(Cycles dt, Bucket b);
 
+  /// Would the current processor still be strictly inside its drift
+  /// quantum after advancing `dt` more cycles? Used by the access fast
+  /// path (runtime/platform.hpp) to batch cycles only while it can prove
+  /// no advance() in the batch would have yielded: a batched flush then
+  /// lands at exactly the clocks and yield points of per-access charging.
+  [[nodiscard]] bool fitsInQuantum(Cycles dt) const {
+    return procs_[static_cast<std::size_t>(current_)].since_yield + dt <
+           cfg_.quantum;
+  }
+
+  /// Stable pointer to processor `p`'s since-last-yield cycle count (the
+  /// procs_ array is sized once in the constructor and never reallocates).
+  /// The access fast path reads the quantum check through this pointer
+  /// instead of paying two vector indexings per access; combined with
+  /// quantum(), `*sinceYieldPtr(p) + dt < quantum()` is fitsInQuantum(dt)
+  /// whenever p is the running processor.
+  [[nodiscard]] const Cycles* sinceYieldPtr(ProcId p) const {
+    return &procs_[static_cast<std::size_t>(p)].since_yield;
+  }
+  [[nodiscard]] Cycles quantum() const { return cfg_.quantum; }
+
   /// Advance the current processor's clock to at least `t`; the waited
   /// delta is charged to `b`. Always yields (these are protocol events
   /// that need approximate global ordering).
@@ -114,6 +135,7 @@ class Engine {
   };
 
   Config cfg_;
+  double run_wall_ms_ = 0.0;  ///< host time spent inside scheduleLoop
   std::vector<Proc> procs_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> ready_;
   ProcId current_ = -1;

@@ -49,6 +49,13 @@ struct RunStats {
   std::vector<ProcStats> procs;
   Cycles exec_cycles = 0;  ///< max over processors of per-proc total time
 
+  /// Host wall-clock time of the timed parallel section alone (the
+  /// engine's scheduling loop: fibers + protocol + access engine),
+  /// excluding platform construction, untimed initialization, and result
+  /// verification. Measured by Engine::run, reported by collect(); the
+  /// basis for host-throughput metrics (bench ext_simperf).
+  double host_wall_ms = 0.0;
+
   [[nodiscard]] int nprocs() const { return static_cast<int>(procs.size()); }
 
   [[nodiscard]] Cycles bucketTotal(Bucket b) const {

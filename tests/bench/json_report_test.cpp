@@ -202,17 +202,21 @@ TEST(JsonReport, GoldenRendering) {
   report.add(p, r);
   report.setWallMs(12.345);
 
+  // host_accesses_per_sec = (100 reads + 50 writes) / 1.5 ms;
+  // sim_cycles_per_wall_ms = 500 cycles / 1.5 ms.
   const std::string expected =
       "{\n"
       "  \"schema\": \"rsvm-bench-1\", \"bench\": \"golden\", "
       "\"scale\": \"tiny\", \"procs_default\": 2, \"jobs\": 3, "
-      "\"wall_ms\": 12.345, \"points\": [\n"
+      "\"fastpath\": true, \"wall_ms\": 12.345, \"points\": [\n"
       "    {\"app\": \"phantom\", \"version\": \"v1\", "
       "\"opt_class\": \"?\", \"platform\": \"SMP\", \"config\": \"\", "
       "\"procs\": 2, \"n\": 64, \"iters\": 1, \"block\": 16, "
       "\"seed\": 42, \"ok\": true, \"error\": \"\", "
       "\"exec_cycles\": 500, \"base_cycles\": 1000, "
       "\"speedup\": 2.000000, \"wall_ms\": 1.500, "
+      "\"host_accesses_per_sec\": 100000.0, "
+      "\"sim_cycles_per_wall_ms\": 333.3, "
       "\"buckets\": {\"compute\": 11, \"cache_stall\": 22, "
       "\"data_wait\": 33, \"lock_wait\": 44, \"barrier_wait\": 55, "
       "\"handler\": 66}, "
@@ -277,6 +281,7 @@ TEST(JsonReport, RealSweepRoundTripsAndValidates) {
   EXPECT_EQ(root.at("schema").str, "rsvm-bench-1");
   EXPECT_EQ(root.at("bench").str, "roundtrip");
   EXPECT_EQ(root.at("scale").str, "tiny");
+  EXPECT_TRUE(root.at("fastpath").boolean);
   EXPECT_GT(root.at("wall_ms").num, 0.0);
   ASSERT_EQ(root.at("points").arr.size(), 2u);
   for (std::size_t i = 0; i < 2; ++i) {
@@ -289,6 +294,8 @@ TEST(JsonReport, RealSweepRoundTripsAndValidates) {
     EXPECT_GT(pt.at("exec_cycles").num, 0.0);
     EXPECT_GT(pt.at("base_cycles").num, 0.0);
     EXPECT_GT(pt.at("speedup").num, 0.0);
+    EXPECT_GT(pt.at("host_accesses_per_sec").num, 0.0);
+    EXPECT_GT(pt.at("sim_cycles_per_wall_ms").num, 0.0);
     EXPECT_EQ(pt.at("buckets").obj.size(), 6u);
     EXPECT_EQ(pt.at("counters").obj.size(), 16u);
   }

@@ -1,0 +1,157 @@
+// Golden cycle-count regression: exact simulated results for tiny LU
+// runs on every platform, pinned to the values produced by the seed
+// implementation (before the access fast path existed). The access fast
+// path (DESIGN.md, "Access fast path") is required to be
+// bit-identical to the slow path, so these numbers must never move --
+// any drift is either a protocol change (update the table deliberately)
+// or a fast-path soundness bug (fix the fast path).
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace rsvm {
+namespace {
+
+struct Golden {
+  const char* version;
+  PlatformKind kind;
+  int procs;
+  Cycles exec_cycles;
+  Cycles buckets[6];  // Compute, CacheStall, DataWait, LockWait,
+                      // BarrierWait, Handler
+  std::uint64_t reads, writes, l1_misses, l2_misses, page_faults,
+      diffs_created;
+};
+
+// Values generated from the seed implementation (LU tiny problem).
+constexpr Golden kGoldens[] = {
+    {"2d", PlatformKind::SVM, 1,
+     673480ull, {394416ull, 188920ull, 0ull, 0ull, 73344ull, 16800ull},
+     182960ull, 24640ull, 13772ull, 1024ull, 0ull, 0ull},
+    {"2d", PlatformKind::SVM, 4,
+     1453827ull, {394416ull, 353760ull, 1438430ull, 0ull, 3009546ull, 617056ull},
+     182960ull, 24640ull, 15006ull, 4074ull, 75ull, 77ull},
+    {"2d", PlatformKind::NUMA, 1,
+     505744ull, {394416ull, 104848ull, 0ull, 0ull, 6480ull, 0ull},
+     182960ull, 24640ull, 8636ull, 1016ull, 0ull, 0ull},
+    {"2d", PlatformKind::NUMA, 4,
+     340155ull, {394416ull, 76931ull, 453077ull, 0ull, 436076ull, 0ull},
+     182960ull, 24640ull, 9632ull, 1569ull, 0ull, 0ull},
+    {"2d", PlatformKind::SMP, 1,
+     479920ull, {394416ull, 82144ull, 0ull, 0ull, 3360ull, 0ull},
+     182960ull, 24640ull, 8636ull, 508ull, 0ull, 0ull},
+    {"2d", PlatformKind::SMP, 4,
+     300328ull, {394416ull, 442182ull, 0ull, 0ull, 364642ull, 0ull},
+     182960ull, 24640ull, 10904ull, 2876ull, 0ull, 0ull},
+    {"2d", PlatformKind::FGS, 1,
+     1606008ull, {834256ull, 544880ull, 75600ull, 0ull, 51072ull, 100200ull},
+     182960ull, 24640ull, 16118ull, 7674ull, 252ull, 0ull},
+    {"2d", PlatformKind::FGS, 4,
+     10068462ull,
+     {834256ull, 513400ull, 25088096ull, 0ull, 11956046ull, 1880550ull},
+     182960ull, 24640ull, 17490ull, 6770ull, 3193ull, 0ull},
+    {"4d-aligned", PlatformKind::SVM, 1,
+     895150ull, {394416ull, 410590ull, 0ull, 0ull, 73344ull, 16800ull},
+     182960ull, 24640ull, 35939ull, 1024ull, 0ull, 0ull},
+    {"4d-aligned", PlatformKind::SVM, 4,
+     1099767ull,
+     {394416ull, 456660ull, 1268671ull, 0ull, 2138721ull, 138500ull},
+     182960ull, 24640ull, 35296ull, 2074ull, 70ull, 0ull},
+    {"4d-aligned", PlatformKind::NUMA, 1,
+     692136ull, {394416ull, 291240ull, 0ull, 0ull, 6480ull, 0ull},
+     182960ull, 24640ull, 31935ull, 1016ull, 0ull, 0ull},
+    {"4d-aligned", PlatformKind::NUMA, 4,
+     374850ull, {394416ull, 293757ull, 257301ull, 0ull, 553806ull, 0ull},
+     182960ull, 24640ull, 32451ull, 1569ull, 0ull, 0ull},
+    {"4d-aligned", PlatformKind::SMP, 1,
+     666312ull, {394416ull, 268536ull, 0ull, 0ull, 3360ull, 0ull},
+     182960ull, 24640ull, 31935ull, 512ull, 0ull, 0ull},
+    {"4d-aligned", PlatformKind::SMP, 4,
+     321165ull, {394416ull, 503967ull, 0ull, 0ull, 386205ull, 0ull},
+     182960ull, 24640ull, 32451ull, 792ull, 0ull, 0ull},
+    {"4d-aligned", PlatformKind::FGS, 1,
+     2060518ull, {834256ull, 996790ull, 76800ull, 0ull, 51072ull, 101600ull},
+     182960ull, 24640ull, 37589ull, 12418ull, 256ull, 0ull},
+    {"4d-aligned", PlatformKind::FGS, 4,
+     1595101ull,
+     {834256ull, 1042560ull, 1655997ull, 0ull, 2547491ull, 298600ull},
+     182960ull, 24640ull, 36941ull, 13463ull, 536ull, 0ull},
+};
+
+constexpr Bucket kBuckets[6] = {Bucket::Compute,    Bucket::CacheStall,
+                                Bucket::DataWait,   Bucket::LockWait,
+                                Bucket::BarrierWait, Bucket::Handler};
+
+/// Restores the process-global fast-path default on scope exit.
+class FastPathDefaultGuard {
+ public:
+  explicit FastPathDefaultGuard(bool on)
+      : saved_(Platform::fastPathDefault()) {
+    Platform::setFastPathDefault(on);
+  }
+  ~FastPathDefaultGuard() { Platform::setFastPathDefault(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void expectMatches(const Golden& g, const AppResult& r) {
+  const RunStats& rs = r.stats;
+  ASSERT_TRUE(r.correct) << r.note;
+  EXPECT_EQ(rs.exec_cycles, g.exec_cycles);
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_EQ(rs.bucketTotal(kBuckets[b]), g.buckets[b])
+        << "bucket " << bucketName(kBuckets[b]);
+  }
+  EXPECT_EQ(rs.sum(&ProcStats::reads), g.reads);
+  EXPECT_EQ(rs.sum(&ProcStats::writes), g.writes);
+  EXPECT_EQ(rs.sum(&ProcStats::l1_misses), g.l1_misses);
+  EXPECT_EQ(rs.sum(&ProcStats::l2_misses), g.l2_misses);
+  EXPECT_EQ(rs.sum(&ProcStats::page_faults), g.page_faults);
+  EXPECT_EQ(rs.sum(&ProcStats::diffs_created), g.diffs_created);
+}
+
+class GoldenCycles : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenCycles, ExactCyclesAndCounters) {
+  registerAllApps();
+  const Golden& g = GetParam();
+  const AppDesc* lu = Registry::instance().find("lu");
+  ASSERT_NE(lu, nullptr);
+  const VersionDesc* ver = lu->version(g.version);
+  ASSERT_NE(ver, nullptr);
+  expectMatches(g, Experiment::runOnce(g.kind, *ver, lu->tiny, g.procs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LuTiny, GoldenCycles, ::testing::ValuesIn(kGoldens),
+    [](const ::testing::TestParamInfo<Golden>& i) {
+      std::string v = i.param.version;
+      for (char& c : v) {
+        if (c == '-') c = '_';
+      }
+      return v + "_" + platformName(i.param.kind) + "_" +
+             std::to_string(i.param.procs) + "p";
+    });
+
+// The same run with the fast path force-disabled must produce the same
+// numbers: the filter is an implementation detail of Platform::access,
+// not a model change. The FGS 4-processor row is the most contended
+// configuration (cross-processor shoot-downs during miss stalls), which
+// is exactly where an unsound filter entry would first show up.
+TEST(GoldenCycles, FastPathOffIsBitIdentical) {
+  registerAllApps();
+  FastPathDefaultGuard off(false);
+  const AppDesc* lu = Registry::instance().find("lu");
+  ASSERT_NE(lu, nullptr);
+  for (const Golden& g : {kGoldens[7], kGoldens[1]}) {  // FGS 2d 4p, SVM 2d 4p
+    expectMatches(
+        g, Experiment::runOnce(g.kind, *lu->version(g.version), lu->tiny,
+                               g.procs));
+  }
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -80,6 +80,26 @@ TEST(Cache, LruEvictionInSet) {
   EXPECT_TRUE(c.access(0x400, false).hit);
 }
 
+TEST(Cache, LruTickSurvivesUint32Wraparound) {
+  // The LRU tick is a monotonically increasing counter shared by all
+  // sets. A long run (the tick advances on every hit and every fill)
+  // pushes it past 2^32; with a 32-bit counter newly-touched lines would
+  // wrap to small tick values and look *older* than stale ones,
+  // inverting eviction order. Seed the counter just below the 32-bit
+  // boundary and check that recency is still ordered across it.
+  Cache c({1024, 32, 2});  // 16 sets; 0x0, 0x200, 0x400 share set 0
+  c.seedLruTick((1ull << 32) - 2);
+  c.fill(0x0, LineState::Shared, nullptr);    // tick 2^32 - 1
+  c.fill(0x200, LineState::Shared, nullptr);  // tick 2^32 (wraps to 0 in u32)
+  ASSERT_TRUE(c.access(0x200, false).hit);    // tick 2^32 + 1
+  // 0x0 is the true LRU. Under a wrapped 32-bit tick, 0x200's tick (0)
+  // would compare below 0x0's (2^32 - 1) and 0x200 would be evicted.
+  c.fill(0x400, LineState::Shared, nullptr);
+  EXPECT_FALSE(c.access(0x0, false).hit);
+  EXPECT_TRUE(c.access(0x200, false).hit);
+  EXPECT_TRUE(c.access(0x400, false).hit);
+}
+
 TEST(Cache, ModifiedVictimReportsWriteback) {
   Cache c({64, 32, 1});  // 2 sets
   c.fill(0x0, LineState::Modified, nullptr);
