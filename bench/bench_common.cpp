@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include "runtime/platform.hpp"
+#include "sim/fiber.hpp"
 
 #include <cerrno>
 #include <chrono>
@@ -44,6 +45,12 @@ Options parse(int argc, char** argv) {
       o.jobs = parsePositiveInt("--jobs", argv[i] + 7);
     } else if (std::strcmp(argv[i], "--no-fastpath") == 0) {
       o.no_fastpath = true;
+    } else if (std::strncmp(argv[i], "--fiber=", 8) == 0) {
+      o.fiber = argv[i] + 8;
+      if (o.fiber != "asm" && o.fiber != "ucontext") {
+        throw std::invalid_argument(
+            "--fiber expects 'asm' or 'ucontext', got '" + o.fiber + "'");
+      }
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       o.json_path = argv[i] + 7;
       if (o.json_path.empty()) {
@@ -52,7 +59,7 @@ Options parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--paper-scale|--tiny] [--procs=N] [--jobs=N] "
-          "[--json=FILE] [--no-fastpath]\n",
+          "[--json=FILE] [--no-fastpath] [--fiber=asm|ucontext]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -61,6 +68,18 @@ Options parse(int argc, char** argv) {
   }
   registerAllApps();
   Platform::setFastPathDefault(!o.no_fastpath);
+  if (!o.fiber.empty()) {
+    // Explicitly requesting the asm backend on a build without it is an
+    // error (a benchmark that silently measured the wrong backend would
+    // be worse than one that refuses to run).
+    if (o.fiber == "asm" && !Fiber::asmAvailable()) {
+      throw std::invalid_argument(
+          "--fiber=asm: the assembly switcher is not compiled into this "
+          "build (RSVM_FIBER_UCONTEXT or an unsupported architecture)");
+    }
+    Fiber::setDefaultBackend(o.fiber == "asm" ? Fiber::Backend::Asm
+                                              : Fiber::Backend::Ucontext);
+  }
   return o;
 }
 
@@ -203,7 +222,12 @@ Report::Report(std::string bench_name, const Options& opt)
       scale_(scaleName(opt)),
       procs_(opt.procs),
       jobs_(opt.jobs > 0 ? opt.jobs : SweepRunner::defaultJobs()),
-      fastpath_(!opt.no_fastpath) {}
+      fastpath_(!opt.no_fastpath),
+      fiber_(Fiber::backendName(Fiber::defaultBackend())) {}
+
+void Report::addExtra(std::string key, std::string raw_json) {
+  extras_.emplace_back(std::move(key), std::move(raw_json));
+}
 
 void Report::add(const SweepPoint& point, const SweepResult& result) {
   entries_.push_back({point, result});
@@ -224,7 +248,15 @@ std::string Report::json() const {
   field(out, "procs_default", procs_);
   field(out, "jobs", jobs_);
   fieldB(out, "fastpath", fastpath_);
+  field(out, "fiber", fiber_);
   fieldF(out, "wall_ms", wall_ms_, "%.3f");
+  for (const auto& [key, raw] : extras_) {
+    out += '"';
+    out += key;
+    out += "\": ";
+    out += raw;
+    out += ", ";
+  }
   out += "\"points\": [";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const SweepPoint& p = entries_[i].point;

@@ -8,6 +8,9 @@
 //   --no-fastpath   force every access through the slow path (the
 //                   simulated results are bit-identical by construction;
 //                   this exists so CI can prove it)
+//   --fiber=B       fiber switch backend: asm | ucontext (default: the
+//                   build's default backend; simulated results are
+//                   bit-identical either way, only host speed differs)
 #pragma once
 
 #include "core/experiment.hpp"
@@ -24,6 +27,7 @@ struct Options {
   int procs = 16;
   int jobs = 0;           ///< host worker threads; 0 = hardware concurrency
   bool no_fastpath = false;  ///< disable the access fast path process-wide
+  std::string fiber;      ///< "asm" / "ucontext"; empty = build default
   std::string json_path;  ///< empty = no JSON output
 };
 
@@ -66,6 +70,13 @@ class Report {
   void setWallMs(double ms) { wall_ms_ = ms; }
   void addWallMs(double ms) { wall_ms_ += ms; }
 
+  /// Attach an extra top-level field to the report, emitted between the
+  /// header fields and "points". `raw_json` is spliced in verbatim (a
+  /// number, an object, ...), so callers can extend the schema without
+  /// touching the emitter -- e.g. ext_simperf's switch-throughput
+  /// microbench object. Keys keep insertion order.
+  void addExtra(std::string key, std::string raw_json);
+
   /// Render the full report as JSON (deterministic key order).
   [[nodiscard]] std::string json() const;
 
@@ -88,7 +99,9 @@ class Report {
   int procs_;
   int jobs_;
   bool fastpath_ = true;
+  std::string fiber_;  ///< backend name in effect when constructed
   double wall_ms_ = 0.0;
+  std::vector<std::pair<std::string, std::string>> extras_;
   std::vector<Entry> entries_;
 };
 

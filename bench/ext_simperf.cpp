@@ -1,28 +1,72 @@
-// Extension: host-side simulator throughput, with and without the
-// access fast path (DESIGN.md, "Access fast path").
+// Extension: host-side simulator throughput.
 //
-// The paper's applications spend most of their accesses hitting in the
-// L1 with full permission; the per-processor line-permission filter
-// turns each such access from a virtual doAccess dispatch plus a cache
-// lookup and an engine advance into one inline table probe with batched
-// cycle accounting. Simulated results are bit-identical either way
-// (that's enforced by tests/integration/golden_cycles_test.cpp and the
-// CI perf-smoke job); this binary measures what the filter buys in
-// *host* throughput (simulated accesses per host second) on the
-// hit-dominated LU inner loop.
+// Three sections, all measuring the *host* cost of simulating the same
+// bit-identical results:
+//
+//  1. Access fast path (DESIGN.md, "Access fast path"): the paper's
+//     applications spend most accesses hitting in the L1 with full
+//     permission; the per-processor line-permission filter turns each
+//     such access from a virtual doAccess dispatch plus a cache lookup
+//     and an engine advance into one inline table probe with batched
+//     cycle accounting. Measured on the hit-dominated LU inner loop,
+//     fast path on vs off.
+//
+//  2. Raw fiber switch throughput (DESIGN.md, "Fiber switching & stack
+//     pooling"): a single fiber ping-ponging resume/yield as fast as it
+//     can, per backend. glibc swapcontext pays a sigprocmask syscall
+//     pair per switch; the assembly switcher pays ~a dozen moves, so
+//     this ratio is the headline of the asm backend.
+//
+//  3. Sync-heavy end-to-end points (Ocean 16p on SVM, Radix 8p on DSM),
+//     asm vs ucontext backend: yields at every barrier, lock, and page
+//     fault make these the simulations where switch cost shows up in
+//     wall-clock, not just in a microbench.
 //
 // Timing covers the parallel section alone (RunStats::host_wall_ms:
 // fibers + protocol + access engine), not platform construction,
 // untimed initialization, or result verification -- those are identical
-// in both modes and only dilute the ratio. Each (platform, procs, mode)
-// cell runs the same deterministic simulation several times and keeps
-// the fastest repetition, so the printed ratio is a lower bound on the
-// steady-state improvement.
+// in both modes and only dilute the ratio. Each cell runs the same
+// deterministic simulation several times and keeps the fastest
+// repetition, so the printed ratio is a lower bound on the steady-state
+// improvement. Simulated results are asserted identical across modes
+// here and in the golden cycle tests / CI perf-smoke job.
 #include "bench_common.hpp"
 
 #include "runtime/platform.hpp"
+#include "sim/fiber.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+
+namespace {
+
+/// Switches per host second for one backend: a single fiber ping-ponging
+/// resume/yield (2 switches per round trip), best of `reps` timed runs.
+double switchesPerSec(rsvm::Fiber::Backend backend, int rounds, int reps) {
+  using rsvm::Fiber;
+  const Fiber::Backend saved = Fiber::setDefaultBackend(backend);
+  if (saved != backend) {  // asm requested but not compiled in
+    Fiber::setDefaultBackend(saved);
+    return 0.0;
+  }
+  double best_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Fiber f([&] {
+      for (int i = 0; i < rounds; ++i) Fiber::yieldToScheduler();
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < rounds; ++i) f.resume();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    f.resume();  // let the body run off the end
+    if (rep == 0 || s < best_s) best_s = s;
+  }
+  return best_s > 0.0 ? 2.0 * rounds / best_s : 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rsvm;
@@ -106,6 +150,115 @@ int main(int argc, char** argv) {
 
   std::printf("\nhit-dominated improvement (SMP, 1 processor): %.2fx\n",
               hit_dominated_ratio);
+
+  // -------------------------------------------------------------------
+  // Raw fiber switch throughput, per backend.
+  const Fiber::Backend post_parse = Fiber::defaultBackend();
+  bench::printHeader("Fiber switch throughput (1 fiber ping-pong, best of 3)");
+  const int rounds = opt.tiny ? 20'000 : 200'000;
+  const double uc_sps =
+      switchesPerSec(Fiber::Backend::Ucontext, rounds, /*reps=*/3);
+  const double asm_sps = switchesPerSec(Fiber::Backend::Asm, rounds, 3);
+  Fiber::setDefaultBackend(post_parse);
+  const double switch_ratio = uc_sps > 0.0 ? asm_sps / uc_sps : 0.0;
+  std::printf("%-10s %15.0f switches/s\n", "ucontext", uc_sps);
+  if (Fiber::asmAvailable()) {
+    std::printf("%-10s %15.0f switches/s\n", "asm", asm_sps);
+    std::printf("asm/ucontext switch ratio: %.2fx\n", switch_ratio);
+  } else {
+    std::printf("%-10s not compiled in (RSVM_FIBER_UCONTEXT build)\n", "asm");
+  }
+  {
+    char extra[256];
+    std::snprintf(extra, sizeof extra,
+                  "{\"rounds\": %d, \"ucontext_switches_per_sec\": %.1f, "
+                  "\"asm_switches_per_sec\": %.1f, "
+                  "\"asm_over_ucontext\": %.3f}",
+                  rounds, uc_sps, asm_sps, switch_ratio);
+    report.addExtra("switch_bench", extra);
+  }
+
+  // -------------------------------------------------------------------
+  // Sync-heavy end-to-end points, asm vs ucontext. Fixed (app, platform,
+  // procs) cells chosen for switch density: Ocean on SVM yields on every
+  // page fault and barrier episode; Radix on hardware DSM has no
+  // handler fibers, so what remains is pure engine scheduling.
+  bench::printHeader(
+      "Fiber backend wall-clock (sync-heavy points, fastest of 3)");
+  struct SyncPoint {
+    const char* app;
+    const char* version;
+    PlatformKind kind;
+    int procs;
+  };
+  const SyncPoint sync_points[] = {
+      {"ocean", "2d", PlatformKind::SVM, 16},
+      {"radix", "orig", PlatformKind::NUMA, 8},
+  };
+  const Fiber::Backend backends[] = {Fiber::Backend::Asm,
+                                     Fiber::Backend::Ucontext};
+  std::printf("%-22s | %12s %12s | %7s\n", "point", "ms (asm)",
+              "ms (ucontext)", "uc/asm");
+  for (const SyncPoint& spnt : sync_points) {
+    const AppDesc* app = Registry::instance().find(spnt.app);
+    const VersionDesc* v = app->version(spnt.version);
+    const AppParams& sprm = bench::pick(*app, opt);
+    double ms[2] = {0.0, 0.0};  // [0]=asm, [1]=ucontext
+    Cycles cycles[2] = {0, 0};
+    for (int b = 0; b < 2; ++b) {
+      if (backends[b] == Fiber::Backend::Asm && !Fiber::asmAvailable()) {
+        continue;
+      }
+      Fiber::setDefaultBackend(backends[b]);
+      double best_ms = 0.0;
+      AppResult last;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto plat = Platform::create(spnt.kind, spnt.procs);
+        last = v->run(*plat, sprm);
+        if (!last.correct) {
+          std::fprintf(stderr, "ext_simperf: incorrect result on %s/%s: %s\n",
+                       spnt.app, platformName(spnt.kind), last.note.c_str());
+          return 1;
+        }
+        if (rep == 0 || last.stats.host_wall_ms < best_ms) {
+          best_ms = last.stats.host_wall_ms;
+        }
+      }
+      ms[b] = best_ms;
+      cycles[b] = last.stats.exec_cycles;
+
+      SweepPoint p;
+      p.kind = spnt.kind;
+      p.app = spnt.app;
+      p.version = spnt.version;
+      p.params = sprm;
+      p.procs = spnt.procs;
+      p.config = std::string("fiber-") + Fiber::backendName(backends[b]);
+      SweepResult r;
+      r.app = last;
+      r.cycles = last.stats.exec_cycles;
+      r.wall_ms = best_ms;
+      report.add(p, r);
+      report.addWallMs(best_ms * 3);
+    }
+    Fiber::setDefaultBackend(post_parse);
+    // The tentpole's core claim: the backend changes host time only.
+    if (Fiber::asmAvailable() && cycles[0] != cycles[1]) {
+      std::fprintf(stderr,
+                   "ext_simperf: FIBER BACKEND CHANGED SIMULATED RESULTS on "
+                   "%s/%s %s %dp: asm=%llu ucontext=%llu\n",
+                   spnt.app, spnt.version, platformName(spnt.kind), spnt.procs,
+                   static_cast<unsigned long long>(cycles[0]),
+                   static_cast<unsigned long long>(cycles[1]));
+      return 1;
+    }
+    char label[64];
+    std::snprintf(label, sizeof label, "%s/%s %s %dp", spnt.app, spnt.version,
+                  platformName(spnt.kind), spnt.procs);
+    std::printf("%-22s | %12.2f %12.2f | %6.2fx\n", label, ms[0], ms[1],
+                ms[0] > 0.0 ? ms[1] / ms[0] : 0.0);
+  }
+
   report.maybeWrite(opt);
   return 0;
 }

@@ -1,0 +1,164 @@
+// Fiber context-switch backends are a host-side choice: the assembly
+// switcher (syscall-free, default on x86-64/aarch64) and the portable
+// ucontext fallback run the same fiber bodies at the same points, so
+// simulated results are bit-identical -- only host speed differs
+// (DESIGN.md, "Fiber switching & stack pooling").
+//
+//   $ ./example_fiber_backends   # exits nonzero if the contract breaks
+//
+// This program runs the quickstart's near-neighbor kernel on all four
+// platforms under each compiled-in backend (Fiber::setDefaultBackend,
+// the same switch the bench binaries expose as --fiber=) and compares
+// every simulated observable. It also shows the two host-side effects
+// worth knowing about: raw switch throughput per backend, and the
+// thread-local stack pool handing one run's fiber stacks to the next
+// (Fiber::stackPoolStats).
+#include "core/app.hpp"
+#include "runtime/shared.hpp"
+#include "sim/fiber.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rsvm;
+
+namespace {
+
+constexpr int kProcs = 8;
+constexpr std::size_t kN = 1 << 14;
+constexpr int kSweeps = 8;
+
+struct Observed {
+  Cycles exec = 0;
+  Cycles buckets[kNumBuckets] = {};
+  std::uint64_t reads = 0, writes = 0, l1 = 0, faults = 0;
+  double host_ms = 0.0;
+
+  bool operator==(const Observed& o) const {
+    if (exec != o.exec || reads != o.reads || writes != o.writes ||
+        l1 != o.l1 || faults != o.faults) {
+      return false;
+    }
+    return std::equal(buckets, buckets + kNumBuckets, o.buckets);
+  }
+};
+
+/// The quickstart kernel: banded near-neighbor smoothing, one barrier
+/// per sweep -- enough yields (faults, barriers, quantum expiries) that
+/// a switcher bug would change the interleaving and thus the cycles.
+Observed runKernel(PlatformKind kind) {
+  auto plat = Platform::create(kind, kProcs);
+  SharedArray<double> a(*plat, kN, HomePolicy::blocked(kProcs));
+  SharedArray<double> b(*plat, kN, HomePolicy::blocked(kProcs));
+  for (std::size_t i = 0; i < kN; ++i) {
+    a.raw(i) = static_cast<double>(i % 97);
+  }
+  const int bar = plat->makeBarrier();
+  RunStats rs = plat->run([&](Ctx& c) {
+    const std::size_t lo = static_cast<std::size_t>(c.id()) * kN / kProcs;
+    const std::size_t hi = lo + kN / kProcs;
+    SharedArray<double>* src = &a;
+    SharedArray<double>* dst = &b;
+    for (int s = 0; s < kSweeps; ++s) {
+      for (std::size_t i = std::max<std::size_t>(lo, 1);
+           i < std::min(hi, kN - 1); ++i) {
+        dst->set(c, i,
+                 (src->get(c, i - 1) + src->get(c, i) + src->get(c, i + 1)) /
+                     3.0);
+        c.compute(3);
+      }
+      c.barrier(bar);
+      std::swap(src, dst);
+    }
+  });
+  Observed o;
+  o.exec = rs.exec_cycles;
+  for (int bkt = 0; bkt < kNumBuckets; ++bkt) {
+    o.buckets[bkt] = rs.bucketTotal(static_cast<Bucket>(bkt));
+  }
+  o.reads = rs.sum(&ProcStats::reads);
+  o.writes = rs.sum(&ProcStats::writes);
+  o.l1 = rs.sum(&ProcStats::l1_misses);
+  o.faults = rs.sum(&ProcStats::page_faults);
+  o.host_ms = rs.host_wall_ms;
+  return o;
+}
+
+double switchesPerSec(Fiber::Backend backend) {
+  if (Fiber::setDefaultBackend(backend) != backend) return 0.0;
+  constexpr int kRounds = 50'000;
+  Fiber f([] {
+    for (int i = 0; i < kRounds; ++i) Fiber::yieldToScheduler();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRounds; ++i) f.resume();
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  f.resume();  // let the body finish
+  return s > 0.0 ? 2.0 * kRounds / s : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const Fiber::Backend build_default = Fiber::defaultBackend();
+  std::printf("build default backend: %s (asm %s)\n\n",
+              Fiber::backendName(build_default),
+              Fiber::asmAvailable() ? "available" : "not compiled in");
+
+  // 1. Same simulation, each backend, every platform: the simulated
+  //    observables must match exactly.
+  int divergences = 0;
+  for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::NUMA,
+                            PlatformKind::SMP, PlatformKind::FGS}) {
+    Fiber::setDefaultBackend(Fiber::Backend::Ucontext);
+    const Observed uc = runKernel(kind);
+    Observed as = uc;
+    if (Fiber::asmAvailable()) {
+      Fiber::setDefaultBackend(Fiber::Backend::Asm);
+      as = runKernel(kind);
+    }
+    Fiber::setDefaultBackend(build_default);
+    const bool same = as == uc;
+    if (!same) ++divergences;
+    std::printf("%-5s exec %12llu cycles | host ms asm/ucontext %6.2f/%6.2f | %s\n",
+                platformName(kind),
+                static_cast<unsigned long long>(uc.exec), as.host_ms,
+                uc.host_ms, same ? "identical" : "DIVERGED");
+  }
+
+  // 2. Raw switch throughput: what the assembly stub actually buys.
+  const double uc_sps = switchesPerSec(Fiber::Backend::Ucontext);
+  const double asm_sps = switchesPerSec(Fiber::Backend::Asm);
+  Fiber::setDefaultBackend(build_default);
+  std::printf("\nswitch throughput: ucontext %.2fM/s", uc_sps / 1e6);
+  if (asm_sps > 0.0) {
+    std::printf(", asm %.2fM/s (%.1fx)", asm_sps / 1e6, asm_sps / uc_sps);
+  }
+  std::printf("\n");
+
+  // 3. Stack pooling: the second engine on this thread reuses the
+  //    first one's stacks instead of allocating.
+  Fiber::drainStackPool();
+  const auto s0 = Fiber::stackPoolStats();
+  runKernel(PlatformKind::SMP);
+  runKernel(PlatformKind::SMP);
+  const auto s1 = Fiber::stackPoolStats();
+  const std::uint64_t allocated = s1.allocated - s0.allocated;
+  const std::uint64_t reused = s1.reused - s0.reused;
+  std::printf("stack pool over two runs: %llu allocated, %llu reused\n",
+              static_cast<unsigned long long>(allocated),
+              static_cast<unsigned long long>(reused));
+  const bool pool_ok = allocated == kProcs && reused >= kProcs;
+
+  if (divergences > 0 || !pool_ok) {
+    std::fprintf(stderr, "FAILED: %d divergent platform(s), pool %s\n",
+                 divergences, pool_ok ? "ok" : "did not reuse");
+    return EXIT_FAILURE;
+  }
+  std::printf("\nall platforms bit-identical across fiber backends\n");
+  return 0;
+}

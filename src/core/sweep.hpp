@@ -78,6 +78,12 @@ struct SweepResult {
 /// from a shared index (work-stealing over the tail of the job list), so
 /// slow points do not serialize the sweep behind them. Baselines are
 /// deduplicated across points and computed exactly once each.
+///
+/// Each worker thread runs its points' engines on its own thread, so it
+/// accumulates a thread-local pool of fiber stacks (see sim/fiber.hpp):
+/// the first point a worker runs allocates its stacks, every later
+/// point on that worker reuses them. The pool drains when the worker
+/// exits at the end of run().
 class SweepRunner {
  public:
   /// jobs <= 0 selects defaultJobs() (hardware concurrency).

@@ -295,7 +295,10 @@ void FgsPlatform::barrierImpl(int id) {
   b.arrived = 0;
   Cycles t = b.last_arrival;
   b.last_arrival = 0;
-  std::vector<ProcId> waiters;
+  // Pooled scratch (see header): swapping hands b.waiting the buffer a
+  // previous episode drained, so steady state allocates nothing.
+  std::vector<ProcId>& waiters = scratch_waiters_;
+  waiters.clear();
   waiters.swap(b.waiting);
   for (ProcId w : waiters) {
     engine_.chargeHandler(b.manager, prm_.barrier_handler);

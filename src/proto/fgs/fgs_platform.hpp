@@ -124,6 +124,10 @@ class FgsPlatform final : public Platform {
   std::vector<Cache> l1_, l2_;
   std::vector<LockState> locks_;
   std::vector<BarrierState> barriers_;
+  // Reused across barrier release episodes (single-threaded engine;
+  // each episode's use ends before its final stallUntil yield), so the
+  // slow path stops allocating a waiter vector per barrier.
+  std::vector<ProcId> scratch_waiters_;
 };
 
 }  // namespace rsvm

@@ -301,7 +301,11 @@ Cycles SvmPlatform::closeInterval(ProcId p) {
   // to other nodes through a release/arrival that happens after the
   // flush stall below.
   vc_[ni][ni] += 1;
-  notices_[ni].emplace_back(std::move(dirty_[ni]));
+  // Log an exact-size copy of the interval's write set and keep the
+  // open dirty list's capacity: the next interval's push_backs then
+  // allocate nothing (the log must retain its entry for the whole run,
+  // so moving the buffer in would regrow dirty_ from scratch instead).
+  notices_[ni].emplace_back(dirty_[ni].begin(), dirty_[ni].end());
   dirty_[ni].clear();
   const std::size_t slot = notices_[ni].size() - 1;
   assert(notices_[ni].size() == vc_[ni][ni]);
@@ -522,9 +526,13 @@ void SvmPlatform::barrierImpl(int id) {
   std::fill(b.node_arrived.begin(), b.node_arrived.end(), 0);
   Cycles t = b.last_arrival;
   b.last_arrival = 0;
-  std::vector<ProcId> waiters;
+  // Pooled scratch (see header): swapping hands b.waiting the buffer a
+  // previous episode drained, so steady state allocates nothing.
+  std::vector<ProcId>& waiters = scratch_waiters_;
+  waiters.clear();
   waiters.swap(b.waiting);
-  std::vector<Cycles> node_release(static_cast<std::size_t>(nnodes_), 0);
+  std::vector<Cycles>& node_release = scratch_node_release_;
+  node_release.assign(static_cast<std::size_t>(nnodes_), 0);
   for (int r = 0; r < nnodes_; ++r) {
     engine_.chargeHandler(b.manager * prm_.procs_per_node,
                           prm_.barrier_handler);
@@ -533,7 +541,8 @@ void SvmPlatform::barrierImpl(int id) {
     node_release[static_cast<std::size_t>(r)] =
         net_.send(b.manager, static_cast<ProcId>(r), prm_.msg_header_bytes, t);
   }
-  std::vector<int> fanout(static_cast<std::size_t>(nnodes_), 0);
+  std::vector<int>& fanout = scratch_fanout_;
+  fanout.assign(static_cast<std::size_t>(nnodes_), 0);
   for (ProcId w : waiters) {
     const auto wn = static_cast<std::size_t>(nodeOf(w));
     engine_.wake(w, node_release[wn] +

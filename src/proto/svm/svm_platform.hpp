@@ -188,6 +188,13 @@ class SvmPlatform final : public Platform {
   std::vector<int> locks_held_;  ///< per processor (free_cs_faults)
   std::vector<LockState> locks_;
   std::vector<BarrierState> barriers_;
+  // Scratch reused across barrier release episodes so the slow path
+  // stops allocating three vectors per barrier. Safe as members: the
+  // engine is single-threaded and each episode's scratch use ends
+  // before the final stallUntil yield, so episodes never overlap.
+  std::vector<ProcId> scratch_waiters_;
+  std::vector<Cycles> scratch_node_release_;
+  std::vector<int> scratch_fanout_;
 };
 
 }  // namespace rsvm

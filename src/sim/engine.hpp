@@ -17,7 +17,6 @@
 
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 namespace rsvm {
@@ -122,22 +121,31 @@ class Engine {
   void scheduleLoop();
   void absorbHandler(Proc& p);
   void yieldCurrent();  // reinsert current at its clock and switch out
+  [[noreturn]] void throwDeadlock() const;
 
   struct HeapEntry {
     Cycles time;
     ProcId proc;
     std::uint64_t seq;  // tie-break for determinism
-    bool operator>(const HeapEntry& o) const {
+    bool before(const HeapEntry& o) const {
       // FIFO among equal times so a yield rotates through ready procs.
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
     }
   };
+
+  // Flat binary min-heap ordered by (time, seq). seq is unique, so the
+  // pop sequence is a total order identical to the std::priority_queue
+  // this replaces, independent of internal layout. Hand-rolled so the
+  // backing storage is reserved once (no per-run allocation churn) and
+  // so yieldCurrent can see the minimum without popping.
+  void heapPush(const HeapEntry& e);
+  void heapPop();
 
   Config cfg_;
   double run_wall_ms_ = 0.0;  ///< host time spent inside scheduleLoop
   std::vector<Proc> procs_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> ready_;
+  std::vector<HeapEntry> ready_;
   ProcId current_ = -1;
   std::uint64_t seq_ = 0;
   int unfinished_ = 0;

@@ -1,40 +1,210 @@
 #include "sim/fiber.hpp"
 
+#include <ucontext.h>
+
+#include <atomic>
 #include <cassert>
+#include <cstring>
+#include <new>
 #include <stdexcept>
+#include <vector>
 
 namespace rsvm {
 
 namespace {
+
 thread_local Fiber* g_current = nullptr;
+
+// ---------------------------------------------------------------------------
+// Thread-local fiber-stack pool. One engine runs per host thread, so the
+// pool needs no locks; a stack released by a finished engine is handed
+// to the next engine created on the same thread, already mapped and
+// faulted in. Stacks are not zeroed on reuse (well-defined programs
+// never read uninitialized stack memory, and both backends behave
+// identically), which is precisely what makes reuse cheap.
+constexpr std::size_t kStackAlign = 64;
+
+struct StackPool {
+  struct Block {
+    std::byte* p;
+    std::size_t bytes;
+  };
+  // More idle stacks than one engine can own (kMaxProcs fibers) are
+  // returned to the host allocator instead of being retained.
+  static constexpr std::size_t kMaxPooled = 64;
+
+  std::vector<Block> free;
+  Fiber::StackPoolStats stats;
+
+  ~StackPool() { drain(); }
+
+  void drain() {
+    for (const Block& b : free) {
+      ::operator delete(b.p, std::align_val_t{kStackAlign});
+    }
+    free.clear();
+  }
+
+  std::byte* acquire(std::size_t bytes) {
+    for (std::size_t i = free.size(); i-- > 0;) {
+      if (free[i].bytes == bytes) {
+        std::byte* p = free[i].p;
+        free.erase(free.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats.reused;
+        return p;
+      }
+    }
+    ++stats.allocated;
+    return static_cast<std::byte*>(
+        ::operator new(bytes, std::align_val_t{kStackAlign}));
+  }
+
+  void release(std::byte* p, std::size_t bytes) {
+    if (free.size() < kMaxPooled) {
+      free.push_back({p, bytes});
+    } else {
+      ::operator delete(p, std::align_val_t{kStackAlign});
+    }
+  }
+};
+
+thread_local StackPool g_stack_pool;
+
+// Process-wide backend for new fibers. Relaxed is enough: sweep workers
+// only read it, and benches/tests flip it between runs, never while a
+// fiber of theirs is suspended.
+std::atomic<Fiber::Backend> g_default_backend{
+#if defined(RSVM_FIBER_UCONTEXT)
+    Fiber::Backend::Ucontext
+#else
+    Fiber::Backend::Asm
+#endif
+};
+
 }  // namespace
 
+#if !defined(RSVM_FIBER_UCONTEXT)
+// Assembly switcher (fiber_switch_<arch>.S). save_sp receives the
+// outgoing context; restore_sp is a value previously written through
+// save_sp, or a fresh frame seeded by initAsmContext below.
+extern "C" void rsvm_ctx_switch(void** save_sp, void* restore_sp) noexcept;
+extern "C" void rsvm_fiber_entry_thunk();
+#endif
+
+struct Fiber::UctxState {
+  ucontext_t ctx{};
+  ucontext_t caller{};
+};
+
+bool Fiber::asmAvailable() {
+#if defined(RSVM_FIBER_UCONTEXT)
+  return false;
+#else
+  return true;
+#endif
+}
+
+Fiber::Backend Fiber::setDefaultBackend(Backend b) {
+  if (b == Backend::Asm && !asmAvailable()) b = Backend::Ucontext;
+  g_default_backend.store(b, std::memory_order_relaxed);
+  return b;
+}
+
+Fiber::Backend Fiber::defaultBackend() {
+  return g_default_backend.load(std::memory_order_relaxed);
+}
+
+const char* Fiber::backendName(Backend b) {
+  return b == Backend::Asm ? "asm" : "ucontext";
+}
+
+Fiber::StackPoolStats Fiber::stackPoolStats() {
+  StackPoolStats s = g_stack_pool.stats;
+  s.pooled = g_stack_pool.free.size();
+  return s;
+}
+
+void Fiber::drainStackPool() { g_stack_pool.drain(); }
+
 Fiber::Fiber(Fn fn, std::size_t stack_bytes)
-    : fn_(std::move(fn)), stack_(stack_bytes) {
-  if (getcontext(&ctx_) != 0) {
-    throw std::runtime_error("Fiber: getcontext failed");
+    : fn_(std::move(fn)),
+      backend_(defaultBackend()),
+      stack_bytes_(stack_bytes),
+      stack_(g_stack_pool.acquire(stack_bytes)) {
+#if defined(RSVM_FIBER_UCONTEXT)
+  backend_ = Backend::Ucontext;  // the asm switcher was not compiled in
+#endif
+  if (backend_ == Backend::Asm) {
+#if !defined(RSVM_FIBER_UCONTEXT)
+    // Seed the top of the stack with the exact frame rsvm_ctx_switch
+    // restores, so the first resume() is indistinguishable from any
+    // later one: default FP control words, zeroed callee-saved
+    // registers, and the entry thunk as the return address.
+    std::byte* top = stack_ + stack_bytes_;
+    top -= reinterpret_cast<std::uintptr_t>(top) & 15;  // 16-align
+#if defined(__x86_64__)
+    std::byte* sp = top - 64;
+    std::memset(sp, 0, 64);
+    const std::uint32_t mxcsr = 0x1F80u;  // all exceptions masked, RN
+    const std::uint16_t fcw = 0x037Fu;    // x87 default control word
+    std::memcpy(sp, &mxcsr, sizeof mxcsr);
+    std::memcpy(sp + 4, &fcw, sizeof fcw);
+    void* entry = reinterpret_cast<void*>(&rsvm_fiber_entry_thunk);
+    std::memcpy(sp + 56, &entry, sizeof entry);
+#elif defined(__aarch64__)
+    std::byte* sp = top - 160;
+    std::memset(sp, 0, 160);
+    void* entry = reinterpret_cast<void*>(&rsvm_fiber_entry_thunk);
+    std::memcpy(sp + 88, &entry, sizeof entry);  // the frame's x30 slot
+#else
+#error "asm fiber backend enabled for an architecture without a stub"
+#endif
+    sp_ = sp;
+#endif  // !RSVM_FIBER_UCONTEXT
+  } else {
+    uctx_ = std::make_unique<UctxState>();
+    if (getcontext(&uctx_->ctx) != 0) {
+      throw std::runtime_error("Fiber: getcontext failed");
+    }
+    uctx_->ctx.uc_stack.ss_sp = stack_;
+    uctx_->ctx.uc_stack.ss_size = stack_bytes_;
+    uctx_->ctx.uc_link = nullptr;  // the trampoline never falls off the end
+    makecontext(&uctx_->ctx,
+                reinterpret_cast<void (*)()>(&Fiber::uctxTrampoline), 0);
   }
-  ctx_.uc_stack.ss_sp = stack_.data();
-  ctx_.uc_stack.ss_size = stack_.size();
-  ctx_.uc_link = nullptr;  // trampoline never falls off the end
-  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
 }
 
 Fiber::~Fiber() {
   // Fibers must run to completion before destruction; destroying a
   // suspended fiber would leak whatever its stack owns.
   assert(finished_ || !started_);
+  g_stack_pool.release(stack_, stack_bytes_);
 }
 
-void Fiber::trampoline() {
-  Fiber* self = g_current;
+void Fiber::runEntry(Fiber* self) {
   assert(self != nullptr);
   self->fn_();
   self->finished_ = true;
   // Return to the scheduler for the last time.
-  swapcontext(&self->ctx_, &self->caller_);
+  self->switchOutOfFiber();
   // Unreachable: a finished fiber is never resumed.
   assert(false);
+}
+
+void Fiber::uctxTrampoline() { runEntry(g_current); }
+
+// Asm-backend first entry, reached from rsvm_fiber_entry_thunk (which
+// the extern "C" shim below is called from). Never returns.
+void fiberAsmEntry() { Fiber::runEntry(g_current); }
+
+void Fiber::switchOutOfFiber() {
+#if !defined(RSVM_FIBER_UCONTEXT)
+  if (backend_ == Backend::Asm) {
+    rsvm_ctx_switch(&sp_, caller_sp_);
+    return;
+  }
+#endif
+  swapcontext(&uctx_->ctx, &uctx_->caller);
 }
 
 void Fiber::resume() {
@@ -42,16 +212,28 @@ void Fiber::resume() {
   Fiber* prev = g_current;
   g_current = this;
   started_ = true;
-  swapcontext(&caller_, &ctx_);
+#if !defined(RSVM_FIBER_UCONTEXT)
+  if (backend_ == Backend::Asm) {
+    rsvm_ctx_switch(&caller_sp_, sp_);
+  } else {
+    swapcontext(&uctx_->caller, &uctx_->ctx);
+  }
+#else
+  swapcontext(&uctx_->caller, &uctx_->ctx);
+#endif
   g_current = prev;
 }
 
 void Fiber::yieldToScheduler() {
   Fiber* self = g_current;
   assert(self != nullptr && "yieldToScheduler called outside any fiber");
-  swapcontext(&self->ctx_, &self->caller_);
+  self->switchOutOfFiber();
 }
 
 Fiber* Fiber::current() { return g_current; }
 
 }  // namespace rsvm
+
+#if !defined(RSVM_FIBER_UCONTEXT)
+extern "C" void rsvm_fiber_entry() { rsvm::fiberAsmEntry(); }
+#endif

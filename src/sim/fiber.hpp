@@ -6,14 +6,39 @@
 // concurrently on distinct host threads (one engine per thread) with no
 // shared state; a fiber must always be resumed on the host thread that
 // is driving its engine.
+//
+// Two context-switch backends share this interface (DESIGN.md, "Fiber
+// switching & stack pooling"):
+//
+//  * Backend::Asm -- a hand-written, syscall-free switch (one .S stub per
+//    architecture, System V / AAPCS64 ABIs) that saves and restores only
+//    the callee-saved registers and the stack pointer. This is the
+//    default wherever a stub exists: glibc's swapcontext performs a
+//    sigprocmask syscall pair on every switch, which dominates host time
+//    on sync-heavy simulations.
+//  * Backend::Ucontext -- the portable ucontext implementation, retained
+//    as a fallback. Selected at configure time with
+//    -DRSVM_FIBER_UCONTEXT=ON (and automatically on architectures with
+//    no stub), or at runtime with setDefaultBackend for side-by-side
+//    host-performance comparisons.
+//
+// Both backends run the same fiber bodies at the same points, so
+// simulated results are bit-identical by construction; the golden
+// cycle-count tests and the CI fiber-mode matrix enforce it.
+//
+// Fiber stacks come from a thread-local pool: an engine's stacks are
+// returned on fiber destruction and reused by the next engine created on
+// the same host thread, so a long bench process (dozens of SweepRunner
+// points) allocates and page-faults each worker's stacks once instead of
+// once per point. The pool is thread-local on purpose -- it follows the
+// one-engine-per-thread confinement contract and therefore needs no
+// locks.
 #pragma once
 
-#include <ucontext.h>
-
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <vector>
 
 namespace rsvm {
 
@@ -23,6 +48,8 @@ namespace rsvm {
 class Fiber {
  public:
   using Fn = std::function<void()>;
+
+  enum class Backend { Asm, Ucontext };
 
   explicit Fiber(Fn fn, std::size_t stack_bytes = kDefaultStackBytes);
   ~Fiber();
@@ -44,16 +71,53 @@ class Fiber {
   static Fiber* current();
 
   [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] Backend backend() const { return backend_; }
+
+  /// Was the assembly switcher compiled in? False when the build forced
+  /// -DRSVM_FIBER_UCONTEXT=ON or the target architecture has no stub.
+  static bool asmAvailable();
+
+  /// Process-wide backend for fibers created from now on. Asm silently
+  /// degrades to Ucontext when no stub was compiled in; the returned
+  /// value is the backend actually in effect. Call between runs, not
+  /// while any fiber is suspended.
+  static Backend setDefaultBackend(Backend b);
+  static Backend defaultBackend();
+  static const char* backendName(Backend b);
+
+  // ---- stack pool (per host thread) ----
+
+  struct StackPoolStats {
+    std::uint64_t allocated = 0;  ///< stacks newly allocated on this thread
+    std::uint64_t reused = 0;     ///< acquisitions served from the pool
+    std::uint64_t pooled = 0;     ///< stacks currently idle in the pool
+  };
+  /// Counters for the calling thread's pool (tests, diagnostics).
+  static StackPoolStats stackPoolStats();
+  /// Free every idle pooled stack of the calling thread (tests; pools
+  /// also drain themselves at thread exit).
+  static void drainStackPool();
 
   static constexpr std::size_t kDefaultStackBytes = 1u << 20;  // 1 MiB
 
  private:
-  static void trampoline();
+  struct UctxState;  // ucontext backend state, allocated only when used
+
+  static void runEntry(Fiber* self);  // shared fiber body trampoline
+  static void uctxTrampoline();
+  friend void fiberAsmEntry();  // asm-backend entry (fiber_switch_*.S)
+
+  void switchOutOfFiber();  // fiber -> its saved caller context
 
   Fn fn_;
-  std::vector<std::byte> stack_;
-  ucontext_t ctx_{};
-  ucontext_t caller_{};
+  Backend backend_;
+  std::size_t stack_bytes_;
+  std::byte* stack_ = nullptr;  ///< pooled; base of the stack block
+  // Asm backend: just two stack pointers. The switch stub spills the
+  // callee-saved registers onto the outgoing stack and records sp here.
+  void* sp_ = nullptr;         ///< fiber's context while suspended
+  void* caller_sp_ = nullptr;  ///< resumer's context while fiber runs
+  std::unique_ptr<UctxState> uctx_;
   bool started_ = false;
   bool finished_ = false;
 };

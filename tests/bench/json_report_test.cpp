@@ -4,6 +4,8 @@
 // sweep's output and validates the structure.
 #include "bench_common.hpp"
 
+#include "sim/fiber.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -203,12 +205,15 @@ TEST(JsonReport, GoldenRendering) {
   report.setWallMs(12.345);
 
   // host_accesses_per_sec = (100 reads + 50 writes) / 1.5 ms;
-  // sim_cycles_per_wall_ms = 500 cycles / 1.5 ms.
+  // sim_cycles_per_wall_ms = 500 cycles / 1.5 ms. The fiber field
+  // reflects the process-wide backend, which depends on the build mode.
   const std::string expected =
       "{\n"
       "  \"schema\": \"rsvm-bench-1\", \"bench\": \"golden\", "
       "\"scale\": \"tiny\", \"procs_default\": 2, \"jobs\": 3, "
-      "\"fastpath\": true, \"wall_ms\": 12.345, \"points\": [\n"
+      "\"fastpath\": true, \"fiber\": \"" +
+      std::string(Fiber::backendName(Fiber::defaultBackend())) +
+      "\", \"wall_ms\": 12.345, \"points\": [\n"
       "    {\"app\": \"phantom\", \"version\": \"v1\", "
       "\"opt_class\": \"?\", \"platform\": \"SMP\", \"config\": \"\", "
       "\"procs\": 2, \"n\": 64, \"iters\": 1, \"block\": 16, "
@@ -235,6 +240,17 @@ TEST(JsonReport, EmptyReportIsValid) {
   Report report("empty", tinyOptions());
   const Json root = Parser(report.json()).parse();
   EXPECT_EQ(root.at("schema").str, "rsvm-bench-1");
+  EXPECT_EQ(root.at("points").arr.size(), 0u);
+}
+
+TEST(JsonReport, ExtrasSpliceAsTopLevelFields) {
+  Report report("extras", tinyOptions());
+  report.addExtra("switch_bench", "{\"asm\": 1.5, \"note\": \"raw\"}");
+  report.addExtra("answer", "42");
+  const Json root = Parser(report.json()).parse();
+  EXPECT_EQ(root.at("switch_bench").at("asm").num, 1.5);
+  EXPECT_EQ(root.at("switch_bench").at("note").str, "raw");
+  EXPECT_EQ(root.at("answer").num, 42.0);
   EXPECT_EQ(root.at("points").arr.size(), 0u);
 }
 
@@ -282,6 +298,8 @@ TEST(JsonReport, RealSweepRoundTripsAndValidates) {
   EXPECT_EQ(root.at("bench").str, "roundtrip");
   EXPECT_EQ(root.at("scale").str, "tiny");
   EXPECT_TRUE(root.at("fastpath").boolean);
+  EXPECT_EQ(root.at("fiber").str,
+            Fiber::backendName(Fiber::defaultBackend()));
   EXPECT_GT(root.at("wall_ms").num, 0.0);
   ASSERT_EQ(root.at("points").arr.size(), 2u);
   for (std::size_t i = 0; i < 2; ++i) {

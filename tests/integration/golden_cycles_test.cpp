@@ -15,6 +15,7 @@ namespace rsvm {
 namespace {
 
 struct Golden {
+  const char* app;
   const char* version;
   PlatformKind kind;
   int procs;
@@ -27,57 +28,98 @@ struct Golden {
 
 // Values generated from the seed implementation (LU tiny problem).
 constexpr Golden kGoldens[] = {
-    {"2d", PlatformKind::SVM, 1,
+    {"lu", "2d", PlatformKind::SVM, 1,
      673480ull, {394416ull, 188920ull, 0ull, 0ull, 73344ull, 16800ull},
      182960ull, 24640ull, 13772ull, 1024ull, 0ull, 0ull},
-    {"2d", PlatformKind::SVM, 4,
+    {"lu", "2d", PlatformKind::SVM, 4,
      1453827ull, {394416ull, 353760ull, 1438430ull, 0ull, 3009546ull, 617056ull},
      182960ull, 24640ull, 15006ull, 4074ull, 75ull, 77ull},
-    {"2d", PlatformKind::NUMA, 1,
+    {"lu", "2d", PlatformKind::NUMA, 1,
      505744ull, {394416ull, 104848ull, 0ull, 0ull, 6480ull, 0ull},
      182960ull, 24640ull, 8636ull, 1016ull, 0ull, 0ull},
-    {"2d", PlatformKind::NUMA, 4,
+    {"lu", "2d", PlatformKind::NUMA, 4,
      340155ull, {394416ull, 76931ull, 453077ull, 0ull, 436076ull, 0ull},
      182960ull, 24640ull, 9632ull, 1569ull, 0ull, 0ull},
-    {"2d", PlatformKind::SMP, 1,
+    {"lu", "2d", PlatformKind::SMP, 1,
      479920ull, {394416ull, 82144ull, 0ull, 0ull, 3360ull, 0ull},
      182960ull, 24640ull, 8636ull, 508ull, 0ull, 0ull},
-    {"2d", PlatformKind::SMP, 4,
+    {"lu", "2d", PlatformKind::SMP, 4,
      300328ull, {394416ull, 442182ull, 0ull, 0ull, 364642ull, 0ull},
      182960ull, 24640ull, 10904ull, 2876ull, 0ull, 0ull},
-    {"2d", PlatformKind::FGS, 1,
+    {"lu", "2d", PlatformKind::FGS, 1,
      1606008ull, {834256ull, 544880ull, 75600ull, 0ull, 51072ull, 100200ull},
      182960ull, 24640ull, 16118ull, 7674ull, 252ull, 0ull},
-    {"2d", PlatformKind::FGS, 4,
+    {"lu", "2d", PlatformKind::FGS, 4,
      10068462ull,
      {834256ull, 513400ull, 25088096ull, 0ull, 11956046ull, 1880550ull},
      182960ull, 24640ull, 17490ull, 6770ull, 3193ull, 0ull},
-    {"4d-aligned", PlatformKind::SVM, 1,
+    {"lu", "4d-aligned", PlatformKind::SVM, 1,
      895150ull, {394416ull, 410590ull, 0ull, 0ull, 73344ull, 16800ull},
      182960ull, 24640ull, 35939ull, 1024ull, 0ull, 0ull},
-    {"4d-aligned", PlatformKind::SVM, 4,
+    {"lu", "4d-aligned", PlatformKind::SVM, 4,
      1099767ull,
      {394416ull, 456660ull, 1268671ull, 0ull, 2138721ull, 138500ull},
      182960ull, 24640ull, 35296ull, 2074ull, 70ull, 0ull},
-    {"4d-aligned", PlatformKind::NUMA, 1,
+    {"lu", "4d-aligned", PlatformKind::NUMA, 1,
      692136ull, {394416ull, 291240ull, 0ull, 0ull, 6480ull, 0ull},
      182960ull, 24640ull, 31935ull, 1016ull, 0ull, 0ull},
-    {"4d-aligned", PlatformKind::NUMA, 4,
+    {"lu", "4d-aligned", PlatformKind::NUMA, 4,
      374850ull, {394416ull, 293757ull, 257301ull, 0ull, 553806ull, 0ull},
      182960ull, 24640ull, 32451ull, 1569ull, 0ull, 0ull},
-    {"4d-aligned", PlatformKind::SMP, 1,
+    {"lu", "4d-aligned", PlatformKind::SMP, 1,
      666312ull, {394416ull, 268536ull, 0ull, 0ull, 3360ull, 0ull},
      182960ull, 24640ull, 31935ull, 512ull, 0ull, 0ull},
-    {"4d-aligned", PlatformKind::SMP, 4,
+    {"lu", "4d-aligned", PlatformKind::SMP, 4,
      321165ull, {394416ull, 503967ull, 0ull, 0ull, 386205ull, 0ull},
      182960ull, 24640ull, 32451ull, 792ull, 0ull, 0ull},
-    {"4d-aligned", PlatformKind::FGS, 1,
+    {"lu", "4d-aligned", PlatformKind::FGS, 1,
      2060518ull, {834256ull, 996790ull, 76800ull, 0ull, 51072ull, 101600ull},
      182960ull, 24640ull, 37589ull, 12418ull, 256ull, 0ull},
-    {"4d-aligned", PlatformKind::FGS, 4,
+    {"lu", "4d-aligned", PlatformKind::FGS, 4,
      1595101ull,
      {834256ull, 1042560ull, 1655997ull, 0ull, 2547491ull, 298600ull},
      182960ull, 24640ull, 36941ull, 13463ull, 536ull, 0ull},
+    // Sync- and miss-heavy 16-processor points (Ocean's nearest-neighbor
+    // sweeps, Radix's all-to-all permutation) exercise the engine's
+    // heap scheduler, blocked/wake paths, and the SVM/FGS slow-path
+    // buffer pooling far harder than LU does; pinned when the assembly
+    // fiber switcher landed and identical in both fiber modes (the CI
+    // matrix runs this suite under each).
+    {"ocean", "2d", PlatformKind::SVM, 16,
+     10057798ull,
+     {876674ull, 3094320ull, 89243429ull, 4826281ull, 51176006ull,
+      11666058ull},
+     397376ull, 77890ull, 86247ull, 44637ull, 1752ull, 1546ull},
+    {"ocean", "2d", PlatformKind::NUMA, 16,
+     1053452ull,
+     {876674ull, 169450ull, 9986860ull, 128636ull, 5691212ull, 0ull},
+     397376ull, 77890ull, 41627ull, 24854ull, 0ull, 0ull},
+    {"ocean", "2d", PlatformKind::SMP, 16,
+     540438ull,
+     {876674ull, 5300904ull, 0ull, 38512ull, 2429478ull, 0ull},
+     397376ull, 77890ull, 63615ull, 28685ull, 0ull, 0ull},
+    {"ocean", "2d", PlatformKind::FGS, 16,
+     53679826ull,
+     {1905096ull, 3308540ull, 644804711ull, 2912777ull, 184623942ull,
+      21292150ull},
+     397376ull, 77890ull, 102879ull, 45595ull, 33851ull, 0ull},
+    {"radix", "orig", PlatformKind::SVM, 16,
+     5385170ull,
+     {598528ull, 2284170ull, 71471064ull, 0ull, 7644294ull, 4122664ull},
+     208896ull, 115200ull, 104922ull, 24699ull, 1005ull, 510ull},
+    {"radix", "orig", PlatformKind::NUMA, 16,
+     1882494ull,
+     {598528ull, 740998ull, 26015049ull, 0ull, 2762929ull, 0ull},
+     208896ull, 115200ull, 108762ull, 32493ull, 0ull, 0ull},
+    {"radix", "orig", PlatformKind::SMP, 16,
+     784134ull,
+     {598528ull, 10832228ull, 0ull, 0ull, 1113948ull, 0ull},
+     208896ull, 115200ull, 111811ull, 33091ull, 0ull, 0ull},
+    {"radix", "orig", PlatformKind::FGS, 16,
+     79932796ull,
+     {1361920ull, 3353270ull, 1221195300ull, 0ull, 26608446ull,
+      26375800ull},
+     208896ull, 115200ull, 118622ull, 43341ull, 32628ull, 0ull},
 };
 
 constexpr Bucket kBuckets[6] = {Bucket::Compute,    Bucket::CacheStall,
@@ -118,17 +160,17 @@ class GoldenCycles : public ::testing::TestWithParam<Golden> {};
 TEST_P(GoldenCycles, ExactCyclesAndCounters) {
   registerAllApps();
   const Golden& g = GetParam();
-  const AppDesc* lu = Registry::instance().find("lu");
-  ASSERT_NE(lu, nullptr);
-  const VersionDesc* ver = lu->version(g.version);
+  const AppDesc* app = Registry::instance().find(g.app);
+  ASSERT_NE(app, nullptr);
+  const VersionDesc* ver = app->version(g.version);
   ASSERT_NE(ver, nullptr);
-  expectMatches(g, Experiment::runOnce(g.kind, *ver, lu->tiny, g.procs));
+  expectMatches(g, Experiment::runOnce(g.kind, *ver, app->tiny, g.procs));
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    LuTiny, GoldenCycles, ::testing::ValuesIn(kGoldens),
+    Tiny, GoldenCycles, ::testing::ValuesIn(kGoldens),
     [](const ::testing::TestParamInfo<Golden>& i) {
-      std::string v = i.param.version;
+      std::string v = std::string(i.param.app) + "_" + i.param.version;
       for (char& c : v) {
         if (c == '-') c = '_';
       }
@@ -144,11 +186,12 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GoldenCycles, FastPathOffIsBitIdentical) {
   registerAllApps();
   FastPathDefaultGuard off(false);
-  const AppDesc* lu = Registry::instance().find("lu");
-  ASSERT_NE(lu, nullptr);
-  for (const Golden& g : {kGoldens[7], kGoldens[1]}) {  // FGS 2d 4p, SVM 2d 4p
+  // LU FGS 2d 4p, LU SVM 2d 4p -- the most contended configurations.
+  for (const Golden& g : {kGoldens[7], kGoldens[1]}) {
+    const AppDesc* app = Registry::instance().find(g.app);
+    ASSERT_NE(app, nullptr);
     expectMatches(
-        g, Experiment::runOnce(g.kind, *lu->version(g.version), lu->tiny,
+        g, Experiment::runOnce(g.kind, *app->version(g.version), app->tiny,
                                g.procs));
   }
 }

@@ -179,6 +179,56 @@ TEST(Engine, DeadlockIsDetected) {
                std::runtime_error);
 }
 
+TEST(Engine, DeadlockDiagnosticNamesEveryProcessor) {
+  // The exception must say, per processor: its state, its clock, and --
+  // for blocked processors -- what bucket it is waiting on and since
+  // when, so a hung simulation is debuggable from the message alone.
+  Engine eng({.nprocs = 3, .quantum = 1'000'000});
+  try {
+    eng.run([&](ProcId p) {
+      if (p == 0) {
+        eng.advance(100, Bucket::Compute);
+        return;  // finishes normally
+      }
+      eng.advance(p == 1 ? 700 : 40, Bucket::Compute);
+      eng.block(p == 1 ? Bucket::LockWait : Bucket::BarrierWait);
+    });
+    FAIL() << "expected a deadlock exception";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 of 3 unfinished"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("p0: Finished at cycle 100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("p1: Blocked on LockWait since cycle 700"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("p2: Blocked on BarrierWait since cycle 40"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Engine, DeadlockDiagnosticReportsPendingHandlerWork) {
+  Engine eng({.nprocs = 2, .quantum = 1'000'000});
+  try {
+    eng.run([&](ProcId p) {
+      if (p == 0) {
+        eng.block(Bucket::DataWait);  // never woken
+      } else {
+        eng.chargeHandler(0, 25);
+        eng.advance(10, Bucket::Compute);
+      }
+    });
+    FAIL() << "expected a deadlock exception";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("p0: Blocked on DataWait since cycle 0"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("25 handler cycles pending"), std::string::npos) << msg;
+  }
+}
+
 TEST(Engine, DeterministicAcrossRuns) {
   auto trial = [] {
     Engine eng({.nprocs = 4, .quantum = 50});
