@@ -30,6 +30,24 @@ int parsePositiveInt(const char* flag, const char* text) {
   return static_cast<int>(v);
 }
 
+std::uint64_t parseU64(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (*text == '\0' || *text == '-' || end == nullptr || *end != '\0' ||
+      errno != 0) {
+    throw std::invalid_argument(std::string(flag) +
+                                " expects a non-negative integer, got '" +
+                                text + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+constexpr const char* kUsage =
+    "usage: %s [--paper-scale|--tiny] [--procs=N] [--jobs=N] "
+    "[--json=FILE] [--no-fastpath] [--fiber=asm|ucontext] "
+    "[--check=off|oracle] [--fault-seed=N] [--deadline-ms=N]\n";
+
 }  // namespace
 
 Options parse(int argc, char** argv) {
@@ -56,11 +74,23 @@ Options parse(int argc, char** argv) {
       if (o.json_path.empty()) {
         throw std::invalid_argument("--json expects a file path");
       }
+    } else if (std::strncmp(argv[i], "--check=", 8) == 0) {
+      const std::string lvl = argv[i] + 8;
+      if (lvl == "off") {
+        o.check = CheckLevel::Off;
+      } else if (lvl == "oracle") {
+        o.check = CheckLevel::Oracle;
+      } else {
+        throw std::invalid_argument("--check expects 'off' or 'oracle', got '" +
+                                    lvl + "'");
+      }
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      o.fault_seed = parseU64("--fault-seed", argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      o.deadline_ms =
+          static_cast<double>(parsePositiveInt("--deadline-ms", argv[i] + 14));
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf(
-          "usage: %s [--paper-scale|--tiny] [--procs=N] [--jobs=N] "
-          "[--json=FILE] [--no-fastpath] [--fiber=asm|ucontext]\n",
-          argv[0]);
+      std::printf(kUsage, argv[0]);
       std::exit(0);
     } else {
       throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
@@ -81,6 +111,16 @@ Options parse(int argc, char** argv) {
                                               : Fiber::Backend::Ucontext);
   }
   return o;
+}
+
+Options parseOrExit(int argc, char** argv) {
+  try {
+    return parse(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    std::fprintf(stderr, kUsage, argv[0]);
+    std::exit(2);
+  }
 }
 
 const AppParams& pick(const AppDesc& app, const Options& opt) {
@@ -273,8 +313,15 @@ std::string Report::json() const {
     field(out, "iters", p.params.iters);
     field(out, "block", p.params.block);
     field(out, "seed", p.params.seed);
+    field(out, "check",
+          std::string(p.check == CheckLevel::Oracle ? "oracle" : "off"));
+    field(out, "fault_seed", p.fault_seed);
     fieldB(out, "ok", r.ok());
     field(out, "error", r.error);
+    fieldB(out, "timed_out", r.timed_out);
+    field(out, "retries", r.retries);
+    field(out, "oracle_violations",
+          static_cast<std::uint64_t>(r.oracle_violations));
     field(out, "exec_cycles", r.cycles);
     field(out, "base_cycles", r.base_cycles);
     fieldF(out, "speedup", r.speedup(), "%.6f");
@@ -341,13 +388,21 @@ bool Report::maybeWrite(const Options& opt) const {
 
 std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
                                const Options& opt, Report& report) {
+  // Apply the global robustness flags to every point that did not set
+  // its own value (a point's explicit setting wins over the flags).
+  std::vector<SweepPoint> pts = points;
+  for (SweepPoint& p : pts) {
+    if (p.check == CheckLevel::Off) p.check = opt.check;
+    if (p.fault_seed == 0) p.fault_seed = opt.fault_seed;
+    if (p.deadline_ms <= 0.0) p.deadline_ms = opt.deadline_ms;
+  }
   SweepRunner runner(opt.jobs);
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<SweepResult> results = runner.run(points);
+  std::vector<SweepResult> results = runner.run(pts);
   report.addWallMs(std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count());
-  report.add(points, results);
+  report.add(pts, results);
   return results;
 }
 

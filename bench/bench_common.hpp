@@ -11,6 +11,12 @@
 //   --fiber=B       fiber switch backend: asm | ucontext (default: the
 //                   build's default backend; simulated results are
 //                   bit-identical either way, only host speed differs)
+//   --check=L       off | oracle: run every sweep point under the
+//                   shadow-memory coherence oracle (default off)
+//   --fault-seed=N  arm deterministic fault injection with seed N on
+//                   every sweep point (0 = off; same seed, same run)
+//   --deadline-ms=N per-point host wall-clock deadline; a point that
+//                   exceeds it becomes a JSON error record, not a hang
 #pragma once
 
 #include "core/experiment.hpp"
@@ -29,11 +35,19 @@ struct Options {
   bool no_fastpath = false;  ///< disable the access fast path process-wide
   std::string fiber;      ///< "asm" / "ucontext"; empty = build default
   std::string json_path;  ///< empty = no JSON output
+  CheckLevel check = CheckLevel::Off;  ///< coherence oracle per point
+  std::uint64_t fault_seed = 0;        ///< fault-injection seed; 0 = off
+  double deadline_ms = 0.0;            ///< per-point deadline; 0 = off
 };
 
 /// Parse argv. Throws std::invalid_argument on unknown flags and on
 /// malformed or non-positive --procs= / --jobs= values.
 Options parse(int argc, char** argv);
+
+/// parse(), but flag errors print the message plus usage to stderr and
+/// exit with status 2 (the conventional usage-error code) instead of
+/// letting the exception terminate the binary with a traceback.
+Options parseOrExit(int argc, char** argv);
 
 const AppParams& pick(const AppDesc& app, const Options& opt);
 

@@ -34,7 +34,7 @@ Cycles runWith(const AppDesc&, const VersionDesc& ver,
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
 
   bench::printHeader("Ablation 1: SVM page size (ocean/2d, volrend/orig)");
   std::printf("%10s %16s %16s\n", "page", "ocean 2d", "volrend orig");

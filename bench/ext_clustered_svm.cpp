@@ -42,7 +42,7 @@ std::unique_ptr<Platform> makeClustered(int nprocs, int ppn) {
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader("Extension: SMP-node SVM (16 processors as 16x1 / "
                      "4 nodes x 4 / 2 nodes x 8)");
 

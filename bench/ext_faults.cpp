@@ -1,0 +1,89 @@
+// Robustness sweep: fault-injection survival matrix. Every point runs
+// under the shadow-memory coherence oracle with a deterministic fault
+// plan armed (message jitter, handler delays, spurious-but-legal
+// invalidations, lock-grant reordering). The protocols must absorb all
+// of it: results stay correct and the oracle stays clean, or the point
+// becomes an error record and the binary exits nonzero.
+//
+// Grid: 8 seeds x {lu, ocean, radix} x {SVM, NUMA}. The same seed
+// always produces the same schedule (see tests/integration/
+// fault_sweep_test.cpp for the bit-identical-rerun check).
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parseOrExit(argc, argv);
+  constexpr std::uint64_t kSeeds = 8;
+  const char* apps[] = {"lu", "ocean", "radix"};
+  const PlatformKind kinds[] = {PlatformKind::SVM, PlatformKind::NUMA};
+
+  bench::printHeader("Fault-injection survival: coherence oracle + " +
+                     std::to_string(kSeeds) + " fault seeds, " +
+                     std::to_string(opt.procs) + " processors");
+
+  std::vector<SweepPoint> points;
+  for (const PlatformKind kind : kinds) {
+    for (const char* app : apps) {
+      const AppDesc* a = Registry::instance().find(app);
+      if (a == nullptr) {
+        std::fprintf(stderr, "ext_faults: unknown app '%s'\n", app);
+        return 1;
+      }
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        SweepPoint p;
+        p.kind = kind;
+        p.app = app;
+        p.version = a->original().name;
+        p.params = bench::pick(*a, opt);
+        p.procs = opt.procs;
+        p.with_baseline = false;
+        p.check = CheckLevel::Oracle;
+        p.fault_seed = seed;
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  bench::Report report("ext_faults", opt);
+  const std::vector<SweepResult> results = bench::sweep(points, opt, report);
+
+  std::size_t failures = 0, timeouts = 0, retries = 0;
+  std::uint64_t violations = 0;
+  std::printf("%-8s %-8s  seeds 1..%llu\n", "platform", "app",
+              static_cast<unsigned long long>(kSeeds));
+  for (std::size_t row = 0; row < results.size(); row += kSeeds) {
+    const SweepPoint& p0 = points[row];
+    std::printf("%-8s %-8s ", platformName(p0.kind), p0.app.c_str());
+    for (std::size_t s = 0; s < kSeeds; ++s) {
+      const SweepResult& r = results[row + s];
+      failures += r.ok() ? 0 : 1;
+      timeouts += r.timed_out ? 1 : 0;
+      retries += static_cast<std::size_t>(r.retries);
+      violations += r.oracle_violations;
+      std::printf(" %s", r.ok() ? "ok" : (r.timed_out ? "TO" : "FAIL"));
+    }
+    std::printf("\n");
+  }
+  for (const SweepResult& r : results) {
+    if (!r.ok()) std::fprintf(stderr, "ext_faults: %s\n", r.error.c_str());
+  }
+  std::printf(
+      "\n%zu point(s), %zu failure(s), %zu timeout(s), %zu retr%s, "
+      "%llu oracle violation(s)\n",
+      results.size(), failures, timeouts, retries, retries == 1 ? "y" : "ies",
+      static_cast<unsigned long long>(violations));
+
+  report.addExtra("fault_stats",
+                  "{\"points\": " + std::to_string(results.size()) +
+                      ", \"failures\": " + std::to_string(failures) +
+                      ", \"timeouts\": " + std::to_string(timeouts) +
+                      ", \"retries\": " + std::to_string(retries) +
+                      ", \"oracle_violations\": " + std::to_string(violations) +
+                      "}");
+  report.maybeWrite(opt);
+  return failures == 0 ? 0 : 1;
+}

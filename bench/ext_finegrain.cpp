@@ -51,7 +51,7 @@ FgsParams typhoonParams() {
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader(
       "Extension: fine-grained coherence, software (Shasta-style) and "
       "commodity-controller (Typhoon-0-style), vs SVM (" +

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader("Ablation: HLRC vs TreadMarks-style LRC (" +
                      std::to_string(opt.procs) + " processors)");
   std::printf("%-12s %14s %14s %8s %16s\n", "app (orig)", "HLRC cycles",

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader("Extension: problem-size sensitivity on SVM");
 
   struct Row {

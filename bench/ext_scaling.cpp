@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader("Extension: processor-count scaling");
   const int counts[] = {1, 2, 4, 8, 16, 32};
   struct Pick {

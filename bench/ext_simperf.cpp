@@ -70,7 +70,7 @@ double switchesPerSec(rsvm::Fiber::Backend backend, int rounds, int reps) {
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader(
       "Extension: access-fast-path host throughput (lu/2d, fastest of 5)");
 

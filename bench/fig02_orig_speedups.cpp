@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader(
       "Figure 2: speedups of original versions across platforms (" +
       std::to_string(opt.procs) + " processors)");

@@ -1,7 +1,7 @@
 // Figure 3: LU contiguous (no padding/alignment) SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 3 (LU contiguous, no P/A)", "lu", "4d", opt);
   return 0;
 }

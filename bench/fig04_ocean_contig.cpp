@@ -1,7 +1,7 @@
 // Figure 4: Ocean contiguous (4-d) SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 4 (Ocean contiguous 4-d)", "ocean", "4d", opt);
   return 0;
 }

@@ -1,7 +1,7 @@
 // Figure 5: Ocean row-wise SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 5 (Ocean row-wise)", "ocean", "rowwise", opt);
   return 0;
 }

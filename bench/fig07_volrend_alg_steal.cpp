@@ -1,7 +1,7 @@
 // Figure 7: Volrend balanced partition + stealing SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 7 (Volrend balanced + stealing)", "volrend", "alg-steal", opt);
   return 0;
 }

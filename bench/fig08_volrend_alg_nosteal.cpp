@@ -1,7 +1,7 @@
 // Figure 8: Volrend balanced partition, no stealing, SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 8 (Volrend balanced, no stealing)", "volrend", "alg-nosteal", opt);
   return 0;
 }

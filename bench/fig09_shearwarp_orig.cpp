@@ -1,7 +1,7 @@
 // Figure 9: original Shear-Warp SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 9 (Shear-Warp original)", "shearwarp", "orig", opt);
   return 0;
 }

@@ -1,7 +1,7 @@
 // Figure 10: optimized Shear-Warp SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 10 (Shear-Warp optimized)", "shearwarp", "alg", opt);
   return 0;
 }

@@ -1,7 +1,7 @@
 // Figure 12: optimized Raytrace SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 12 (Raytrace optimized)", "raytrace", "alg-splitq", opt);
   return 0;
 }

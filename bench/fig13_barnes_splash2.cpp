@@ -1,7 +1,7 @@
 // Figure 13: Barnes SPLASH-2 version SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 13 (Barnes SPLASH-2)", "barnes", "ds", opt);
   return 0;
 }

@@ -1,7 +1,7 @@
 // Figure 14: Barnes spatial version SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 14 (Barnes spatial)", "barnes", "spatial", opt);
   return 0;
 }

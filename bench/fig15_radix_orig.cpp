@@ -1,7 +1,7 @@
 // Figure 15: Radix SPLASH-2 version SVM breakdown.
 #include "bench_common.hpp"
 int main(int argc, char** argv) {
-  const auto opt = rsvm::bench::parse(argc, argv);
+  const auto opt = rsvm::bench::parseOrExit(argc, argv);
   rsvm::bench::breakdownFigure("Figure 15 (Radix SPLASH-2)", "radix", "orig", opt);
   return 0;
 }

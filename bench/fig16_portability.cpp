@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader(
       "Figure 16: speedups per optimization class across platforms (" +
       std::to_string(opt.procs) + " processors)");

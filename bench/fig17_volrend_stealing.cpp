@@ -8,7 +8,7 @@
 
 int main(int argc, char** argv) {
   using namespace rsvm;
-  const auto opt = bench::parse(argc, argv);
+  const auto opt = bench::parseOrExit(argc, argv);
   bench::printHeader("Figure 17: Volrend algorithmic version, stealing "
                      "on/off, SVM vs CC-NUMA DSM");
   const AppDesc* app = Registry::instance().find("volrend");

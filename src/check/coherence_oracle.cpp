@@ -1,0 +1,307 @@
+#include "check/coherence_oracle.hpp"
+
+#include <sstream>
+
+namespace rsvm {
+
+namespace {
+
+std::uint64_t bit(int d) { return 1ull << d; }
+
+int popcount(std::uint64_t m) { return __builtin_popcountll(m); }
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* oraclePermName(OraclePerm p) {
+  switch (p) {
+    case OraclePerm::None:
+      return "None";
+    case OraclePerm::Read:
+      return "Read";
+    case OraclePerm::Write:
+      return "Write";
+  }
+  return "?";
+}
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  os << total << " coherence violation(s) in " << accesses << " accesses, "
+     << grants << " transitions, " << audits << " audits";
+  for (const auto& v : violations) {
+    os << "\n  [" << v.kind << "] proc " << v.proc << " addr " << hex(v.addr)
+       << " unit [" << hex(v.unit_base) << ",+" << v.unit_bytes << ") at "
+       << v.transition << ": " << v.detail;
+  }
+  if (total > violations.size()) {
+    os << "\n  ... " << (total - violations.size()) << " more suppressed";
+  }
+  return os.str();
+}
+
+CoherenceOracle::CoherenceOracle(const Config& cfg) : cfg_(cfg) {
+  vc_.assign(static_cast<std::size_t>(cfg_.nprocs),
+             Clock(static_cast<std::size_t>(cfg_.nprocs), 0));
+  inflight_.assign(static_cast<std::size_t>(cfg_.ndomains), 0);
+}
+
+void CoherenceOracle::addViolation(OracleViolation v) {
+  ++report_.total;
+  if (report_.violations.size() < cfg_.max_reports) {
+    report_.violations.push_back(std::move(v));
+  }
+}
+
+void CoherenceOracle::join(Clock& into, const Clock& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    if (from[i] > into[i]) into[i] = from[i];
+  }
+}
+
+bool CoherenceOracle::orderedBefore(const LastWrite& w, ProcId p) const {
+  if (w.proc < 0 || w.proc == p) return true;
+  return vc_[static_cast<std::size_t>(p)][static_cast<std::size_t>(w.proc)] >=
+         w.clock;
+}
+
+std::string CoherenceOracle::maskStr(std::uint64_t m) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (int d = 0; d < 64; ++d) {
+    if ((m & bit(d)) == 0) continue;
+    if (!first) os << ',';
+    os << d;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string CoherenceOracle::permStr(const UnitPerm& up) const {
+  return "mirror readers=" + maskStr(up.readers) +
+         " writers=" + maskStr(up.writers);
+}
+
+void CoherenceOracle::grant(int domain, std::uint64_t unit, OraclePerm perm,
+                            const char* transition) {
+  ++report_.grants;
+  UnitPerm& up = perm_[unit];
+  // Mirror-based single-writer checks need an exact mirror: on hardware
+  // platforms self-evictions are silent, so the mirror over-approximates
+  // and a stale bit is not evidence of a second live copy. There the
+  // audits (which scan actual cache state) enforce SWMR instead.
+  const bool swmr = cfg_.exact_mirror && !cfg_.multi_writer;
+  if (perm == OraclePerm::Write) {
+    if (swmr && (up.writers & ~bit(domain)) != 0) {
+      addViolation({"two-writers", ProcId(domain), unit * cfg_.unit_bytes,
+                    unit * cfg_.unit_bytes, cfg_.unit_bytes, transition,
+                    "write granted to domain " + std::to_string(domain) +
+                        " while " + permStr(up)});
+    }
+    if (swmr && (up.readers & ~bit(domain)) != 0) {
+      addViolation({"writer-with-readers", ProcId(domain),
+                    unit * cfg_.unit_bytes, unit * cfg_.unit_bytes,
+                    cfg_.unit_bytes, transition,
+                    "write granted to domain " + std::to_string(domain) +
+                        " while " + permStr(up)});
+    }
+    up.writers |= bit(domain);
+    up.readers |= bit(domain);
+  } else if (perm == OraclePerm::Read) {
+    if (swmr && (up.writers & ~bit(domain)) != 0) {
+      addViolation({"reader-with-writer", ProcId(domain),
+                    unit * cfg_.unit_bytes, unit * cfg_.unit_bytes,
+                    cfg_.unit_bytes, transition,
+                    "read granted to domain " + std::to_string(domain) +
+                        " while " + permStr(up)});
+    }
+    up.readers |= bit(domain);
+  }
+}
+
+void CoherenceOracle::revoke(int domain, std::uint64_t unit,
+                             OraclePerm down_to, const char* transition) {
+  (void)transition;
+  ++report_.grants;
+  UnitPerm& up = perm_[unit];
+  // If the revoked domain has an access in flight, remember what it held
+  // so the access's deferred permission check still passes: the access
+  // happened while the permission was held, the engine merely ran the
+  // revoking processor before this one's check.
+  if (inflight_[static_cast<std::size_t>(domain)] > 0) {
+    const bool had_w = (up.writers & bit(domain)) != 0;
+    const bool had_r = (up.readers & bit(domain)) != 0;
+    const bool lost_r = down_to == OraclePerm::None && had_r;
+    if (had_w || lost_r) grace_.push_back({unit, domain, had_w, had_r});
+  }
+  up.writers &= ~bit(domain);
+  if (down_to == OraclePerm::None) up.readers &= ~bit(domain);
+}
+
+bool CoherenceOracle::graceAllows(std::uint64_t unit, int domain,
+                                  bool write) const {
+  for (const Grace& g : grace_) {
+    if (g.unit != unit || g.domain != domain) continue;
+    if (write ? g.had_write : (g.had_read || g.had_write)) return true;
+  }
+  return false;
+}
+
+void CoherenceOracle::beginAccess(ProcId p) {
+  const int domain = cfg_.domain_of[static_cast<std::size_t>(p)];
+  ++inflight_[static_cast<std::size_t>(domain)];
+}
+
+void CoherenceOracle::audit(const UnitAudit& ua) {
+  ++report_.audits;
+  const SimAddr base = ua.unit * cfg_.unit_bytes;
+  const std::uint64_t owner_bit = ua.dir_owner >= 0 ? bit(ua.dir_owner) : 0;
+  auto actualStr = [&ua] {
+    return "dir copyset=" + maskStr(ua.dir_readers) +
+           " owner=" + std::to_string(ua.dir_owner) +
+           ", actual readers=" + maskStr(ua.actual_readers) +
+           " writers=" + maskStr(ua.actual_writers);
+  };
+  // The directory must cover every copy actually held. (The converse is
+  // not an invariant on hardware platforms: Shared lines evict silently,
+  // so the directory legally over-approximates.)
+  if ((ua.actual_readers & ~(ua.dir_readers | owner_bit)) != 0) {
+    addViolation({"copyset-mismatch", ua.actor, base, base, cfg_.unit_bytes,
+                  ua.transition, actualStr()});
+  }
+  if (!cfg_.multi_writer && popcount(ua.actual_writers) > 1) {
+    addViolation({"two-writers", ua.actor, base, base, cfg_.unit_bytes,
+                  ua.transition, actualStr()});
+  }
+  if (ua.dir_owner >= 0 && ua.actual_writers != 0 &&
+      (ua.actual_writers & ~owner_bit) != 0) {
+    addViolation({"owner-mismatch", ua.actor, base, base, cfg_.unit_bytes,
+                  ua.transition, actualStr()});
+  }
+  if (ua.must_reader >= 0 &&
+      ((ua.actual_readers | ua.actual_writers) & bit(ua.must_reader)) == 0) {
+    addViolation({"home-copy-lost", ua.actor, base, base, cfg_.unit_bytes,
+                  ua.transition,
+                  "home domain " + std::to_string(ua.must_reader) +
+                      " lost its copy; " + actualStr()});
+  }
+  // Every actual copy must be one this mirror saw granted (and not yet
+  // revoked) -- a cache holding rights the protocol never handed out.
+  const UnitPerm& up = perm_[ua.unit];
+  if ((ua.actual_readers & ~(up.readers | up.writers)) != 0 ||
+      (ua.actual_writers & ~up.writers) != 0) {
+    addViolation({"mirror-mismatch", ua.actor, base, base, cfg_.unit_bytes,
+                  ua.transition, actualStr() + "; " + permStr(up)});
+  }
+}
+
+void CoherenceOracle::onAccess(ProcId p, SimAddr a, std::uint32_t size,
+                               bool write, bool racy) {
+  ++report_.accesses;
+  const int domain = cfg_.domain_of[static_cast<std::size_t>(p)];
+  const std::uint64_t first_unit = a / cfg_.unit_bytes;
+  const std::uint64_t last_unit = (a + (size ? size - 1 : 0)) / cfg_.unit_bytes;
+  for (std::uint64_t u = first_unit; u <= last_unit; ++u) {
+    const UnitPerm& up = perm_[u];
+    if (write) {
+      if ((up.writers & bit(domain)) == 0 && !graceAllows(u, domain, true)) {
+        addViolation({"no-write-permission", p, a, u * cfg_.unit_bytes,
+                      cfg_.unit_bytes, "access",
+                      "proc " + std::to_string(p) + " (domain " +
+                          std::to_string(domain) + ") wrote without write " +
+                          "permission; " + permStr(up)});
+      }
+    } else if (((up.readers | up.writers) & bit(domain)) == 0 &&
+               !graceAllows(u, domain, false)) {
+      addViolation({"no-read-permission", p, a, u * cfg_.unit_bytes,
+                    cfg_.unit_bytes, "access",
+                    "proc " + std::to_string(p) + " (domain " +
+                        std::to_string(domain) + ") read without read " +
+                        "permission; " + permStr(up)});
+    }
+  }
+  // Data-value invariant at word granularity: a read must be ordered
+  // after the word's last write by the synchronization vector clocks,
+  // otherwise the consistency model does not promise it that value.
+  const auto& my = vc_[static_cast<std::size_t>(p)];
+  const std::uint64_t w0 = a / cfg_.word_bytes;
+  const std::uint64_t w1 = (a + (size ? size - 1 : 0)) / cfg_.word_bytes;
+  for (std::uint64_t w = w0; w <= w1; ++w) {
+    if (write) {
+      words_[w] = {p, my[static_cast<std::size_t>(p)], racy};
+      continue;
+    }
+    auto it = words_.find(w);
+    if (it == words_.end()) continue;  // never written: any value is fine
+    const LastWrite& lw = it->second;
+    if (racy || lw.racy) continue;  // annotated-racy: exempt by contract
+    if (orderedBefore(lw, p)) continue;
+    auto key = std::make_tuple(w, static_cast<int>(lw.proc),
+                               static_cast<int>(p));
+    if (!seen_stale_.insert(key).second) continue;
+    const std::uint64_t u = (w * cfg_.word_bytes) / cfg_.unit_bytes;
+    addViolation(
+        {"stale-value", p, w * cfg_.word_bytes, u * cfg_.unit_bytes,
+         cfg_.unit_bytes, "access",
+         "proc " + std::to_string(p) + " read a word last written by proc " +
+             std::to_string(lw.proc) + " (clock " + std::to_string(lw.clock) +
+             ") with no happens-before edge ordering the write first"});
+  }
+  // The access is no longer in flight; once its domain quiesces, the
+  // permissions it was allowed to ride on expire. (Tolerates onAccess
+  // without beginAccess so the checks can be driven directly in tests.)
+  int& inflight = inflight_[static_cast<std::size_t>(domain)];
+  if (inflight > 0 && --inflight == 0 && !grace_.empty()) {
+    std::erase_if(grace_, [domain](const Grace& g) {
+      return g.domain == domain;
+    });
+  }
+}
+
+void CoherenceOracle::onLockGrant(ProcId p, int id) {
+  auto& lk = locks_[id];
+  if (lk.vc.empty()) lk.vc.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+  auto& my = vc_[static_cast<std::size_t>(p)];
+  join(my, lk.vc);
+  ++my[static_cast<std::size_t>(p)];
+}
+
+void CoherenceOracle::onLockRelease(ProcId p, int id) {
+  auto& lk = locks_[id];
+  if (lk.vc.empty()) lk.vc.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+  auto& my = vc_[static_cast<std::size_t>(p)];
+  join(lk.vc, my);
+  ++my[static_cast<std::size_t>(p)];
+}
+
+void CoherenceOracle::onBarrierArrive(ProcId p, int id) {
+  auto& b = barriers_[id];
+  if (b.arrive_idx.empty()) {
+    b.arrive_idx.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+    b.depart_idx.assign(static_cast<std::size_t>(cfg_.nprocs), 0);
+  }
+  const std::size_t epoch = b.arrive_idx[static_cast<std::size_t>(p)]++;
+  if (b.epochs.size() <= epoch) {
+    b.epochs.resize(epoch + 1, Clock(static_cast<std::size_t>(cfg_.nprocs), 0));
+  }
+  auto& my = vc_[static_cast<std::size_t>(p)];
+  join(b.epochs[epoch], my);
+  ++my[static_cast<std::size_t>(p)];
+}
+
+void CoherenceOracle::onBarrierDepart(ProcId p, int id) {
+  auto& b = barriers_[id];
+  const std::size_t epoch = b.depart_idx[static_cast<std::size_t>(p)]++;
+  auto& my = vc_[static_cast<std::size_t>(p)];
+  join(my, b.epochs[epoch]);
+  ++my[static_cast<std::size_t>(p)];
+}
+
+}  // namespace rsvm

@@ -1,0 +1,186 @@
+// Shadow-memory coherence oracle: an independent mirror of every
+// coherence unit's permission state, fed by the protocols at each
+// transition, that asserts the invariants the paper's figures silently
+// assume:
+//
+//  * single-writer/multiple-reader -- at most one coherence domain holds
+//    write permission on a unit at a time (relaxed on SVM, whose
+//    multiple-writer twin/diff scheme legally admits concurrent
+//    writers);
+//  * access/permission agreement -- every timed access is performed by a
+//    domain the protocol actually granted sufficient permission;
+//  * data-value invariant -- the value a read observes is one
+//    happens-before allows: the word's last writer must be ordered
+//    before the reader by the synchronization vector clocks (the PR-1
+//    race-checker semantics), otherwise the app just consumed a value
+//    the consistency model does not guarantee;
+//  * directory/page-table agreement -- at protocol transitions, the
+//    directory's owner/copyset must cover the copies actually held by
+//    caches/page tables, and both must stay within the rights this
+//    mirror recorded.
+//
+// Enable with Platform::setCheckLevel(CheckLevel::Oracle) *before*
+// allocating shared data. Violations are collected as structured reports
+// (proc, addr, unit, transition, both states) rather than thrown, so a
+// sweep can attribute them per point.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rsvm {
+
+enum class OraclePerm : std::uint8_t { None = 0, Read, Write };
+
+const char* oraclePermName(OraclePerm p);
+
+struct OracleViolation {
+  std::string kind;        ///< e.g. "two-writers", "no-read-permission"
+  ProcId proc = -1;        ///< acting processor (-1 for host-side events)
+  SimAddr addr = 0;        ///< faulting address (unit base for audits)
+  SimAddr unit_base = 0;   ///< base address of the coherence unit
+  std::uint32_t unit_bytes = 0;
+  std::string transition;  ///< protocol transition being checked
+  std::string detail;      ///< both states, human-readable
+};
+
+struct OracleReport {
+  std::vector<OracleViolation> violations;  ///< capped at max_reports
+  std::size_t total = 0;     ///< all violations incl. beyond the cap
+  std::size_t accesses = 0;  ///< accesses permission-checked
+  std::size_t grants = 0;    ///< permission transitions mirrored
+  std::size_t audits = 0;    ///< directory/page-table agreement checks
+
+  [[nodiscard]] bool clean() const { return total == 0; }
+  /// One-line-per-violation diagnosis naming proc/addr/transition.
+  [[nodiscard]] std::string summary() const;
+};
+
+class CoherenceOracle {
+ public:
+  struct Config {
+    int nprocs = 0;
+    int ndomains = 0;            ///< coherence domains (SVM nodes; procs)
+    std::vector<int> domain_of;  ///< [proc] -> domain
+    std::uint32_t unit_bytes = 4096;  ///< platform coherence granularity
+    std::uint32_t word_bytes = 4;     ///< data-value shadow granularity
+    bool multi_writer = false;   ///< SVM's multiple-writer protocol
+    /// Whether the platform reports *every* permission change (SVM page
+    /// tables, FGS block states). Hardware caches may drop Shared lines
+    /// silently, so their mirror only over-approximates.
+    bool exact_mirror = true;
+    std::size_t max_reports = 32;
+  };
+
+  explicit CoherenceOracle(const Config& cfg);
+
+  // ---- permission mirror (called at protocol transition sites) ----
+
+  /// Domain `domain` gains `perm` on coherence unit `unit` (unit index =
+  /// address / unit_bytes). Asserts single-writer on the spot.
+  void grant(int domain, std::uint64_t unit, OraclePerm perm,
+             const char* transition);
+  /// Domain `domain` drops to `down_to` (Read keeps the copy readable,
+  /// None removes it).
+  void revoke(int domain, std::uint64_t unit, OraclePerm down_to,
+              const char* transition);
+
+  // ---- directory/page-table agreement ----
+
+  /// Snapshot of one unit at a protocol transition: the directory's view
+  /// (copyset/owner) and the state actually held by caches/page tables,
+  /// both as per-domain bitmasks (kMaxProcs <= 64 fits one word).
+  struct UnitAudit {
+    std::uint64_t unit = 0;
+    ProcId actor = -1;            ///< processor driving the transition
+    const char* transition = "";
+    std::uint64_t dir_readers = 0;    ///< directory copyset
+    int dir_owner = -1;               ///< directory owner (-1 = none)
+    std::uint64_t actual_readers = 0; ///< domains actually holding >= Read
+    std::uint64_t actual_writers = 0; ///< domains actually holding Write
+    int must_reader = -1;  ///< domain that must hold a copy (SVM home)
+  };
+  void audit(const UnitAudit& ua);
+
+  // ---- accesses (called by Platform around every slow-path access) ----
+
+  /// Mark the start of p's timed access. Between beginAccess and the
+  /// matching onAccess the access is *in flight*: a permission the
+  /// protocol revokes from p's domain during that window still satisfies
+  /// the access (the access semantically happened while the permission
+  /// was held -- the engine merely interleaved another processor's
+  /// revocation between the grant and this check).
+  void beginAccess(ProcId p);
+  void onAccess(ProcId p, SimAddr a, std::uint32_t size, bool write,
+                bool racy);
+
+  // ---- synchronization (vector clocks, PR-1 race-checker semantics) ----
+  void onLockGrant(ProcId p, int id);
+  void onLockRelease(ProcId p, int id);
+  void onBarrierArrive(ProcId p, int id);
+  void onBarrierDepart(ProcId p, int id);
+
+  [[nodiscard]] const OracleReport& report() const { return report_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  using Clock = std::vector<std::uint32_t>;  ///< one slot per processor
+
+  /// Mirrored permission state of one unit, one bit per domain.
+  struct UnitPerm {
+    std::uint64_t readers = 0;
+    std::uint64_t writers = 0;
+  };
+  /// Last writer of one word (data-value invariant).
+  struct LastWrite {
+    ProcId proc = -1;
+    std::uint32_t clock = 0;  ///< writer's own vc component at the write
+    bool racy = false;
+  };
+  struct LockSt {
+    Clock vc;
+  };
+  struct BarrierSt {
+    std::vector<Clock> epochs;
+    std::vector<std::size_t> arrive_idx;
+    std::vector<std::size_t> depart_idx;
+  };
+
+  /// Permission p's domain lost while one of the domain's accesses was
+  /// in flight; consulted by the permission check, dropped when the
+  /// domain's in-flight count returns to zero.
+  struct Grace {
+    std::uint64_t unit = 0;
+    int domain = -1;
+    bool had_write = false;
+    bool had_read = false;
+  };
+
+  void addViolation(OracleViolation v);
+  [[nodiscard]] bool graceAllows(std::uint64_t unit, int domain,
+                                 bool write) const;
+  [[nodiscard]] bool orderedBefore(const LastWrite& w, ProcId p) const;
+  static void join(Clock& into, const Clock& from);
+  [[nodiscard]] static std::string maskStr(std::uint64_t m);
+  [[nodiscard]] std::string permStr(const UnitPerm& up) const;
+
+  Config cfg_;
+  std::unordered_map<std::uint64_t, UnitPerm> perm_;
+  std::unordered_map<std::uint64_t, LastWrite> words_;
+  std::vector<Clock> vc_;
+  std::map<int, LockSt> locks_;
+  std::map<int, BarrierSt> barriers_;
+  /// Dedup of reported stale-value triples (word, writer, reader).
+  std::set<std::tuple<std::uint64_t, int, int>> seen_stale_;
+  std::vector<int> inflight_;  ///< [domain] accesses between begin/check
+  std::vector<Grace> grace_;
+  OracleReport report_;
+};
+
+}  // namespace rsvm

@@ -32,6 +32,14 @@ struct SweepPoint {
   int procs = 16;
   bool free_cs_faults = false;
 
+  /// Robustness knobs. `check` enables the shadow-memory coherence
+  /// oracle; `fault_seed` (nonzero) arms deterministic fault injection;
+  /// `deadline_ms` (positive) arms the engine's host-wall-clock watchdog
+  /// so a hung point becomes a diagnostic error instead of a hung sweep.
+  CheckLevel check = CheckLevel::Off;
+  std::uint64_t fault_seed = 0;
+  double deadline_ms = 0.0;
+
   /// Compute the paper-style baseline (original version, one processor,
   /// same platform configuration and params) so speedup() is defined.
   bool with_baseline = true;
@@ -64,6 +72,9 @@ struct SweepResult {
   Cycles base_cycles = 0;  ///< uniprocessor baseline (0 if none requested)
   double wall_ms = 0.0;    ///< host wall-clock spent on this point
   std::string error;       ///< why the point failed, with full context
+  bool timed_out = false;  ///< the point's watchdog/deadline fired
+  int retries = 0;         ///< extra attempts consumed (fault-seeded points)
+  std::size_t oracle_violations = 0;  ///< total oracle violations (0 = clean)
 
   [[nodiscard]] bool ok() const { return error.empty(); }
   [[nodiscard]] double speedup() const {
@@ -104,6 +115,8 @@ class SweepRunner {
 
   Cycles baseline(const SweepPoint& p);
   SweepResult runPoint(const SweepPoint& p);
+  /// One attempt at a point (no retry logic, no wall-clock accounting).
+  SweepResult attemptPoint(const SweepPoint& p);
 
   int jobs_;
   std::mutex mu_;  ///< guards base_cache_

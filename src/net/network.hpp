@@ -6,6 +6,7 @@
 // modeled, matching the paper's simulators.
 #pragma once
 
+#include "sim/faultplan.hpp"
 #include "sim/resource.hpp"
 #include "sim/types.hpp"
 
@@ -42,6 +43,10 @@ class PointToPoint {
   /// send side starts (not after it finishes), so a large message costs
   /// one port occupancy, not two, when both ports are idle.
   Cycles send(ProcId from, ProcId to, std::uint64_t bytes, Cycles start) {
+    // Fault injection: messages may legally take longer than the model's
+    // minimum (routing conflicts, host-side scheduling); latency is never
+    // part of the consistency contract.
+    if (fault_ != nullptr) start += fault_->msgJitter();
     const Cycles occ = transferCycles(bytes, params_.bytes_per_cycle);
     Resource& tx = tx_[static_cast<std::size_t>(from)];
     const Cycles tx_start = tx.startTime(start + params_.sw_overhead);
@@ -54,10 +59,14 @@ class PointToPoint {
   Resource& txPort(ProcId n) { return tx_[static_cast<std::size_t>(n)]; }
   Resource& rxPort(ProcId n) { return rx_[static_cast<std::size_t>(n)]; }
 
+  /// Attach a fault plan adding per-message latency jitter (null: none).
+  void setFaultPlan(FaultPlan* f) { fault_ = f; }
+
  private:
   Params params_;
   std::vector<Resource> tx_;
   std::vector<Resource> rx_;
+  FaultPlan* fault_ = nullptr;
 };
 
 /// Single shared split-transaction bus (SGI Challenge style): each
@@ -76,6 +85,8 @@ class SharedBus {
   /// Issue a transaction moving `bytes` (0 for address-only, e.g.
   /// upgrades). Returns the time the bus phase completes.
   Cycles transact(std::uint64_t bytes, Cycles start) {
+    // Fault injection: arbitration may legally take extra cycles.
+    if (fault_ != nullptr) start += fault_->msgJitter();
     const Cycles occ = params_.address_phase +
                        (bytes > 0 ? transferCycles(bytes, params_.bytes_per_cycle)
                                   : 0);
@@ -85,9 +96,13 @@ class SharedBus {
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] const Resource& resource() const { return bus_; }
 
+  /// Attach a fault plan adding per-transaction arbitration jitter.
+  void setFaultPlan(FaultPlan* f) { fault_ = f; }
+
  private:
   Params params_;
   Resource bus_;
+  FaultPlan* fault_ = nullptr;
 };
 
 }  // namespace net

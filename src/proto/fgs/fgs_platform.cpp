@@ -63,6 +63,7 @@ void FgsPlatform::setHomes(SimAddr base, std::size_t bytes,
       bs_[static_cast<std::size_t>(h)][blk] =
           static_cast<std::uint8_t>(BState::Shared);
       dir_[blk].sharers |= 1ull << static_cast<unsigned>(h);
+      if (oracle()) oracle()->grant(h, blk, OraclePerm::Read, "home-init");
     }
   }
 }
@@ -76,6 +77,7 @@ void FgsPlatform::warm(ProcId p, SimAddr base, std::size_t len) {
     bs_[static_cast<std::size_t>(p)][b] =
         static_cast<std::uint8_t>(BState::Shared);
     dir_[b].sharers |= 1ull << static_cast<unsigned>(p);
+    if (oracle()) oracle()->grant(p, b, OraclePerm::Read, "warm");
   }
 }
 
@@ -95,6 +97,35 @@ void FgsPlatform::onBarrierCreated(int id) {
   barriers_.push_back(bs);
 }
 
+void FgsPlatform::auditBlock(ProcId actor, std::uint64_t block,
+                             const char* transition) {
+  CoherenceOracle* oc = oracle();
+  if (oc == nullptr) return;
+  const DirEntry& d = dir_[block];
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = block;
+  ua.actor = actor;
+  ua.transition = transition;
+  ua.dir_readers = d.sharers;
+  ua.dir_owner = d.dirty != 0 ? d.owner : -1;
+  for (int q = 0; q < nprocs(); ++q) {
+    const auto s = static_cast<BState>(bs_[static_cast<std::size_t>(q)][block]);
+    if (s != BState::Invalid) {
+      ua.actual_readers |= 1ull << static_cast<unsigned>(q);
+    }
+    if (s == BState::Exclusive) {
+      ua.actual_writers |= 1ull << static_cast<unsigned>(q);
+    }
+  }
+  oc->audit(ua);
+}
+
+void FgsPlatform::maybeSpuriousL1Clear(ProcId p) {
+  FaultPlan* fp = fault();
+  if (fp == nullptr || !fp->spuriousNow()) return;
+  l1_[static_cast<std::size_t>(p)].clear();
+}
+
 Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
   Engine& eng = engine_;
   ProcStats& st = eng.stats(p);
@@ -102,6 +133,9 @@ Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
   const ProcId h = home_[block * prm_.block_bytes / 4096];
   const std::uint64_t pbit = 1ull << static_cast<unsigned>(p);
   Cycles t = eng.now(p) + prm_.miss_handler;
+  // Fault injection: the software miss handler may legally start late
+  // (interrupt masking, handler scheduling).
+  if (fault() != nullptr) t += fault()->handlerJitter();
 
   // Request to the home's software protocol handler.
   if (h != p) t = net_.send(p, h, prm_.msg_header_bytes, t);
@@ -117,6 +151,10 @@ Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
     bs_[static_cast<std::size_t>(o)][block] = static_cast<std::uint8_t>(
         write ? BState::Invalid : BState::Shared);
     ++bs_gen_[static_cast<std::size_t>(o)];  // owner downgraded
+    if (oracle()) {
+      oracle()->revoke(o, block, write ? OraclePerm::None : OraclePerm::Read,
+                       "fetch-back");
+    }
     t = net_.send(o, h, prm_.block_bytes + prm_.msg_header_bytes, t2);
     d.dirty = 0;
     d.owner = -1;
@@ -139,6 +177,9 @@ Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
       bs_[static_cast<std::size_t>(s)][block] =
           static_cast<std::uint8_t>(BState::Invalid);
       ++bs_gen_[static_cast<std::size_t>(s)];  // sharer invalidated
+      if (oracle()) {
+        oracle()->revoke(s, block, OraclePerm::None, "dir-invalidate");
+      }
       l1_[static_cast<std::size_t>(s)].invalidateRange(
           block * prm_.block_bytes, prm_.block_bytes);
       l2_[static_cast<std::size_t>(s)].invalidateRange(
@@ -157,6 +198,11 @@ Cycles FgsPlatform::serveMiss(ProcId p, std::uint64_t block, bool write) {
     d.sharers |= pbit;
     bs_[static_cast<std::size_t>(p)][block] =
         static_cast<std::uint8_t>(BState::Shared);
+  }
+  if (oracle()) {
+    oracle()->grant(p, block, write ? OraclePerm::Write : OraclePerm::Read,
+                    "miss-serve");
+    auditBlock(p, block, "miss-serve");
   }
 
   // Block data back to the requester.
@@ -231,6 +277,7 @@ void FgsPlatform::acquireLockImpl(int id) {
   ProcStats& st = engine_.stats(p);
   ++st.lock_acquires;
   emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
+  maybeSpuriousL1Clear(p);
   if (lk.held) {
     lk.waiters.push_back(p);
     engine_.block(Bucket::LockWait);
@@ -261,6 +308,11 @@ void FgsPlatform::releaseLockImpl(int id) {
   emit(TraceEvent::Kind::LockRelease, p, static_cast<std::uint64_t>(id));
   lk.last_owner = p;
   lk.ready_at = engine_.now(p);
+  // Fault injection: any queued waiter may legally win the handoff.
+  if (fault() != nullptr && lk.waiters.size() > 1 && fault()->reorderGrant()) {
+    lk.waiters.push_back(lk.waiters.front());
+    lk.waiters.pop_front();
+  }
   if (!lk.waiters.empty()) {
     const ProcId w = lk.waiters.front();
     lk.waiters.pop_front();

@@ -77,6 +77,10 @@ class FgsPlatform final : public Platform {
   void onBarrierCreated(int id) override;
   void setHomes(SimAddr base, std::size_t bytes,
                 const HomePolicy& homes) override;
+  /// Oracle wiring: the software block states (`bs_`) are maintained
+  /// exactly by the protocol (no silent evictions), so the default exact
+  /// permission mirror applies and grant-time single-writer checks run.
+  void applyFaultPlan(FaultPlan* fp) override { net_.setFaultPlan(fp); }
 
  private:
   enum class BState : std::uint8_t { Invalid = 0, Shared, Exclusive };
@@ -105,6 +109,13 @@ class FgsPlatform final : public Platform {
 
   /// Software protocol miss: fetch/upgrade block for p. Returns stall.
   Cycles serveMiss(ProcId p, std::uint64_t block, bool write);
+  /// Oracle audit: directory owner/copyset vs. the actual software block
+  /// states across all processors (hardware caches are permission-blind
+  /// behind the inline checks, so they are not scanned).
+  void auditBlock(ProcId actor, std::uint64_t block, const char* transition);
+  /// Fault injection: occasionally clear p's own L1 (always legal: the
+  /// hardware caches hold no permission state on this platform).
+  void maybeSpuriousL1Clear(ProcId p);
 
   [[nodiscard]] std::uint64_t blockOf(SimAddr a) const {
     return a / prm_.block_bytes;

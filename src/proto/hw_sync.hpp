@@ -8,6 +8,7 @@
 #pragma once
 
 #include "sim/engine.hpp"
+#include "sim/faultplan.hpp"
 #include "sim/resource.hpp"
 
 #include <deque>
@@ -30,6 +31,9 @@ class HwSync {
 
   void onLockCreated() { locks_.emplace_back(); }
   void onBarrierCreated() { barriers_.emplace_back(); }
+
+  /// Attach a fault plan enabling lock-handoff reordering (null: none).
+  void setFaultPlan(FaultPlan* f) { fault_ = f; }
 
   void acquire(int id) {
     const ProcId p = eng_.self();
@@ -55,6 +59,13 @@ class HwSync {
     const ProcId p = eng_.self();
     Lock& lk = locks_[static_cast<std::size_t>(id)];
     lk.last_owner = p;
+    // Fault injection: hardware lock handoff is a cache-line race any
+    // waiter may win, so rotating the FIFO queue only exercises an order
+    // the real machine already allows.
+    if (fault_ != nullptr && lk.waiters.size() > 1 && fault_->reorderGrant()) {
+      lk.waiters.push_back(lk.waiters.front());
+      lk.waiters.pop_front();
+    }
     if (!lk.waiters.empty()) {
       const ProcId w = lk.waiters.front();
       lk.waiters.pop_front();
@@ -109,6 +120,7 @@ class HwSync {
   Costs costs_;
   std::vector<Lock> locks_;
   std::vector<Barrier> barriers_;
+  FaultPlan* fault_ = nullptr;
 };
 
 }  // namespace rsvm

@@ -63,6 +63,35 @@ void NumaPlatform::dropFromL1(ProcId p, SimAddr l2_line) {
                                                    prm_.l2.line_bytes);
 }
 
+void NumaPlatform::auditLine(ProcId actor, SimAddr line_addr,
+                             const char* transition) {
+  CoherenceOracle* oc = oracle();
+  if (oc == nullptr) return;
+  const DirEntry& d = dirmap_[lineIndex(line_addr)];
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = line_addr / prm_.l2.line_bytes;
+  ua.actor = actor;
+  ua.transition = transition;
+  ua.dir_readers = d.sharers;
+  ua.dir_owner = d.state == DirState::Modified ? d.owner : -1;
+  for (int q = 0; q < nprocs(); ++q) {
+    const LineState s = l2_[static_cast<std::size_t>(q)].probe(line_addr);
+    if (s != LineState::Invalid) {
+      ua.actual_readers |= 1ull << static_cast<unsigned>(q);
+    }
+    if (s == LineState::Modified) {
+      ua.actual_writers |= 1ull << static_cast<unsigned>(q);
+    }
+  }
+  oc->audit(ua);
+}
+
+void NumaPlatform::maybeSpuriousL1Clear(ProcId p) {
+  FaultPlan* fp = fault();
+  if (fp == nullptr || !fp->spuriousNow()) return;
+  l1_[static_cast<std::size_t>(p)].clear();
+}
+
 NumaPlatform::MissOutcome NumaPlatform::serveMiss(ProcId p, SimAddr line_addr,
                                                   bool write, bool upgrade) {
   Engine& eng = engine_;
@@ -74,6 +103,9 @@ NumaPlatform::MissOutcome NumaPlatform::serveMiss(ProcId p, SimAddr line_addr,
   const bool local_home = (h == p);
   bool remote = !local_home;
   Cycles t = eng.now(p);
+  // Fault injection: the miss handler may legally start late (MSHR
+  // conflicts, controller scheduling).
+  if (fault() != nullptr) t += fault()->handlerJitter();
 
   // Request travels to the home and occupies its directory controller.
   if (!local_home) t = net_.send(p, h, prm_.msg_header_bytes, t);
@@ -90,13 +122,27 @@ NumaPlatform::MissOutcome NumaPlatform::serveMiss(ProcId p, SimAddr line_addr,
       l2_[static_cast<std::size_t>(o)].invalidate(line_addr);
       dropFromL1(o, line_addr);
       ++st.invalidations_sent;
+      if (oracle()) {
+        oracle()->revoke(o, line_addr / prm_.l2.line_bytes, OraclePerm::None,
+                         "intervene-inval");
+      }
     } else {
+      // The L1 keeps its Modified copy across an L2 downgrade in this
+      // tag-only model, so the owner can legally keep write-hitting it.
+      // Like victim writebacks, downgrades therefore do not revoke the
+      // oracle mirror (it over-approximates; see exactPermissionMirror).
       l2_[static_cast<std::size_t>(o)].downgrade(line_addr);
     }
     t = (o == p) ? t2 : net_.send(o, p, data_bytes, t2);
     d.sharers = write ? pbit : (d.sharers | pbit);
     d.owner = write ? static_cast<std::int8_t>(p) : std::int8_t{-1};
     d.state = write ? DirState::Modified : DirState::Shared;
+    if (oracle()) {
+      oracle()->grant(p, line_addr / prm_.l2.line_bytes,
+                      write ? OraclePerm::Write : OraclePerm::Read,
+                      "intervene-serve");
+      auditLine(p, line_addr, "intervene-serve");
+    }
     ++st.remote_misses;
     return {t > eng.now(p) ? t - eng.now(p) : 0, true};
   }
@@ -111,6 +157,10 @@ NumaPlatform::MissOutcome NumaPlatform::serveMiss(ProcId p, SimAddr line_addr,
       l2_[static_cast<std::size_t>(s)].invalidate(line_addr);
       dropFromL1(static_cast<ProcId>(s), line_addr);
       ++st.invalidations_sent;
+      if (oracle()) {
+        oracle()->revoke(s, line_addr / prm_.l2.line_bytes, OraclePerm::None,
+                         "dir-invalidate");
+      }
       inval_done = dir_[static_cast<std::size_t>(h)].acquire(
           inval_done, prm_.inval_cost);
       if (s != h) inval_done += prm_.net_latency;
@@ -124,6 +174,12 @@ NumaPlatform::MissOutcome NumaPlatform::serveMiss(ProcId p, SimAddr line_addr,
     d.sharers |= pbit;
     if (d.state == DirState::Uncached) d.state = DirState::Shared;
     d.owner = -1;
+  }
+  if (oracle()) {
+    oracle()->grant(p, line_addr / prm_.l2.line_bytes,
+                    write ? OraclePerm::Write : OraclePerm::Read,
+                    upgrade ? "upgrade" : "miss-serve");
+    auditLine(p, line_addr, upgrade ? "upgrade" : "miss-serve");
   }
 
   if (!upgrade) {
@@ -187,6 +243,11 @@ void NumaPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
         net_.send(p, vh, prm_.l2.line_bytes + prm_.msg_header_bytes,
                   engine_.now(p));
       }
+      // The oracle mirror is deliberately NOT revoked here: the L1 can
+      // legally keep a stale copy of the victim in this tag-only model,
+      // so a self-eviction is treated like a silent one (the mirror
+      // over-approximates; see exactPermissionMirror).
+      auditLine(p, victim, "victim-writeback");
       mo.stall += 4;  // victim-buffer push
     }
     dropFromL1(p, line);

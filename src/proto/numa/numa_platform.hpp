@@ -55,6 +55,7 @@ class NumaPlatform final : public Platform {
     emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
     sync_.acquire(id);
     emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+    maybeSpuriousL1Clear(p);
   }
   void releaseLockImpl(int id) override {
     emit(TraceEvent::Kind::LockRelease, engine_.self(),
@@ -72,6 +73,13 @@ class NumaPlatform final : public Platform {
   void onBarrierCreated(int) override { sync_.onBarrierCreated(); }
   void setHomes(SimAddr base, std::size_t bytes,
                 const HomePolicy& homes) override;
+  /// Oracle wiring: hardware caches evict Shared lines silently, so the
+  /// permission mirror only over-approximates the true cache state.
+  [[nodiscard]] bool exactPermissionMirror() const override { return false; }
+  void applyFaultPlan(FaultPlan* fp) override {
+    net_.setFaultPlan(fp);
+    sync_.setFaultPlan(fp);
+  }
 
  private:
   enum class DirState : std::uint8_t { Uncached = 0, Shared, Modified };
@@ -90,6 +98,13 @@ class NumaPlatform final : public Platform {
   /// Service an L2 miss or upgrade through the directory.
   MissOutcome serveMiss(ProcId p, SimAddr line_addr, bool write, bool upgrade);
   void dropFromL1(ProcId p, SimAddr l2_line);
+  /// Oracle audit: directory owner/copyset vs. the line's actual L2
+  /// states. L1s are deliberately not scanned -- they can legally hold
+  /// stale copies after a silent L2 eviction in this tag-only model.
+  void auditLine(ProcId actor, SimAddr line_addr, const char* transition);
+  /// Fault injection: occasionally clear p's own L1 (always legal: the
+  /// L1 holds no permission state; L2 and directory are untouched).
+  void maybeSpuriousL1Clear(ProcId p);
 
   [[nodiscard]] std::size_t lineIndex(SimAddr a) const {
     return a / prm_.l2.line_bytes;

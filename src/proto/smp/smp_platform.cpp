@@ -35,6 +35,36 @@ void SmpPlatform::dropFromL1(ProcId p, SimAddr l2_line) {
                                                    prm_.l2.line_bytes);
 }
 
+void SmpPlatform::auditLine(ProcId actor, SimAddr line_addr,
+                            const char* transition) {
+  CoherenceOracle* oc = oracle();
+  if (oc == nullptr) return;
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = line_addr / prm_.l2.line_bytes;
+  ua.actor = actor;
+  ua.transition = transition;
+  for (int q = 0; q < nprocs(); ++q) {
+    const LineState s = l2_[static_cast<std::size_t>(q)].probe(line_addr);
+    if (s != LineState::Invalid) {
+      ua.actual_readers |= 1ull << static_cast<unsigned>(q);
+    }
+    if (s == LineState::Modified) {
+      ua.actual_writers |= 1ull << static_cast<unsigned>(q);
+    }
+  }
+  // No directory on a snooping bus: the cache scan is the authoritative
+  // copyset, so the audit's value is the single-writer and mirror checks.
+  ua.dir_readers = ua.actual_readers;
+  ua.dir_owner = -1;
+  oc->audit(ua);
+}
+
+void SmpPlatform::maybeSpuriousL1Clear(ProcId p) {
+  FaultPlan* fp = fault();
+  if (fp == nullptr || !fp->spuriousNow()) return;
+  l1_[static_cast<std::size_t>(p)].clear();
+}
+
 Cycles SmpPlatform::busTransaction(ProcId p, SimAddr line, bool write,
                                    bool need_data) {
   ProcStats& st = engine_.stats(p);
@@ -48,8 +78,15 @@ Cycles SmpPlatform::busTransaction(ProcId p, SimAddr line, bool write,
       if (oc.invalidate(line) != LineState::Invalid) {
         dropFromL1(static_cast<ProcId>(q), line);
         ++st.invalidations_sent;
+        if (oracle()) {
+          oracle()->revoke(q, line / prm_.l2.line_bytes, OraclePerm::None,
+                           "snoop-invalidate");
+        }
       }
     } else if (oc.downgrade(line)) {
+      // No mirror revoke: the L1 keeps its Modified copy across an L2
+      // downgrade in this tag-only model, so q can legally keep
+      // write-hitting it (see exactPermissionMirror).
       dirty_elsewhere = true;
     }
   }
@@ -92,15 +129,29 @@ void SmpPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
     // Invalidation-only (address phase) transaction.
     done = busTransaction(p, line, true, /*need_data=*/false);
     l2.setState(line, LineState::Modified);
+    if (oracle()) {
+      oracle()->grant(p, line / prm_.l2.line_bytes, OraclePerm::Write,
+                      "bus-upgrade");
+      auditLine(p, line, "bus-upgrade");
+    }
   } else {
     done = busTransaction(p, line, write, /*need_data=*/true);
     SimAddr victim = 0;
     if (l2.fill(line, write ? LineState::Modified : LineState::Shared,
                 &victim)) {
-      // Writeback occupies the bus in the background.
+      // Writeback occupies the bus in the background. The mirror is not
+      // revoked (the L1 can legally keep a stale copy of the victim in
+      // this tag-only model; see exactPermissionMirror).
       bus_.transact(prm_.l2.line_bytes, engine_.now(p));
+      auditLine(p, victim, "victim-writeback");
     }
     dropFromL1(p, line);
+    if (oracle()) {
+      oracle()->grant(p, line / prm_.l2.line_bytes,
+                      write ? OraclePerm::Write : OraclePerm::Read,
+                      "bus-fill");
+      auditLine(p, line, "bus-fill");
+    }
   }
   l1.fill(a, write ? LineState::Modified : LineState::Shared, nullptr);
   // On a centralized-memory SMP all misses are "local" in the paper's

@@ -49,6 +49,7 @@ class SmpPlatform final : public Platform {
     emit(TraceEvent::Kind::LockAcquire, p, static_cast<std::uint64_t>(id));
     sync_.acquire(id);
     emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
+    maybeSpuriousL1Clear(p);
   }
   void releaseLockImpl(int id) override {
     emit(TraceEvent::Kind::LockRelease, engine_.self(),
@@ -65,11 +66,24 @@ class SmpPlatform final : public Platform {
   void onLockCreated(int) override { sync_.onLockCreated(); }
   void onBarrierCreated(int) override { sync_.onBarrierCreated(); }
   void setHomes(SimAddr, std::size_t, const HomePolicy&) override {}
+  /// Oracle wiring: snooping caches evict Shared lines silently, so the
+  /// permission mirror only over-approximates the true cache state.
+  [[nodiscard]] bool exactPermissionMirror() const override { return false; }
+  void applyFaultPlan(FaultPlan* fp) override {
+    bus_.setFaultPlan(fp);
+    sync_.setFaultPlan(fp);
+  }
 
  private:
   /// Put a transaction for `line` on the bus; every other cache snoops.
   Cycles busTransaction(ProcId p, SimAddr line, bool write, bool need_data);
   void dropFromL1(ProcId p, SimAddr l2_line);
+  /// Oracle audit: there is no directory on a snooping bus, so the audit
+  /// checks the actual L2 states (single writer) against the mirror.
+  void auditLine(ProcId actor, SimAddr line_addr, const char* transition);
+  /// Fault injection: occasionally clear p's own L1 (always legal: the
+  /// L1 holds no permission state the snoop protocol relies on).
+  void maybeSpuriousL1Clear(ProcId p);
 
   SmpParams prm_;
   net::SharedBus bus_;

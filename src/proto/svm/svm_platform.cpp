@@ -71,6 +71,9 @@ void SvmPlatform::setHomes(SimAddr base, std::size_t bytes,
     home_[first_page + i] = h;
     // The home node's copy is always valid.
     pt_[static_cast<std::size_t>(h)][first_page + i].valid = 1;
+    if (oracle()) {
+      oracle()->grant(h, first_page + i, OraclePerm::Read, "home-init");
+    }
   }
 }
 
@@ -95,6 +98,61 @@ void SvmPlatform::warm(ProcId p, SimAddr base, std::size_t len) {
   const std::uint64_t last = pageOf(base + len - 1);
   for (std::uint64_t pg = first; pg <= last; ++pg) {
     pt_[static_cast<std::size_t>(nodeOf(p))][pg].valid = 1;
+    if (oracle()) {
+      oracle()->grant(nodeOf(p), pg, OraclePerm::Read, "warm");
+    }
+  }
+}
+
+void SvmPlatform::auditPage(ProcId actor, std::uint64_t page,
+                            const char* transition) {
+  CoherenceOracle* oc = oracle();
+  if (oc == nullptr) return;
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = page;
+  ua.actor = actor;
+  ua.transition = transition;
+  for (int d = 0; d < nnodes_; ++d) {
+    const PageEntry& e = pt_[static_cast<std::size_t>(d)][page];
+    if (e.valid != 0) ua.actual_readers |= 1ull << static_cast<unsigned>(d);
+    if (e.in_dirty_list != 0) {
+      ua.actual_writers |= 1ull << static_cast<unsigned>(d);
+    }
+  }
+  // SVM has no central directory; the page-table scan *is* the
+  // authoritative copyset, so the audit's value is the home-copy and
+  // mirror checks.
+  ua.dir_readers = ua.actual_readers;
+  ua.dir_owner = -1;
+  // The home copy is only an invariant in home-based mode; TreadMarks
+  // write notices can legally invalidate it.
+  ua.must_reader = prm_.home_based ? static_cast<int>(home_[page]) : -1;
+  oc->audit(ua);
+}
+
+void SvmPlatform::maybeSpuriousDrop(ProcId p) {
+  FaultPlan* fp = fault();
+  // Only legal in home-based mode: a TreadMarks writer's copy can be the
+  // only up-to-date one in the system, so nothing may be dropped there.
+  if (fp == nullptr || !prm_.home_based || home_.empty()) return;
+  if (!fp->spuriousNow()) return;
+  const auto ni = static_cast<std::size_t>(nodeOf(p));
+  const std::uint64_t npages = home_.size();
+  std::uint64_t pg = fp->pick(npages);
+  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(npages, 64); ++i) {
+    PageEntry& e = pt_[ni][pg];
+    if (e.valid != 0 && e.in_dirty_list == 0 && e.pending_diffs == 0 &&
+        e.retained_bytes == 0 &&
+        home_[pg] != static_cast<ProcId>(nodeOf(p))) {
+      e.valid = 0;
+      ++pt_gen_[ni];  // fast-path entries for this page die with the copy
+      if (oracle()) {
+        oracle()->revoke(static_cast<int>(ni), pg, OraclePerm::None,
+                         "spurious-drop");
+      }
+      return;
+    }
+    pg = (pg + 1) % npages;
   }
 }
 
@@ -112,10 +170,12 @@ void SvmPlatform::pageFault(ProcId p, std::uint64_t page) {
   PageEntry& e = pt_[static_cast<std::size_t>(n)][page];
   if (free_cs_faults && locks_held_[static_cast<std::size_t>(p)] > 0) {
     e.valid = 1;  // diagnostic mode: the fetch is free
+    if (oracle()) oracle()->grant(n, page, OraclePerm::Read, "page-fetch");
     return;
   }
   const ProcId h = home_[page];
-  const Cycles t0 = eng.now(p) + prm_.fault_handler;
+  Cycles t0 = eng.now(p) + prm_.fault_handler;
+  if (fault() != nullptr) t0 += fault()->handlerJitter();
   // Request message to the home node.
   const Cycles t1 = net_.send(n, h, prm_.msg_header_bytes, t0);
   // Home-side service (serialized at the home's protocol handler).
@@ -127,6 +187,10 @@ void SvmPlatform::pageFault(ProcId p, std::uint64_t page) {
       net_.send(h, n, prm_.page_bytes + prm_.msg_header_bytes, t2);
   eng.stallUntil(t3 + prm_.map_page, Bucket::DataWait);
   e.valid = 1;
+  if (oracle()) {
+    oracle()->grant(n, page, OraclePerm::Read, "page-fetch");
+    auditPage(p, page, "page-fetch");
+  }
   // The fetched page supersedes stale cached lines of every processor in
   // the node (DMA into node memory).
   const SimAddr base = static_cast<SimAddr>(page) * prm_.page_bytes;
@@ -153,6 +217,7 @@ void SvmPlatform::pageFaultLrc(ProcId p, std::uint64_t page) {
   if (free_cs_faults && locks_held_[static_cast<std::size_t>(p)] > 0) {
     e.valid = 1;
     e.pending_diffs = 0;
+    if (oracle()) oracle()->grant(n, page, OraclePerm::Read, "lrc-fetch");
     return;
   }
   // Base copy comes from the most recent writer we know of (its own copy
@@ -160,7 +225,8 @@ void SvmPlatform::pageFaultLrc(ProcId p, std::uint64_t page) {
   // pending modifications, created lazily at each, and applied here.
   ProcId base_src = last_writer_[page];
   if (base_src < 0 || base_src == n) base_src = home_[page];
-  const Cycles t0 = eng.now(p) + prm_.fault_handler;
+  Cycles t0 = eng.now(p) + prm_.fault_handler;
+  if (fault() != nullptr) t0 += fault()->handlerJitter();
   Cycles done = t0;
   if (base_src != n) {
     const Cycles t1 = net_.send(n, base_src, prm_.msg_header_bytes, t0);
@@ -199,6 +265,10 @@ void SvmPlatform::pageFaultLrc(ProcId p, std::uint64_t page) {
   }
   e.valid = 1;
   e.pending_diffs = 0;
+  if (oracle()) {
+    oracle()->grant(n, page, OraclePerm::Read, "lrc-fetch");
+    auditPage(p, page, "lrc-fetch");
+  }
   const SimAddr base = static_cast<SimAddr>(page) * prm_.page_bytes;
   for (int q = n * prm_.procs_per_node;
        q < std::min((n + 1) * prm_.procs_per_node, nprocs()); ++q) {
@@ -230,6 +300,10 @@ void SvmPlatform::doAccess(SimAddr a, std::uint32_t size, bool write) {
     if (e->in_dirty_list == 0) {
       e->in_dirty_list = 1;
       dirty_[ni].push_back(static_cast<std::uint32_t>(page));
+      if (oracle()) {
+        oracle()->grant(static_cast<int>(ni), page, OraclePerm::Write,
+                        "dirty-track");
+      }
       if (!prm_.home_based || home_[page] != nodeOf(p)) {
         // First write this interval on a non-home copy: make a twin.
         ++st.write_faults;
@@ -288,6 +362,10 @@ Cycles SvmPlatform::flushPage(ProcId p, std::uint64_t page, Cycles start) {
   e.in_dirty_list = 0;
   e.dirty_bytes = 0;
   ++pt_gen_[static_cast<std::size_t>(n)];  // write permission reduced
+  if (oracle()) {
+    oracle()->revoke(n, page, OraclePerm::Read, "diff-flush");
+    auditPage(p, page, "diff-flush");
+  }
   return done;
 }
 
@@ -326,6 +404,10 @@ Cycles SvmPlatform::closeInterval(ProcId p) {
       e.in_dirty_list = 0;
       e.dirty_bytes = 0;
       ++pt_gen_[ni];  // write permission reduced
+      if (oracle()) {
+        oracle()->revoke(static_cast<int>(ni), page, OraclePerm::Read,
+                         "wn-log");
+      }
       engine_.stats(p).diffs_created++;
     }
   }
@@ -349,6 +431,10 @@ void SvmPlatform::applyNotices(ProcId p, const Vc& vq) {
             if (le.in_dirty_list == 0) {
               le.valid = 0;
               ++pt_gen_[ni];  // page invalidated
+              if (oracle()) {
+                oracle()->revoke(static_cast<int>(ni), page, OraclePerm::None,
+                                 "wn-invalidate");
+              }
             }
             continue;
           }
@@ -371,6 +457,11 @@ void SvmPlatform::applyNotices(ProcId p, const Vc& vq) {
         }
         e.valid = 0;
         ++pt_gen_[ni];  // page invalidated
+        if (oracle()) {
+          oracle()->revoke(static_cast<int>(ni), page, OraclePerm::None,
+                           "wn-invalidate");
+          auditPage(p, page, "wn-invalidate");
+        }
       }
     }
     mine[ri] = std::max(mine[ri], vq[ri]);
@@ -408,6 +499,7 @@ void SvmPlatform::acquireLockImpl(int id) {
     ++st.remote_lock_acquires;
     emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
     applyNotices(p, lk.vc);
+    maybeSpuriousDrop(p);
     return;
   }
   lk.held = true;
@@ -441,6 +533,7 @@ void SvmPlatform::acquireLockImpl(int id) {
   }
   emit(TraceEvent::Kind::LockGrant, p, static_cast<std::uint64_t>(id));
   applyNotices(p, lk.vc);
+  maybeSpuriousDrop(p);
 }
 
 void SvmPlatform::releaseLockImpl(int id) {
@@ -457,6 +550,12 @@ void SvmPlatform::releaseLockImpl(int id) {
   lk.vc = vc_[static_cast<std::size_t>(nodeOf(p))];
   lk.last_owner = p;
   lk.ready_at = engine_.now(p);
+  // Fault injection: the distributed lock grant is a message race any
+  // queued waiter may win; rotating the FIFO exercises a legal order.
+  if (fault() != nullptr && lk.waiters.size() > 1 && fault()->reorderGrant()) {
+    lk.waiters.push_back(lk.waiters.front());
+    lk.waiters.pop_front();
+  }
   if (!lk.waiters.empty()) {
     const ProcId w = lk.waiters.front();
     lk.waiters.pop_front();

@@ -108,6 +108,14 @@ class SvmPlatform final : public Platform {
   void acquireLockImpl(int id) override;
   void releaseLockImpl(int id) override;
   void barrierImpl(int id) override;
+  /// Oracle wiring: page permissions are per *node*, the twin/diff
+  /// scheme is a legal multiple-writer protocol, and the page tables are
+  /// an exact mirror (every valid/dirty change is reported).
+  [[nodiscard]] int coherenceDomainOf(ProcId p) const override {
+    return static_cast<int>(nodeOf(p));
+  }
+  [[nodiscard]] bool multiWriterProtocol() const override { return true; }
+  void applyFaultPlan(FaultPlan* fp) override { net_.setFaultPlan(fp); }
   /// Writes may take the fast path only while the page is valid and
   /// already on the node's dirty list (twin made, dirty bytes tracked);
   /// both conditions are guarded by the node's pt_gen_.
@@ -155,6 +163,14 @@ class SvmPlatform final : public Platform {
 
   void pageFault(ProcId p, std::uint64_t page);
   void pageFaultLrc(ProcId p, std::uint64_t page);
+  /// Oracle audit of one page at a protocol transition: page-table state
+  /// across every node vs. the oracle's permission mirror, with the home
+  /// required to keep its copy in home-based mode.
+  void auditPage(ProcId actor, std::uint64_t page, const char* transition);
+  /// Fault injection: occasionally drop a clean, non-home, untwinned
+  /// page from p's node (legal in home-based mode -- the home copy stays
+  /// current, the next access simply re-fetches it).
+  void maybeSpuriousDrop(ProcId p);
   /// Close the node's current interval: create/send diffs for dirty
   /// pages and log write notices. Returns when all diffs are applied.
   Cycles closeInterval(ProcId p);

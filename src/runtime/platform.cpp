@@ -60,11 +60,47 @@ void Platform::accessSlow(SimAddr a, std::uint32_t size, bool write,
              : (write ? TraceEvent::Kind::SharedWrite
                       : TraceEvent::Kind::SharedRead);
     emit(k, engine_.self(), a, size);
-    doAccess(a, size, write);
+  }
+  // Bracket the access for the oracle: doAccess may stall mid-flight,
+  // letting other processors revoke permissions this access legally rode
+  // on. The oracle checks "held at some point during the access".
+  if (oracle_) oracle_->beginAccess(engine_.self());
+  doAccess(a, size, write);
+  if (oracle_) oracle_->onAccess(engine_.self(), a, size, write, racy);
+  if (fast_on_ && !trace) primeFastPath(engine_.self(), a, write);
+}
+
+void Platform::setCheckLevel(CheckLevel lvl) {
+  if (ran_) throw std::logic_error("Platform: setCheckLevel after run()");
+  if (lvl == CheckLevel::Off) {
+    oracle_.reset();
     return;
   }
-  doAccess(a, size, write);
-  if (fast_on_) primeFastPath(engine_.self(), a, write);
+  // used() == 4096 is the empty arena (page 0 is the null sentinel the
+  // AddressSpace never hands out).
+  if (space_.used() > 4096) {
+    throw std::logic_error(
+        "Platform: enable the oracle before allocating shared data");
+  }
+  CoherenceOracle::Config oc;
+  oc.nprocs = nprocs();
+  oc.domain_of.resize(static_cast<std::size_t>(nprocs()));
+  for (ProcId p = 0; p < nprocs(); ++p) {
+    const int d = coherenceDomainOf(p);
+    oc.domain_of[static_cast<std::size_t>(p)] = d;
+    oc.ndomains = std::max(oc.ndomains, d + 1);
+  }
+  oc.unit_bytes = coherenceBytes();
+  oc.multi_writer = multiWriterProtocol();
+  oc.exact_mirror = exactPermissionMirror();
+  oracle_ = std::make_unique<CoherenceOracle>(oc);
+  fast_on_ = false;  // the oracle must see every access
+}
+
+void Platform::setFaultPlan(std::uint64_t seed) {
+  if (ran_) throw std::logic_error("Platform: setFaultPlan after run()");
+  fault_ = seed != 0 ? std::make_unique<FaultPlan>(seed) : nullptr;
+  applyFaultPlan(fault_.get());
 }
 
 void Platform::primeFastPath(ProcId p, SimAddr a, bool write) {

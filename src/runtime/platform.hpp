@@ -12,10 +12,12 @@
 //   4. inspect the returned RunStats (paper-style time breakdowns).
 #pragma once
 
+#include "check/coherence_oracle.hpp"
 #include "mem/address_space.hpp"
 #include "mem/cache.hpp"
 #include "runtime/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/faultplan.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -32,6 +34,14 @@ namespace rsvm {
 class Ctx;
 
 enum class PlatformKind { SVM, NUMA, SMP, FGS };
+
+/// Runtime correctness checking on a Platform. `Oracle` attaches the
+/// shadow-memory coherence oracle (check/coherence_oracle.hpp): every
+/// protocol permission transition is mirrored and audited, every timed
+/// access is permission- and happens-before-checked. Must be enabled
+/// before the first shared allocation; disables the access fast path
+/// (the oracle needs to see every access).
+enum class CheckLevel { Off, Oracle };
 
 inline const char* platformName(PlatformKind k) {
   switch (k) {
@@ -153,18 +163,27 @@ class Platform {
 
   // Synchronization. Non-virtual wrappers: every sync operation is a
   // fast-path flush point (the batched cycles must be charged before the
-  // protocol reads or publishes this processor's clock).
+  // protocol reads or publishes this processor's clock). The oracle
+  // hooks bracket the protocol calls so its vector clocks see the same
+  // happens-before edges the protocol enforces: a releaser publishes
+  // before the impl hands the lock on, a grantee joins after the impl
+  // returns with the lock held, and every barrier arrival is recorded
+  // before any departure.
   void acquireLock(int id) {
     flushAccess();
     acquireLockImpl(id);
+    if (oracle_) oracle_->onLockGrant(engine_.self(), id);
   }
   void releaseLock(int id) {
     flushAccess();
+    if (oracle_) oracle_->onLockRelease(engine_.self(), id);
     releaseLockImpl(id);
   }
   void barrier(int id) {
     flushAccess();
+    if (oracle_) oracle_->onBarrierArrive(engine_.self(), id);
     barrierImpl(id);
+    if (oracle_) oracle_->onBarrierDepart(engine_.self(), id);
   }
 
   /// Charge any batched fast-path cycles to the engine. Callable only
@@ -184,8 +203,11 @@ class Platform {
 
   /// Force the fast path off (or back on) for this instance; used to
   /// demonstrate bit-identical results. The process-wide default for new
-  /// platforms is setFastPathDefault() (bench `--no-fastpath`).
-  void setFastPathEnabled(bool on) { fast_on_ = on && !fast_.empty(); }
+  /// platforms is setFastPathDefault() (bench `--no-fastpath`). Forced
+  /// off while the oracle is attached (it must see every access).
+  void setFastPathEnabled(bool on) {
+    fast_on_ = on && !fast_.empty() && oracle_ == nullptr;
+  }
   [[nodiscard]] bool fastPathEnabled() const { return fast_on_; }
 
   /// Diagnostic: how many accesses took the slow path (counted there, so
@@ -203,6 +225,24 @@ class Platform {
   [[nodiscard]] virtual std::uint32_t coherenceBytes() const = 0;
 
   Engine& engine() { return engine_; }
+
+  // ---- correctness checking and fault injection ----
+
+  /// Attach (or detach) the coherence oracle. Must be called before the
+  /// first shared allocation, so the oracle sees every home assignment.
+  void setCheckLevel(CheckLevel lvl);
+  [[nodiscard]] CheckLevel checkLevel() const {
+    return oracle_ ? CheckLevel::Oracle : CheckLevel::Off;
+  }
+  /// The oracle's findings so far (null when checking is off).
+  [[nodiscard]] const OracleReport* oracleReport() const {
+    return oracle_ ? &oracle_->report() : nullptr;
+  }
+
+  /// Attach a deterministic fault-injection plan (sim/faultplan.hpp);
+  /// seed 0 detaches. Must be called before run().
+  void setFaultPlan(std::uint64_t seed);
+  [[nodiscard]] FaultPlan* faultPlan() { return fault_.get(); }
 
   /// Diagnostic knob from the paper (Volrend analysis): treat page faults
   /// that occur while holding a lock as free. Only meaningful on SVM.
@@ -236,6 +276,28 @@ class Platform {
   virtual void acquireLockImpl(int id) = 0;
   virtual void releaseLockImpl(int id) = 0;
   virtual void barrierImpl(int id) = 0;
+
+  // ---- oracle/fault-plan platform hooks ----
+
+  /// The coherence domain an access by processor `p` is attributed to:
+  /// the SVM node for clustered SVM, the processor itself elsewhere.
+  [[nodiscard]] virtual int coherenceDomainOf(ProcId p) const {
+    return static_cast<int>(p);
+  }
+  /// SVM's multiple-writer protocol legally admits concurrent writers of
+  /// one page; hardware protocols are single-writer.
+  [[nodiscard]] virtual bool multiWriterProtocol() const { return false; }
+  /// Whether this platform reports *every* permission change to the
+  /// oracle (SVM page tables, FGS block states: yes; hardware caches
+  /// evict Shared lines silently: no).
+  [[nodiscard]] virtual bool exactPermissionMirror() const { return true; }
+  /// Hand the fault plan to the platform's network/bus/locks (null
+  /// detaches). Called from setFaultPlan.
+  virtual void applyFaultPlan(FaultPlan* /*fp*/) {}
+
+  /// Checking state for derived protocols (null when off).
+  [[nodiscard]] CoherenceOracle* oracle() { return oracle_.get(); }
+  [[nodiscard]] FaultPlan* fault() { return fault_.get(); }
 
   // ---- access fast path (see DESIGN.md, "Access fast path") ----
   //
@@ -349,6 +411,10 @@ class Platform {
   int num_locks_ = 0;
   int num_barriers_ = 0;
   bool ran_ = false;
+
+ private:
+  std::unique_ptr<CoherenceOracle> oracle_;
+  std::unique_ptr<FaultPlan> fault_;
 };
 
 /// Per-processor execution context handed to application bodies.

@@ -73,16 +73,15 @@ void Engine::run(const std::function<void(ProcId)>& body) {
     heapPush({pr.clock, p, seq_++});
   }
   const auto t0 = std::chrono::steady_clock::now();
+  watch_t0_ = t0;
   scheduleLoop();
   run_wall_ms_ += std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
 }
 
-void Engine::throwDeadlock() const {
-  std::string msg = "Engine: deadlock -- no runnable processor, " +
-                    std::to_string(unfinished_) + " of " +
-                    std::to_string(cfg_.nprocs) + " unfinished:";
+std::string Engine::procsDump() const {
+  std::string msg;
   for (ProcId p = 0; p < cfg_.nprocs; ++p) {
     const Proc& pr = procs_[static_cast<std::size_t>(p)];
     msg += "\n  p" + std::to_string(p) + ": " +
@@ -98,16 +97,63 @@ void Engine::throwDeadlock() const {
       msg += " at cycle " + std::to_string(pr.clock);
     }
   }
-  throw std::runtime_error(msg);
+  return msg;
+}
+
+void Engine::throwDeadlock() const {
+  throw std::runtime_error("Engine: deadlock -- no runnable processor, " +
+                           std::to_string(unfinished_) + " of " +
+                           std::to_string(cfg_.nprocs) + " unfinished:" +
+                           procsDump());
+}
+
+void Engine::throwWatchdog(Cycles t) const {
+  std::string msg = "Engine: watchdog -- ";
+  if (cfg_.max_cycles > 0 && t > cfg_.max_cycles) {
+    msg += "cycle budget " + std::to_string(cfg_.max_cycles) +
+           " exceeded at cycle " + std::to_string(t);
+  } else {
+    msg += "host deadline " + std::to_string(cfg_.max_host_ms) +
+           " ms exceeded at cycle " + std::to_string(t);
+  }
+  msg += " (possible livelock), " + std::to_string(unfinished_) + " of " +
+         std::to_string(cfg_.nprocs) + " unfinished:" + procsDump();
+  throw EngineWatchdogError(msg);
+}
+
+bool Engine::watchdogTripped(Cycles t) {
+  if (watch_fired_) return true;
+  if (cfg_.max_cycles > 0 && t > cfg_.max_cycles) {
+    watch_fired_ = true;
+    return true;
+  }
+  // The host clock is sampled sparsely: a syscall per scheduler
+  // iteration would dominate light-weight runs.
+  if (cfg_.max_host_ms > 0.0 && (++watch_iter_ & 255u) == 0) {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - watch_t0_)
+                          .count();
+    if (ms > cfg_.max_host_ms) {
+      watch_fired_ = true;
+      return true;
+    }
+  }
+  return false;
 }
 
 void Engine::scheduleLoop() {
+  const bool watch = watchdogEnabled();
   while (unfinished_ > 0) {
     if (ready_.empty()) throwDeadlock();
     const HeapEntry e = ready_.front();
     heapPop();
     Proc& pr = procs_[static_cast<std::size_t>(e.proc)];
     if (pr.state != ProcState::Ready) continue;  // stale heap entry
+    // Host-side only: throwing from fiber context would unwind through
+    // the fiber trampoline (fatal for the asm backend). yieldCurrent
+    // cooperates by forcing a full yield once the watchdog trips, so
+    // control always reaches this check.
+    if (watch && watchdogTripped(e.time)) throwWatchdog(e.time);
     pr.state = ProcState::Running;
     current_ = e.proc;
     pr.fiber->resume();
@@ -139,7 +185,8 @@ void Engine::yieldCurrent() {
   // so the resume order (and every simulated value) is untouched. This
   // is the common case for quantum-expiry yields in lightly-contended
   // runs and for every yield of a uniprocessor baseline.
-  if (ready_.front().proc == current_ && ready_.front().seq == seq) {
+  if (ready_.front().proc == current_ && ready_.front().seq == seq &&
+      !(watchdogEnabled() && watchdogTripped(pr.clock))) {
     heapPop();
     return;  // state stays Running; the fiber continues immediately
   }

@@ -15,11 +15,23 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace rsvm {
+
+/// Thrown by the watchdog (see Engine::setWatchdog) when a run exceeds
+/// its cycle or host-time budget. Distinct from the deadlock
+/// runtime_error so sweeps can classify the point as a timeout; carries
+/// the same rich per-processor dump (state, blocked-on bucket, clocks).
+class EngineWatchdogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Engine {
  public:
@@ -29,6 +41,14 @@ class Engine {
     /// clock before yielding, bounding clock drift (and thus the error of
     /// the FIFO resource-contention approximation).
     Cycles quantum = 10'000;
+    /// Watchdog: abort the run with EngineWatchdogError once any
+    /// processor's clock passes this (0 = no limit). Converts livelock --
+    /// which the deadlock detector cannot see because everyone stays
+    /// runnable -- into a diagnostic.
+    Cycles max_cycles = 0;
+    /// Watchdog: host wall-clock budget for one run() in milliseconds
+    /// (0 = no limit). Sampled every few hundred scheduler iterations.
+    double max_host_ms = 0.0;
   };
 
   explicit Engine(const Config& cfg);
@@ -101,6 +121,16 @@ class Engine {
 
   [[nodiscard]] int nprocs() const { return cfg_.nprocs; }
 
+  /// Arm (or re-arm) the watchdog before run(): 0 disables a limit. The
+  /// cycle limit trips when any processor's clock passes it; the host
+  /// limit bounds wall-clock time spent inside run(). Both convert a
+  /// livelocked or runaway simulation into an EngineWatchdogError with
+  /// the full per-processor dump instead of a hang.
+  void setWatchdog(Cycles max_cycles, double max_host_ms) {
+    cfg_.max_cycles = max_cycles;
+    cfg_.max_host_ms = max_host_ms;
+  }
+
   /// Gather results after run() returns.
   [[nodiscard]] RunStats collect() const;
 
@@ -122,6 +152,18 @@ class Engine {
   void absorbHandler(Proc& p);
   void yieldCurrent();  // reinsert current at its clock and switch out
   [[noreturn]] void throwDeadlock() const;
+  [[noreturn]] void throwWatchdog(Cycles t) const;
+  [[nodiscard]] std::string procsDump() const;
+
+  [[nodiscard]] bool watchdogEnabled() const {
+    return cfg_.max_cycles > 0 || cfg_.max_host_ms > 0.0;
+  }
+  /// Has a budget been exceeded at simulated time `t`? Sets the sticky
+  /// flag but never throws: it is also called from fiber context (to
+  /// suppress yieldCurrent's fast-resume), where unwinding would tear
+  /// through the fiber trampoline. Only scheduleLoop -- host side --
+  /// turns the flag into an exception.
+  bool watchdogTripped(Cycles t);
 
   struct HeapEntry {
     Cycles time;
@@ -149,6 +191,9 @@ class Engine {
   ProcId current_ = -1;
   std::uint64_t seq_ = 0;
   int unfinished_ = 0;
+  bool watch_fired_ = false;        ///< sticky: a watchdog budget tripped
+  std::uint64_t watch_iter_ = 0;    ///< samples the host clock every 256
+  std::chrono::steady_clock::time_point watch_t0_;  ///< set by run()
 };
 
 }  // namespace rsvm

@@ -1,0 +1,49 @@
+#include "sim/faultplan.hpp"
+
+namespace rsvm {
+
+FaultPlan::FaultPlan(const FaultPlanConfig& cfg) : cfg_(cfg) {
+  // SplitMix64 scramble so nearby seeds (1, 2, 3, ...) land in unrelated
+  // parts of the xorshift state space.
+  std::uint64_t z = cfg.seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  state_ = z != 0 ? z : 0x2545f4914f6cdd1dull;
+}
+
+std::uint64_t FaultPlan::next() {
+  // xorshift64* (Vigna): small, fast, and plenty for schedule jitter.
+  ++draws_;
+  std::uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+Cycles FaultPlan::msgJitter() {
+  if (!enabled() || cfg_.msg_jitter_max == 0) return 0;
+  return static_cast<Cycles>(next() % (cfg_.msg_jitter_max + 1));
+}
+
+Cycles FaultPlan::handlerJitter() {
+  if (!enabled() || cfg_.handler_jitter_max == 0) return 0;
+  return static_cast<Cycles>(next() % (cfg_.handler_jitter_max + 1));
+}
+
+bool FaultPlan::spuriousNow() {
+  if (!enabled() || cfg_.spurious_period == 0) return false;
+  return next() % cfg_.spurious_period == 0;
+}
+
+bool FaultPlan::reorderGrant() {
+  if (!enabled() || !cfg_.reorder_lock_grants) return false;
+  // Half of the contended releases pick a non-FIFO waiter.
+  return (next() & 1) != 0;
+}
+
+std::uint64_t FaultPlan::pick(std::uint64_t n) { return next() % n; }
+
+}  // namespace rsvm

@@ -1,0 +1,66 @@
+// Deterministic fault-injection plan: a seeded xorshift64* stream (no
+// host randomness) that perturbs *legal* nondeterminism in the simulated
+// protocols -- message latency jitter, handler-dispatch delays,
+// spurious-but-legal invalidations/page drops, and lock-grant
+// reordering. Every perturbation preserves the consistency model's
+// guarantees, so a correct protocol must still produce correct
+// application results and keep the coherence oracle silent while the
+// cycle counts move. Runs with the same seed are bit-identical (the
+// single-threaded engine consumes the stream in a deterministic order);
+// different seeds exercise different legal schedules.
+#pragma once
+
+#include "sim/types.hpp"
+
+#include <cstdint>
+
+namespace rsvm {
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0;  ///< 0 disables every perturbation
+  Cycles msg_jitter_max = 400;      ///< extra latency added to message sends
+  Cycles handler_jitter_max = 200;  ///< extra handler-dispatch delay
+  /// Roughly one in `spurious_period` eligible sync points performs a
+  /// spurious-but-legal permission drop (clean page drop / L1 clear).
+  std::uint32_t spurious_period = 16;
+  bool reorder_lock_grants = true;  ///< rotate waiter queues at release
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultPlanConfig& cfg);
+  explicit FaultPlan(std::uint64_t seed) : FaultPlan(seeded(seed)) {}
+
+  [[nodiscard]] bool enabled() const { return cfg_.seed != 0; }
+  [[nodiscard]] const FaultPlanConfig& config() const { return cfg_; }
+
+  /// Extra cycles to delay one message (0..msg_jitter_max).
+  Cycles msgJitter();
+  /// Extra cycles before a protocol handler starts (0..handler_jitter_max).
+  Cycles handlerJitter();
+  /// Should this eligible sync point perform a spurious permission drop?
+  bool spuriousNow();
+  /// Should this lock release hand off to a later waiter instead of the
+  /// first? (Legal: any waiter may win the handoff race.)
+  bool reorderGrant();
+  /// Uniform draw in [0, n); n must be > 0.
+  std::uint64_t pick(std::uint64_t n);
+
+  /// Total RNG draws so far (diagnostic; also a cheap determinism probe:
+  /// identical runs make identical draw counts).
+  [[nodiscard]] std::uint64_t draws() const { return draws_; }
+
+ private:
+  static FaultPlanConfig seeded(std::uint64_t seed) {
+    FaultPlanConfig c;
+    c.seed = seed;
+    return c;
+  }
+  std::uint64_t next();
+
+  FaultPlanConfig cfg_;
+  std::uint64_t state_;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace rsvm

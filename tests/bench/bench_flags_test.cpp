@@ -1,0 +1,76 @@
+// Bench command-line contract: the robustness flags parse into Options,
+// malformed or unknown flags are rejected, and parseOrExit turns a
+// rejection into exit code 2 (so sweep scripts fail fast instead of
+// silently running a default configuration).
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rsvm::bench {
+namespace {
+
+Options parseArgs(std::initializer_list<const char*> extra) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("bench"));
+  for (const char* a : extra) argv.push_back(const_cast<char*>(a));
+  return parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchFlags, RobustnessFlagsDefaultOff) {
+  const Options o = parseArgs({});
+  EXPECT_EQ(o.check, CheckLevel::Off);
+  EXPECT_EQ(o.fault_seed, 0u);
+  EXPECT_EQ(o.deadline_ms, 0.0);
+}
+
+TEST(BenchFlags, CheckFlagParses) {
+  EXPECT_EQ(parseArgs({"--check=oracle"}).check, CheckLevel::Oracle);
+  EXPECT_EQ(parseArgs({"--check=off"}).check, CheckLevel::Off);
+  EXPECT_THROW(parseArgs({"--check=bogus"}), std::invalid_argument);
+}
+
+TEST(BenchFlags, FaultSeedParses) {
+  EXPECT_EQ(parseArgs({"--fault-seed=42"}).fault_seed, 42u);
+  EXPECT_THROW(parseArgs({"--fault-seed="}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--fault-seed=-1"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--fault-seed=12x"}), std::invalid_argument);
+}
+
+TEST(BenchFlags, DeadlineParses) {
+  EXPECT_EQ(parseArgs({"--deadline-ms=5000"}).deadline_ms, 5000.0);
+  EXPECT_THROW(parseArgs({"--deadline-ms=0"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--deadline-ms=nope"}), std::invalid_argument);
+}
+
+TEST(BenchFlags, UnknownFlagThrows) {
+  EXPECT_THROW(parseArgs({"--not-a-flag"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"stray"}), std::invalid_argument);
+}
+
+TEST(BenchFlagsDeathTest, ParseOrExitRejectsUnknownFlagWithExit2) {
+  const char* argv[] = {"bench", "--not-a-flag"};
+  EXPECT_EXIT(parseOrExit(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(BenchFlagsDeathTest, ParseOrExitPrintsUsageOnBadValue) {
+  const char* argv[] = {"bench", "--check=banana"};
+  EXPECT_EXIT(parseOrExit(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchFlags, ParseOrExitAcceptsValidFlags) {
+  const char* argv[] = {"bench", "--tiny", "--check=oracle",
+                        "--fault-seed=8", "--deadline-ms=1000"};
+  const Options o = parseOrExit(5, const_cast<char**>(argv));
+  EXPECT_TRUE(o.tiny);
+  EXPECT_EQ(o.check, CheckLevel::Oracle);
+  EXPECT_EQ(o.fault_seed, 8u);
+  EXPECT_EQ(o.deadline_ms, 1000.0);
+}
+
+}  // namespace
+}  // namespace rsvm::bench

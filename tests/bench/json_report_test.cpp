@@ -217,7 +217,9 @@ TEST(JsonReport, GoldenRendering) {
       "    {\"app\": \"phantom\", \"version\": \"v1\", "
       "\"opt_class\": \"?\", \"platform\": \"SMP\", \"config\": \"\", "
       "\"procs\": 2, \"n\": 64, \"iters\": 1, \"block\": 16, "
-      "\"seed\": 42, \"ok\": true, \"error\": \"\", "
+      "\"seed\": 42, \"check\": \"off\", \"fault_seed\": 0, "
+      "\"ok\": true, \"error\": \"\", \"timed_out\": false, "
+      "\"retries\": 0, \"oracle_violations\": 0, "
       "\"exec_cycles\": 500, \"base_cycles\": 1000, "
       "\"speedup\": 2.000000, \"wall_ms\": 1.500, "
       "\"host_accesses_per_sec\": 100000.0, "

@@ -1,0 +1,285 @@
+// Positive controls for the coherence oracle: seed protocol bugs by
+// hand and assert each invariant catches them with a structured report
+// (kind, proc, addr, transition), plus negative controls proving the
+// legal patterns stay clean.
+#include "check/coherence_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rsvm {
+namespace {
+
+CoherenceOracle::Config cfg4(bool multi_writer = false,
+                             bool exact_mirror = true) {
+  CoherenceOracle::Config c;
+  c.nprocs = 4;
+  c.ndomains = 4;
+  c.domain_of = {0, 1, 2, 3};
+  c.unit_bytes = 64;
+  c.word_bytes = 4;
+  c.multi_writer = multi_writer;
+  c.exact_mirror = exact_mirror;
+  return c;
+}
+
+bool hasKind(const OracleReport& r, const std::string& kind) {
+  for (const auto& v : r.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+const OracleViolation* find(const OracleReport& r, const std::string& kind) {
+  for (const auto& v : r.violations) {
+    if (v.kind == kind) return &v;
+  }
+  return nullptr;
+}
+
+TEST(CoherenceOracle, CleanRunReportsClean) {
+  CoherenceOracle oc(cfg4());
+  oc.grant(0, 5, OraclePerm::Write, "miss-serve");
+  oc.onAccess(0, 5 * 64 + 8, 4, /*write=*/true, /*racy=*/false);
+  oc.revoke(0, 5, OraclePerm::None, "dir-invalidate");
+  oc.grant(1, 5, OraclePerm::Read, "miss-serve");
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+  EXPECT_EQ(oc.report().accesses, 1u);
+  EXPECT_GE(oc.report().grants, 3u);
+}
+
+TEST(CoherenceOracle, TwoWritersCaughtAtGrant) {
+  CoherenceOracle oc(cfg4());
+  oc.grant(0, 7, OraclePerm::Write, "miss-serve");
+  oc.grant(2, 7, OraclePerm::Write, "bogus-grant");
+  const OracleViolation* v = find(oc.report(), "two-writers");
+  ASSERT_NE(v, nullptr) << oc.report().summary();
+  EXPECT_EQ(v->proc, 2);
+  EXPECT_EQ(v->unit_base, 7u * 64u);
+  EXPECT_EQ(v->transition, "bogus-grant");
+}
+
+TEST(CoherenceOracle, WriterWithReadersCaughtAtGrant) {
+  CoherenceOracle oc(cfg4());
+  oc.grant(1, 3, OraclePerm::Read, "miss-serve");
+  oc.grant(0, 3, OraclePerm::Write, "bad-upgrade");
+  EXPECT_TRUE(hasKind(oc.report(), "writer-with-readers"))
+      << oc.report().summary();
+}
+
+TEST(CoherenceOracle, MultiWriterProtocolAdmitsConcurrentWriters) {
+  // SVM's twin/diff scheme legally has concurrent writers per page.
+  CoherenceOracle oc(cfg4(/*multi_writer=*/true));
+  oc.grant(0, 7, OraclePerm::Write, "dirty-track");
+  oc.grant(2, 7, OraclePerm::Write, "dirty-track");
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, InexactMirrorSkipsGrantTimeSwmr) {
+  // Hardware caches self-evict silently, so a stale mirror bit is not
+  // evidence of a second live copy; SWMR is enforced by audits there.
+  CoherenceOracle oc(cfg4(/*multi_writer=*/false, /*exact_mirror=*/false));
+  oc.grant(0, 7, OraclePerm::Write, "miss-serve");
+  oc.grant(2, 7, OraclePerm::Write, "miss-serve");
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, WriteWithoutPermissionCaught) {
+  CoherenceOracle oc(cfg4());
+  oc.grant(0, 2, OraclePerm::Read, "page-fetch");
+  oc.onAccess(0, 2 * 64, 4, /*write=*/true, /*racy=*/false);
+  const OracleViolation* v = find(oc.report(), "no-write-permission");
+  ASSERT_NE(v, nullptr) << oc.report().summary();
+  EXPECT_EQ(v->proc, 0);
+  EXPECT_EQ(v->addr, 2u * 64u);
+}
+
+TEST(CoherenceOracle, ReadWithoutPermissionCaught) {
+  CoherenceOracle oc(cfg4());
+  oc.onAccess(3, 9 * 64 + 12, 4, /*write=*/false, /*racy=*/false);
+  const OracleViolation* v = find(oc.report(), "no-read-permission");
+  ASSERT_NE(v, nullptr) << oc.report().summary();
+  EXPECT_EQ(v->proc, 3);
+}
+
+TEST(CoherenceOracle, RevokeToReadKeepsReadPermission) {
+  CoherenceOracle oc(cfg4());
+  oc.grant(0, 4, OraclePerm::Write, "miss-serve");
+  oc.revoke(0, 4, OraclePerm::Read, "downgrade");
+  oc.onAccess(0, 4 * 64, 4, /*write=*/false, /*racy=*/false);
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+  oc.onAccess(0, 4 * 64, 4, /*write=*/true, /*racy=*/false);
+  EXPECT_TRUE(hasKind(oc.report(), "no-write-permission"));
+}
+
+TEST(CoherenceOracle, StaleReadAfterInvalidateCaught) {
+  // p0 writes under a lock it never releases to p1; p1's read of the
+  // word has no happens-before edge ordering the write first.
+  CoherenceOracle oc(cfg4());
+  oc.onLockGrant(0, 0);  // advance p0's clock so the write is "recent"
+  oc.grant(0, 1, OraclePerm::Write, "miss-serve");
+  oc.onAccess(0, 64, 4, /*write=*/true, /*racy=*/false);
+  oc.revoke(0, 1, OraclePerm::None, "dir-invalidate");
+  oc.grant(1, 1, OraclePerm::Read, "miss-serve");
+  oc.onAccess(1, 64, 4, /*write=*/false, /*racy=*/false);
+  const OracleViolation* v = find(oc.report(), "stale-value");
+  ASSERT_NE(v, nullptr) << oc.report().summary();
+  EXPECT_EQ(v->proc, 1);
+  EXPECT_EQ(v->addr, 64u);
+  EXPECT_NE(v->detail.find("last written by proc 0"), std::string::npos);
+}
+
+TEST(CoherenceOracle, LockOrderedReadIsClean) {
+  // Same pattern, but the lock is handed over properly: release joins
+  // the writer's clock into the lock, grant joins it into the reader.
+  CoherenceOracle oc(cfg4());
+  oc.onLockGrant(0, 0);
+  oc.grant(0, 1, OraclePerm::Write, "miss-serve");
+  oc.onAccess(0, 64, 4, /*write=*/true, /*racy=*/false);
+  oc.onLockRelease(0, 0);
+  oc.revoke(0, 1, OraclePerm::None, "dir-invalidate");
+  oc.onLockGrant(1, 0);
+  oc.grant(1, 1, OraclePerm::Read, "miss-serve");
+  oc.onAccess(1, 64, 4, /*write=*/false, /*racy=*/false);
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, BarrierOrdersWritesForAllReaders) {
+  CoherenceOracle oc(cfg4());
+  oc.onLockGrant(2, 5);  // advance p2's clock first
+  oc.grant(2, 6, OraclePerm::Write, "miss-serve");
+  oc.onAccess(2, 6 * 64, 4, /*write=*/true, /*racy=*/false);
+  for (ProcId p = 0; p < 4; ++p) oc.onBarrierArrive(p, 0);
+  for (ProcId p = 0; p < 4; ++p) oc.onBarrierDepart(p, 0);
+  oc.revoke(2, 6, OraclePerm::Read, "downgrade");
+  oc.grant(0, 6, OraclePerm::Read, "miss-serve");
+  oc.onAccess(0, 6 * 64, 4, /*write=*/false, /*racy=*/false);
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, RacyAccessesExemptFromStaleValue) {
+  CoherenceOracle oc(cfg4());
+  oc.onLockGrant(0, 0);
+  oc.grant(0, 1, OraclePerm::Write, "miss-serve");
+  oc.onAccess(0, 64, 4, /*write=*/true, /*racy=*/true);  // annotated racy
+  oc.revoke(0, 1, OraclePerm::None, "dir-invalidate");
+  oc.grant(1, 1, OraclePerm::Read, "miss-serve");
+  oc.onAccess(1, 64, 4, /*write=*/false, /*racy=*/false);
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, CopysetMismatchCaughtByAudit) {
+  CoherenceOracle oc(cfg4());
+  oc.grant(2, 8, OraclePerm::Read, "miss-serve");
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = 8;
+  ua.actor = 1;
+  ua.transition = "dir-update";
+  ua.dir_readers = 0;            // directory forgot the copy...
+  ua.actual_readers = 1u << 2;   // ...that domain 2 actually holds
+  oc.audit(ua);
+  const OracleViolation* v = find(oc.report(), "copyset-mismatch");
+  ASSERT_NE(v, nullptr) << oc.report().summary();
+  EXPECT_EQ(v->proc, 1);
+  EXPECT_EQ(v->unit_base, 8u * 64u);
+  EXPECT_EQ(v->transition, "dir-update");
+}
+
+TEST(CoherenceOracle, TwoActualWritersCaughtByAudit) {
+  CoherenceOracle oc(cfg4(/*multi_writer=*/false, /*exact_mirror=*/false));
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = 3;
+  ua.actor = 0;
+  ua.transition = "miss-serve";
+  ua.dir_readers = (1u << 0) | (1u << 1);
+  ua.actual_readers = (1u << 0) | (1u << 1);
+  ua.actual_writers = (1u << 0) | (1u << 1);  // two live Modified copies
+  oc.audit(ua);
+  EXPECT_TRUE(hasKind(oc.report(), "two-writers")) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, OwnerMismatchCaughtByAudit) {
+  CoherenceOracle oc(cfg4());
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = 3;
+  ua.actor = 0;
+  ua.transition = "intervene-serve";
+  ua.dir_owner = 1;
+  ua.dir_readers = 1u << 1;
+  ua.actual_readers = 1u << 2;
+  ua.actual_writers = 1u << 2;  // a writer the directory doesn't own
+  oc.audit(ua);
+  EXPECT_TRUE(hasKind(oc.report(), "owner-mismatch")) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, HomeCopyLostCaughtByAudit) {
+  CoherenceOracle oc(cfg4());
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = 12;
+  ua.actor = 3;
+  ua.transition = "diff-flush";
+  ua.must_reader = 1;           // the HLRC home must always hold a copy
+  ua.actual_readers = 1u << 3;  // but only domain 3 has one
+  ua.dir_readers = 1u << 3;
+  oc.audit(ua);
+  EXPECT_TRUE(hasKind(oc.report(), "home-copy-lost")) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, MirrorMismatchCaughtByAudit) {
+  CoherenceOracle oc(cfg4());
+  CoherenceOracle::UnitAudit ua;
+  ua.unit = 2;
+  ua.actor = 0;
+  ua.transition = "miss-serve";
+  ua.dir_readers = 1u << 1;
+  ua.actual_readers = 1u << 1;  // a copy this mirror never saw granted
+  oc.audit(ua);
+  EXPECT_TRUE(hasKind(oc.report(), "mirror-mismatch")) << oc.report().summary();
+}
+
+TEST(CoherenceOracle, GraceWindowCoversInFlightRevocation) {
+  // While p0's access is in flight, another processor revokes its
+  // permission (the engine interleaved the revoker between p0's grant
+  // and p0's deferred check). The access still passes; the grace expires
+  // with the access.
+  CoherenceOracle oc(cfg4());
+  oc.grant(0, 5, OraclePerm::Write, "miss-serve");
+  oc.beginAccess(0);
+  oc.revoke(0, 5, OraclePerm::None, "dir-invalidate");
+  oc.onAccess(0, 5 * 64, 4, /*write=*/true, /*racy=*/false);
+  EXPECT_TRUE(oc.report().clean()) << oc.report().summary();
+  // The next access (not in flight during the revoke) is a violation.
+  oc.beginAccess(0);
+  oc.onAccess(0, 5 * 64, 4, /*write=*/true, /*racy=*/false);
+  EXPECT_TRUE(hasKind(oc.report(), "no-write-permission"))
+      << oc.report().summary();
+}
+
+TEST(CoherenceOracle, SummaryNamesProcAddrAndTransition) {
+  CoherenceOracle oc(cfg4());
+  oc.grant(0, 7, OraclePerm::Write, "miss-serve");
+  oc.grant(2, 7, OraclePerm::Write, "bogus-grant");
+  const std::string s = oc.report().summary();
+  EXPECT_NE(s.find("two-writers"), std::string::npos) << s;
+  EXPECT_NE(s.find("proc 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("bogus-grant"), std::string::npos) << s;
+  EXPECT_NE(s.find("0x1c0"), std::string::npos) << s;  // 7 * 64
+}
+
+TEST(CoherenceOracle, ReportCapsButCountsAll) {
+  CoherenceOracle::Config c = cfg4();
+  c.max_reports = 2;
+  CoherenceOracle oc(c);
+  for (int i = 0; i < 10; ++i) {
+    oc.onAccess(1, static_cast<SimAddr>(i) * 64, 4, /*write=*/true,
+                /*racy=*/false);
+  }
+  EXPECT_EQ(oc.report().violations.size(), 2u);
+  EXPECT_EQ(oc.report().total, 10u);
+  EXPECT_NE(oc.report().summary().find("8 more suppressed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,109 @@
+// Robustness plumbing through SweepRunner: per-point deadlines convert
+// hangs into structured error records (never a hung process), fault
+// seeds flow into the platform, and oracle violations surface in the
+// result instead of being swallowed.
+#include "core/sweep.hpp"
+
+#include "core/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rsvm {
+namespace {
+
+SweepPoint tinyPoint(const char* app, PlatformKind kind) {
+  registerAllApps();
+  const AppDesc* d = Registry::instance().find(app);
+  EXPECT_NE(d, nullptr);
+  SweepPoint p;
+  p.kind = kind;
+  p.app = app;
+  p.version = d->original().name;
+  p.params = d->tiny;
+  p.procs = 4;
+  p.with_baseline = false;
+  return p;
+}
+
+TEST(SweepFault, DeadlineBecomesTimedOutErrorRecord) {
+  // An absurdly tight host deadline: the point must come back as a
+  // structured timeout record, not a crash and not a hang.
+  SweepPoint p = tinyPoint("lu", PlatformKind::SVM);
+  p.deadline_ms = 0.0001;
+  SweepRunner runner(1);
+  const SweepResult r = runner.run({p}).at(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.timed_out) << r.error;
+  EXPECT_NE(r.error.find("lu"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("watchdog"), std::string::npos) << r.error;
+}
+
+TEST(SweepFault, FaultSeededTimeoutRetriesOnce) {
+  // With a fault seed, a deadline failure gets exactly one same-point
+  // retry (to distinguish host-load timeouts from real divergence); the
+  // retry is counted in the record.
+  SweepPoint p = tinyPoint("lu", PlatformKind::SVM);
+  p.fault_seed = 3;
+  p.deadline_ms = 0.0001;
+  SweepRunner runner(1);
+  const SweepResult r = runner.run({p}).at(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.retries, 1);
+}
+
+TEST(SweepFault, CleanPointHasNoRobustnessFlags) {
+  SweepPoint p = tinyPoint("lu", PlatformKind::SVM);
+  SweepRunner runner(1);
+  const SweepResult r = runner.run({p}).at(0);
+  EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_EQ(r.oracle_violations, 0u);
+}
+
+TEST(SweepFault, OracleCleanUnderGenerousDeadline) {
+  // Oracle + fault injection + a deadline that real runs comfortably
+  // meet: the point completes, stays correct, and reports zero
+  // violations.
+  SweepPoint p = tinyPoint("lu", PlatformKind::SVM);
+  p.check = CheckLevel::Oracle;
+  p.fault_seed = 1;
+  p.deadline_ms = 60'000.0;
+  SweepRunner runner(1);
+  const SweepResult r = runner.run({p}).at(0);
+  EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.oracle_violations, 0u);
+}
+
+TEST(SweepFault, SameFaultSeedIsCycleReproducible) {
+  // The whole point of plan-based injection: a seeded run is a pure
+  // function of the seed.
+  SweepPoint p = tinyPoint("radix", PlatformKind::NUMA);
+  p.fault_seed = 7;
+  SweepRunner runner(1);
+  const SweepResult a = runner.run({p}).at(0);
+  SweepRunner runner2(1);
+  const SweepResult b = runner2.run({p}).at(0);
+  ASSERT_TRUE(a.ok()) << a.error;
+  ASSERT_TRUE(b.ok()) << b.error;
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(SweepFault, DifferentFaultSeedsPerturbTiming) {
+  SweepPoint p = tinyPoint("radix", PlatformKind::NUMA);
+  p.fault_seed = 1;
+  SweepPoint q = p;
+  q.fault_seed = 2;
+  SweepRunner runner(2);
+  const auto rs = runner.run({p, q});
+  ASSERT_TRUE(rs[0].ok()) << rs[0].error;
+  ASSERT_TRUE(rs[1].ok()) << rs[1].error;
+  // Both still compute the right answer; the injected jitter shifts the
+  // simulated clock.
+  EXPECT_NE(rs[0].cycles, rs[1].cycles);
+}
+
+}  // namespace
+}  // namespace rsvm

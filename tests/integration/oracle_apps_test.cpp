@@ -1,0 +1,80 @@
+// The coherence oracle run against real, race-free applications on
+// every platform: full application runs must produce zero violations --
+// the oracle's false-positive rate on legal executions is the property
+// that makes its positive controls (tests/check) meaningful.
+#include "core/app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsvm {
+namespace {
+
+class OracleApps : public ::testing::TestWithParam<PlatformKind> {};
+
+TEST_P(OracleApps, RaceFreeAppsRunCleanUnderOracle) {
+  registerAllApps();
+  for (const char* app_name : {"lu", "ocean", "radix"}) {
+    const AppDesc* app = Registry::instance().find(app_name);
+    ASSERT_NE(app, nullptr);
+    auto plat = Platform::create(GetParam(), 8);
+    plat->setCheckLevel(CheckLevel::Oracle);
+    const AppResult r = app->original().run(*plat, app->tiny);
+    EXPECT_TRUE(r.correct) << app_name << ": " << r.note;
+    const OracleReport* rep = plat->oracleReport();
+    ASSERT_NE(rep, nullptr) << app_name;
+    EXPECT_TRUE(rep->clean())
+        << app_name << " on " << platformName(GetParam()) << ":\n"
+        << rep->summary();
+    // The oracle actually looked at the run: accesses were checked and
+    // transitions mirrored, not silently bypassed by the fast path.
+    EXPECT_GT(rep->accesses, 0u) << app_name;
+    EXPECT_GT(rep->grants, 0u) << app_name;
+  }
+}
+
+TEST_P(OracleApps, RestructuredVersionsRunCleanUnderOracle) {
+  // The restructured versions exercise different sharing patterns
+  // (blocking, 4D arrays, rowwise partitioning); all are race-free and
+  // must also pass.
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("lu");
+  ASSERT_NE(app, nullptr);
+  for (const auto& ver : app->versions) {
+    auto plat = Platform::create(GetParam(), 4);
+    plat->setCheckLevel(CheckLevel::Oracle);
+    const AppResult r = ver.run(*plat, app->tiny);
+    EXPECT_TRUE(r.correct) << ver.name << ": " << r.note;
+    const OracleReport* rep = plat->oracleReport();
+    ASSERT_NE(rep, nullptr);
+    EXPECT_TRUE(rep->clean())
+        << "lu/" << ver.name << " on " << platformName(GetParam()) << ":\n"
+        << rep->summary();
+  }
+}
+
+TEST(OracleApps, OracleDoesNotChangeSimulatedTime) {
+  // The oracle is an observer: enabling it must not move the simulated
+  // clock (it disables the host fast path, which is timing-neutral by
+  // construction -- the fast path's own tests prove that -- so the
+  // whole check stack must be too).
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("lu");
+  auto plain = Platform::create(PlatformKind::SVM, 4);
+  const AppResult a = app->original().run(*plain, app->tiny);
+  auto checked = Platform::create(PlatformKind::SVM, 4);
+  checked->setCheckLevel(CheckLevel::Oracle);
+  const AppResult b = app->original().run(*checked, app->tiny);
+  EXPECT_EQ(a.stats.exec_cycles, b.stats.exec_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, OracleApps,
+                         ::testing::Values(PlatformKind::SVM,
+                                           PlatformKind::SMP,
+                                           PlatformKind::NUMA,
+                                           PlatformKind::FGS),
+                         [](const ::testing::TestParamInfo<PlatformKind>& i) {
+                           return platformName(i.param);
+                         });
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,76 @@
+// Deterministic fault injection: same seed, same draw stream; no host
+// randomness anywhere (a fault-seeded run must be bit-reproducible).
+#include "sim/faultplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+TEST(FaultPlan, SeedZeroIsDisabled) {
+  FaultPlan fp(0);
+  EXPECT_FALSE(fp.enabled());
+  FaultPlan on(7);
+  EXPECT_TRUE(on.enabled());
+}
+
+TEST(FaultPlan, SameSeedSameStream) {
+  FaultPlan a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.msgJitter(), b.msgJitter());
+    EXPECT_EQ(a.handlerJitter(), b.handlerJitter());
+    EXPECT_EQ(a.spuriousNow(), b.spuriousNow());
+    EXPECT_EQ(a.reorderGrant(), b.reorderGrant());
+    EXPECT_EQ(a.pick(97), b.pick(97));
+  }
+  EXPECT_EQ(a.draws(), b.draws());
+  EXPECT_EQ(a.draws(), 5000u);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.pick(1u << 30) == b.pick(1u << 30)) ++same;
+  }
+  EXPECT_LT(same, 4);  // 64 independent 30-bit draws colliding is noise
+}
+
+TEST(FaultPlan, JitterRespectsConfiguredBounds) {
+  FaultPlanConfig cfg;
+  cfg.seed = 9;
+  cfg.msg_jitter_max = 17;
+  cfg.handler_jitter_max = 5;
+  FaultPlan fp(cfg);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LE(fp.msgJitter(), 17u);
+    EXPECT_LE(fp.handlerJitter(), 5u);
+  }
+}
+
+TEST(FaultPlan, SpuriousPeriodGovernsRate) {
+  FaultPlanConfig cfg;
+  cfg.seed = 3;
+  cfg.spurious_period = 4;
+  FaultPlan fp(cfg);
+  int hits = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (fp.spuriousNow()) ++hits;
+  }
+  // Expected rate 1/4; allow generous slack for a 4000-draw sample.
+  EXPECT_GT(hits, n / 8);
+  EXPECT_LT(hits, n / 2);
+}
+
+TEST(FaultPlan, PickStaysInRange) {
+  FaultPlan fp(11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(fp.pick(7), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace rsvm

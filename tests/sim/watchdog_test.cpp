@@ -1,0 +1,88 @@
+// Engine watchdog: converts a hung simulation (livelock, missed wake,
+// protocol bug) into a thrown EngineWatchdogError with a deadlock-style
+// per-processor dump, instead of an unkillable process.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rsvm {
+namespace {
+
+TEST(Watchdog, CycleBudgetConvertsLivelockIntoDiagnostic) {
+  Engine eng({.nprocs = 2, .quantum = 100});
+  eng.setWatchdog(/*max_cycles=*/50'000, /*max_host_ms=*/0.0);
+  try {
+    eng.run([&](ProcId p) {
+      // Two processors politely yielding to each other forever: no
+      // deadlock (both are runnable), just no progress -- a livelock the
+      // deadlock detector cannot see.
+      for (;;) {
+        eng.advance(10, Bucket::Compute);
+        eng.yieldNow();
+      }
+      (void)p;
+    });
+    FAIL() << "watchdog did not fire";
+  } catch (const EngineWatchdogError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cycle budget"), std::string::npos) << msg;
+    // The diagnostic names the unfinished processors like the deadlock
+    // dump does.
+    EXPECT_NE(msg.find("unfinished"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("p0:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("p1:"), std::string::npos) << msg;
+  }
+}
+
+TEST(Watchdog, DoesNotFireOnRunsWithinBudget) {
+  Engine eng({.nprocs = 2, .quantum = 100});
+  eng.setWatchdog(/*max_cycles=*/1'000'000, /*max_host_ms=*/0.0);
+  eng.run([&](ProcId) {
+    for (int i = 0; i < 100; ++i) {
+      eng.advance(10, Bucket::Compute);
+      eng.yieldNow();
+    }
+  });
+  EXPECT_EQ(eng.now(0), 1000u);
+  EXPECT_EQ(eng.now(1), 1000u);
+}
+
+TEST(Watchdog, OffByDefault) {
+  // No watchdog configured: a long (but finite) run completes normally.
+  Engine eng({.nprocs = 1, .quantum = 100});
+  eng.run([&](ProcId) {
+    for (int i = 0; i < 10'000; ++i) eng.advance(100, Bucket::Compute);
+  });
+  EXPECT_EQ(eng.now(0), 1'000'000u);
+}
+
+TEST(Watchdog, HostDeadlineFiresOnBusyLoop) {
+  Engine eng({.nprocs = 2, .quantum = 100});
+  eng.setWatchdog(/*max_cycles=*/0, /*max_host_ms=*/50.0);
+  EXPECT_THROW(eng.run([&](ProcId) {
+                 for (;;) {
+                   eng.advance(1, Bucket::Compute);
+                   eng.yieldNow();
+                 }
+               }),
+               EngineWatchdogError);
+}
+
+TEST(Watchdog, ErrorIsARuntimeError) {
+  // Sweeps catch std::exception; the watchdog error must be one.
+  Engine eng({.nprocs = 1, .quantum = 100});
+  eng.setWatchdog(1000, 0.0);
+  EXPECT_THROW(eng.run([&](ProcId) {
+                 for (;;) {
+                   eng.advance(100, Bucket::Compute);
+                   eng.yieldNow();
+                 }
+               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rsvm
