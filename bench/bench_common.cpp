@@ -240,6 +240,21 @@ void fieldF(std::string& out, const char* key, double v, const char* spec,
   if (!last) out += ", ";
 }
 
+/// uint64 digests are emitted as fixed-width hex *strings*: JSON numbers
+/// are doubles in most consumers (and in the test mini-parser), which
+/// silently round above 2^53.
+void fieldHex(std::string& out, const char* key, std::uint64_t v,
+              bool last = false) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  out += '"';
+  out += key;
+  out += "\": \"";
+  out += buf;
+  out += last ? "\"" : "\", ";
+}
+
 void fieldB(std::string& out, const char* key, bool v, bool last = false) {
   out += '"';
   out += key;
@@ -325,6 +340,8 @@ std::string Report::json() const {
     field(out, "exec_cycles", r.cycles);
     field(out, "base_cycles", r.base_cycles);
     fieldF(out, "speedup", r.speedup(), "%.6f");
+    fieldHex(out, "state_hash", r.app.state_hash);
+    fieldHex(out, "result_hash", r.app.result_hash);
     fieldF(out, "wall_ms", r.wall_ms, "%.3f");
     const double accesses = static_cast<double>(rs.sum(&ProcStats::reads) +
                                                 rs.sum(&ProcStats::writes));
@@ -357,8 +374,8 @@ std::string Report::json() const {
           rs.sum(&ProcStats::remote_lock_acquires));
     field(out, "barriers", rs.sum(&ProcStats::barriers));
     field(out, "tasks_executed", rs.sum(&ProcStats::tasks_executed));
-    field(out, "tasks_stolen", rs.sum(&ProcStats::tasks_stolen),
-          /*last=*/true);
+    field(out, "tasks_stolen", rs.sum(&ProcStats::tasks_stolen));
+    field(out, "allocs", rs.sum(&ProcStats::allocs), /*last=*/true);
     out += "}}";
   }
   out += entries_.empty() ? "]\n}\n" : "\n  ]\n}\n";

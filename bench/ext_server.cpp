@@ -1,0 +1,126 @@
+// Server-shaped workload sweep: the request-serving (server) and
+// concurrent-index (index) families across every platform and every
+// restructuring step. Where the paper's figures chart loop-parallel
+// science codes, this extension charts the contention structures a
+// server lives on -- task queues with stealing, a locked allocator
+// arena, striped key-value updates, chained-hash and B+-tree indexes --
+// and how the P/A, DS, and Alg restructurings move them on SVM vs
+// hardware coherence.
+//
+// Besides the usual per-point rsvm-bench-1 records (which now carry
+// state_hash / result_hash / allocs), the report gains a
+// "server_stats" object summarizing contention: total steals, total
+// allocations, and a cross-platform digest check -- every platform must
+// report the same state/result hashes per (app, version), or the
+// binary exits nonzero (the bench is also a differential test).
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+int main(int argc, char** argv) {
+  using namespace rsvm;
+  const auto opt = bench::parseOrExit(argc, argv);
+  const char* apps[] = {"server", "index"};
+  const PlatformKind kinds[] = {PlatformKind::SVM, PlatformKind::SMP,
+                                PlatformKind::NUMA, PlatformKind::FGS};
+
+  bench::printHeader("Server-shaped workloads: task-queue service + "
+                     "hash/B+-tree indexes, " +
+                     std::to_string(opt.procs) + " processors");
+
+  std::vector<SweepPoint> points;
+  for (const char* app : apps) {
+    const AppDesc* a = Registry::instance().find(app);
+    if (a == nullptr) {
+      std::fprintf(stderr, "ext_server: unknown app '%s'\n", app);
+      return 1;
+    }
+    for (const PlatformKind kind : kinds) {
+      for (const auto& ver : a->versions) {
+        SweepPoint p;
+        p.kind = kind;
+        p.app = app;
+        p.version = ver.name;
+        p.params = bench::pick(*a, opt);
+        p.procs = opt.procs;
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  bench::Report report("ext_server", opt);
+  const std::vector<SweepResult> results = bench::sweep(points, opt, report);
+
+  // --- speedup table, one row per version, one column per platform ---
+  std::size_t failures = 0;
+  std::uint64_t steals = 0, allocs = 0;
+  // (app, version) -> (state_hash, result_hash) of the first platform.
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      digests;
+  std::size_t digest_mismatches = 0;
+  std::printf("%-8s %-12s %8s %8s %8s %8s   %7s %7s\n", "app", "version",
+              "SVM", "SMP", "DSM", "FGS", "steals", "allocs");
+  for (const char* app : apps) {
+    const AppDesc* a = Registry::instance().find(app);
+    for (std::size_t v = 0; v < a->versions.size(); ++v) {
+      std::printf("%-8s %-12s", app, a->versions[v].name.c_str());
+      std::uint64_t row_steals = 0, row_allocs = 0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        // Index math mirrors the point-construction loops above.
+        std::size_t at = 0, found = static_cast<std::size_t>(-1);
+        for (const SweepPoint& p : points) {
+          if (p.app == app && p.version == a->versions[v].name &&
+              p.kind == kinds[k]) {
+            found = at;
+            break;
+          }
+          ++at;
+        }
+        const SweepResult& r = results[found];
+        if (!r.ok()) {
+          ++failures;
+          std::printf(" %8s", r.timed_out ? "TO" : "FAIL");
+          continue;
+        }
+        std::printf(" %8.2f", r.speedup());
+        row_steals += r.app.stats.sum(&ProcStats::tasks_stolen);
+        row_allocs += r.app.stats.sum(&ProcStats::allocs);
+        const auto key = std::make_pair(std::string(app),
+                                        a->versions[v].name);
+        const auto want = std::make_pair(r.app.state_hash, r.app.result_hash);
+        const auto [it, inserted] = digests.emplace(key, want);
+        if (!inserted && it->second != want) {
+          ++digest_mismatches;
+          std::fprintf(stderr,
+                       "ext_server: %s/%s on %s disagrees on digests\n", app,
+                       a->versions[v].name.c_str(), platformName(kinds[k]));
+        }
+      }
+      std::printf("   %7llu %7llu\n",
+                  static_cast<unsigned long long>(row_steals),
+                  static_cast<unsigned long long>(row_allocs));
+      steals += row_steals;
+      allocs += row_allocs;
+    }
+  }
+  for (const SweepResult& r : results) {
+    if (!r.ok()) std::fprintf(stderr, "ext_server: %s\n", r.error.c_str());
+  }
+  std::printf("\n%zu point(s), %zu failure(s), %zu digest mismatch(es)\n",
+              results.size(), failures, digest_mismatches);
+
+  report.addExtra(
+      "server_stats",
+      "{\"points\": " + std::to_string(results.size()) +
+          ", \"failures\": " + std::to_string(failures) +
+          ", \"digest_mismatches\": " + std::to_string(digest_mismatches) +
+          ", \"tasks_stolen\": " + std::to_string(steals) +
+          ", \"allocs\": " + std::to_string(allocs) + "}");
+  report.maybeWrite(opt);
+  return (failures == 0 && digest_mismatches == 0) ? 0 : 1;
+}

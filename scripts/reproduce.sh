@@ -28,7 +28,9 @@ for b in build/bench/*; do
     "$b"
   else
     # Every figure binary accepts --jobs/--json; only the sweep binaries
-    # (fig02, fig16, ext_*) actually write the JSON report.
+    # (fig02, fig16, ext_*) actually write the JSON report. ext_server
+    # doubles as a differential check: it exits nonzero if any platform
+    # disagrees on the server/index state or result digests.
     "$b" $SCALE "--jobs=$JOBS" "--json=$RESULTS/$name.json"
   fi
 done

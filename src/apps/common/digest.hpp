@@ -1,0 +1,48 @@
+// Deterministic hashing building blocks for the differential-testing
+// apps (server, index). Two kinds of digest appear there:
+//
+//  * ordered digests (fnv step) for quantities with a deterministic
+//    order, e.g. an in-order B+-tree traversal or a table scanned by
+//    index;
+//  * commutative digests (plain uint64 sum of per-item hashes) for
+//    multisets whose order depends on scheduling -- which processor ran
+//    a stolen task, allocation order, hash-chain link order. Summing
+//    per-item mixes makes the fold order-independent, so the same final
+//    value must come out on every platform, processor count, and fiber
+//    backend.
+//
+// splitmix64 doubles as the op-stream generator: op i of a workload is a
+// pure function of (seed, i), so a host-side replay can recompute the
+// expected result exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace rsvm::apps {
+
+/// Finalizer from the splitmix64 reference generator; bijective, so
+/// distinct inputs keep distinct digests.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One FNV-1a fold step (ordered combining).
+inline std::uint64_t fnvStep(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ull;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+
+/// Mix a small tuple into one well-distributed word, for use as the
+/// per-item hash inside a commutative (summed) digest.
+inline std::uint64_t mix2(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(fnvStep(fnvStep(kFnvOffset, a), b));
+}
+inline std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return splitmix64(fnvStep(fnvStep(fnvStep(kFnvOffset, a), b), c));
+}
+
+}  // namespace rsvm::apps

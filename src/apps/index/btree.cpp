@@ -1,0 +1,400 @@
+// Lock-coupled B+-tree index (versions btree-orig / btree-ds). Fanout
+// 8; nodes live in a shared pool with one pre-created lock per slot.
+// Writers descend with preemptive top-down splits: a full child is
+// split while its (never-full, locked) parent is still held, so no
+// ancestor stack is ever retained and lock order is strictly root ->
+// leaf (plus the root-pointer lock above everything), which excludes
+// deadlock. Readers lock-couple the same way.
+//
+// Publication ordering (what keeps the race checker clean): a freshly
+// allocated sibling's fields are written *without* its node lock, but
+// always inside the parent's critical section -- a reader can only find
+// the sibling through the parent, and acquiring the parent's lock after
+// the splitter released it orders the sibling's initialization before
+// the reader's visit (vector-clock release/acquire, transitively).
+#include "apps/index/index_common.hpp"
+
+#include "runtime/shared.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace rsvm::apps::index {
+namespace {
+
+constexpr std::size_t kF = 8;          ///< max keys per node
+constexpr std::size_t kPageWords = 512;
+// Node field offsets (words): count, leaf flag, right-sibling link,
+// keys[kF], then values (leaf) or children (interior) [kF + 1].
+constexpr std::size_t kNK = 0;
+constexpr std::size_t kLeaf = 1;
+constexpr std::size_t kNext = 2;
+constexpr std::size_t kKey0 = 3;
+constexpr std::size_t kKid0 = 3 + kF;
+constexpr std::size_t kNodeWords = kKid0 + kF + 1;  // 20
+
+struct BTree {
+  SharedArray<std::int64_t> pool;
+  Shared<std::int64_t> rootptr;
+  Shared<std::int64_t> gcur;          ///< global bump cursor (slots)
+  SharedArray<std::int64_t> subcur;   ///< per-proc cursors (ds), page apart
+  std::vector<int> node_lks;
+  int root_lk = -1, alloc_lk = -1;
+  std::size_t stride = 0;   ///< words per node slot
+  std::size_t per_cap = 0;  ///< slots per processor sub-pool (ds)
+  std::size_t global_off = 0;
+
+  // Timed field accessors.
+  std::int64_t get(Ctx& c, std::int64_t node, std::size_t off) const {
+    return pool.get(c, static_cast<std::size_t>(node) * stride + off);
+  }
+  void set(Ctx& c, std::int64_t node, std::size_t off, std::int64_t v) {
+    pool.set(c, static_cast<std::size_t>(node) * stride + off, v);
+  }
+  void lockN(Ctx& c, std::int64_t node) const {
+    c.lock(node_lks[static_cast<std::size_t>(node)]);
+  }
+  void unlockN(Ctx& c, std::int64_t node) const {
+    c.unlock(node_lks[static_cast<std::size_t>(node)]);
+  }
+
+  std::int64_t alloc(Ctx& c, bool leaf) {
+    ++c.stats().allocs;
+    std::int64_t idx = -1;
+    if (per_cap > 0) {
+      const auto me = static_cast<std::size_t>(c.id());
+      const std::int64_t cur = subcur.get(c, me * kPageWords);
+      if (static_cast<std::size_t>(cur) < per_cap) {
+        subcur.set(c, me * kPageWords, cur + 1);
+        idx = static_cast<std::int64_t>(me * per_cap) + cur;
+      }
+    }
+    if (idx < 0) {
+      c.lock(alloc_lk);
+      const std::int64_t cur = gcur.get(c);
+      gcur.set(c, cur + 1);
+      c.unlock(alloc_lk);
+      idx = static_cast<std::int64_t>(global_off) + cur;
+    }
+    set(c, idx, kNK, 0);
+    set(c, idx, kLeaf, leaf ? 1 : 0);
+    set(c, idx, kNext, -1);
+    return idx;
+  }
+
+  /// First child slot whose subtree may hold `key` (first separator
+  /// greater than key); also the insertion point within a leaf's keys.
+  std::size_t findSlot(Ctx& c, std::int64_t node, std::uint64_t key) const {
+    const auto nk = static_cast<std::size_t>(get(c, node, kNK));
+    std::size_t i = 0;
+    while (i < nk &&
+           static_cast<std::uint64_t>(get(c, node, kKey0 + i)) <= key) {
+      c.compute(2);
+      ++i;
+    }
+    return i;
+  }
+
+  /// Split full `child` (kid `slot` of locked, non-full `parent`);
+  /// returns the new right sibling. Caller holds both locks.
+  std::int64_t splitChild(Ctx& c, std::int64_t parent, std::size_t slot,
+                          std::int64_t child) {
+    const bool leaf = get(c, child, kLeaf) != 0;
+    const std::int64_t sib = alloc(c, leaf);
+    const std::size_t m = kF / 2;
+    std::int64_t sep;
+    if (leaf) {
+      for (std::size_t i = m; i < kF; ++i) {
+        set(c, sib, kKey0 + (i - m), get(c, child, kKey0 + i));
+        set(c, sib, kKid0 + (i - m), get(c, child, kKid0 + i));
+      }
+      set(c, sib, kNK, static_cast<std::int64_t>(kF - m));
+      set(c, sib, kNext, get(c, child, kNext));
+      set(c, child, kNext, sib);
+      sep = get(c, sib, kKey0);  // duplicated into the parent
+    } else {
+      sep = get(c, child, kKey0 + m);
+      for (std::size_t i = m + 1; i < kF; ++i) {
+        set(c, sib, kKey0 + (i - m - 1), get(c, child, kKey0 + i));
+      }
+      for (std::size_t i = m + 1; i <= kF; ++i) {
+        set(c, sib, kKid0 + (i - m - 1), get(c, child, kKid0 + i));
+      }
+      set(c, sib, kNK, static_cast<std::int64_t>(kF - m - 1));
+    }
+    set(c, child, kNK, static_cast<std::int64_t>(m));
+    // Shift the parent's keys/kids right and link (sep, sib) at slot.
+    const auto pk = static_cast<std::size_t>(get(c, parent, kNK));
+    for (std::size_t i = pk; i > slot; --i) {
+      set(c, parent, kKey0 + i, get(c, parent, kKey0 + i - 1));
+      set(c, parent, kKid0 + i + 1, get(c, parent, kKid0 + i));
+    }
+    set(c, parent, kKey0 + slot, sep);
+    set(c, parent, kKid0 + slot + 1, sib);
+    set(c, parent, kNK, static_cast<std::int64_t>(pk + 1));
+    c.compute(24);
+    return sib;
+  }
+
+  void insert(Ctx& c, std::uint64_t key, std::uint64_t val) {
+    c.lock(root_lk);
+    std::int64_t cur = rootptr.get(c);
+    lockN(c, cur);
+    if (static_cast<std::size_t>(get(c, cur, kNK)) == kF) {  // grow the tree
+      const std::int64_t nr = alloc(c, /*leaf=*/false);
+      set(c, nr, kKid0, cur);
+      const std::int64_t sib = splitChild(c, nr, 0, cur);
+      rootptr.set(c, nr);
+      if (key >= static_cast<std::uint64_t>(get(c, nr, kKey0))) {
+        lockN(c, sib);
+        unlockN(c, cur);
+        cur = sib;
+      }
+    }
+    c.unlock(root_lk);
+    for (;;) {
+      c.compute(8);
+      if (get(c, cur, kLeaf) != 0) {
+        // Guaranteed non-full: shift and place.
+        const auto nk = static_cast<std::size_t>(get(c, cur, kNK));
+        const std::size_t pos = findSlot(c, cur, key);
+        for (std::size_t i = nk; i > pos; --i) {
+          set(c, cur, kKey0 + i, get(c, cur, kKey0 + i - 1));
+          set(c, cur, kKid0 + i, get(c, cur, kKid0 + i - 1));
+        }
+        set(c, cur, kKey0 + pos, static_cast<std::int64_t>(key));
+        set(c, cur, kKid0 + pos, static_cast<std::int64_t>(val));
+        set(c, cur, kNK, static_cast<std::int64_t>(nk + 1));
+        unlockN(c, cur);
+        return;
+      }
+      std::size_t slot = findSlot(c, cur, key);
+      std::int64_t child = get(c, cur, kKid0 + slot);
+      lockN(c, child);
+      if (static_cast<std::size_t>(get(c, child, kNK)) == kF) {
+        const std::int64_t sib = splitChild(c, cur, slot, child);
+        if (key >= static_cast<std::uint64_t>(get(c, cur, kKey0 + slot))) {
+          lockN(c, sib);
+          unlockN(c, child);
+          child = sib;
+        }
+      }
+      unlockN(c, cur);
+      cur = child;
+    }
+  }
+
+  /// Lock-coupled descent to the leaf that may hold `key`; the leaf
+  /// stays locked, its slot index (or npos) is returned via `pos`.
+  std::int64_t descend(Ctx& c, std::uint64_t key, std::size_t& pos) {
+    c.lock(root_lk);
+    std::int64_t cur = rootptr.get(c);
+    lockN(c, cur);
+    c.unlock(root_lk);
+    while (get(c, cur, kLeaf) == 0) {
+      c.compute(8);
+      const std::size_t slot = findSlot(c, cur, key);
+      const std::int64_t child = get(c, cur, kKid0 + slot);
+      lockN(c, child);
+      unlockN(c, cur);
+      cur = child;
+    }
+    const auto nk = static_cast<std::size_t>(get(c, cur, kNK));
+    pos = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < nk; ++i) {
+      c.compute(2);
+      if (static_cast<std::uint64_t>(get(c, cur, kKey0 + i)) == key) {
+        pos = i;
+        break;
+      }
+    }
+    return cur;
+  }
+
+  std::uint64_t lookup(Ctx& c, std::uint64_t key, bool& found) {
+    std::size_t pos;
+    const std::int64_t leaf = descend(c, key, pos);
+    std::uint64_t v = 0;
+    found = pos != static_cast<std::size_t>(-1);
+    if (found) v = static_cast<std::uint64_t>(get(c, leaf, kKid0 + pos));
+    unlockN(c, leaf);
+    return v;
+  }
+
+  bool updateVal(Ctx& c, std::uint64_t key, std::uint64_t val) {
+    std::size_t pos;
+    const std::int64_t leaf = descend(c, key, pos);
+    const bool found = pos != static_cast<std::size_t>(-1);
+    if (found) set(c, leaf, kKid0 + pos, static_cast<std::int64_t>(val));
+    unlockN(c, leaf);
+    return found;
+  }
+};
+
+}  // namespace
+
+AppResult runBTree(Platform& plat, const AppParams& prm, bool ds) {
+  const int P = plat.nprocs();
+  BTree t;
+  // Every node holds >= 1 key forever and leaves hold all n keys with
+  // >= kF/2 each post-split, so n/2 slots bound the whole tree; the ds
+  // per-proc sub-pools are sized for the even split and spill into the
+  // fully-sized global region if stealing-free partitioning still ends
+  // up lopsided.
+  const std::size_t cap_global = static_cast<std::size_t>(prm.n) / 2 + 64;
+  t.stride = ds ? 32 : kNodeWords;  // 256 B (4 lines) vs packed 20 words
+  t.per_cap = ds ? cap_global / static_cast<std::size_t>(P) + 16 : 0;
+  t.global_off = t.per_cap * static_cast<std::size_t>(P);
+  const std::size_t slots = t.global_off + cap_global;
+  const auto region_words = t.per_cap * t.stride;
+  t.pool = SharedArray<std::int64_t>(
+      plat, slots * t.stride,
+      ds ? HomePolicy{[region_words, P](std::uint64_t page, std::uint64_t) {
+        const std::uint64_t w = page * kPageWords;
+        const auto r = static_cast<ProcId>(w / region_words);
+        return r < P ? r : static_cast<ProcId>(page % P);
+      }}
+         : HomePolicy::roundRobin(P),
+      ds ? 4096 : alignof(std::int64_t));
+  t.rootptr = Shared<std::int64_t>(plat, HomePolicy::node(0));
+  t.gcur = Shared<std::int64_t>(plat, HomePolicy::node(0));
+  if (ds) {
+    t.subcur = SharedArray<std::int64_t>(
+        plat, static_cast<std::size_t>(P) * kPageWords,
+        HomePolicy{[](std::uint64_t page, std::uint64_t) {
+          return static_cast<ProcId>(page);
+        }},
+        4096);
+    for (int p = 0; p < P; ++p) {
+      t.subcur.raw(static_cast<std::size_t>(p) * kPageWords) = 0;
+    }
+  }
+  for (std::size_t s = 0; s < slots; ++s) t.node_lks.push_back(plat.makeLock());
+  t.root_lk = plat.makeLock();
+  t.alloc_lk = plat.makeLock();
+  // Empty leaf root, created untimed.
+  const std::int64_t root = static_cast<std::int64_t>(t.global_off);
+  t.gcur.raw() = 1;
+  t.pool.raw(static_cast<std::size_t>(root) * t.stride + kNK) = 0;
+  t.pool.raw(static_cast<std::size_t>(root) * t.stride + kLeaf) = 1;
+  t.pool.raw(static_cast<std::size_t>(root) * t.stride + kNext) = -1;
+  t.rootptr.raw() = root;
+
+  const int bar = plat.makeBarrier();
+  std::vector<std::uint64_t> digests(static_cast<std::size_t>(P), 0);
+
+  plat.run([&](Ctx& c) {
+    const int me = c.id();
+    std::uint64_t d = 0;
+
+    // Phase A: partitioned inserts.
+    const Chunk own = chunkOf(me, P, prm.n);
+    for (int j = own.lo; j < own.hi; ++j) {
+      const std::uint64_t key = keyOf(prm.seed, j);
+      t.insert(c, key, val0(key));
+      d += mix3(kPhaseInsert, static_cast<std::uint64_t>(j), key);
+    }
+    c.barrier(bar);
+
+    // Phase B: rotated lookup rounds.
+    for (int r = 0; r < prm.iters; ++r) {
+      const Chunk ch = chunkOf((me + r + 1) % P, P, prm.n);
+      for (int j = ch.lo; j < ch.hi; ++j) {
+        bool found = false;
+        const std::uint64_t v = t.lookup(c, keyOf(prm.seed, j), found);
+        d += mix3(static_cast<std::uint64_t>(r) + 1,
+                  static_cast<std::uint64_t>(j), found ? v : 0);
+      }
+    }
+    c.barrier(bar);
+
+    // Phase C: rotated in-place value updates (each key exactly once).
+    const Chunk uc = chunkOf((me + 1) % P, P, prm.n);
+    for (int j = uc.lo; j < uc.hi; ++j) {
+      const std::uint64_t key = keyOf(prm.seed, j);
+      const bool found = t.updateVal(c, key, val1(key));
+      d += mix3(kPhaseMutate, static_cast<std::uint64_t>(j),
+                found ? val1(key) : 0);
+    }
+    c.barrier(bar);
+
+    // Phase D: rotated verify pass.
+    const Chunk vc = chunkOf((me + P - 1) % P, P, prm.n);
+    for (int j = vc.lo; j < vc.hi; ++j) {
+      bool found = false;
+      const std::uint64_t v = t.lookup(c, keyOf(prm.seed, j), found);
+      d += mix3(kPhaseVerify, static_cast<std::uint64_t>(j), found ? v : 0);
+    }
+    digests[static_cast<std::size_t>(me)] = d;
+  });
+
+  AppResult res;
+  res.stats = plat.engine().collect();
+
+  // --- expected digests (pure replay) ---
+  std::uint64_t want_result = 0;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(prm.n));
+  for (int j = 0; j < prm.n; ++j) {
+    const std::uint64_t key = keyOf(prm.seed, j);
+    const auto ju = static_cast<std::uint64_t>(j);
+    keys.push_back(key);
+    want_result += mix3(kPhaseInsert, ju, key);
+    for (int r = 0; r < prm.iters; ++r) {
+      want_result += mix3(static_cast<std::uint64_t>(r) + 1, ju, val0(key));
+    }
+    want_result += mix3(kPhaseMutate, ju, val1(key));
+    want_result += mix3(kPhaseVerify, ju, val1(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t want_state = kFnvOffset;
+  for (std::uint64_t k : keys) {
+    want_state = fnvStep(fnvStep(want_state, k), val1(k));
+  }
+
+  // --- structural walk (untimed): leftmost descent, then the leaf
+  // chain; contents must be exactly the sorted key set. The tree
+  // *shape* may differ across platforms; the in-order contents cannot.
+  auto raw = [&](std::int64_t node, std::size_t off) {
+    return t.pool.raw(static_cast<std::size_t>(node) * t.stride + off);
+  };
+  std::int64_t cur = t.rootptr.raw();
+  while (raw(cur, kLeaf) == 0) cur = raw(cur, kKid0);
+  std::uint64_t state = kFnvOffset;
+  std::size_t walked = 0, unsorted = 0;
+  std::uint64_t prev_key = 0;
+  while (cur >= 0) {
+    const auto nk = static_cast<std::size_t>(raw(cur, kNK));
+    for (std::size_t i = 0; i < nk; ++i) {
+      const auto k = static_cast<std::uint64_t>(raw(cur, kKey0 + i));
+      const auto v = static_cast<std::uint64_t>(raw(cur, kKid0 + i));
+      if (walked > 0 && k <= prev_key) ++unsorted;
+      prev_key = k;
+      state = fnvStep(fnvStep(state, k), v);
+      ++walked;
+    }
+    cur = raw(cur, kNext);
+  }
+  const std::uint64_t got_result = [&] {
+    std::uint64_t s = 0;
+    for (std::uint64_t v : digests) s += v;
+    return s;
+  }();
+
+  res.correct = unsorted == 0 && walked == keys.size() &&
+                state == want_state && got_result == want_result;
+  res.note = res.correct
+                 ? "leaf chain and op digests match serial replay"
+                 : "walked " + std::to_string(walked) + "/" +
+                       std::to_string(keys.size()) + " (" +
+                       std::to_string(unsorted) + " unsorted); state " +
+                       (state == want_state ? "ok" : "MISMATCH") +
+                       "; result " +
+                       (got_result == want_result ? "ok" : "MISMATCH");
+  res.state_hash = state;
+  res.result_hash = got_result;
+  return res;
+}
+
+}  // namespace rsvm::apps::index

@@ -1,0 +1,238 @@
+// Chained hash table index (versions hash-orig / hash-pa). Buckets are
+// head words into a shared node pool; every operation holds the
+// bucket's stripe lock, and inserts allocate nodes from a global bump
+// cursor nested inside the bucket lock (bucket -> alloc order is
+// consistent everywhere, so no deadlock). Node publication is ordered
+// for readers by the bucket-lock release: a node's fields are written
+// before the head is linked, all inside the critical section.
+#include "apps/index/index_common.hpp"
+
+#include "runtime/shared.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsvm::apps::index {
+namespace {
+
+constexpr std::size_t kLineWords = 8;
+
+struct HashGeom {
+  std::size_t nbuckets = 0;
+  std::size_t hstride = 0;  ///< words per bucket head
+  std::size_t nstride = 0;  ///< words per node: [key, value, next]
+  std::size_t nlocks = 0;
+};
+
+std::size_t bucketOf(std::uint64_t key, std::size_t nbuckets) {
+  return key & (nbuckets - 1);
+}
+
+}  // namespace
+
+AppResult runHash(Platform& plat, const AppParams& prm, bool padded) {
+  const int P = plat.nprocs();
+  HashGeom g;
+  g.nbuckets = 16;
+  while (g.nbuckets < static_cast<std::size_t>(prm.n) / 4) g.nbuckets *= 2;
+  g.hstride = padded ? kLineWords : 1;
+  g.nstride = padded ? kLineWords : 3;  // packed nodes straddle lines
+  g.nlocks = std::min<std::size_t>(1024, g.nbuckets);
+
+  SharedArray<std::int64_t> heads(plat, g.nbuckets * g.hstride,
+                                  HomePolicy::roundRobin(P));
+  for (std::size_t b = 0; b < g.nbuckets; ++b) heads.raw(b * g.hstride) = -1;
+  const std::size_t cap = static_cast<std::size_t>(prm.n) + 8;
+  SharedArray<std::int64_t> pool(plat, cap * g.nstride,
+                                 HomePolicy::roundRobin(P),
+                                 padded ? 64 : alignof(std::int64_t));
+  Shared<std::int64_t> cursor(plat, HomePolicy::node(0));
+  cursor.raw() = 0;
+  const int alloc_lk = plat.makeLock();
+  std::vector<int> bucket_lks;
+  for (std::size_t s = 0; s < g.nlocks; ++s) {
+    bucket_lks.push_back(plat.makeLock());
+  }
+  const int bar = plat.makeBarrier();
+
+  // Per-proc digests live host-side (fibers share one host thread);
+  // what must agree across platforms is their *sum*.
+  std::vector<std::uint64_t> digests(static_cast<std::size_t>(P), 0);
+
+  plat.run([&](Ctx& c) {
+    const int me = c.id();
+    std::uint64_t d = 0;
+
+    auto insert = [&](std::uint64_t key, std::uint64_t val) {
+      const std::size_t b = bucketOf(key, g.nbuckets);
+      const int lk = bucket_lks[b & (g.nlocks - 1)];
+      c.lock(lk);
+      c.lock(alloc_lk);
+      const std::int64_t idx = cursor.get(c);
+      cursor.set(c, idx + 1);
+      c.unlock(alloc_lk);
+      ++c.stats().allocs;
+      const auto at = static_cast<std::size_t>(idx) * g.nstride;
+      pool.set(c, at + 0, static_cast<std::int64_t>(key));
+      pool.set(c, at + 1, static_cast<std::int64_t>(val));
+      pool.set(c, at + 2, heads.get(c, b * g.hstride));
+      heads.set(c, b * g.hstride, idx);
+      c.unlock(lk);
+      c.compute(12);
+    };
+
+    /// Returns the value, or 0 with found=false.
+    auto lookup = [&](std::uint64_t key, bool& found) -> std::uint64_t {
+      const std::size_t b = bucketOf(key, g.nbuckets);
+      const int lk = bucket_lks[b & (g.nlocks - 1)];
+      c.lock(lk);
+      std::int64_t cur = heads.get(c, b * g.hstride);
+      std::uint64_t val = 0;
+      found = false;
+      while (cur >= 0) {
+        c.compute(4);
+        const auto at = static_cast<std::size_t>(cur) * g.nstride;
+        if (static_cast<std::uint64_t>(pool.get(c, at)) == key) {
+          val = static_cast<std::uint64_t>(pool.get(c, at + 1));
+          found = true;
+          break;
+        }
+        cur = pool.get(c, at + 2);
+      }
+      c.unlock(lk);
+      return val;
+    };
+
+    auto remove = [&](std::uint64_t key) -> bool {
+      const std::size_t b = bucketOf(key, g.nbuckets);
+      const int lk = bucket_lks[b & (g.nlocks - 1)];
+      c.lock(lk);
+      std::int64_t cur = heads.get(c, b * g.hstride);
+      std::int64_t prev = -1;
+      bool found = false;
+      while (cur >= 0) {
+        c.compute(4);
+        const auto at = static_cast<std::size_t>(cur) * g.nstride;
+        if (static_cast<std::uint64_t>(pool.get(c, at)) == key) {
+          const std::int64_t next = pool.get(c, at + 2);
+          if (prev < 0) {
+            heads.set(c, b * g.hstride, next);
+          } else {
+            pool.set(c, static_cast<std::size_t>(prev) * g.nstride + 2, next);
+          }
+          found = true;  // node is leaked, as a bump allocator must
+          break;
+        }
+        prev = cur;
+        cur = pool.get(c, at + 2);
+      }
+      c.unlock(lk);
+      return found;
+    };
+
+    // Phase A: partitioned inserts.
+    const Chunk own = chunkOf(me, P, prm.n);
+    for (int j = own.lo; j < own.hi; ++j) {
+      const std::uint64_t key = keyOf(prm.seed, j);
+      insert(key, val0(key));
+      d += mix3(kPhaseInsert, static_cast<std::uint64_t>(j), key);
+    }
+    c.barrier(bar);
+
+    // Phase B: rotated lookup rounds (each key read by a different
+    // processor each round; reads only, so no per-round barrier).
+    for (int r = 0; r < prm.iters; ++r) {
+      const Chunk ch = chunkOf((me + r + 1) % P, P, prm.n);
+      for (int j = ch.lo; j < ch.hi; ++j) {
+        bool found = false;
+        const std::uint64_t v = lookup(keyOf(prm.seed, j), found);
+        d += mix3(static_cast<std::uint64_t>(r) + 1,
+                  static_cast<std::uint64_t>(j), found ? v : 0);
+      }
+    }
+    c.barrier(bar);
+
+    // Phase C: partitioned deletes of a fixed key subset.
+    for (int j = own.lo; j < own.hi; ++j) {
+      if (!deleted(j)) continue;
+      const bool found = remove(keyOf(prm.seed, j));
+      d += mix3(kPhaseMutate, static_cast<std::uint64_t>(j), found ? 1 : 0);
+    }
+    c.barrier(bar);
+
+    // Phase D: rotated verify pass over every key.
+    const Chunk vc = chunkOf((me + 1) % P, P, prm.n);
+    for (int j = vc.lo; j < vc.hi; ++j) {
+      bool found = false;
+      const std::uint64_t v = lookup(keyOf(prm.seed, j), found);
+      d += mix3(kPhaseVerify, static_cast<std::uint64_t>(j), found ? v : 0);
+    }
+    digests[static_cast<std::size_t>(me)] = d;
+  });
+
+  AppResult res;
+  res.stats = plat.engine().collect();
+
+  // --- host-side replay: expected survivors and digests ---
+  std::map<std::uint64_t, std::uint64_t> want;
+  std::uint64_t want_result = 0;
+  for (int j = 0; j < prm.n; ++j) {
+    const std::uint64_t key = keyOf(prm.seed, j);
+    const auto ju = static_cast<std::uint64_t>(j);
+    want_result += mix3(kPhaseInsert, ju, key);
+    for (int r = 0; r < prm.iters; ++r) {
+      want_result += mix3(static_cast<std::uint64_t>(r) + 1, ju, val0(key));
+    }
+    if (deleted(j)) {
+      want_result += mix3(kPhaseMutate, ju, 1);
+      want_result += mix3(kPhaseVerify, ju, 0);
+    } else {
+      want_result += mix3(kPhaseVerify, ju, val0(key));
+      want[key] = val0(key);
+    }
+  }
+
+  // --- structural walk: every chain entry must be an expected survivor;
+  // the state digest is commutative within a bucket (chain order depends
+  // on insert interleaving) and ordered across buckets. ---
+  std::uint64_t state = kFnvOffset;
+  std::size_t walked = 0, bad = 0;
+  for (std::size_t b = 0; b < g.nbuckets; ++b) {
+    std::uint64_t bucket_sum = 0;
+    for (std::int64_t cur = heads.raw(b * g.hstride); cur >= 0;) {
+      const auto at = static_cast<std::size_t>(cur) * g.nstride;
+      const auto key = static_cast<std::uint64_t>(pool.raw(at));
+      const auto val = static_cast<std::uint64_t>(pool.raw(at + 1));
+      const auto it = want.find(key);
+      if (it == want.end() || it->second != val ||
+          bucketOf(key, g.nbuckets) != b) {
+        ++bad;
+      }
+      bucket_sum += mix2(key, val);
+      ++walked;
+      cur = pool.raw(at + 2);
+    }
+    state = fnvStep(state, bucket_sum);
+  }
+  const std::uint64_t got_result =
+      [&] {
+        std::uint64_t s = 0;
+        for (std::uint64_t v : digests) s += v;
+        return s;
+      }();
+
+  res.correct = bad == 0 && walked == want.size() && got_result == want_result;
+  res.note = res.correct
+                 ? "chains and op digests match serial replay"
+                 : std::to_string(bad) + " bad entries; walked " +
+                       std::to_string(walked) + "/" +
+                       std::to_string(want.size()) + "; result " +
+                       (got_result == want_result ? "ok" : "MISMATCH");
+  res.state_hash = state;
+  res.result_hash = got_result;
+  return res;
+}
+
+}  // namespace rsvm::apps::index

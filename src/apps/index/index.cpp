@@ -1,0 +1,48 @@
+#include "apps/index/index.hpp"
+
+#include "apps/index/index_common.hpp"
+
+namespace rsvm::apps::index {
+
+AppResult run(Platform& plat, const AppParams& prm, Variant v) {
+  switch (v) {
+    case Variant::HashOrig: return runHash(plat, prm, /*padded=*/false);
+    case Variant::HashPA: return runHash(plat, prm, /*padded=*/true);
+    case Variant::BTreeOrig: return runBTree(plat, prm, /*ds=*/false);
+    case Variant::BTreeDS: return runBTree(plat, prm, /*ds=*/true);
+  }
+  return {};
+}
+
+AppDesc describe() {
+  AppDesc d;
+  d.name = "index";
+  d.summary = "concurrent index structures: chained hash + lock-coupled "
+              "B+-tree";
+  d.tiny = {.n = 1024, .iters = 2, .block = 0, .seed = 42};
+  d.small = {.n = 8192, .iters = 3, .block = 0, .seed = 42};
+  d.paper = {.n = 65536, .iters = 4, .block = 0, .seed = 42};
+  auto ver = [](const char* name, OptClass cls, const char* sum, Variant v) {
+    return VersionDesc{name, cls, sum,
+                       [v](Platform& p, const AppParams& prm) {
+                         return run(p, prm, v);
+                       }};
+  };
+  d.versions = {
+      ver("hash-orig", OptClass::Orig,
+          "packed bucket heads and 3-word chain nodes, global allocator",
+          Variant::HashOrig),
+      ver("hash-pa", OptClass::PA,
+          "bucket heads and chain nodes padded+aligned to cache lines",
+          Variant::HashPA),
+      ver("btree-orig", OptClass::Orig,
+          "fanout-8 lock-coupled B+-tree, packed 20-word nodes",
+          Variant::BTreeOrig),
+      ver("btree-ds", OptClass::DS,
+          "256 B page-pooled nodes, allocated from per-processor sub-pools",
+          Variant::BTreeDS),
+  };
+  return d;
+}
+
+}  // namespace rsvm::apps::index

@@ -1,0 +1,40 @@
+// Concurrent in-memory index workloads: a chained hash table and a
+// lock-coupled B+-tree, exercised by a phase-separated mix of inserts,
+// lookup rounds, deletes/updates, and a final verification pass. Where
+// the server app stresses queues and allocators, these stress the
+// paper's data-structure (DS) and padding/alignment (P/A) classes on
+// pointer-linked structures: bucket heads and list nodes that false-
+// share (hash), and tree nodes whose layout straddles lines and pages
+// (B+-tree).
+//
+// Versions:
+//  * hash-orig  -- packed bucket-head array, packed 3-word list nodes
+//                  (nodes straddle cache lines), global bump allocator.
+//  * hash-pa    -- P/A: bucket heads padded to a line each, nodes padded
+//                  and aligned to a line.
+//  * btree-orig -- fanout-8 B+-tree, packed 20-word nodes, global
+//                  allocator; lock-coupled descent with preemptive
+//                  top-down splits.
+//  * btree-ds   -- DS: nodes padded to 256 B and pooled per processor
+//                  (page-aligned sub-pools homed at the allocating
+//                  processor's node), so splits allocate locally.
+//
+// The key set, values, and phase schedule are pure functions of
+// (seed, n), so every platform must produce identical result_hash and
+// (content-based) state_hash -- chain order and tree shape may differ
+// across platforms, the key/value contents may not.
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::index {
+
+enum class Variant { HashOrig, HashPA, BTreeOrig, BTreeDS };
+
+/// prm.n = keys, prm.iters = lookup rounds, prm.seed = key-set seed
+/// (prm.block is unused).
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::index

@@ -1,0 +1,49 @@
+// Internal helpers shared by the hash and B+-tree index workloads: the
+// deterministic key/value universe and the phase schedule. Everything
+// here is a pure function of (seed, n), which is what lets a host-side
+// replay predict the exact digests every platform must produce.
+#pragma once
+
+#include "apps/common/digest.hpp"
+#include "core/app.hpp"
+
+#include <cstdint>
+
+namespace rsvm::apps::index {
+
+/// Key j of the workload. splitmix64 is bijective, so keys are distinct;
+/// the >> 2 keeps them positive as int64 pool words.
+inline std::uint64_t keyOf(std::uint64_t seed, int j) {
+  return splitmix64(seed ^ (static_cast<std::uint64_t>(j) * 2 + 1)) >> 2;
+}
+/// Initial value stored at insert time.
+inline std::uint64_t val0(std::uint64_t key) {
+  return splitmix64(key + 0x1111);
+}
+/// Updated value written by the B+-tree update phase.
+inline std::uint64_t val1(std::uint64_t key) {
+  return splitmix64(key + 0x2222);
+}
+/// Keys the hash delete phase removes.
+inline bool deleted(int j) { return j % 5 == 3; }
+
+/// Phase tags folded into per-op digests (so a lookup in round r and
+/// the final verify pass of the same key hash differently).
+constexpr std::uint64_t kPhaseInsert = 0xA;
+constexpr std::uint64_t kPhaseMutate = 0xC;
+constexpr std::uint64_t kPhaseVerify = 0xF;
+
+/// Contiguous key-index chunk of processor p (out of P) over n keys.
+struct Chunk {
+  int lo, hi;
+};
+inline Chunk chunkOf(int p, int P, int n) {
+  const int per = n / P;
+  const int lo = p * per;
+  return {lo, p == P - 1 ? n : lo + per};
+}
+
+AppResult runHash(Platform& plat, const AppParams& prm, bool padded);
+AppResult runBTree(Platform& plat, const AppParams& prm, bool ds);
+
+}  // namespace rsvm::apps::index

@@ -3,10 +3,12 @@
 #include "core/app.hpp"
 
 #include "apps/barnes/barnes.hpp"
+#include "apps/index/index.hpp"
 #include "apps/lu/lu.hpp"
 #include "apps/ocean/ocean.hpp"
 #include "apps/radix/radix.hpp"
 #include "apps/raytrace/raytrace.hpp"
+#include "apps/server/server.hpp"
 #include "apps/shearwarp/shearwarp.hpp"
 #include "apps/volrend/volrend.hpp"
 
@@ -15,10 +17,12 @@ namespace rsvm {
 void registerAllApps() {
   Registry& r = Registry::instance();
   r.add(apps::barnes::describe());
+  r.add(apps::index::describe());
   r.add(apps::lu::describe());
   r.add(apps::ocean::describe());
   r.add(apps::radix::describe());
   r.add(apps::raytrace::describe());
+  r.add(apps::server::describe());
   r.add(apps::shearwarp::describe());
   r.add(apps::volrend::describe());
 }

@@ -1,0 +1,444 @@
+#include "apps/server/server.hpp"
+
+#include "apps/common/digest.hpp"
+#include "apps/common/task_queue.hpp"
+#include "runtime/shared.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsvm::apps::server {
+namespace {
+
+constexpr std::size_t kLineWords = 8;    ///< 64 B / sizeof(int64)
+constexpr std::size_t kPageWords = 512;  ///< 4096 B / sizeof(int64)
+constexpr std::size_t kStripes = 32;     ///< hot-key lock stripes
+constexpr std::size_t kBatch = 8;        ///< alg-batch dequeue size
+
+enum OpType { kRead = 0, kWrite = 1, kScan = 2 };
+
+struct Op {
+  OpType type;
+  std::size_t key;
+  std::int64_t delta = 0;
+};
+
+/// The implicit client request for op id i: a pure function of the
+/// op-stream word, so the host-side replay recomputes it exactly.
+/// Reads and scans touch only the cold half of the table (never
+/// written after init), writes only the hot half -- that separation is
+/// what makes per-op results independent of scheduling.
+Op decodeOp(std::uint64_t h, std::size_t cold, std::size_t hot) {
+  Op o;
+  const std::uint64_t t = h % 20;  // 60% read / 25% write / 15% scan
+  if (t < 12) {
+    o.type = kRead;
+    o.key = (h >> 8) % cold;
+  } else if (t < 17) {
+    o.type = kWrite;
+    o.key = cold + (h >> 8) % hot;
+    o.delta = static_cast<std::int64_t>((h >> 32) % 4093) + 1;
+  } else {
+    o.type = kScan;
+    o.key = (h >> 8) % cold;
+  }
+  return o;
+}
+
+std::uint64_t opWord(std::uint64_t seed, int i) {
+  return splitmix64(seed * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(i) + 1);
+}
+
+/// Shared append-only write log. Orig/PA: one global bump cursor under
+/// a lock. DS: per-processor sub-arenas (pages homed at the owner, own
+/// cursor word, no lock), with the global arena kept as a locked spill
+/// path in case stealing funnels far more writes than expected onto one
+/// processor -- the per-proc free-list-with-global-fallback shape of a
+/// real allocator.
+class LogArena {
+ public:
+  LogArena(Platform& plat, std::size_t total_cap, std::size_t rec_stride,
+           bool per_proc)
+      : stride_(rec_stride), per_proc_(per_proc) {
+    const int P = plat.nprocs();
+    global_ = SharedArray<std::int64_t>(
+        plat, std::max<std::size_t>(1, total_cap) * stride_,
+        HomePolicy::roundRobin(P));
+    cursor_ = Shared<std::int64_t>(plat, HomePolicy::node(0));
+    cursor_.raw() = 0;
+    lock_ = plat.makeLock();
+    if (per_proc_) {
+      per_cap_ = total_cap / static_cast<std::size_t>(P) * 2 + 16;
+      sub_ = SharedArray<std::int64_t>(
+          plat, static_cast<std::size_t>(P) * per_cap_ * stride_,
+          HomePolicy{[cap = per_cap_ * stride_, P](std::uint64_t page,
+                                                   std::uint64_t) {
+            return static_cast<ProcId>(
+                std::min<std::uint64_t>(page * kPageWords / cap,
+                                        static_cast<std::uint64_t>(P - 1)));
+          }},
+          4096);
+      subcur_ = SharedArray<std::int64_t>(
+          plat, static_cast<std::size_t>(P) * kPageWords,
+          HomePolicy{[](std::uint64_t page, std::uint64_t) {
+            return static_cast<ProcId>(page);
+          }},
+          4096);
+      for (int p = 0; p < P; ++p) {
+        subcur_.raw(static_cast<std::size_t>(p) * kPageWords) = 0;
+      }
+    }
+  }
+
+  void append(Ctx& c, std::int64_t op, std::int64_t round, std::int64_t key,
+              std::int64_t delta) {
+    ++c.stats().allocs;
+    if (per_proc_) {
+      const auto me = static_cast<std::size_t>(c.id());
+      // Own cursor word on an own page: no lock, no sharing.
+      const auto cur = static_cast<std::size_t>(
+          subcur_.get(c, me * kPageWords));
+      if (cur < per_cap_) {
+        subcur_.set(c, me * kPageWords, static_cast<std::int64_t>(cur + 1));
+        write(c, sub_, (me * per_cap_ + cur) * stride_, op, round, key,
+              delta);
+        return;
+      }
+    }
+    c.lock(lock_);
+    const std::int64_t idx = cursor_.get(c);
+    cursor_.set(c, idx + 1);
+    c.unlock(lock_);
+    // The slot is claimed under the lock; the record words themselves
+    // are written outside it (disjoint per record, so race-free).
+    write(c, global_, static_cast<std::size_t>(idx) * stride_, op, round,
+          key, delta);
+  }
+
+  /// Untimed post-run scan: the commutative digest and count of every
+  /// record, plus a payload-consistency check against the op stream.
+  struct Audit {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;    ///< commutative: sum of per-record mixes
+    std::uint64_t bad = 0;    ///< records whose key/delta mismatch the op
+  };
+  [[nodiscard]] Audit audit(std::uint64_t seed, std::size_t cold,
+                            std::size_t hot) const {
+    Audit a;
+    auto one = [&](const SharedArray<std::int64_t>& arr, std::size_t at) {
+      const std::int64_t op = arr.raw(at);
+      const std::int64_t round = arr.raw(at + 1);
+      const std::int64_t key = arr.raw(at + 2);
+      const std::int64_t delta = arr.raw(at + 3);
+      const Op want = decodeOp(opWord(seed, static_cast<int>(op)), cold, hot);
+      if (want.type != kWrite ||
+          want.key != static_cast<std::size_t>(key) || want.delta != delta) {
+        ++a.bad;
+      }
+      ++a.count;
+      a.sum += mix3(static_cast<std::uint64_t>(round),
+                    static_cast<std::uint64_t>(op),
+                    static_cast<std::uint64_t>(delta));
+    };
+    for (std::int64_t i = 0; i < cursor_.raw(); ++i) {
+      one(global_, static_cast<std::size_t>(i) * stride_);
+    }
+    if (per_proc_) {
+      const std::size_t P = subcur_.size() / kPageWords;
+      for (std::size_t p = 0; p < P; ++p) {
+        const auto n = static_cast<std::size_t>(subcur_.raw(p * kPageWords));
+        for (std::size_t i = 0; i < n; ++i) {
+          one(sub_, (p * per_cap_ + i) * stride_);
+        }
+      }
+    }
+    return a;
+  }
+
+ private:
+  void write(Ctx& c, SharedArray<std::int64_t>& arr, std::size_t at,
+             std::int64_t op, std::int64_t round, std::int64_t key,
+             std::int64_t delta) {
+    arr.set(c, at, op);
+    arr.set(c, at + 1, round);
+    arr.set(c, at + 2, key);
+    arr.set(c, at + 3, delta);
+  }
+
+  std::size_t stride_;
+  bool per_proc_;
+  std::size_t per_cap_ = 0;
+  SharedArray<std::int64_t> global_;
+  Shared<std::int64_t> cursor_;
+  int lock_ = -1;
+  SharedArray<std::int64_t> sub_;     ///< [proc][per_cap_][stride_]
+  SharedArray<std::int64_t> subcur_;  ///< one cursor word per proc page
+};
+
+/// Host-side serial replay of the whole op stream: the ground truth
+/// every platform must reproduce.
+struct Replay {
+  std::vector<std::int64_t> table;
+  std::uint64_t result = 0;   ///< commutative per-op digest sum
+  std::uint64_t recsum = 0;   ///< commutative log-record digest sum
+  std::uint64_t writes = 0;
+};
+
+Replay replay(const AppParams& prm, std::size_t nkeys, std::size_t cold,
+              std::size_t hot) {
+  Replay r;
+  r.table.resize(nkeys);
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    r.table[k] =
+        static_cast<std::int64_t>(splitmix64(prm.seed ^ (k + 0x7ab1e)) >> 8);
+  }
+  for (int round = 0; round < prm.iters; ++round) {
+    for (int i = 0; i < prm.n; ++i) {
+      const std::uint64_t h = opWord(prm.seed, i);
+      const Op o = decodeOp(h, cold, hot);
+      const auto ru = static_cast<std::uint64_t>(round);
+      const auto iu = static_cast<std::uint64_t>(i);
+      switch (o.type) {
+        case kRead:
+          r.result += mix3(ru, iu, static_cast<std::uint64_t>(r.table[o.key]));
+          break;
+        case kWrite:
+          r.table[o.key] += o.delta;
+          r.result += mix3(ru, iu, static_cast<std::uint64_t>(o.delta));
+          r.recsum += mix3(ru, iu, static_cast<std::uint64_t>(o.delta));
+          ++r.writes;
+          break;
+        case kScan: {
+          std::int64_t sum = 0;
+          for (int j = 0; j < prm.block; ++j) {
+            sum += r.table[(o.key + static_cast<std::size_t>(j)) % cold];
+          }
+          r.result += mix3(ru, iu, static_cast<std::uint64_t>(sum));
+          break;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+AppResult runImpl(Platform& plat, const AppParams& prm, Variant variant) {
+  const int P = plat.nprocs();
+  const auto nkeys =
+      std::max<std::size_t>(64, static_cast<std::size_t>(prm.n) / 4);
+  const std::size_t cold = nkeys / 2;
+  const std::size_t hot = nkeys - cold;
+  const bool padded = variant != Variant::Orig;        // P/A and up
+  const bool per_proc_arena = variant == Variant::DS ||
+                              variant == Variant::AlgBatch;  // DS and up
+  const bool batched = variant == Variant::AlgBatch;
+
+  const Replay ref = replay(prm, nkeys, cold, hot);
+
+  // --- key-value table: cold half read-only, hot half written under
+  // stripe locks (commutative adds, so final state is order-free) ---
+  SharedArray<std::int64_t> table(plat, nkeys, HomePolicy::roundRobin(P));
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    table.raw(k) =
+        static_cast<std::int64_t>(splitmix64(prm.seed ^ (k + 0x7ab1e)) >> 8);
+  }
+  std::vector<int> stripes;
+  for (std::size_t s = 0; s < kStripes; ++s) stripes.push_back(plat.makeLock());
+
+  // --- request descriptors, read once per execution (a server parses
+  // the payload it dequeued) ---
+  SharedArray<std::int64_t> ops(plat, static_cast<std::size_t>(prm.n),
+                                HomePolicy::roundRobin(P));
+  for (int i = 0; i < prm.n; ++i) {
+    ops.raw(static_cast<std::size_t>(i)) =
+        static_cast<std::int64_t>(opWord(prm.seed, i));
+  }
+
+  // --- per-processor state: [ops-served counter, result digest]. The
+  // counter is written on *every* op; packed (orig) that is a textbook
+  // false-sharing hammer, padded (pa+) each processor owns a page.
+  const std::size_t pstride = padded ? kPageWords : 2;
+  SharedArray<std::int64_t> pstate(
+      plat, static_cast<std::size_t>(P) * pstride,
+      padded ? HomePolicy{[](std::uint64_t page, std::uint64_t) {
+        return static_cast<ProcId>(page);
+      }}
+             : HomePolicy::node(0),
+      padded ? 4096 : alignof(std::int64_t));
+  for (std::size_t w = 0; w < pstate.size(); ++w) pstate.raw(w) = 0;
+
+  // --- write log (ref.writes already counts every round) ---
+  LogArena log(plat, ref.writes, padded ? kLineWords : 4, per_proc_arena);
+
+  // --- task queues: skewed shares (proc 0's shard is hot) force steals ---
+  const std::size_t per = std::max<std::size_t>(
+      1, static_cast<std::size_t>(prm.n) / static_cast<std::size_t>(P + 1));
+  std::vector<std::vector<std::int32_t>> assign(static_cast<std::size_t>(P));
+  for (int i = 0; i < prm.n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const std::size_t owner =
+        iu < 2 * per ? 0
+                     : std::min<std::size_t>(static_cast<std::size_t>(P - 1),
+                                             iu / per - 1);
+    assign[owner].push_back(i);
+  }
+  TaskQueues::Options qopt;
+  qopt.capacity = 2 * per + per + static_cast<std::size_t>(P) + 8;
+  qopt.entry_stride_words = padded ? 16 : 1;  // 64 B per entry when padded
+  qopt.split_steal = per_proc_arena;          // DS and up
+  TaskQueues queues(plat, qopt);
+  for (int p = 0; p < P; ++p) {
+    queues.fillInitial(p, assign[static_cast<std::size_t>(p)]);
+  }
+
+  const int bar = plat.makeBarrier();
+
+  plat.run([&](Ctx& c) {
+    const auto me = static_cast<std::size_t>(c.id());
+    std::uint64_t digest = 0;
+    std::int64_t served = 0;
+    auto exec = [&](std::int32_t task, int round) {
+      const auto h = static_cast<std::uint64_t>(
+          ops.get(c, static_cast<std::size_t>(task)));
+      const Op o = decodeOp(h, cold, hot);
+      const auto ru = static_cast<std::uint64_t>(round);
+      const auto tu = static_cast<std::uint64_t>(task);
+      c.compute(20 + (h >> 40) % 32);  // parse + service overhead
+      switch (o.type) {
+        case kRead:
+          digest += mix3(ru, tu,
+                         static_cast<std::uint64_t>(table.get(c, o.key)));
+          break;
+        case kWrite: {
+          const int lk = stripes[o.key % kStripes];
+          c.lock(lk);
+          table.update(c, o.key,
+                       [&](std::int64_t v) { return v + o.delta; });
+          c.unlock(lk);
+          log.append(c, task, round, static_cast<std::int64_t>(o.key),
+                     o.delta);
+          digest += mix3(ru, tu, static_cast<std::uint64_t>(o.delta));
+          break;
+        }
+        case kScan: {
+          std::int64_t sum = 0;
+          for (int j = 0; j < prm.block; ++j) {
+            sum += table.get(c, (o.key + static_cast<std::size_t>(j)) % cold);
+            c.compute(4);
+          }
+          digest += mix3(ru, tu, static_cast<std::uint64_t>(sum));
+          break;
+        }
+      }
+      ++served;
+      pstate.set(c, me * pstride, served);  // per-op throughput counter
+    };
+    std::vector<std::int32_t> batch;
+    for (int round = 0; round < prm.iters; ++round) {
+      if (round > 0) {
+        queues.refill(c, assign[me]);
+        c.barrier(bar);
+      }
+      if (batched) {
+        for (;;) {
+          batch.clear();
+          if (queues.nextBatch(c, batch, kBatch, /*allow_steal=*/true) == 0) {
+            break;
+          }
+          for (std::int32_t t : batch) exec(t, round);
+        }
+      } else {
+        for (;;) {
+          const std::int32_t t = queues.next(c, /*allow_steal=*/true);
+          if (t < 0) break;
+          exec(t, round);
+        }
+      }
+      pstate.set(c, me * pstride + 1, static_cast<std::int64_t>(digest));
+      c.barrier(bar);
+    }
+  });
+
+  AppResult res;
+  res.stats = plat.engine().collect();
+
+  // --- verification against the serial replay ---
+  std::size_t bad_keys = 0;
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    if (table.raw(k) != ref.table[k]) ++bad_keys;
+  }
+  std::uint64_t result_sum = 0;
+  for (int p = 0; p < P; ++p) {
+    result_sum += static_cast<std::uint64_t>(
+        pstate.raw(static_cast<std::size_t>(p) * pstride + 1));
+  }
+  const LogArena::Audit a = log.audit(prm.seed, cold, hot);
+  const std::uint64_t want_recs = ref.writes;
+  const std::uint64_t executed = res.stats.sum(&ProcStats::tasks_executed);
+  const std::uint64_t want_ops = static_cast<std::uint64_t>(prm.n) *
+                                 static_cast<std::uint64_t>(prm.iters);
+
+  res.correct = bad_keys == 0 && result_sum == ref.result && a.bad == 0 &&
+                a.count == want_recs && a.sum == ref.recsum &&
+                executed == want_ops;
+  if (res.correct) {
+    res.note = "table, op digests, and write log match serial replay";
+  } else {
+    res.note = std::to_string(bad_keys) + " bad keys; result " +
+               (result_sum == ref.result ? "ok" : "MISMATCH") + "; log " +
+               std::to_string(a.count) + "/" + std::to_string(want_recs) +
+               " records (" + std::to_string(a.bad) + " bad, sum " +
+               (a.sum == ref.recsum ? "ok" : "MISMATCH") + "); executed " +
+               std::to_string(executed) + "/" + std::to_string(want_ops);
+  }
+
+  std::uint64_t state = kFnvOffset;
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    state = fnvStep(state, static_cast<std::uint64_t>(table.raw(k)));
+  }
+  res.state_hash = fnvStep(state, a.sum);
+  res.result_hash = result_sum;
+  return res;
+}
+
+}  // namespace
+
+AppResult run(Platform& plat, const AppParams& prm, Variant v) {
+  return runImpl(plat, prm, v);
+}
+
+AppDesc describe() {
+  AppDesc d;
+  d.name = "server";
+  d.summary = "request-serving workload: skewed task queues + KV table + "
+              "write log";
+  d.tiny = {.n = 1536, .iters = 2, .block = 8, .seed = 42};
+  d.small = {.n = 16384, .iters = 3, .block = 8, .seed = 42};
+  d.paper = {.n = 131072, .iters = 4, .block = 8, .seed = 42};
+  auto ver = [](const char* name, OptClass cls, const char* sum, Variant v) {
+    return VersionDesc{name, cls, sum,
+                       [v](Platform& p, const AppParams& prm) {
+                         return run(p, prm, v);
+                       }};
+  };
+  d.versions = {
+      ver("orig", OptClass::Orig,
+          "packed stat counters, bare queues, one locked bump allocator",
+          Variant::Orig),
+      ver("pa", OptClass::PA,
+          "stat counters padded to pages, queue entries and log records "
+          "padded to lines",
+          Variant::PA),
+      ver("ds", OptClass::DS,
+          "per-processor allocator sub-arenas + split private/public queues",
+          Variant::DS),
+      ver("alg-batch", OptClass::Alg,
+          "batched dequeue: one lock transfer per 8 tasks", Variant::AlgBatch),
+  };
+  return d;
+}
+
+}  // namespace rsvm::apps::server

@@ -1,0 +1,43 @@
+// Request-serving workload: N simulated processors drain simulated
+// client operations (point reads / point writes / short scans over a
+// shared key-value table) from shared task queues with stealing, log
+// every write to a shared allocator arena, and bump per-processor
+// throughput counters -- the lock/queue/allocator contention mix of a
+// server, rather than the loop parallelism of the SPLASH suite. The
+// load is deliberately skewed (processor 0's queue gets a double share,
+// a hot shard) so stealing is exercised at every scale.
+//
+// Versions (the paper's restructuring ladder, applied to server data
+// structures; each step keeps the previous fixes):
+//  * orig      -- packed per-processor stat counters (one page of false
+//                 sharing hammered once per op), unpadded queue entries,
+//                 packed log records, one global bump allocator under a
+//                 lock.
+//  * pa        -- P/A class: stat counters padded to a page each, queue
+//                 entries and log records padded to cache lines.
+//  * ds        -- DS class: per-processor allocator sub-arenas (own
+//                 pages, own cursor, no lock; global arena only as spill
+//                 fallback) and split private/public task queues.
+//  * alg-batch -- Alg class: batched dequeue (TaskQueues::nextBatch)
+//                 amortizes lock and queue-line transfers over 8 tasks.
+//
+// Every version computes identical answers: AppResult::result_hash is a
+// commutative digest over per-op results and AppResult::state_hash
+// digests the final table plus the multiset of log records, so the
+// differential harness can compare platforms bit-for-bit.
+#pragma once
+
+#include "core/app.hpp"
+
+namespace rsvm::apps::server {
+
+enum class Variant { Orig, PA, DS, AlgBatch };
+
+/// prm.n = client ops per round, prm.iters = rounds (queues are
+/// re-filled, timed, between rounds), prm.block = scan length,
+/// prm.seed = op-stream seed. The table holds max(64, n/4) keys.
+AppResult run(Platform& plat, const AppParams& prm, Variant v);
+
+AppDesc describe();
+
+}  // namespace rsvm::apps::server

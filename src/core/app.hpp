@@ -29,6 +29,17 @@ struct AppResult {
   RunStats stats;
   bool correct = true;
   std::string note;  ///< human-readable correctness detail
+
+  /// Optional differential-testing digests (0 = the app does not provide
+  /// them). Apps that fill these promise the values are functions of the
+  /// *final data-structure contents* and the *per-operation results*
+  /// only -- independent of the platform, processor count, fiber
+  /// backend, and scheduling -- so a test harness can assert that every
+  /// protocol computed the same answer (tests/common/differential.hpp).
+  /// Order-sensitive quantities (allocation order, chain order, which
+  /// processor ran a stolen task) must be folded in commutatively.
+  std::uint64_t state_hash = 0;   ///< digest of final shared-data state
+  std::uint64_t result_hash = 0;  ///< commutative digest of per-op results
 };
 
 /// The paper's optimization classes (section 3).

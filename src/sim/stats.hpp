@@ -33,6 +33,7 @@ struct ProcStats {
   std::uint64_t barriers = 0;
   std::uint64_t tasks_executed = 0;    ///< app-level: task-queue tasks run
   std::uint64_t tasks_stolen = 0;      ///< app-level: tasks taken from others
+  std::uint64_t allocs = 0;            ///< app-level: shared-arena allocations
 
   Cycles& operator[](Bucket b) { return buckets[static_cast<int>(b)]; }
   Cycles operator[](Bucket b) const { return buckets[static_cast<int>(b)]; }

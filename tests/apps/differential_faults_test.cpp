@@ -1,0 +1,72 @@
+// Fault-injection differential: seeded faults perturb *schedules*, not
+// *answers*. A faulted run of the server/index workloads must (a) be
+// bit-reproducible for the same seed -- same simulated clock, same
+// digests -- and (b) produce exactly the digests of the unfaulted run,
+// because delayed grants and spurious invalidations are legal
+// executions of the same program.
+#include "../common/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rsvm {
+namespace {
+
+using testing::DiffOptions;
+using testing::DiffRun;
+using testing::runCell;
+
+struct Cell {
+  const char* app;
+  const char* version;
+  PlatformKind kind;
+};
+
+std::string cellName(const ::testing::TestParamInfo<Cell>& info) {
+  std::string s = std::string(info.param.app) + "_" + info.param.version +
+                  "_" + platformName(info.param.kind);
+  for (char& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class DifferentialFaults : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(DifferentialFaults, SeededRunsAreBitReproducible) {
+  const Cell& tc = GetParam();
+  for (std::uint64_t seed : {3ull, 11ull}) {
+    DiffOptions opt;
+    opt.fault_seed = seed;
+    const DiffRun a = runCell(tc.app, tc.version, tc.kind, 8, opt);
+    const DiffRun b = runCell(tc.app, tc.version, tc.kind, 8, opt);
+    testing::expectSameAnswer(a, b);
+    EXPECT_EQ(a.exec_cycles, b.exec_cycles)
+        << a.label << " seed " << seed << " not bit-reproducible";
+  }
+}
+
+TEST_P(DifferentialFaults, FaultsNeverChangeTheAnswer) {
+  const Cell& tc = GetParam();
+  const DiffRun clean = runCell(tc.app, tc.version, tc.kind, 8);
+  for (std::uint64_t seed : {1ull, 9ull}) {
+    DiffOptions opt;
+    opt.fault_seed = seed;
+    testing::expectSameAnswer(clean,
+                              runCell(tc.app, tc.version, tc.kind, 8, opt));
+  }
+}
+
+const Cell kCells[] = {
+    {"server", "orig", PlatformKind::SVM},
+    {"server", "ds", PlatformKind::NUMA},
+    {"index", "hash-pa", PlatformKind::SVM},
+    {"index", "btree-orig", PlatformKind::NUMA},
+};
+
+INSTANTIATE_TEST_SUITE_P(ServerIndex, DifferentialFaults,
+                         ::testing::ValuesIn(kCells), cellName);
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,82 @@
+// Fiber-backend differential: the asm and ucontext context-switch
+// backends must be invisible to the simulation. For the server and
+// index families that means bit-identical simulated clocks, identical
+// digests, and an identical fold of every per-processor counter --
+// i.e. the same execution, not merely the same answer.
+#include "../common/differential.hpp"
+
+#include "sim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rsvm {
+namespace {
+
+using testing::DiffRun;
+using testing::runCell;
+
+class BackendGuard {
+ public:
+  explicit BackendGuard(Fiber::Backend b) : saved_(Fiber::defaultBackend()) {
+    Fiber::setDefaultBackend(b);
+  }
+  ~BackendGuard() { Fiber::setDefaultBackend(saved_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Fiber::Backend saved_;
+};
+
+struct Cell {
+  const char* app;
+  const char* version;
+  PlatformKind kind;
+};
+
+std::string cellName(const ::testing::TestParamInfo<Cell>& info) {
+  std::string s = std::string(info.param.app) + "_" + info.param.version +
+                  "_" + platformName(info.param.kind);
+  for (char& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class DifferentialFibers : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(DifferentialFibers, BackendsProduceIdenticalExecutions) {
+  if (!Fiber::asmAvailable()) {
+    GTEST_SKIP() << "asm backend not compiled in on this target";
+  }
+  const Cell& tc = GetParam();
+  DiffRun asm_run, uctx_run;
+  {
+    BackendGuard g(Fiber::Backend::Asm);
+    asm_run = runCell(tc.app, tc.version, tc.kind, 8);
+  }
+  {
+    BackendGuard g(Fiber::Backend::Ucontext);
+    uctx_run = runCell(tc.app, tc.version, tc.kind, 8);
+  }
+  testing::expectSameAnswer(asm_run, uctx_run);
+  // Stronger than same-answer: the same simulated execution.
+  EXPECT_EQ(asm_run.exec_cycles, uctx_run.exec_cycles) << asm_run.label;
+  EXPECT_EQ(asm_run.tasks_stolen, uctx_run.tasks_stolen) << asm_run.label;
+  EXPECT_EQ(asm_run.allocs, uctx_run.allocs) << asm_run.label;
+}
+
+const Cell kCells[] = {
+    {"server", "orig", PlatformKind::SVM},
+    {"server", "alg-batch", PlatformKind::NUMA},
+    {"index", "hash-orig", PlatformKind::SVM},
+    {"index", "btree-ds", PlatformKind::SMP},
+};
+
+INSTANTIATE_TEST_SUITE_P(ServerIndex, DifferentialFibers,
+                         ::testing::ValuesIn(kCells), cellName);
+
+}  // namespace
+}  // namespace rsvm

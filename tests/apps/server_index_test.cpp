@@ -1,0 +1,142 @@
+// Unit tests for the server-shaped workloads: TaskQueues batched
+// dequeue semantics (exactly-once, order, counters, split-steal
+// privacy) and the family-level invariants the differential harness
+// builds on (skew actually forces steals, writes actually allocate).
+#include "apps/common/task_queue.hpp"
+
+#include "../common/differential.hpp"
+#include "runtime/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+using apps::TaskQueues;
+
+TEST(TaskQueueBatch, DrainsOwnQueueInOrderAndCountsExecuted) {
+  auto plat = Platform::create(PlatformKind::SMP, 1);
+  TaskQueues::Options opt;
+  opt.capacity = 16;
+  TaskQueues q(*plat, opt);
+  std::vector<std::int32_t> tasks;
+  for (std::int32_t i = 0; i < 10; ++i) tasks.push_back(i * 3);
+  q.fillInitial(0, tasks);
+  std::vector<std::int32_t> got;
+  plat->run([&](Ctx& c) {
+    std::vector<std::int32_t> batch;
+    for (;;) {
+      batch.clear();
+      const std::size_t n = q.nextBatch(c, batch, 4, /*allow_steal=*/true);
+      if (n == 0) break;
+      EXPECT_EQ(n, batch.size());
+      EXPECT_LE(n, 4u);
+      got.insert(got.end(), batch.begin(), batch.end());
+    }
+  });
+  EXPECT_EQ(got, tasks);  // FIFO order preserved, nothing lost or doubled
+  EXPECT_EQ(plat->engine().collect().sum(&ProcStats::tasks_executed), 10u);
+  EXPECT_EQ(plat->engine().collect().sum(&ProcStats::tasks_stolen), 0u);
+}
+
+TEST(TaskQueueBatch, StealsMoveBatchesExactlyOnce) {
+  auto plat = Platform::create(PlatformKind::SMP, 2);
+  TaskQueues::Options opt;
+  opt.capacity = 64;
+  TaskQueues q(*plat, opt);
+  std::vector<std::int32_t> tasks;
+  for (std::int32_t i = 0; i < 40; ++i) tasks.push_back(i);
+  q.fillInitial(0, tasks);  // proc 1 starts empty: it can only steal
+  q.fillInitial(1, {});
+  std::vector<std::vector<std::int32_t>> got(2);
+  plat->run([&](Ctx& c) {
+    std::vector<std::int32_t> batch;
+    for (;;) {
+      batch.clear();
+      if (q.nextBatch(c, batch, 4, /*allow_steal=*/true) == 0) break;
+      auto& mine = got[static_cast<std::size_t>(c.id())];
+      mine.insert(mine.end(), batch.begin(), batch.end());
+      // Each batch must cost a good fraction of the engine's drift
+      // quantum (10k cycles), or proc 0 drains all 40 tasks before its
+      // first yield and the thief never sees a backlog.
+      c.compute(4000);
+    }
+  });
+  std::set<std::int32_t> all(got[0].begin(), got[0].end());
+  all.insert(got[1].begin(), got[1].end());
+  EXPECT_EQ(all.size(), 40u) << "lost or duplicated tasks";
+  EXPECT_FALSE(got[1].empty()) << "empty-handed thief never stole a batch";
+  const RunStats rs = plat->engine().collect();
+  EXPECT_EQ(rs.sum(&ProcStats::tasks_executed), 40u);
+  EXPECT_EQ(rs.sum(&ProcStats::tasks_stolen), got[1].size());
+}
+
+TEST(TaskQueueBatch, SplitStealKeepsPrivateTasksPrivate) {
+  auto plat = Platform::create(PlatformKind::SMP, 2);
+  TaskQueues::Options opt;
+  opt.capacity = 16;
+  opt.split_steal = true;
+  opt.public_fraction = 0.25;  // 2 of proc 0's 8 tasks are stealable
+  TaskQueues q(*plat, opt);
+  std::vector<std::int32_t> tasks;
+  for (std::int32_t i = 0; i < 8; ++i) tasks.push_back(i);
+  q.fillInitial(0, tasks);
+  q.fillInitial(1, {});
+  plat->run([&](Ctx& c) {
+    std::vector<std::int32_t> batch;
+    for (;;) {
+      batch.clear();
+      if (q.nextBatch(c, batch, 8, /*allow_steal=*/true) == 0) break;
+      c.compute(10);
+    }
+  });
+  const RunStats rs = plat->engine().collect();
+  EXPECT_EQ(rs.sum(&ProcStats::tasks_executed), 8u);
+  EXPECT_LE(rs.sum(&ProcStats::tasks_stolen), 2u)
+      << "private queue entries leaked to a thief";
+}
+
+TEST(ServerWorkload, SkewForcesStealingAndWritesAllocate) {
+  // The server's hot-shard assignment (double share on proc 0) must
+  // actually produce steals, and every logged write an allocation --
+  // otherwise the contention the bench sweeps measure isn't there.
+  const testing::DiffRun r =
+      testing::runCell("server", "orig", PlatformKind::SMP, 4);
+  EXPECT_TRUE(r.correct) << r.note;
+  EXPECT_GT(r.tasks_stolen, 0u) << "skewed queues produced no steals";
+  EXPECT_GT(r.allocs, 0u) << "write log never allocated";
+}
+
+TEST(ServerWorkload, BatchedVersionStealsInBatches) {
+  const testing::DiffRun one =
+      testing::runCell("server", "ds", PlatformKind::SMP, 4);
+  const testing::DiffRun batched =
+      testing::runCell("server", "alg-batch", PlatformKind::SMP, 4);
+  EXPECT_TRUE(one.correct) << one.note;
+  EXPECT_TRUE(batched.correct) << batched.note;
+  testing::expectSameAnswer(one, batched);
+}
+
+TEST(IndexWorkload, BothStructuresHoldTheSameMappings) {
+  // hash and btree run the same key universe; their *state* digests
+  // differ by construction (different mutate phases), but each must be
+  // internally consistent and nonzero at every version.
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("index");
+  ASSERT_NE(app, nullptr);
+  ASSERT_EQ(app->versions.size(), 4u);
+  for (const auto& ver : app->versions) {
+    const testing::DiffRun r =
+        testing::runCell("index", ver.name.c_str(), PlatformKind::SMP, 4);
+    EXPECT_TRUE(r.correct) << r.label << ": " << r.note;
+    EXPECT_NE(r.state_hash, 0u) << r.label;
+    EXPECT_GT(r.allocs, 0u) << r.label << ": inserts never allocated nodes";
+  }
+}
+
+}  // namespace
+}  // namespace rsvm

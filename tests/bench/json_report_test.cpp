@@ -199,6 +199,9 @@ TEST(JsonReport, GoldenRendering) {
   r.cycles = 500;
   r.base_cycles = 1000;
   r.wall_ms = 1.5;
+  r.app.state_hash = 0xdeadbeef12345678ull;
+  r.app.result_hash = 0x1ull;
+  r.app.stats.procs[1].allocs = 7;
 
   Report report("golden", tinyOptions());
   report.add(p, r);
@@ -221,7 +224,9 @@ TEST(JsonReport, GoldenRendering) {
       "\"ok\": true, \"error\": \"\", \"timed_out\": false, "
       "\"retries\": 0, \"oracle_violations\": 0, "
       "\"exec_cycles\": 500, \"base_cycles\": 1000, "
-      "\"speedup\": 2.000000, \"wall_ms\": 1.500, "
+      "\"speedup\": 2.000000, "
+      "\"state_hash\": \"0xdeadbeef12345678\", "
+      "\"result_hash\": \"0x0000000000000001\", \"wall_ms\": 1.500, "
       "\"host_accesses_per_sec\": 100000.0, "
       "\"sim_cycles_per_wall_ms\": 333.3, "
       "\"buckets\": {\"compute\": 11, \"cache_stall\": 22, "
@@ -232,7 +237,8 @@ TEST(JsonReport, GoldenRendering) {
       "\"diffs_created\": 0, \"diff_bytes\": 0, \"remote_misses\": 0, "
       "\"local_misses\": 0, \"invalidations_sent\": 0, "
       "\"lock_acquires\": 0, \"remote_lock_acquires\": 0, "
-      "\"barriers\": 0, \"tasks_executed\": 0, \"tasks_stolen\": 0}}\n"
+      "\"barriers\": 0, \"tasks_executed\": 0, \"tasks_stolen\": 0, "
+      "\"allocs\": 7}}\n"
       "  ]\n"
       "}\n";
   EXPECT_EQ(report.json(), expected);
@@ -317,7 +323,10 @@ TEST(JsonReport, RealSweepRoundTripsAndValidates) {
     EXPECT_GT(pt.at("host_accesses_per_sec").num, 0.0);
     EXPECT_GT(pt.at("sim_cycles_per_wall_ms").num, 0.0);
     EXPECT_EQ(pt.at("buckets").obj.size(), 6u);
-    EXPECT_EQ(pt.at("counters").obj.size(), 16u);
+    EXPECT_EQ(pt.at("counters").obj.size(), 17u);
+    // lu does not provide differential digests: emitted as zero.
+    EXPECT_EQ(pt.at("state_hash").str, "0x0000000000000000");
+    EXPECT_EQ(pt.at("result_hash").str, "0x0000000000000000");
   }
   // The uniprocessor original defines speedup 1.0 by construction.
   EXPECT_NEAR(root.at("points").arr[0].at("speedup").num, 1.0, 1e-6);

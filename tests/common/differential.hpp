@@ -1,0 +1,97 @@
+// Differential cross-platform test harness. The server and index apps
+// publish two digests in their AppResult (see core/app.hpp):
+//
+//   state_hash  -- content-based digest of the final shared data
+//                  structures (table + write log, hash chains, B+-tree
+//                  leaf chain),
+//   result_hash -- commutative digest over every per-operation result.
+//
+// Both are promised to be functions of the workload alone, so a single
+// (app, version, params) cell must produce the *same* two values on
+// SVM, SMP, DSM, and FGS, at any processor count, under either fiber
+// backend, and under seeded fault injection. This header runs cells
+// and hands back everything a test needs to assert that.
+#pragma once
+
+#include "core/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace rsvm::testing {
+
+/// Every platform kind, in the order the paper lists them.
+inline constexpr PlatformKind kAllKinds[] = {
+    PlatformKind::SVM, PlatformKind::SMP, PlatformKind::NUMA,
+    PlatformKind::FGS};
+
+struct DiffOptions {
+  CheckLevel check = CheckLevel::Off;
+  std::uint64_t fault_seed = 0;
+};
+
+struct DiffRun {
+  bool correct = false;
+  std::string note;
+  std::uint64_t state_hash = 0;
+  std::uint64_t result_hash = 0;
+  Cycles exec_cycles = 0;
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t allocs = 0;
+  std::size_t oracle_violations = 0;  ///< meaningful when check == Oracle
+  std::string label;                  ///< "app/ver on KIND @ P"
+};
+
+/// Run one cell and distill the differential-relevant facts. Fails the
+/// current test (ADD_FAILURE) if the app or version is unknown.
+inline DiffRun runCell(const char* app_name, const char* version,
+                       PlatformKind kind, int procs,
+                       const DiffOptions& opt = {}) {
+  registerAllApps();
+  DiffRun out;
+  out.label = std::string(app_name) + "/" + version + " on " +
+              platformName(kind) + " @ " + std::to_string(procs);
+  const AppDesc* app = Registry::instance().find(app_name);
+  if (app == nullptr) {
+    ADD_FAILURE() << "unknown app " << app_name;
+    return out;
+  }
+  const VersionDesc* ver = app->version(version);
+  if (ver == nullptr) {
+    ADD_FAILURE() << app_name << " has no version " << version;
+    return out;
+  }
+  auto plat = Platform::create(kind, procs);
+  if (opt.check != CheckLevel::Off) plat->setCheckLevel(opt.check);
+  if (opt.fault_seed != 0) plat->setFaultPlan(opt.fault_seed);
+  const AppResult r = ver->run(*plat, app->tiny);
+  out.correct = r.correct;
+  out.note = r.note;
+  out.state_hash = r.state_hash;
+  out.result_hash = r.result_hash;
+  out.exec_cycles = r.stats.exec_cycles;
+  out.tasks_stolen = r.stats.sum(&ProcStats::tasks_stolen);
+  out.allocs = r.stats.sum(&ProcStats::allocs);
+  if (opt.check == CheckLevel::Oracle) {
+    const OracleReport* rep = plat->oracleReport();
+    out.oracle_violations =
+        rep == nullptr ? static_cast<std::size_t>(-1) : rep->total;
+  }
+  return out;
+}
+
+/// The core differential assertion: two runs of the same workload must
+/// agree on both digests (and both be correct), whatever differs about
+/// how they were executed.
+inline void expectSameAnswer(const DiffRun& a, const DiffRun& b) {
+  EXPECT_TRUE(a.correct) << a.label << ": " << a.note;
+  EXPECT_TRUE(b.correct) << b.label << ": " << b.note;
+  EXPECT_NE(a.state_hash, 0u) << a.label << " published no state hash";
+  EXPECT_NE(a.result_hash, 0u) << a.label << " published no result hash";
+  EXPECT_EQ(a.state_hash, b.state_hash) << a.label << " vs " << b.label;
+  EXPECT_EQ(a.result_hash, b.result_hash) << a.label << " vs " << b.label;
+}
+
+}  // namespace rsvm::testing

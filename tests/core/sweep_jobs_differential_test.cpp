@@ -1,0 +1,72 @@
+// Host-parallelism differential: a SweepRunner fanning the server and
+// index workloads over 8 worker threads must return byte-for-byte the
+// results of a sequential (--jobs=1) sweep -- simulated clocks, digests,
+// counters, baselines. This is what makes `ext_server --jobs=N` results
+// publishable: the host thread count is not an input of the experiment.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+std::vector<SweepPoint> serverIndexPoints() {
+  registerAllApps();
+  std::vector<SweepPoint> pts;
+  for (const char* app : {"server", "index"}) {
+    const AppDesc* d = Registry::instance().find(app);
+    EXPECT_NE(d, nullptr);
+    for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::NUMA}) {
+      for (const auto& ver : d->versions) {
+        SweepPoint p;
+        p.kind = kind;
+        p.app = app;
+        p.version = ver.name;
+        p.params = d->tiny;
+        p.procs = 4;
+        pts.push_back(p);
+      }
+    }
+  }
+  return pts;
+}
+
+TEST(SweepJobsDifferential, EightWorkersMatchSequentialBitForBit) {
+  const std::vector<SweepPoint> pts = serverIndexPoints();
+  ASSERT_FALSE(pts.empty());
+  SweepRunner seq(1);
+  SweepRunner par(8);
+  const std::vector<SweepResult> a = seq.run(pts);
+  const std::vector<SweepResult> b = par.run(pts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string at = pts[i].app + "/" + pts[i].version + " on " +
+                           platformName(pts[i].kind);
+    EXPECT_TRUE(a[i].ok()) << at << ": " << a[i].error;
+    EXPECT_TRUE(b[i].ok()) << at << ": " << b[i].error;
+    EXPECT_EQ(a[i].cycles, b[i].cycles) << at;
+    EXPECT_EQ(a[i].base_cycles, b[i].base_cycles) << at;
+    EXPECT_EQ(a[i].app.state_hash, b[i].app.state_hash) << at;
+    EXPECT_EQ(a[i].app.result_hash, b[i].app.result_hash) << at;
+    EXPECT_EQ(a[i].app.stats.sum(&ProcStats::tasks_stolen),
+              b[i].app.stats.sum(&ProcStats::tasks_stolen))
+        << at;
+    EXPECT_EQ(a[i].app.stats.sum(&ProcStats::allocs),
+              b[i].app.stats.sum(&ProcStats::allocs))
+        << at;
+    ASSERT_EQ(a[i].app.stats.procs.size(), b[i].app.stats.procs.size());
+    for (std::size_t p = 0; p < a[i].app.stats.procs.size(); ++p) {
+      for (std::size_t bk = 0; bk < kNumBuckets; ++bk) {
+        EXPECT_EQ(a[i].app.stats.procs[p].buckets[bk],
+                  b[i].app.stats.procs[p].buckets[bk])
+            << at << " proc " << p << " bucket " << bk;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -120,6 +120,46 @@ constexpr Golden kGoldens[] = {
      {1361920ull, 3353270ull, 1221195300ull, 0ull, 26608446ull,
       26375800ull},
      208896ull, 115200ull, 118622ull, 43341ull, 32628ull, 0ull},
+    // Server-shaped workloads (task-queue request service, chained-hash
+    // index): lock- and steal-dominated rather than loop-parallel, so
+    // these rows pin the queue, striped-lock, and allocator paths the
+    // science kernels barely touch. Pinned when the server/index
+    // families landed; identical in both fiber modes.
+    {"server", "orig", PlatformKind::SVM, 4,
+     25992063ull,
+     {156276ull, 326940ull, 42146471ull, 38883744ull, 320252ull, 22132219ull},
+     20710ull, 12460ull, 8109ull, 4917ull, 2152ull, 3189ull},
+    {"server", "orig", PlatformKind::SVM, 16,
+     28263074ull,
+     {158404ull, 473610ull, 94114247ull, 311127143ull, 8159295ull,
+      38132060ull},
+     22790ull, 12508ull, 9806ull, 7511ull, 4182ull, 5201ull},
+    {"server", "orig", PlatformKind::NUMA, 4,
+     929153ull,
+     {157082ull, 58334ull, 2019877ull, 1464346ull, 16853ull, 0ull},
+     21516ull, 12460ull, 9146ull, 6936ull, 0ull, 0ull},
+    {"server", "orig", PlatformKind::NUMA, 16,
+     768108ull,
+     {159482ull, 40408ull, 2440744ull, 9493523ull, 153171ull, 0ull},
+     23868ull, 12508ull, 10147ull, 7350ull, 0ull, 0ull},
+    {"index", "hash-orig", PlatformKind::SVM, 4,
+     33104341ull,
+     {80454ull, 537580ull, 39473504ull, 64684899ull, 9061307ull,
+      18290213ull},
+     24497ull, 5325ull, 14368ull, 7878ull, 2360ull, 2422ull},
+    {"index", "hash-orig", PlatformKind::SVM, 16,
+     29865172ull,
+     {80502ull, 885680ull, 53753517ull, 380768431ull, 17484512ull,
+      24230821ull},
+     24513ull, 5325ull, 16433ull, 14427ull, 3146ull, 3053ull},
+    {"index", "hash-orig", PlatformKind::NUMA, 4,
+     991826ull,
+     {80544ull, 91423ull, 2207238ull, 1433542ull, 119792ull, 0ull},
+     24527ull, 5325ull, 13007ull, 7405ull, 0ull, 0ull},
+    {"index", "hash-orig", PlatformKind::NUMA, 16,
+     1075675ull,
+     {80490ull, 97637ull, 5728683ull, 10458150ull, 727924ull, 0ull},
+     24509ull, 5325ull, 17086ull, 12515ull, 0ull, 0ull},
 };
 
 constexpr Bucket kBuckets[6] = {Bucket::Compute,    Bucket::CacheStall,

@@ -1,0 +1,68 @@
+// Fault survival for the server-shaped workloads: 8 fault seeds x
+// {server, index} x {SVM, DSM}, every point run under the coherence
+// oracle through the SweepRunner (watchdog armed). Faults are legal
+// protocol perturbations, so every point must come back correct,
+// oracle-clean, and in-budget -- and the structured SweepResult fields
+// (error/timed_out/oracle_violations) tell us *which* property broke
+// when one does. This is the integration-level guarantee behind the
+// `ext_server` and `ext_faults` survival tables.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+TEST(ServerFaultSurvival, AllSeedsSurviveUnderOracle) {
+  registerAllApps();
+  std::vector<SweepPoint> points;
+  for (const char* app : {"server", "index"}) {
+    const AppDesc* d = Registry::instance().find(app);
+    ASSERT_NE(d, nullptr);
+    for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::NUMA}) {
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        SweepPoint p;
+        p.kind = kind;
+        p.app = app;
+        p.version = d->original().name;
+        p.params = d->tiny;
+        p.procs = 8;
+        p.check = CheckLevel::Oracle;
+        p.fault_seed = seed;
+        p.deadline_ms = 60'000.0;  // hang-proof: a livelock is a FAIL, not a hang
+        p.with_baseline = false;
+        points.push_back(p);
+      }
+    }
+  }
+  SweepRunner runner(2);
+  const std::vector<SweepResult> results = runner.run(points);
+  ASSERT_EQ(results.size(), points.size());
+
+  // Per (app, platform): the set of exec_cycles across seeds. Fault
+  // injection must actually perturb the schedule -- all-equal clocks
+  // would mean the seeds are a no-op on that platform.
+  std::map<std::string, std::map<Cycles, int>> clocks;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    const std::string at = describePoint(points[i]) + " seed " +
+                           std::to_string(points[i].fault_seed);
+    EXPECT_TRUE(r.ok()) << at << ": " << r.error;
+    EXPECT_FALSE(r.timed_out) << at << ": watchdog fired";
+    EXPECT_EQ(r.oracle_violations, 0u) << at << ": coherence violated";
+    EXPECT_TRUE(r.app.correct) << at << ": " << r.app.note;
+    clocks[points[i].app + "/" + platformName(points[i].kind)]
+          [r.app.stats.exec_cycles]++;
+  }
+  for (const auto& [cell, set] : clocks) {
+    EXPECT_GT(set.size(), 1u)
+        << cell << ": 8 fault seeds produced identical schedules";
+  }
+}
+
+}  // namespace
+}  // namespace rsvm
