@@ -1,13 +1,18 @@
 #include "bench_common.hpp"
 
+#include "json_mini.hpp"
 #include "runtime/platform.hpp"
 #include "sim/fiber.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
 namespace rsvm::bench {
@@ -46,7 +51,8 @@ std::uint64_t parseU64(const char* flag, const char* text) {
 constexpr const char* kUsage =
     "usage: %s [--paper-scale|--tiny] [--procs=N] [--jobs=N] "
     "[--json=FILE] [--no-fastpath] [--fiber=asm|ucontext] "
-    "[--check=off|oracle] [--fault-seed=N] [--deadline-ms=N]\n";
+    "[--check=off|oracle] [--fault-seed=N] [--deadline-ms=N] "
+    "[--cache-dir=DIR] [--checkpoint=FILE] [--shard=K/N] [--zipf=T]\n";
 
 }  // namespace
 
@@ -89,6 +95,48 @@ Options parse(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
       o.deadline_ms =
           static_cast<double>(parsePositiveInt("--deadline-ms", argv[i] + 14));
+    } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+      o.cache_dir = argv[i] + 12;
+      if (o.cache_dir.empty()) {
+        throw std::invalid_argument("--cache-dir expects a directory path");
+      }
+    } else if (std::strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      o.checkpoint = argv[i] + 13;
+      if (o.checkpoint.empty()) {
+        throw std::invalid_argument("--checkpoint expects a file path");
+      }
+    } else if (std::strncmp(argv[i], "--shard=", 8) == 0) {
+      // 1-based on the command line ("--shard=1/4" ... "--shard=4/4"),
+      // 0-based internally.
+      const char* text = argv[i] + 8;
+      const char* slash = std::strchr(text, '/');
+      if (slash == nullptr || slash == text || slash[1] == '\0') {
+        throw std::invalid_argument(
+            std::string("--shard expects K/N (e.g. 2/4), got '") + text +
+            "'");
+      }
+      const int k =
+          parsePositiveInt("--shard", std::string(text, slash).c_str());
+      const int n = parsePositiveInt("--shard", slash + 1);
+      if (k > n) {
+        throw std::invalid_argument("--shard: K must be in 1..N, got " +
+                                    std::to_string(k) + "/" +
+                                    std::to_string(n));
+      }
+      o.shard_index = k - 1;
+      o.shard_count = n;
+    } else if (std::strncmp(argv[i], "--zipf=", 7) == 0) {
+      const char* text = argv[i] + 7;
+      errno = 0;
+      char* end = nullptr;
+      const double t = std::strtod(text, &end);
+      if (*text == '\0' || end == nullptr || *end != '\0' || errno != 0 ||
+          t < 0.0 || t >= 1.0) {
+        throw std::invalid_argument(
+            std::string("--zipf expects a number in [0, 1), got '") + text +
+            "'");
+      }
+      o.zipf = t;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(kUsage, argv[0]);
       std::exit(0);
@@ -278,14 +326,27 @@ Report::Report(std::string bench_name, const Options& opt)
       procs_(opt.procs),
       jobs_(opt.jobs > 0 ? opt.jobs : SweepRunner::defaultJobs()),
       fastpath_(!opt.no_fastpath),
-      fiber_(Fiber::backendName(Fiber::defaultBackend())) {}
+      fiber_(Fiber::backendName(Fiber::defaultBackend())),
+      shard_index_(opt.shard_index),
+      shard_count_(opt.shard_count) {}
 
 void Report::addExtra(std::string key, std::string raw_json) {
   extras_.emplace_back(std::move(key), std::move(raw_json));
 }
 
 void Report::add(const SweepPoint& point, const SweepResult& result) {
+  if (result.skipped) return;
   entries_.push_back({point, result});
+}
+
+void Report::addFleet(const SweepRunner::FleetStats& fs) {
+  fleet_.computed += fs.computed;
+  fleet_.cache_hits += fs.cache_hits;
+  fleet_.resumed += fs.resumed;
+  fleet_.stores += fs.stores;
+  fleet_.shard_skipped += fs.shard_skipped;
+  fleet_.cache_corrupt += fs.cache_corrupt;
+  fleet_.uncacheable += fs.uncacheable;
 }
 
 void Report::add(const std::vector<SweepPoint>& points,
@@ -305,6 +366,17 @@ std::string Report::json() const {
   fieldB(out, "fastpath", fastpath_);
   field(out, "fiber", fiber_);
   fieldF(out, "wall_ms", wall_ms_, "%.3f");
+  field(out, "shard_index", shard_index_);
+  field(out, "shard_count", shard_count_);
+  out += "\"cache\": {";
+  field(out, "computed", fleet_.computed);
+  field(out, "cache_hits", fleet_.cache_hits);
+  field(out, "resumed", fleet_.resumed);
+  field(out, "stores", fleet_.stores);
+  field(out, "shard_skipped", fleet_.shard_skipped);
+  field(out, "cache_corrupt", fleet_.cache_corrupt);
+  field(out, "uncacheable", fleet_.uncacheable, /*last=*/true);
+  out += "}, ";
   for (const auto& [key, raw] : extras_) {
     out += '"';
     out += key;
@@ -328,6 +400,7 @@ std::string Report::json() const {
     field(out, "iters", p.params.iters);
     field(out, "block", p.params.block);
     field(out, "seed", p.params.seed);
+    fieldF(out, "zipf", p.params.zipf, "%.6g");
     field(out, "check",
           std::string(p.check == CheckLevel::Oracle ? "oracle" : "off"));
     field(out, "fault_seed", p.fault_seed);
@@ -335,6 +408,8 @@ std::string Report::json() const {
     field(out, "error", r.error);
     fieldB(out, "timed_out", r.timed_out);
     field(out, "retries", r.retries);
+    fieldB(out, "cached", r.cached);
+    fieldB(out, "resumed", r.resumed);
     field(out, "oracle_violations",
           static_cast<std::uint64_t>(r.oracle_violations));
     field(out, "exec_cycles", r.cycles);
@@ -382,17 +457,28 @@ std::string Report::json() const {
   return out;
 }
 
-void Report::writeJson(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+void writeFileAtomic(const std::string& path, const std::string& body) {
+  // Same-directory temp name so the rename cannot cross a filesystem.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    throw std::runtime_error("report: cannot open '" + path +
-                             "' for writing");
+    throw std::runtime_error("cannot open '" + tmp + "' for writing");
   }
-  const std::string body = json();
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   if (std::fclose(f) != 0 || !ok) {
-    throw std::runtime_error("report: short write to '" + path + "'");
+    std::remove(tmp.c_str());
+    throw std::runtime_error("short write to '" + tmp + "'");
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path +
+                             "'");
+  }
+}
+
+void Report::writeJson(const std::string& path) const {
+  writeFileAtomic(path, json());
 }
 
 bool Report::maybeWrite(const Options& opt) const {
@@ -412,15 +498,185 @@ std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
     if (p.check == CheckLevel::Off) p.check = opt.check;
     if (p.fault_seed == 0) p.fault_seed = opt.fault_seed;
     if (p.deadline_ms <= 0.0) p.deadline_ms = opt.deadline_ms;
+    if (p.params.zipf == 0.0) p.params.zipf = opt.zipf;
   }
-  SweepRunner runner(opt.jobs);
+  SweepRunner::Config cfg;
+  cfg.jobs = opt.jobs;
+  cfg.cache_dir = opt.cache_dir;
+  cfg.checkpoint = opt.checkpoint;
+  cfg.shard_index = opt.shard_index;
+  cfg.shard_count = opt.shard_count;
+  SweepRunner runner(cfg);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<SweepResult> results = runner.run(pts);
   report.addWallMs(std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count());
+  report.addFleet(runner.fleetStats());
   report.add(pts, results);
   return results;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-report fusion
+
+namespace {
+
+/// Identity of a sweep point inside a report -- everything that makes
+/// two points "the same experiment" for digest cross-checking.
+std::string pointIdentity(const minijson::Json& pt) {
+  std::string id;
+  for (const char* key : {"app", "version", "platform", "config", "procs",
+                          "n", "iters", "block", "seed", "zipf", "check",
+                          "fault_seed"}) {
+    id += pt.at(key).raw;
+    id += '|';
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string mergeShardReports(const std::vector<std::string>& shard_jsons) {
+  using minijson::Json;
+  const auto n = static_cast<int>(shard_jsons.size());
+  if (n == 0) throw std::runtime_error("sweep-merge: no shard reports");
+
+  // Parse every shard and slot it by its self-declared shard_index.
+  std::vector<Json> shards(static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const std::string& text : shard_jsons) {
+    Json root = minijson::Parser(text).parse();
+    if (root.at("schema").str != "rsvm-bench-1") {
+      throw std::runtime_error("sweep-merge: unknown schema '" +
+                               root.at("schema").str + "'");
+    }
+    const auto count = static_cast<int>(root.at("shard_count").u64);
+    if (count != n) {
+      throw std::runtime_error(
+          "sweep-merge: report declares shard_count " +
+          std::to_string(count) + " but " + std::to_string(n) +
+          " reports were given");
+    }
+    const auto idx = static_cast<int>(root.at("shard_index").u64);
+    if (idx < 0 || idx >= n) {
+      throw std::runtime_error("sweep-merge: shard_index " +
+                               std::to_string(idx) + " out of range");
+    }
+    if (seen[static_cast<std::size_t>(idx)]) {
+      throw std::runtime_error("sweep-merge: two reports claim shard " +
+                               std::to_string(idx + 1) + "/" +
+                               std::to_string(n));
+    }
+    seen[static_cast<std::size_t>(idx)] = true;
+    shards[static_cast<std::size_t>(idx)] = std::move(root);
+  }
+
+  // Header consistency: the shards must come from one logical sweep.
+  const Json& first = shards[0];
+  for (int s = 1; s < n; ++s) {
+    const Json& r = shards[static_cast<std::size_t>(s)];
+    for (const char* key : {"bench", "scale", "fiber"}) {
+      if (r.at(key).str != first.at(key).str) {
+        throw std::runtime_error(std::string("sweep-merge: shards disagree "
+                                             "on \"") +
+                                 key + "\": '" + first.at(key).str +
+                                 "' vs '" + r.at(key).str + "'");
+      }
+    }
+    if (r.at("procs_default").u64 != first.at("procs_default").u64 ||
+        r.at("fastpath").boolean != first.at("fastpath").boolean) {
+      throw std::runtime_error(
+          "sweep-merge: shards disagree on procs_default/fastpath");
+    }
+  }
+
+  // Completeness: with T total points round-robined over N shards,
+  // shard s must hold exactly ceil((T - s) / N) points.
+  std::size_t total = 0;
+  for (const Json& r : shards) total += r.at("points").arr.size();
+  for (int s = 0; s < n; ++s) {
+    const std::size_t want =
+        total > static_cast<std::size_t>(s)
+            ? (total - static_cast<std::size_t>(s) +
+               static_cast<std::size_t>(n) - 1) /
+                  static_cast<std::size_t>(n)
+            : 0;
+    const std::size_t got =
+        shards[static_cast<std::size_t>(s)].at("points").arr.size();
+    if (got != want) {
+      throw std::runtime_error(
+          "sweep-merge: shard " + std::to_string(s + 1) + "/" +
+          std::to_string(n) + " holds " + std::to_string(got) +
+          " points, expected " + std::to_string(want) +
+          " of the round-robin partition of " + std::to_string(total));
+    }
+  }
+
+  // Digest cross-check: identical experiments in different shards
+  // (e.g. overlapping shard files passed by mistake) must agree on the
+  // simulated digests -- a mismatch means the shards did not run the
+  // same engine and the merge would be silently mixing answers.
+  std::map<std::string, std::pair<std::string, std::string>> digests;
+  for (const Json& r : shards) {
+    for (const Json& pt : r.at("points").arr) {
+      const std::string id = pointIdentity(pt);
+      const std::pair<std::string, std::string> d{pt.at("state_hash").str,
+                                                  pt.at("result_hash").str};
+      const auto [it, inserted] = digests.emplace(id, d);
+      if (!inserted && it->second != d) {
+        throw std::runtime_error(
+            "sweep-merge: digest mismatch between shards for " +
+            pt.at("app").str + "/" + pt.at("version").str + " on " +
+            pt.at("platform").str + ": state " + it->second.first + " vs " +
+            d.first);
+      }
+    }
+  }
+
+  // Emit the canonical unsharded report: headers from the shard set,
+  // wall_ms and provenance counters summed, every point record spliced
+  // byte-identically in restored submission order (global index i lives
+  // at position i / N of shard i % N).
+  double wall_ms = 0.0;
+  std::uint64_t jobs = 0;
+  for (const Json& r : shards) {
+    wall_ms += r.at("wall_ms").num;
+    jobs = std::max(jobs, r.at("jobs").u64);
+  }
+  std::string out = "{\n  ";
+  field(out, "schema", std::string("rsvm-bench-1"));
+  field(out, "bench", first.at("bench").str);
+  field(out, "scale", first.at("scale").str);
+  field(out, "procs_default", first.at("procs_default").u64);
+  field(out, "jobs", jobs);
+  fieldB(out, "fastpath", first.at("fastpath").boolean);
+  field(out, "fiber", first.at("fiber").str);
+  fieldF(out, "wall_ms", wall_ms, "%.3f");
+  field(out, "shard_index", 0);
+  field(out, "shard_count", 1);
+  out += "\"cache\": {";
+  const char* cache_keys[] = {"computed",      "cache_hits",
+                              "resumed",       "stores",
+                              "shard_skipped", "cache_corrupt",
+                              "uncacheable"};
+  for (std::size_t k = 0; k < std::size(cache_keys); ++k) {
+    std::uint64_t sum = 0;
+    for (const Json& r : shards) sum += r.at("cache").at(cache_keys[k]).u64;
+    field(out, cache_keys[k], sum, /*last=*/k + 1 == std::size(cache_keys));
+  }
+  out += "}, ";
+  field(out, "merged_from", n);
+  out += "\"points\": [";
+  for (std::size_t i = 0; i < total; ++i) {
+    const Json& shard = shards[i % static_cast<std::size_t>(n)];
+    const Json& pt =
+        shard.at("points").arr[i / static_cast<std::size_t>(n)];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += pt.raw;
+  }
+  out += total == 0 ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 }  // namespace rsvm::bench

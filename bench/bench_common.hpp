@@ -17,6 +17,18 @@
 //                   every sweep point (0 = off; same seed, same run)
 //   --deadline-ms=N per-point host wall-clock deadline; a point that
 //                   exceeds it becomes a JSON error record, not a hang
+//   --cache-dir=D   content-addressed result cache: points already in D
+//                   are served from disk bit-identically instead of
+//                   being re-simulated; fresh results are inserted
+//   --checkpoint=F  append-only resume manifest: completed points are
+//                   journaled to F; re-running the same sweep with the
+//                   same F skips everything already journaled
+//   --shard=K/N     run only shard K of N (1-based): points whose
+//                   submission index i has i % N == K-1. N cooperating
+//                   processes cover the sweep exactly once; fuse their
+//                   --json outputs with the sweep_merge tool
+//   --zipf=T        key-popularity skew for request-serving workloads
+//                   (apps/server), theta in [0, 1): 0 = uniform
 #pragma once
 
 #include "core/experiment.hpp"
@@ -38,6 +50,11 @@ struct Options {
   CheckLevel check = CheckLevel::Off;  ///< coherence oracle per point
   std::uint64_t fault_seed = 0;        ///< fault-injection seed; 0 = off
   double deadline_ms = 0.0;            ///< per-point deadline; 0 = off
+  std::string cache_dir;   ///< content-addressed result cache; empty = off
+  std::string checkpoint;  ///< append-only resume manifest; empty = off
+  int shard_index = 0;     ///< 0-based shard selected by --shard=K/N
+  int shard_count = 1;     ///< total shards; 1 = run everything
+  double zipf = 0.0;       ///< key skew applied to points that set none
 };
 
 /// Parse argv. Throws std::invalid_argument on unknown flags and on
@@ -75,9 +92,16 @@ class Report {
  public:
   Report(std::string bench_name, const Options& opt);
 
+  /// Append one (point, result) pair. Results with `skipped` set (the
+  /// point belongs to another shard) are not recorded: a shard's report
+  /// holds exactly the points it ran, and sweep_merge re-interleaves.
   void add(const SweepPoint& point, const SweepResult& result);
   void add(const std::vector<SweepPoint>& points,
            const std::vector<SweepResult>& results);
+
+  /// Accumulate the provenance counters of one sweep run into the
+  /// report's top-level "cache" block.
+  void addFleet(const SweepRunner::FleetStats& fs);
 
   /// Total host wall-clock of the sweep; accumulated by sweep(), or set
   /// explicitly (tests pin it for golden comparisons).
@@ -115,13 +139,36 @@ class Report {
   bool fastpath_ = true;
   std::string fiber_;  ///< backend name in effect when constructed
   double wall_ms_ = 0.0;
+  int shard_index_ = 0;
+  int shard_count_ = 1;
+  SweepRunner::FleetStats fleet_{};
   std::vector<std::pair<std::string, std::string>> extras_;
   std::vector<Entry> entries_;
 };
 
-/// Run `points` on a SweepRunner honoring --jobs, append every
-/// (point, result) pair to `report` and account the wall-clock there.
+/// Run `points` on a SweepRunner honoring --jobs and the fleet flags
+/// (--cache-dir, --checkpoint, --shard), append every non-skipped
+/// (point, result) pair to `report` and account the wall-clock and
+/// provenance counters there. The returned vector is always full-size:
+/// results[i] corresponds to points[i] even in a sharded run (skipped
+/// points come back with skipped = true and zeroed stats).
 std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
                                const Options& opt, Report& report);
+
+/// Write `body` to `path` atomically: the bytes land in a same-directory
+/// temp file which is then renamed over `path`, so a concurrent reader
+/// (or a killed writer) sees either the old file or the complete new
+/// one, never a torn prefix. Throws std::runtime_error on I/O failure.
+void writeFileAtomic(const std::string& path, const std::string& body);
+
+/// Fuse N rsvm-bench-1 shard reports (the verbatim JSON texts, one per
+/// shard, produced by the same sweep run with --shard=K/N for every K)
+/// into one canonical unsharded report: submission order restored by
+/// the round-robin shard rule, wall_ms and cache/provenance counters
+/// summed, point records spliced byte-identically. Throws
+/// std::runtime_error on malformed input, header mismatches between
+/// shards, an incomplete or overlapping shard set, or two shards
+/// reporting different digests for an identical point.
+std::string mergeShardReports(const std::vector<std::string>& shard_jsons);
 
 }  // namespace rsvm::bench

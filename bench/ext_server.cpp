@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -52,14 +53,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Skew ladder: the server versions again under Zipf-distributed key
+  // popularity (hot keys concentrate stripe-lock and log contention),
+  // on the two platforms whose contention behavior diverges most.
+  const double skews[] = {0.6, 0.9};
+  const PlatformKind skew_kinds[] = {PlatformKind::SVM, PlatformKind::NUMA};
+  const std::size_t skew_begin = points.size();
+  {
+    const AppDesc* a = Registry::instance().find("server");
+    for (const double theta : skews) {
+      for (const PlatformKind kind : skew_kinds) {
+        for (const auto& ver : a->versions) {
+          SweepPoint p;
+          p.kind = kind;
+          p.app = "server";
+          p.version = ver.name;
+          p.params = bench::pick(*a, opt);
+          p.params.zipf = theta;
+          p.procs = opt.procs;
+          points.push_back(std::move(p));
+        }
+      }
+    }
+  }
+
   bench::Report report("ext_server", opt);
   const std::vector<SweepResult> results = bench::sweep(points, opt, report);
 
   // --- speedup table, one row per version, one column per platform ---
   std::size_t failures = 0;
   std::uint64_t steals = 0, allocs = 0;
-  // (app, version) -> (state_hash, result_hash) of the first platform.
-  std::map<std::pair<std::string, std::string>,
+  // (app, version, zipf) -> (state_hash, result_hash) of the first
+  // platform. zipf is part of the key: skewed points answer a different
+  // question than uniform ones, but all platforms must still agree
+  // within a skew level.
+  std::map<std::tuple<std::string, std::string, double>,
            std::pair<std::uint64_t, std::uint64_t>>
       digests;
   std::size_t digest_mismatches = 0;
@@ -75,7 +103,7 @@ int main(int argc, char** argv) {
         std::size_t at = 0, found = static_cast<std::size_t>(-1);
         for (const SweepPoint& p : points) {
           if (p.app == app && p.version == a->versions[v].name &&
-              p.kind == kinds[k]) {
+              p.kind == kinds[k] && p.params.zipf == 0.0) {
             found = at;
             break;
           }
@@ -90,8 +118,8 @@ int main(int argc, char** argv) {
         std::printf(" %8.2f", r.speedup());
         row_steals += r.app.stats.sum(&ProcStats::tasks_stolen);
         row_allocs += r.app.stats.sum(&ProcStats::allocs);
-        const auto key = std::make_pair(std::string(app),
-                                        a->versions[v].name);
+        const auto key = std::make_tuple(std::string(app),
+                                         a->versions[v].name, 0.0);
         const auto want = std::make_pair(r.app.state_hash, r.app.result_hash);
         const auto [it, inserted] = digests.emplace(key, want);
         if (!inserted && it->second != want) {
@@ -106,6 +134,50 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(row_allocs));
       steals += row_steals;
       allocs += row_allocs;
+    }
+  }
+
+  // --- skew ladder: server under Zipf key popularity ---
+  std::printf("\n%-8s %-12s %6s %8s %8s\n", "app", "version", "zipf", "SVM",
+              "DSM");
+  for (const double theta : skews) {
+    const AppDesc* a = Registry::instance().find("server");
+    for (std::size_t v = 0; v < a->versions.size(); ++v) {
+      std::printf("%-8s %-12s %6.2f", "server", a->versions[v].name.c_str(),
+                  theta);
+      for (std::size_t k = 0; k < 2; ++k) {
+        std::size_t found = static_cast<std::size_t>(-1);
+        for (std::size_t at = skew_begin; at < points.size(); ++at) {
+          const SweepPoint& p = points[at];
+          if (p.version == a->versions[v].name && p.kind == skew_kinds[k] &&
+              p.params.zipf == theta) {
+            found = at;
+            break;
+          }
+        }
+        const SweepResult& r = results[found];
+        if (!r.ok()) {
+          ++failures;
+          std::printf(" %8s", r.timed_out ? "TO" : "FAIL");
+          continue;
+        }
+        std::printf(" %8.2f", r.speedup());
+        steals += r.app.stats.sum(&ProcStats::tasks_stolen);
+        allocs += r.app.stats.sum(&ProcStats::allocs);
+        const auto key = std::make_tuple(std::string("server"),
+                                         a->versions[v].name, theta);
+        const auto want = std::make_pair(r.app.state_hash, r.app.result_hash);
+        const auto [it, inserted] = digests.emplace(key, want);
+        if (!inserted && it->second != want) {
+          ++digest_mismatches;
+          std::fprintf(stderr,
+                       "ext_server: server/%s zipf=%.2f on %s disagrees on "
+                       "digests\n",
+                       a->versions[v].name.c_str(), theta,
+                       platformName(skew_kinds[k]));
+        }
+      }
+      std::printf("\n");
     }
   }
   for (const SweepResult& r : results) {

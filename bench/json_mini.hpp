@@ -1,0 +1,181 @@
+// A deliberately tiny recursive-descent JSON parser -- just enough to
+// consume the repo's own rsvm-bench-1 reports without external
+// dependencies. Shared by bench/sweep_merge (fusing shard reports) and
+// the bench tests (validating the emitter).
+//
+// Two extensions beyond bare JSON values matter here:
+//  * integers are also captured as uint64 (`is_u64`/`u64`): counters and
+//    cycle counts exceed 2^53, where the double `num` silently rounds;
+//  * every value records the exact source text it was parsed from
+//    (`raw`), so a consumer can splice a sub-object into new output
+//    byte-identically instead of re-serializing it.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rsvm::bench::minijson {
+
+struct Json {
+  enum class Type { Object, Array, String, Number, Bool, Null };
+  Type type = Type::Null;
+  std::map<std::string, Json> obj;
+  std::vector<Json> arr;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+  bool is_u64 = false;      ///< the number was a non-negative integer
+  std::uint64_t u64 = 0;    ///< exact value when is_u64
+  std::string raw;          ///< exact source text of this value
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return type == Type::Object && obj.count(key) > 0;
+  }
+  const Json& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing key: " + key);
+    return obj.at(key);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
+                             ": " + why);
+  }
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': pos_ += 4; out += '?'; break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++pos_;
+    return out;
+  }
+  Json value() {
+    ws();
+    const std::size_t start = pos_;
+    Json v = valueInner();
+    v.raw = s_.substr(start, pos_ - start);
+    return v;
+  }
+  Json valueInner() {
+    Json v;
+    switch (peek()) {
+      case '{': {
+        v.type = Json::Type::Object;
+        ++pos_;
+        ws();
+        if (peek() == '}') { ++pos_; return v; }
+        for (;;) {
+          ws();
+          std::string key = string();
+          ws();
+          expect(':');
+          v.obj[key] = value();
+          ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = Json::Type::Array;
+        ++pos_;
+        ws();
+        if (peek() == ']') { ++pos_; return v; }
+        for (;;) {
+          v.arr.push_back(value());
+          ws();
+          if (peek() == ',') { ++pos_; continue; }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type = Json::Type::String;
+        v.str = string();
+        return v;
+      case 't':
+        pos_ += 4;
+        v.type = Json::Type::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        pos_ += 5;
+        v.type = Json::Type::Bool;
+        return v;
+      case 'n':
+        pos_ += 4;
+        return v;
+      default: {
+        v.type = Json::Type::Number;
+        std::size_t end = pos_;
+        bool integral = true;
+        while (end < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+                s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+                s_[end] == 'e' || s_[end] == 'E')) {
+          if (!std::isdigit(static_cast<unsigned char>(s_[end]))) {
+            integral = false;
+          }
+          ++end;
+        }
+        if (end == pos_) fail("bad number");
+        const std::string text = s_.substr(pos_, end - pos_);
+        v.num = std::stod(text);
+        if (integral) {
+          v.is_u64 = true;
+          v.u64 = std::stoull(text);
+        }
+        pos_ = end;
+        return v;
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rsvm::bench::minijson

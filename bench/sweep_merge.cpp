@@ -1,0 +1,103 @@
+// sweep_merge: fuse the per-shard JSON reports of a sharded sweep
+// (bench binaries run with --shard=K/N --json=shardK.json) back into
+// one canonical rsvm-bench-1 report, exactly as if the sweep had run
+// unsharded: submission order restored, wall-clock and cache counters
+// summed, per-point records byte-identical to what each shard emitted.
+//
+//   sweep_merge --out=MERGED.json shard1.json shard2.json ... shardN.json
+//   sweep_merge --inspect=MANIFEST      # summarize a checkpoint manifest
+//
+// Merging is strict: an incomplete or overlapping shard set, shards
+// from different sweeps, or two shards disagreeing on a point's
+// simulated digests are hard errors, not warnings.
+#include "bench_common.hpp"
+
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: %s --out=FILE SHARD.json...   merge shard reports\n"
+    "       %s --inspect=MANIFEST        summarize a checkpoint manifest\n";
+
+std::string readFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::string out;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+int inspect(const std::string& path) {
+  std::vector<std::string> keys;
+  const auto sr = rsvm::CheckpointLog::scan(path, &keys);
+  std::printf("%s: %llu intact records, %llu valid bytes", path.c_str(),
+              static_cast<unsigned long long>(sr.records),
+              static_cast<unsigned long long>(sr.valid_bytes));
+  if (sr.torn_tail) {
+    std::printf(", torn tail of %llu bytes (a resume will discard it)",
+                static_cast<unsigned long long>(sr.discarded_bytes));
+  }
+  std::printf("\n");
+  for (const std::string& k : keys) std::printf("  %s\n", k.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--inspect=", 10) == 0) {
+      try {
+        return inspect(argv[i] + 10);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(kUsage, argv[0], argv[0]);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], argv[i]);
+      std::fprintf(stderr, kUsage, argv[0], argv[0]);
+      return 2;
+    } else {
+      shard_paths.emplace_back(argv[i]);
+    }
+  }
+  if (out_path.empty() || shard_paths.empty()) {
+    std::fprintf(stderr, "%s: --out=FILE and at least one shard report "
+                         "are required\n", argv[0]);
+    std::fprintf(stderr, kUsage, argv[0], argv[0]);
+    return 2;
+  }
+  try {
+    std::vector<std::string> texts;
+    texts.reserve(shard_paths.size());
+    for (const std::string& p : shard_paths) texts.push_back(readFile(p));
+    const std::string merged = rsvm::bench::mergeShardReports(texts);
+    rsvm::bench::writeFileAtomic(out_path, merged);
+    std::printf("[sweep_merge: %zu shards -> %s]\n", shard_paths.size(),
+                out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+}

@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 SCALE="${1:-}"
 JOBS="${JOBS:-$(nproc)}"
 RESULTS=build/bench-results
+# Content-addressed result cache: a rerun (same engine revision, same
+# scale) serves every unchanged sweep point from disk. Safe to delete.
+CACHE="${RSVM_CACHE_DIR:-build/bench-cache}"
 
 cmake -B build -G Ninja
 cmake --build build
@@ -26,12 +29,16 @@ for b in build/bench/*; do
   if [ "$name" = micro_protocol ]; then
     # google-benchmark binary: takes no rsvm flags
     "$b"
+  elif [ "$name" = sweep_merge ]; then
+    # shard-report fusion tool, not a sweep (see docs/API.md)
+    continue
   else
     # Every figure binary accepts --jobs/--json; only the sweep binaries
     # (fig02, fig16, ext_*) actually write the JSON report. ext_server
     # doubles as a differential check: it exits nonzero if any platform
     # disagrees on the server/index state or result digests.
-    "$b" $SCALE "--jobs=$JOBS" "--json=$RESULTS/$name.json"
+    "$b" $SCALE "--jobs=$JOBS" "--cache-dir=$CACHE" \
+         "--json=$RESULTS/$name.json"
   fi
 done
 

@@ -1,0 +1,35 @@
+// Deterministic skewed-key selection for request-serving workloads.
+// Real server key popularity is Zipf-like (a few keys absorb most of the
+// traffic); the paper's data-structure optimizations (stripe locks,
+// per-processor arenas) behave very differently under skew than under
+// the uniform stream, so the skew level is a first-class sweep knob
+// (AppParams::zipf) rather than a hard-coded distribution.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace rsvm::apps {
+
+/// Maps a hash-uniform word `u` to a key rank in [0, n).
+///
+/// theta == 0 is exactly `u % n` -- bit-compatible with the uniform pick
+/// used before the knob existed, so theta-0 digests and golden cycle
+/// counts are unchanged. theta in (0, 1) approximates a Zipf
+/// distribution by the power-law inverse CDF rank = n * x^(1/(1-theta)),
+/// concentrating toward rank 0 as theta -> 1. Pure function of (u, n,
+/// theta): every processor, platform, and the host-side replay decode
+/// the same key for the same op word.
+inline std::size_t zipfPick(std::uint64_t u, std::size_t n, double theta) {
+  if (n < 2) return 0;
+  if (theta <= 0.0) return static_cast<std::size_t>(u % n);
+  if (theta > 0.99) theta = 0.99;  // exponent stays finite
+  const double x =
+      static_cast<double>(u & ((1ull << 53) - 1)) * 0x1.0p-53;  // in [0, 1)
+  const auto r = static_cast<std::size_t>(
+      static_cast<double>(n) * std::pow(x, 1.0 / (1.0 - theta)));
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace rsvm::apps

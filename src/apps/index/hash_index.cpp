@@ -1,10 +1,13 @@
 // Chained hash table index (versions hash-orig / hash-pa). Buckets are
 // head words into a shared node pool; every operation holds the
-// bucket's stripe lock, and inserts allocate nodes from a global bump
+// bucket's stripe lock, and inserts allocate nodes from the processor's
+// own free list of reclaimed nodes, falling back to a global bump
 // cursor nested inside the bucket lock (bucket -> alloc order is
-// consistent everywhere, so no deadlock). Node publication is ordered
-// for readers by the bucket-lock release: a node's fields are written
-// before the head is linked, all inside the critical section.
+// consistent everywhere, so no deadlock). Deletes push the unlinked
+// node onto the deleter's free list instead of leaking it; the reinsert
+// phase pops it back. Node publication is ordered for readers by the
+// bucket-lock release: a node's fields are written before the head is
+// linked, all inside the critical section.
 #include "apps/index/index_common.hpp"
 
 #include "runtime/shared.hpp"
@@ -51,6 +54,22 @@ AppResult runHash(Platform& plat, const AppParams& prm, bool padded) {
   Shared<std::int64_t> cursor(plat, HomePolicy::node(0));
   cursor.raw() = 0;
   const int alloc_lk = plat.makeLock();
+  // Per-processor free lists of reclaimed nodes: one head word per
+  // processor, touched only by its owner (deleter == reinserter == the
+  // chunk owner), so no lock guards them. The padded version homes each
+  // head on its owner's page; the packed version keeps them on node 0,
+  // in the spirit of its unoptimized layout.
+  const std::size_t fstride = padded ? (4096 / sizeof(std::int64_t)) : 1;
+  SharedArray<std::int64_t> freeheads(
+      plat, static_cast<std::size_t>(P) * fstride,
+      padded ? HomePolicy{[](std::uint64_t page, std::uint64_t) {
+        return static_cast<ProcId>(page);
+      }}
+             : HomePolicy::node(0),
+      padded ? 4096 : alignof(std::int64_t));
+  for (int p = 0; p < P; ++p) {
+    freeheads.raw(static_cast<std::size_t>(p) * fstride) = -1;
+  }
   std::vector<int> bucket_lks;
   for (std::size_t s = 0; s < g.nlocks; ++s) {
     bucket_lks.push_back(plat.makeLock());
@@ -69,10 +88,19 @@ AppResult runHash(Platform& plat, const AppParams& prm, bool padded) {
       const std::size_t b = bucketOf(key, g.nbuckets);
       const int lk = bucket_lks[b & (g.nlocks - 1)];
       c.lock(lk);
-      c.lock(alloc_lk);
-      const std::int64_t idx = cursor.get(c);
-      cursor.set(c, idx + 1);
-      c.unlock(alloc_lk);
+      // Pop the own free list first (owner-only, lock-free); fall back
+      // to the global bump cursor when it is empty.
+      const std::size_t fh = static_cast<std::size_t>(me) * fstride;
+      std::int64_t idx = freeheads.get(c, fh);
+      if (idx >= 0) {
+        freeheads.set(
+            c, fh, pool.get(c, static_cast<std::size_t>(idx) * g.nstride + 2));
+      } else {
+        c.lock(alloc_lk);
+        idx = cursor.get(c);
+        cursor.set(c, idx + 1);
+        c.unlock(alloc_lk);
+      }
       ++c.stats().allocs;
       const auto at = static_cast<std::size_t>(idx) * g.nstride;
       pool.set(c, at + 0, static_cast<std::int64_t>(key));
@@ -122,7 +150,13 @@ AppResult runHash(Platform& plat, const AppParams& prm, bool padded) {
           } else {
             pool.set(c, static_cast<std::size_t>(prev) * g.nstride + 2, next);
           }
-          found = true;  // node is leaked, as a bump allocator must
+          // Reclaim: the node is unreachable from any chain now, so
+          // only this processor can touch it -- push it onto the own
+          // free list for a later insert to reuse.
+          const std::size_t fh = static_cast<std::size_t>(me) * fstride;
+          pool.set(c, at + 2, freeheads.get(c, fh));
+          freeheads.set(c, fh, cur);
+          found = true;
           break;
         }
         prev = cur;
@@ -162,6 +196,19 @@ AppResult runHash(Platform& plat, const AppParams& prm, bool padded) {
     }
     c.barrier(bar);
 
+    // Phase C2: reinsert a subset of the deleted keys with fresh
+    // values. Every reinserted(j) key was deleted by this same
+    // processor in Phase C, so the own free list always has a node to
+    // pop -- total allocations stay exactly n + #reinserted on every
+    // platform and processor count.
+    for (int j = own.lo; j < own.hi; ++j) {
+      if (!reinserted(j)) continue;
+      const std::uint64_t key = keyOf(prm.seed, j);
+      insert(key, val1(key));
+      d += mix3(kPhaseReinsert, static_cast<std::uint64_t>(j), key);
+    }
+    c.barrier(bar);
+
     // Phase D: rotated verify pass over every key.
     const Chunk vc = chunkOf((me + 1) % P, P, prm.n);
     for (int j = vc.lo; j < vc.hi; ++j) {
@@ -187,11 +234,21 @@ AppResult runHash(Platform& plat, const AppParams& prm, bool padded) {
     }
     if (deleted(j)) {
       want_result += mix3(kPhaseMutate, ju, 1);
-      want_result += mix3(kPhaseVerify, ju, 0);
+      if (reinserted(j)) {
+        want_result += mix3(kPhaseReinsert, ju, key);
+        want_result += mix3(kPhaseVerify, ju, val1(key));
+        want[key] = val1(key);
+      } else {
+        want_result += mix3(kPhaseVerify, ju, 0);
+      }
     } else {
       want_result += mix3(kPhaseVerify, ju, val0(key));
       want[key] = val0(key);
     }
+  }
+  std::uint64_t want_allocs = static_cast<std::uint64_t>(prm.n);
+  for (int j = 0; j < prm.n; ++j) {
+    if (reinserted(j)) ++want_allocs;
   }
 
   // --- structural walk: every chain entry must be an expected survivor;
@@ -223,13 +280,20 @@ AppResult runHash(Platform& plat, const AppParams& prm, bool padded) {
         return s;
       }();
 
-  res.correct = bad == 0 && walked == want.size() && got_result == want_result;
+  // Allocation count is part of the contract: the free list makes it a
+  // pure function of n (n bump allocations + one reuse per reinsert),
+  // identical on every platform and processor count.
+  const std::uint64_t got_allocs = res.stats.sum(&ProcStats::allocs);
+  res.correct = bad == 0 && walked == want.size() &&
+                got_result == want_result && got_allocs == want_allocs;
   res.note = res.correct
-                 ? "chains and op digests match serial replay"
+                 ? "chains, op digests, and alloc count match serial replay"
                  : std::to_string(bad) + " bad entries; walked " +
                        std::to_string(walked) + "/" +
                        std::to_string(want.size()) + "; result " +
-                       (got_result == want_result ? "ok" : "MISMATCH");
+                       (got_result == want_result ? "ok" : "MISMATCH") +
+                       "; allocs " + std::to_string(got_allocs) + "/" +
+                       std::to_string(want_allocs);
   res.state_hash = state;
   res.result_hash = got_result;
   return res;

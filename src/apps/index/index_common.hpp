@@ -26,11 +26,16 @@ inline std::uint64_t val1(std::uint64_t key) {
 }
 /// Keys the hash delete phase removes.
 inline bool deleted(int j) { return j % 5 == 3; }
+/// Keys the hash reinsert phase puts back with val1 -- a strict subset
+/// of deleted() (j % 10 == 3 implies j % 5 == 3), so every reinsert can
+/// reuse a node its own processor just reclaimed.
+inline bool reinserted(int j) { return j % 10 == 3; }
 
 /// Phase tags folded into per-op digests (so a lookup in round r and
 /// the final verify pass of the same key hash differently).
 constexpr std::uint64_t kPhaseInsert = 0xA;
 constexpr std::uint64_t kPhaseMutate = 0xC;
+constexpr std::uint64_t kPhaseReinsert = 0xE;
 constexpr std::uint64_t kPhaseVerify = 0xF;
 
 /// Contiguous key-index chunk of processor p (out of P) over n keys.

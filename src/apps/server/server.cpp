@@ -2,6 +2,7 @@
 
 #include "apps/common/digest.hpp"
 #include "apps/common/task_queue.hpp"
+#include "apps/common/zipf.hpp"
 #include "runtime/shared.hpp"
 
 #include <algorithm>
@@ -29,20 +30,23 @@ struct Op {
 /// op-stream word, so the host-side replay recomputes it exactly.
 /// Reads and scans touch only the cold half of the table (never
 /// written after init), writes only the hot half -- that separation is
-/// what makes per-op results independent of scheduling.
-Op decodeOp(std::uint64_t h, std::size_t cold, std::size_t hot) {
+/// what makes per-op results independent of scheduling. Key popularity
+/// is controlled by `zipf` (AppParams::zipf): 0 keeps the historical
+/// uniform pick bit-for-bit, theta > 0 skews toward low key ranks.
+Op decodeOp(std::uint64_t h, std::size_t cold, std::size_t hot,
+            double zipf) {
   Op o;
   const std::uint64_t t = h % 20;  // 60% read / 25% write / 15% scan
   if (t < 12) {
     o.type = kRead;
-    o.key = (h >> 8) % cold;
+    o.key = zipfPick(h >> 8, cold, zipf);
   } else if (t < 17) {
     o.type = kWrite;
-    o.key = cold + (h >> 8) % hot;
+    o.key = cold + zipfPick(h >> 8, hot, zipf);
     o.delta = static_cast<std::int64_t>((h >> 32) % 4093) + 1;
   } else {
     o.type = kScan;
-    o.key = (h >> 8) % cold;
+    o.key = zipfPick(h >> 8, cold, zipf);
   }
   return o;
 }
@@ -126,14 +130,15 @@ class LogArena {
     std::uint64_t bad = 0;    ///< records whose key/delta mismatch the op
   };
   [[nodiscard]] Audit audit(std::uint64_t seed, std::size_t cold,
-                            std::size_t hot) const {
+                            std::size_t hot, double zipf) const {
     Audit a;
     auto one = [&](const SharedArray<std::int64_t>& arr, std::size_t at) {
       const std::int64_t op = arr.raw(at);
       const std::int64_t round = arr.raw(at + 1);
       const std::int64_t key = arr.raw(at + 2);
       const std::int64_t delta = arr.raw(at + 3);
-      const Op want = decodeOp(opWord(seed, static_cast<int>(op)), cold, hot);
+      const Op want =
+          decodeOp(opWord(seed, static_cast<int>(op)), cold, hot, zipf);
       if (want.type != kWrite ||
           want.key != static_cast<std::size_t>(key) || want.delta != delta) {
         ++a.bad;
@@ -198,7 +203,7 @@ Replay replay(const AppParams& prm, std::size_t nkeys, std::size_t cold,
   for (int round = 0; round < prm.iters; ++round) {
     for (int i = 0; i < prm.n; ++i) {
       const std::uint64_t h = opWord(prm.seed, i);
-      const Op o = decodeOp(h, cold, hot);
+      const Op o = decodeOp(h, cold, hot, prm.zipf);
       const auto ru = static_cast<std::uint64_t>(round);
       const auto iu = static_cast<std::uint64_t>(i);
       switch (o.type) {
@@ -303,7 +308,7 @@ AppResult runImpl(Platform& plat, const AppParams& prm, Variant variant) {
     auto exec = [&](std::int32_t task, int round) {
       const auto h = static_cast<std::uint64_t>(
           ops.get(c, static_cast<std::size_t>(task)));
-      const Op o = decodeOp(h, cold, hot);
+      const Op o = decodeOp(h, cold, hot, prm.zipf);
       const auto ru = static_cast<std::uint64_t>(round);
       const auto tu = static_cast<std::uint64_t>(task);
       c.compute(20 + (h >> 40) % 32);  // parse + service overhead
@@ -375,7 +380,7 @@ AppResult runImpl(Platform& plat, const AppParams& prm, Variant variant) {
     result_sum += static_cast<std::uint64_t>(
         pstate.raw(static_cast<std::size_t>(p) * pstride + 1));
   }
-  const LogArena::Audit a = log.audit(prm.seed, cold, hot);
+  const LogArena::Audit a = log.audit(prm.seed, cold, hot, prm.zipf);
   const std::uint64_t want_recs = ref.writes;
   const std::uint64_t executed = res.stats.sum(&ProcStats::tasks_executed);
   const std::uint64_t want_ops = static_cast<std::uint64_t>(prm.n) *

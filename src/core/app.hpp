@@ -23,6 +23,13 @@ struct AppParams {
   int iters = 1;       ///< time steps / iterations
   int block = 16;      ///< block/tile size where applicable
   std::uint64_t seed = 42;
+
+  /// Key-distribution skew for request-serving workloads (apps/server):
+  /// 0 = uniform (the default, bit-compatible with builds that predate
+  /// the knob), theta in (0, 1) = Zipf-like, hotter as theta -> 1.
+  /// Ignored by apps without a key-popularity notion, but carried in
+  /// every sweep/cache key so skew levels are distinct cacheable points.
+  double zipf = 0.0;
 };
 
 struct AppResult {

@@ -1,0 +1,111 @@
+#include "core/checkpoint.hpp"
+
+#include "core/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rsvm {
+
+namespace {
+
+/// Slurp a file ("rb"); missing file yields an empty string.
+std::string readAll(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+CheckpointLog::ScanResult CheckpointLog::scan(
+    const std::string& path, std::vector<std::string>* keys) {
+  ScanResult sr;
+  const std::string bytes = readAll(path);
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    std::string key;
+    SweepResult r;
+    std::size_t consumed = 0;
+    if (!decodeResult(std::string_view(bytes).substr(at), &key, &r,
+                      &consumed)) {
+      break;  // torn or corrupt tail: everything before it is intact
+    }
+    at += consumed;
+    ++sr.records;
+    if (keys != nullptr) keys->push_back(std::move(key));
+  }
+  sr.valid_bytes = at;
+  sr.discarded_bytes = bytes.size() - at;
+  sr.torn_tail = sr.discarded_bytes > 0;
+  return sr;
+}
+
+CheckpointLog::CheckpointLog(std::string path) : path_(std::move(path)) {
+  const std::string bytes = readAll(path_);
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    std::string key;
+    SweepResult r;
+    std::size_t consumed = 0;
+    if (!decodeResult(std::string_view(bytes).substr(at), &key, &r,
+                      &consumed)) {
+      break;
+    }
+    at += consumed;
+    ++loaded_.records;
+    results_[std::move(key)] = std::move(r);
+  }
+  loaded_.valid_bytes = at;
+  loaded_.discarded_bytes = bytes.size() - at;
+  loaded_.torn_tail = loaded_.discarded_bytes > 0;
+
+  // "a+b" would force appends to the true end even after truncation on
+  // some libcs; open read-write and position explicitly instead.
+  f_ = std::fopen(path_.c_str(), bytes.empty() ? "wb" : "r+b");
+  if (f_ == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open '" + path_ + "'");
+  }
+  if (loaded_.torn_tail) {
+    if (::ftruncate(::fileno(f_), static_cast<off_t>(at)) != 0) {
+      std::fclose(f_);
+      f_ = nullptr;
+      throw std::runtime_error(
+          "checkpoint: cannot discard torn tail of '" + path_ + "'");
+    }
+  }
+  if (std::fseek(f_, static_cast<long>(at), SEEK_SET) != 0) {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw std::runtime_error("checkpoint: cannot seek in '" + path_ + "'");
+  }
+}
+
+CheckpointLog::~CheckpointLog() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+const SweepResult* CheckpointLog::find(const std::string& key_text) const {
+  const auto it = results_.find(key_text);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+bool CheckpointLog::append(const std::string& key_text,
+                           const SweepResult& r) {
+  const std::string rec = encodeResult(key_text, r);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (f_ == nullptr) return false;
+  if (std::fwrite(rec.data(), 1, rec.size(), f_) != rec.size()) return false;
+  if (std::fflush(f_) != 0) return false;
+  ++appended_;
+  return true;
+}
+
+}  // namespace rsvm

@@ -1,0 +1,74 @@
+// Append-only sweep checkpoint manifest. While a sweep runs, every
+// completed point is journaled as one self-delimiting, checksum-guarded
+// record (the same binary codec as the result cache, core/
+// result_cache.hpp). If the process is killed -- mid-sweep, mid-record
+// -- restarting the same sweep with the same manifest path replays the
+// journaled results and computes only what is missing: the loader scans
+// the file, stops at the first torn or corrupt record, truncates the
+// file back to the last intact record boundary, and resumes appending
+// from there. Records are keyed by the point's canonical cache-key
+// text, so a manifest is valid only for the exact engine revision,
+// fiber backend, and point parameters that wrote it.
+#pragma once
+
+#include "core/sweep.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rsvm {
+
+class CheckpointLog {
+ public:
+  /// Summary of one manifest scan (also available standalone via
+  /// scan(), which never modifies the file).
+  struct ScanResult {
+    std::uint64_t records = 0;        ///< intact records found
+    std::uint64_t valid_bytes = 0;    ///< offset of the last intact record end
+    std::uint64_t discarded_bytes = 0;  ///< torn/corrupt tail dropped
+    bool torn_tail = false;
+  };
+
+  /// Read-only scan of a manifest; `keys` (optional) receives the key
+  /// text of every intact record in file order.
+  static ScanResult scan(const std::string& path,
+                         std::vector<std::string>* keys = nullptr);
+
+  /// Opens (creating if absent) `path` for resume + append: loads every
+  /// intact record, truncates a torn tail, positions for appending.
+  /// Throws std::runtime_error if the file cannot be opened or
+  /// truncated.
+  explicit CheckpointLog(std::string path);
+  ~CheckpointLog();
+
+  CheckpointLog(const CheckpointLog&) = delete;
+  CheckpointLog& operator=(const CheckpointLog&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const ScanResult& loaded() const { return loaded_; }
+
+  /// The journaled result for a key, or nullptr. (Later records win if
+  /// a key was journaled twice, e.g. by overlapping resumed runs.)
+  [[nodiscard]] const SweepResult* find(const std::string& key_text) const;
+
+  /// Journal one completed result (thread-safe; flushed per record so a
+  /// kill loses at most the record being written, which the next
+  /// resume's torn-tail scan discards). Returns false on I/O failure.
+  bool append(const std::string& key_text, const SweepResult& r);
+
+  [[nodiscard]] std::uint64_t appended() const { return appended_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  ScanResult loaded_;
+  std::unordered_map<std::string, SweepResult> results_;
+  std::mutex mu_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace rsvm

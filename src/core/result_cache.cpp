@@ -1,0 +1,339 @@
+#include "core/result_cache.hpp"
+
+#include "sim/fiber.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace rsvm {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31435352;  // "RSC1" little-endian
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h = kFnvOffset) {
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// --- little-endian scalar (de)serialization into a byte string ---
+
+void putU32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void putStr(std::string& out, std::string_view s) {
+  putU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+/// Sequential reader over a record payload; `ok` latches false on any
+/// out-of-bounds read so the decoder can bail once at the end.
+struct Reader {
+  std::string_view s;
+  std::size_t at = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (at + 4 > s.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v;
+    std::memcpy(&v, s.data() + at, 4);
+    at += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (at + 8 > s.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v;
+    std::memcpy(&v, s.data() + at, 8);
+    at += 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || at + n > s.size()) {
+      ok = false;
+      return {};
+    }
+    std::string v(s.data() + at, n);
+    at += n;
+    return v;
+  }
+};
+
+/// Every uint64 field of a ProcStats, in declared order. Keeping the
+/// list here (next to the codec) means a ProcStats change that forgets
+/// to update it fails the round-trip unit test, not silently.
+constexpr std::uint64_t ProcStats::* kProcFields[] = {
+    &ProcStats::reads,          &ProcStats::writes,
+    &ProcStats::l1_misses,      &ProcStats::l2_misses,
+    &ProcStats::page_faults,    &ProcStats::write_faults,
+    &ProcStats::diffs_created,  &ProcStats::diff_bytes,
+    &ProcStats::remote_misses,  &ProcStats::local_misses,
+    &ProcStats::invalidations_sent, &ProcStats::lock_acquires,
+    &ProcStats::remote_lock_acquires, &ProcStats::barriers,
+    &ProcStats::tasks_executed, &ProcStats::tasks_stolen,
+    &ProcStats::allocs,
+};
+
+void appendDouble(std::string& out, const char* key, double v) {
+  char buf[48];
+  // %.17g round-trips every double exactly; trailing garbage-free.
+  std::snprintf(buf, sizeof buf, "|%s=%.17g", key, v);
+  out += buf;
+}
+
+bool readWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// mkdir -p for exactly one or two missing trailing components; enough
+/// for <dir> and <dir>/<hh>. EEXIST is success (concurrent creators).
+bool ensureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) return true;
+  if (errno != ENOENT) return false;
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return false;
+  if (!ensureDir(path.substr(0, slash))) return false;
+  return ::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST;
+}
+
+}  // namespace
+
+const char* engineRev() {
+#ifdef RSVM_ENGINE_REV
+  return RSVM_ENGINE_REV;
+#else
+  return "dev";
+#endif
+}
+
+std::string CacheKey::hex() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+bool cacheable(const SweepPoint& p) {
+  return (!p.make_platform && !p.make_baseline) || !p.config.empty();
+}
+
+std::string cacheKeyText(const SweepPoint& p, std::string_view rev,
+                         std::string_view fiber) {
+  std::string k = "rsvm-cache-1";
+  k += "|rev=";
+  k += rev;
+  k += "|app=" + p.app;
+  k += "|ver=" + p.version;
+  k += "|plat=";
+  k += platformName(p.kind);
+  k += "|config=" + p.config;
+  k += "|basekey=" + (p.baseline_key.empty() ? p.config : p.baseline_key);
+  k += "|procs=" + std::to_string(p.procs);
+  k += "|n=" + std::to_string(p.params.n);
+  k += "|iters=" + std::to_string(p.params.iters);
+  k += "|block=" + std::to_string(p.params.block);
+  k += "|seed=" + std::to_string(p.params.seed);
+  appendDouble(k, "zipf", p.params.zipf);
+  k += "|freecs=" + std::to_string(p.free_cs_faults ? 1 : 0);
+  k += "|base=" + std::to_string(p.with_baseline ? 1 : 0);
+  k += "|check=";
+  k += p.check == CheckLevel::Oracle ? "oracle" : "off";
+  k += "|fseed=" + std::to_string(p.fault_seed);
+  k += "|fiber=";
+  k += fiber;
+  return k;
+}
+
+std::string cacheKeyText(const SweepPoint& p) {
+  return cacheKeyText(p, engineRev(),
+                      Fiber::backendName(Fiber::defaultBackend()));
+}
+
+CacheKey cacheKeyOf(std::string_view key_text) {
+  CacheKey k;
+  k.hi = fnv1a(key_text);
+  // Second, independent digest: re-fold with a different offset, then
+  // mix. Collisions are harmless (the stored key text is verified), the
+  // 128 bits just keep accidental aliasing out of the filesystem.
+  k.lo = splitmix(fnv1a(key_text, 0x9e3779b97f4a7c15ull) ^
+                  (k.hi + key_text.size()));
+  return k;
+}
+
+std::string encodeResult(std::string_view key_text, const SweepResult& r) {
+  std::string payload;
+  putStr(payload, key_text);
+  putU32(payload, (r.app.correct ? 1u : 0u) | (r.timed_out ? 2u : 0u));
+  putU64(payload, r.cycles);
+  putU64(payload, r.base_cycles);
+  putU64(payload, static_cast<std::uint64_t>(r.oracle_violations));
+  putStr(payload, r.error);
+  putStr(payload, r.app.note);
+  putU64(payload, r.app.state_hash);
+  putU64(payload, r.app.result_hash);
+  putU64(payload, r.app.stats.exec_cycles);
+  putU32(payload, static_cast<std::uint32_t>(r.app.stats.procs.size()));
+  for (const ProcStats& ps : r.app.stats.procs) {
+    for (const Cycles c : ps.buckets) putU64(payload, c);
+    for (const auto field : kProcFields) putU64(payload, ps.*field);
+  }
+
+  std::string out;
+  putU32(out, kMagic);
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU64(out, fnv1a(payload));
+  out += payload;
+  return out;
+}
+
+bool decodeResult(std::string_view bytes, std::string* key_text,
+                  SweepResult* out, std::size_t* consumed) {
+  Reader head{bytes};
+  const std::uint32_t magic = head.u32();
+  const std::uint32_t len = head.u32();
+  const std::uint64_t sum = head.u64();
+  if (!head.ok || magic != kMagic || head.at + len > bytes.size()) {
+    return false;
+  }
+  const std::string_view payload = bytes.substr(head.at, len);
+  if (fnv1a(payload) != sum) return false;
+
+  Reader rd{payload};
+  SweepResult r;
+  *key_text = rd.str();
+  const std::uint32_t flags = rd.u32();
+  r.app.correct = (flags & 1u) != 0;
+  r.timed_out = (flags & 2u) != 0;
+  r.cycles = rd.u64();
+  r.base_cycles = rd.u64();
+  r.oracle_violations = static_cast<std::size_t>(rd.u64());
+  r.error = rd.str();
+  r.app.note = rd.str();
+  r.app.state_hash = rd.u64();
+  r.app.result_hash = rd.u64();
+  r.app.stats.exec_cycles = rd.u64();
+  const std::uint32_t nprocs = rd.u32();
+  if (!rd.ok || nprocs > 1u << 20) return false;
+  r.app.stats.procs.resize(nprocs);
+  for (ProcStats& ps : r.app.stats.procs) {
+    for (Cycles& c : ps.buckets) c = rd.u64();
+    for (const auto field : kProcFields) ps.*field = rd.u64();
+  }
+  if (!rd.ok || rd.at != payload.size()) return false;
+  *out = std::move(r);
+  if (consumed != nullptr) *consumed = head.at + len;
+  return true;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty() || !ensureDir(dir_)) {
+    throw std::runtime_error("result cache: cannot create directory '" +
+                             dir_ + "'");
+  }
+}
+
+std::string ResultCache::entryPath(const CacheKey& key) const {
+  const std::string hex = key.hex();
+  return dir_ + "/" + hex.substr(0, 2) + "/" + hex + ".rc";
+}
+
+std::optional<SweepResult> ResultCache::lookup(const SweepPoint& p) {
+  if (!cacheable(p)) {
+    uncacheable_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::string key = cacheKeyText(p);
+  std::string bytes;
+  if (!readWholeFile(entryPath(cacheKeyOf(key)), &bytes)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string stored_key;
+  SweepResult r;
+  std::size_t consumed = 0;
+  if (!decodeResult(bytes, &stored_key, &r, &consumed) ||
+      consumed != bytes.size() || stored_key != key) {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  r.cached = true;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+bool ResultCache::insert(const SweepPoint& p, const SweepResult& r) {
+  if (!r.ok() || r.timed_out || !cacheable(p)) return false;
+  const std::string key = cacheKeyText(p);
+  const std::string path = entryPath(cacheKeyOf(key));
+  const std::size_t slash = path.find_last_of('/');
+  if (!ensureDir(path.substr(0, slash))) return false;
+
+  // Atomic publish: a reader either sees no entry or a complete one.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string body = encodeResult(key, r);
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rsvm

@@ -1,0 +1,119 @@
+// Content-addressed on-disk cache of sweep-point results. Every
+// simulation in this repo is a deterministic function of its SweepPoint
+// (app, version, platform kind + config + params, procs) plus three
+// host-side execution knobs that are *promised* not to change simulated
+// results but are keyed anyway so a false promise can never serve a
+// stale answer: the fiber backend, the check level, the fault seed --
+// and the engine revision string baked in at build time. Two processes
+// (or two runs weeks apart) that ask for the same point therefore get
+// the same bits, so shared uniprocessor baselines and re-run benches are
+// cache hits instead of recomputations.
+//
+// Layout: one file per entry under <dir>/<hh>/<32-hex-digest>.rc, where
+// <hh> is the first digest byte (keeps directories small at fleet
+// scale). Entries are written to a temp file and rename()d into place,
+// so a killed writer never leaves a torn entry; a corrupt or truncated
+// entry fails its checksum and is treated as a miss (and overwritten by
+// the recompute). The full canonical key text is stored inside the
+// entry and verified on load, so a digest collision degrades to a miss,
+// never to a wrong answer.
+#pragma once
+
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rsvm {
+
+/// Engine revision string baked in at build time (the git revision the
+/// build was configured from, via the RSVM_ENGINE_REV compile
+/// definition; "dev" when built outside git). Part of every cache key:
+/// results computed by a different engine build never alias.
+const char* engineRev();
+
+/// 128-bit content digest of a canonical key text.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex chars, used as the entry's file name.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Whether a point can be addressed by content at all. Points that
+/// supply a custom platform factory without tagging it via `config` are
+/// not cacheable: the factory's behavior is not part of the key, so two
+/// different configurations would alias.
+[[nodiscard]] bool cacheable(const SweepPoint& p);
+
+/// The canonical key text of a point: every field that can influence
+/// the simulated result (plus the promised-neutral execution knobs),
+/// rendered "k=v|k=v|...". `rev` and `fiber` default to the build's
+/// engine revision and the process-wide fiber backend; tests inject
+/// other values to prove key separation.
+[[nodiscard]] std::string cacheKeyText(const SweepPoint& p);
+[[nodiscard]] std::string cacheKeyText(const SweepPoint& p,
+                                       std::string_view rev,
+                                       std::string_view fiber);
+
+[[nodiscard]] CacheKey cacheKeyOf(std::string_view key_text);
+
+/// Binary entry codec, shared with the checkpoint manifest
+/// (core/checkpoint.hpp): [magic u32][payload_len u32][fnv1a64 of
+/// payload][payload = key text + SweepResult]. Host-only fields
+/// (wall_ms, host_wall_ms, retries and the cached/resumed/skipped
+/// provenance flags) are not stored: an entry holds exactly the
+/// simulated result.
+[[nodiscard]] std::string encodeResult(std::string_view key_text,
+                                       const SweepResult& r);
+
+/// Decode one record from the front of `bytes`. On success fills
+/// key_text/out, sets *consumed to the record's size, and returns true;
+/// returns false on a short, corrupt, or checksum-failing record.
+bool decodeResult(std::string_view bytes, std::string* key_text,
+                  SweepResult* out, std::size_t* consumed);
+
+/// The on-disk store. All methods are thread-safe; concurrent processes
+/// may share one directory (inserts are atomic renames, duplicate
+/// inserts of the same key are idempotent by construction -- the bytes
+/// are identical).
+class ResultCache {
+ public:
+  /// Creates `dir` (and its parents' final component) if missing;
+  /// throws std::runtime_error if it cannot be created.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Returns the stored result (with cached=true) or nullopt on miss.
+  std::optional<SweepResult> lookup(const SweepPoint& p);
+
+  /// Stores an ok() result; failed, timed-out, or uncacheable points
+  /// are never stored. Returns whether an entry was written.
+  bool insert(const SweepPoint& p, const SweepResult& r);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t corrupt = 0;      ///< entries dropped by checksum/key check
+    std::uint64_t uncacheable = 0;  ///< points that cannot be keyed
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::string entryPath(const CacheKey& key) const;
+
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> uncacheable_{0};
+};
+
+}  // namespace rsvm

@@ -76,6 +76,15 @@ struct SweepResult {
   int retries = 0;         ///< extra attempts consumed (fault-seeded points)
   std::size_t oracle_violations = 0;  ///< total oracle violations (0 = clean)
 
+  /// Provenance. A point is either computed (all three false), served
+  /// from the content-addressed result cache (`cached`), replayed from
+  /// this sweep's checkpoint manifest (`resumed`), or not run at all
+  /// because it belongs to another shard (`skipped`). Simulated fields
+  /// of cached/resumed results are bit-identical to a recompute.
+  bool cached = false;
+  bool resumed = false;
+  bool skipped = false;
+
   [[nodiscard]] bool ok() const { return error.empty(); }
   [[nodiscard]] double speedup() const {
     return (cycles == 0 || base_cycles == 0)
@@ -85,10 +94,28 @@ struct SweepResult {
   }
 };
 
+class ResultCache;
+class CheckpointLog;
+
 /// Bounded host-thread pool over sweep points. Workers self-schedule
 /// from a shared index (work-stealing over the tail of the job list), so
 /// slow points do not serialize the sweep behind them. Baselines are
 /// deduplicated across points and computed exactly once each.
+///
+/// Fleet features (all opt-in via Config):
+///  * result cache -- points are looked up in a content-addressed
+///    on-disk store (core/result_cache.hpp) before being scheduled and
+///    inserted after computing, so repeated points cost a file read;
+///  * checkpoint/resume -- completed points are journaled to an
+///    append-only manifest (core/checkpoint.hpp); a killed sweep
+///    restarted with the same point list and manifest skips everything
+///    already journaled, including a torn final record;
+///  * sharding -- with shard_count = N, only points whose submission
+///    index i satisfies i % N == shard_index are run; the rest come
+///    back with skipped = true. Shards are disjoint and complete by
+///    construction, so N processes (or hosts) each running one shard
+///    cover the sweep exactly once; bench/sweep_merge fuses their
+///    reports.
 ///
 /// Each worker thread runs its points' engines on its own thread, so it
 /// accumulates a thread-local pool of fiber stacks (see sim/fiber.hpp):
@@ -97,29 +124,60 @@ struct SweepResult {
 /// exits at the end of run().
 class SweepRunner {
  public:
+  struct Config {
+    int jobs = 0;             ///< host worker threads; <= 0 = defaultJobs()
+    std::string cache_dir;    ///< content-addressed result cache; "" = off
+    std::string checkpoint;   ///< append-only resume manifest; "" = off
+    int shard_index = 0;      ///< 0-based shard of this runner
+    int shard_count = 1;      ///< total shards; 1 = run everything
+  };
+
+  /// Per-run provenance counters: where each non-skipped point's result
+  /// came from, plus cache-store accounting. Reset by every run().
+  struct FleetStats {
+    std::uint64_t computed = 0;     ///< simulated in this run
+    std::uint64_t cache_hits = 0;   ///< served from the result cache
+    std::uint64_t resumed = 0;      ///< served from the checkpoint manifest
+    std::uint64_t stores = 0;       ///< new cache entries written
+    std::uint64_t shard_skipped = 0;  ///< points outside this shard
+    std::uint64_t cache_corrupt = 0;  ///< cache entries dropped by checksum
+    std::uint64_t uncacheable = 0;  ///< points that cannot be keyed
+  };
+
   /// jobs <= 0 selects defaultJobs() (hardware concurrency).
   explicit SweepRunner(int jobs = 0);
+  explicit SweepRunner(const Config& cfg);
+  ~SweepRunner();
 
-  [[nodiscard]] int jobs() const { return jobs_; }
+  [[nodiscard]] int jobs() const { return cfg_.jobs; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   /// Run every point; results[i] corresponds to points[i] regardless of
   /// the worker count or completion order.
   std::vector<SweepResult> run(const std::vector<SweepPoint>& points);
+
+  /// Provenance of the most recent run().
+  [[nodiscard]] const FleetStats& fleetStats() const { return fleet_; }
 
   /// Hardware concurrency, clamped to at least 1.
   static int defaultJobs();
 
  private:
   using BaselineKey =
-      std::tuple<int, std::string, std::string, int, int, int, std::uint64_t>;
+      std::tuple<int, std::string, std::string, int, int, int, std::uint64_t,
+                 double>;
 
   Cycles baseline(const SweepPoint& p);
   SweepResult runPoint(const SweepPoint& p);
   /// One attempt at a point (no retry logic, no wall-clock accounting).
   SweepResult attemptPoint(const SweepPoint& p);
 
-  int jobs_;
-  std::mutex mu_;  ///< guards base_cache_
+  Config cfg_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<CheckpointLog> ckpt_;
+  FleetStats fleet_;
+  std::mutex fleet_mu_;  ///< guards fleet_ during run()
+  std::mutex mu_;        ///< guards base_cache_
   std::map<BaselineKey, std::shared_future<Cycles>> base_cache_;
 };
 

@@ -5,11 +5,13 @@
 #include "apps/common/task_queue.hpp"
 
 #include "../common/differential.hpp"
+#include "apps/common/zipf.hpp"
 #include "runtime/platform.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -119,6 +121,105 @@ TEST(ServerWorkload, BatchedVersionStealsInBatches) {
   EXPECT_TRUE(one.correct) << one.note;
   EXPECT_TRUE(batched.correct) << batched.note;
   testing::expectSameAnswer(one, batched);
+}
+
+TEST(ZipfPick, ThetaZeroIsExactlyTheLegacyModulo) {
+  // --zipf=0 must be bit-compatible with the pre-skew uniform pick, or
+  // every golden digest and checked-in bench report would shift.
+  for (std::uint64_t u : {0ull, 1ull, 17ull, 0xdeadbeefull,
+                          0xffffffffffffffull}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+      EXPECT_EQ(apps::zipfPick(u, n, 0.0), u % n) << "u=" << u << " n=" << n;
+    }
+  }
+}
+
+TEST(ZipfPick, StaysInRangeAndSkewsTowardLowIndices) {
+  const std::size_t n = 100;
+  double mean_uniform = 0, mean_mild = 0, mean_hot = 0;
+  const int trials = 4096;
+  std::uint64_t u = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < trials; ++i) {
+    u = u * 6364136223846793005ull + 1442695040888963407ull;  // LCG walk
+    const std::size_t a = apps::zipfPick(u, n, 0.0);
+    const std::size_t b = apps::zipfPick(u, n, 0.6);
+    const std::size_t c = apps::zipfPick(u, n, 0.9);
+    ASSERT_LT(a, n);
+    ASSERT_LT(b, n);
+    ASSERT_LT(c, n);
+    mean_uniform += static_cast<double>(a);
+    mean_mild += static_cast<double>(b);
+    mean_hot += static_cast<double>(c);
+  }
+  // Higher theta concentrates picks on hot (low) keys; the same u
+  // sequence makes the comparison deterministic.
+  EXPECT_LT(mean_hot, mean_mild);
+  EXPECT_LT(mean_mild, mean_uniform);
+}
+
+TEST(ZipfPick, DegenerateUniverseAlwaysPicksZero) {
+  EXPECT_EQ(apps::zipfPick(0xabcdefull, 1, 0.9), 0u);
+  EXPECT_EQ(apps::zipfPick(0xabcdefull, 0, 0.9), 0u);
+}
+
+TEST(ServerWorkload, ZipfSkewIsAPlatformIndependentWorkload) {
+  // Skewed key popularity is a different *workload*, not a different
+  // *execution*: platforms must still agree on the digests within a
+  // skew level, and the skewed digests must differ from uniform (if
+  // they didn't, the knob would be dead).
+  testing::DiffOptions skew;
+  skew.zipf = 0.9;
+  const testing::DiffRun smp =
+      testing::runCell("server", "orig", PlatformKind::SMP, 4, skew);
+  const testing::DiffRun svm =
+      testing::runCell("server", "orig", PlatformKind::SVM, 4, skew);
+  testing::expectSameAnswer(smp, svm);
+
+  const testing::DiffRun uniform =
+      testing::runCell("server", "orig", PlatformKind::SMP, 4);
+  EXPECT_TRUE(uniform.correct) << uniform.note;
+  EXPECT_NE(uniform.state_hash, smp.state_hash)
+      << "zipf=0.9 produced the uniform workload's state";
+  EXPECT_NE(uniform.result_hash, smp.result_hash)
+      << "zipf=0.9 produced the uniform workload's results";
+}
+
+TEST(ServerWorkload, EveryVersionSurvivesSkew) {
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("server");
+  ASSERT_NE(app, nullptr);
+  testing::DiffOptions skew;
+  skew.zipf = 0.6;
+  for (const auto& ver : app->versions) {
+    const testing::DiffRun r = testing::runCell(
+        "server", ver.name.c_str(), PlatformKind::SMP, 4, skew);
+    EXPECT_TRUE(r.correct) << r.label << ": " << r.note;
+    EXPECT_NE(r.state_hash, 0u) << r.label;
+  }
+}
+
+TEST(IndexWorkload, HashAllocationCountIsDigestStable) {
+  // The chained-hash versions reclaim unlinked nodes through
+  // per-processor free lists; the allocation count (counted at every
+  // insert, reuse or not) is a deterministic function of the workload
+  // alone -- inserts plus reinserts of deleted keys -- so every
+  // platform, processor count, and padding variant must report the
+  // same total. A drifting count would mean lost or doubled reclaims.
+  const testing::DiffRun base =
+      testing::runCell("index", "hash-orig", PlatformKind::SMP, 4);
+  ASSERT_TRUE(base.correct) << base.note;
+  EXPECT_GT(base.allocs, 0u);
+  for (const PlatformKind kind : testing::kAllKinds) {
+    for (const int procs : {2, 4}) {
+      for (const char* ver : {"hash-orig", "hash-pa"}) {
+        const testing::DiffRun r =
+            testing::runCell("index", ver, kind, procs);
+        EXPECT_TRUE(r.correct) << r.label << ": " << r.note;
+        EXPECT_EQ(r.allocs, base.allocs)
+            << r.label << ": alloc count drifted from " << base.label;
+      }
+    }
+  }
 }
 
 TEST(IndexWorkload, BothStructuresHoldTheSameMappings) {

@@ -45,6 +45,45 @@ TEST(BenchFlags, DeadlineParses) {
   EXPECT_THROW(parseArgs({"--deadline-ms=nope"}), std::invalid_argument);
 }
 
+TEST(BenchFlags, FleetFlagsDefaultOff) {
+  const Options o = parseArgs({});
+  EXPECT_TRUE(o.cache_dir.empty());
+  EXPECT_TRUE(o.checkpoint.empty());
+  EXPECT_EQ(o.shard_index, 0);
+  EXPECT_EQ(o.shard_count, 1);
+  EXPECT_EQ(o.zipf, 0.0);
+}
+
+TEST(BenchFlags, CacheAndCheckpointPathsParse) {
+  EXPECT_EQ(parseArgs({"--cache-dir=/tmp/rc"}).cache_dir, "/tmp/rc");
+  EXPECT_EQ(parseArgs({"--checkpoint=sweep.ck"}).checkpoint, "sweep.ck");
+  EXPECT_THROW(parseArgs({"--cache-dir="}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--checkpoint="}), std::invalid_argument);
+}
+
+TEST(BenchFlags, ShardParsesOneBasedKOfN) {
+  const Options o = parseArgs({"--shard=2/3"});
+  EXPECT_EQ(o.shard_index, 1);  // stored 0-based
+  EXPECT_EQ(o.shard_count, 3);
+  const Options whole = parseArgs({"--shard=1/1"});
+  EXPECT_EQ(whole.shard_index, 0);
+  EXPECT_EQ(whole.shard_count, 1);
+  EXPECT_THROW(parseArgs({"--shard=0/3"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--shard=4/3"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--shard=2"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--shard=a/b"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--shard=1/0"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--shard="}), std::invalid_argument);
+}
+
+TEST(BenchFlags, ZipfParsesAndBoundsTheta) {
+  EXPECT_EQ(parseArgs({"--zipf=0.9"}).zipf, 0.9);
+  EXPECT_EQ(parseArgs({"--zipf=0"}).zipf, 0.0);
+  EXPECT_THROW(parseArgs({"--zipf=1"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--zipf=-0.1"}), std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--zipf=hot"}), std::invalid_argument);
+}
+
 TEST(BenchFlags, UnknownFlagThrows) {
   EXPECT_THROW(parseArgs({"--not-a-flag"}), std::invalid_argument);
   EXPECT_THROW(parseArgs({"stray"}), std::invalid_argument);

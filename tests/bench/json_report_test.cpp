@@ -4,6 +4,7 @@
 // sweep's output and validates the structure.
 #include "bench_common.hpp"
 
+#include "json_mini.hpp"
 #include "sim/fiber.hpp"
 
 #include <gtest/gtest.h>
@@ -17,151 +18,8 @@
 namespace rsvm::bench {
 namespace {
 
-// ---------------------------------------------------------------------------
-// A deliberately tiny recursive-descent JSON parser -- just enough to
-// validate the emitter without external dependencies.
-
-struct Json {
-  enum class Type { Object, Array, String, Number, Bool, Null };
-  Type type = Type::Null;
-  std::map<std::string, Json> obj;
-  std::vector<Json> arr;
-  std::string str;
-  double num = 0.0;
-  bool boolean = false;
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return type == Type::Object && obj.count(key) > 0;
-  }
-  const Json& at(const std::string& key) const {
-    if (!has(key)) throw std::runtime_error("missing key: " + key);
-    return obj.at(key);
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  Json parse() {
-    Json v = value();
-    ws();
-    if (pos_ != s_.size()) fail("trailing data");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
-                             ": " + why);
-  }
-  void ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
-                                   s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (peek() != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        char esc = s_[pos_++];
-        switch (esc) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u': pos_ += 4; out += '?'; break;
-          default: out += esc;
-        }
-      } else {
-        out += c;
-      }
-    }
-    ++pos_;
-    return out;
-  }
-  Json value() {
-    ws();
-    Json v;
-    switch (peek()) {
-      case '{': {
-        v.type = Json::Type::Object;
-        ++pos_;
-        ws();
-        if (peek() == '}') { ++pos_; return v; }
-        for (;;) {
-          ws();
-          std::string key = string();
-          ws();
-          expect(':');
-          v.obj[key] = value();
-          ws();
-          if (peek() == ',') { ++pos_; continue; }
-          expect('}');
-          return v;
-        }
-      }
-      case '[': {
-        v.type = Json::Type::Array;
-        ++pos_;
-        ws();
-        if (peek() == ']') { ++pos_; return v; }
-        for (;;) {
-          v.arr.push_back(value());
-          ws();
-          if (peek() == ',') { ++pos_; continue; }
-          expect(']');
-          return v;
-        }
-      }
-      case '"':
-        v.type = Json::Type::String;
-        v.str = string();
-        return v;
-      case 't':
-        pos_ += 4;
-        v.type = Json::Type::Bool;
-        v.boolean = true;
-        return v;
-      case 'f':
-        pos_ += 5;
-        v.type = Json::Type::Bool;
-        return v;
-      case 'n':
-        pos_ += 4;
-        return v;
-      default: {
-        v.type = Json::Type::Number;
-        std::size_t end = pos_;
-        while (end < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[end])) ||
-                s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
-                s_[end] == 'e' || s_[end] == 'E')) {
-          ++end;
-        }
-        if (end == pos_) fail("bad number");
-        v.num = std::stod(s_.substr(pos_, end - pos_));
-        pos_ = end;
-        return v;
-      }
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
+using minijson::Json;
+using minijson::Parser;
 
 Options tinyOptions() {
   Options o;
@@ -216,13 +74,18 @@ TEST(JsonReport, GoldenRendering) {
       "\"scale\": \"tiny\", \"procs_default\": 2, \"jobs\": 3, "
       "\"fastpath\": true, \"fiber\": \"" +
       std::string(Fiber::backendName(Fiber::defaultBackend())) +
-      "\", \"wall_ms\": 12.345, \"points\": [\n"
+      "\", \"wall_ms\": 12.345, "
+      "\"shard_index\": 0, \"shard_count\": 1, "
+      "\"cache\": {\"computed\": 0, \"cache_hits\": 0, \"resumed\": 0, "
+      "\"stores\": 0, \"shard_skipped\": 0, \"cache_corrupt\": 0, "
+      "\"uncacheable\": 0}, \"points\": [\n"
       "    {\"app\": \"phantom\", \"version\": \"v1\", "
       "\"opt_class\": \"?\", \"platform\": \"SMP\", \"config\": \"\", "
       "\"procs\": 2, \"n\": 64, \"iters\": 1, \"block\": 16, "
-      "\"seed\": 42, \"check\": \"off\", \"fault_seed\": 0, "
+      "\"seed\": 42, \"zipf\": 0, \"check\": \"off\", \"fault_seed\": 0, "
       "\"ok\": true, \"error\": \"\", \"timed_out\": false, "
-      "\"retries\": 0, \"oracle_violations\": 0, "
+      "\"retries\": 0, \"cached\": false, \"resumed\": false, "
+      "\"oracle_violations\": 0, "
       "\"exec_cycles\": 500, \"base_cycles\": 1000, "
       "\"speedup\": 2.000000, "
       "\"state_hash\": \"0xdeadbeef12345678\", "

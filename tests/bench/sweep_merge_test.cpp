@@ -1,0 +1,251 @@
+// Shard-report fusion: merging the per-shard JSON reports of a sharded
+// sweep must reproduce the unsharded report's points in submission
+// order with identical simulated fields, sum the provenance counters,
+// and hard-reject shard sets that are incomplete, overlapping, from
+// different sweeps, or in digest disagreement.
+#include "bench_common.hpp"
+
+#include "json_mini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rsvm::bench {
+namespace {
+
+using minijson::Json;
+using minijson::Parser;
+
+std::vector<SweepPoint> samplePoints() {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  std::vector<SweepPoint> points;
+  for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::SMP}) {
+    for (int procs : {1, 2, 4}) {
+      SweepPoint p;
+      p.kind = kind;
+      p.app = "lu";
+      p.version = "2d";
+      p.params = lu->tiny;
+      p.procs = procs;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;  // 6 points
+}
+
+Options baseOptions() {
+  Options o;
+  o.tiny = true;
+  o.procs = 2;
+  o.jobs = 2;
+  return o;
+}
+
+/// Run the sample sweep as shard index/count and return the report text.
+std::string runShard(const std::vector<SweepPoint>& points, int index,
+                     int count) {
+  Options o = baseOptions();
+  o.shard_index = index;
+  o.shard_count = count;
+  Report report("mergetest", o);
+  sweep(points, o, report);
+  return report.json();
+}
+
+TEST(SweepMerge, TwoShardsFuseIntoTheUnshardedReport) {
+  const auto points = samplePoints();
+  Options o = baseOptions();
+  Report whole_report("mergetest", o);
+  sweep(points, o, whole_report);
+  const Json whole = Parser(whole_report.json()).parse();
+
+  const std::vector<std::string> shards = {runShard(points, 0, 2),
+                                           runShard(points, 1, 2)};
+  const std::string merged_text = mergeShardReports(shards);
+  const Json merged = Parser(merged_text).parse();
+
+  // Canonical headers: the merged report reads as an unsharded one.
+  EXPECT_EQ(merged.at("schema").str, "rsvm-bench-1");
+  EXPECT_EQ(merged.at("bench").str, "mergetest");
+  EXPECT_EQ(merged.at("shard_index").u64, 0u);
+  EXPECT_EQ(merged.at("shard_count").u64, 1u);
+  EXPECT_EQ(merged.at("merged_from").u64, 2u);
+
+  // Provenance counters are summed: each shard skipped the other's half.
+  EXPECT_EQ(merged.at("cache").at("shard_skipped").u64, points.size());
+  EXPECT_EQ(merged.at("cache").at("computed").u64, points.size());
+
+  // Points come back in submission order with the unsharded simulated
+  // fields (host-side wall_ms/throughput naturally differ run to run).
+  ASSERT_EQ(merged.at("points").arr.size(), points.size());
+  ASSERT_EQ(whole.at("points").arr.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Json& m = merged.at("points").arr[i];
+    const Json& w = whole.at("points").arr[i];
+    EXPECT_EQ(m.at("app").str, w.at("app").str) << "point " << i;
+    EXPECT_EQ(m.at("version").str, w.at("version").str) << "point " << i;
+    EXPECT_EQ(m.at("platform").str, w.at("platform").str) << "point " << i;
+    EXPECT_EQ(m.at("procs").u64, w.at("procs").u64) << "point " << i;
+    EXPECT_TRUE(m.at("ok").boolean) << "point " << i;
+    EXPECT_EQ(m.at("exec_cycles").u64, w.at("exec_cycles").u64)
+        << "point " << i;
+    EXPECT_EQ(m.at("base_cycles").u64, w.at("base_cycles").u64)
+        << "point " << i;
+    EXPECT_EQ(m.at("state_hash").str, w.at("state_hash").str)
+        << "point " << i;
+    EXPECT_EQ(m.at("result_hash").str, w.at("result_hash").str)
+        << "point " << i;
+    for (const char* bucket : {"compute", "cache_stall", "data_wait",
+                               "lock_wait", "barrier_wait", "handler"}) {
+      EXPECT_EQ(m.at("buckets").at(bucket).u64, w.at("buckets").at(bucket).u64)
+          << "point " << i << " bucket " << bucket;
+    }
+    EXPECT_EQ(m.at("counters").at("reads").u64,
+              w.at("counters").at("reads").u64)
+        << "point " << i;
+    // Per-point records are spliced byte-identically from the shards.
+    const Json shard = Parser(shards[i % 2]).parse();
+    EXPECT_EQ(m.raw, shard.at("points").arr[i / 2].raw) << "point " << i;
+  }
+
+  // The merged report itself parses as a valid shard_count=1 report, so
+  // downstream consumers cannot tell it was ever sharded.
+  EXPECT_NO_THROW(
+      (void)mergeShardReports(std::vector<std::string>{merged_text}));
+}
+
+TEST(SweepMerge, ThreeWayMergeRestoresOrderWithUnevenShards) {
+  const auto points = samplePoints();  // 6 points over 3 shards: 2 each
+  std::vector<std::string> shards;
+  for (int s = 0; s < 3; ++s) shards.push_back(runShard(points, s, 3));
+  const Json merged = Parser(mergeShardReports(shards)).parse();
+  ASSERT_EQ(merged.at("points").arr.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(merged.at("points").arr[i].at("procs").u64,
+              static_cast<std::uint64_t>(points[i].procs))
+        << "point " << i;
+  }
+  // Shard order on the command line must not matter.
+  std::vector<std::string> reordered = {shards[2], shards[0], shards[1]};
+  EXPECT_EQ(mergeShardReports(reordered), mergeShardReports(shards));
+}
+
+TEST(SweepMerge, RejectsIncompleteShardSet) {
+  const auto points = samplePoints();
+  const std::string shard0 = runShard(points, 0, 2);
+  try {
+    mergeShardReports({shard0});
+    FAIL() << "merged 1 of 2 shards";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard_count"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepMerge, RejectsOverlappingShards) {
+  const auto points = samplePoints();
+  const std::string shard0 = runShard(points, 0, 2);
+  try {
+    mergeShardReports({shard0, shard0});
+    FAIL() << "merged the same shard twice";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("claim shard"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepMerge, RejectsShardsFromDifferentSweeps) {
+  const auto points = samplePoints();
+  const std::string shard0 = runShard(points, 0, 2);
+  Options o = baseOptions();
+  o.shard_index = 1;
+  o.shard_count = 2;
+  Report other("a-different-bench", o);
+  sweep(points, o, other);
+  try {
+    mergeShardReports({shard0, other.json()});
+    FAIL() << "merged shards of different benches";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("disagree"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepMerge, RejectsUnknownSchema) {
+  const auto points = samplePoints();
+  std::string shard0 = runShard(points, 0, 1);
+  const std::string from = "\"schema\": \"rsvm-bench-1\"";
+  const auto at = shard0.find(from);
+  ASSERT_NE(at, std::string::npos);
+  shard0.replace(at, from.size(), "\"schema\": \"rsvm-bench-99\"");
+  EXPECT_THROW((void)mergeShardReports({shard0}), std::runtime_error);
+}
+
+TEST(SweepMerge, RejectsDigestDisagreementBetweenShards) {
+  // Submit the same experiment twice so it lands once in each shard --
+  // the merge's digest cross-check must see through a tampered answer.
+  const auto all = samplePoints();
+  const std::vector<SweepPoint> points = {all[0], all[0]};
+  const std::string shard0 = runShard(points, 0, 2);
+  std::string shard1 = runShard(points, 1, 2);
+  const std::string from = "\"state_hash\": \"0x";
+  const auto at = shard1.find(from);
+  ASSERT_NE(at, std::string::npos);
+  // Flip the first hex digit of the digest.
+  const std::size_t digit = at + from.size();
+  shard1[digit] = shard1[digit] == 'f' ? '0' : 'f';
+  try {
+    mergeShardReports({shard0, shard1});
+    FAIL() << "merged shards that disagree on a point's digest";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("digest mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepMerge, RejectsEmptyShardList) {
+  EXPECT_THROW((void)mergeShardReports({}), std::runtime_error);
+}
+
+TEST(WriteFileAtomic, WritesAndReplacesWithoutLeavingTempFiles) {
+  char tmpl[] = "/tmp/rsvm_atomic_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string path = std::string(dir) + "/out.json";
+
+  writeFileAtomic(path, "first");
+  writeFileAtomic(path, "second");  // replace must also be atomic
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "second");
+
+  // Nothing but the final file remains (no orphaned temp files).
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().string(), path);
+  }
+  EXPECT_EQ(entries, 1u);
+
+  // An unwritable destination throws instead of silently dropping data.
+  EXPECT_THROW(writeFileAtomic("/proc/nope/out.json", "x"),
+               std::runtime_error);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace rsvm::bench

@@ -30,6 +30,7 @@ inline constexpr PlatformKind kAllKinds[] = {
 struct DiffOptions {
   CheckLevel check = CheckLevel::Off;
   std::uint64_t fault_seed = 0;
+  double zipf = 0.0;  ///< key-popularity skew (apps that honor params.zipf)
 };
 
 struct DiffRun {
@@ -66,7 +67,9 @@ inline DiffRun runCell(const char* app_name, const char* version,
   auto plat = Platform::create(kind, procs);
   if (opt.check != CheckLevel::Off) plat->setCheckLevel(opt.check);
   if (opt.fault_seed != 0) plat->setFaultPlan(opt.fault_seed);
-  const AppResult r = ver->run(*plat, app->tiny);
+  AppParams prm = app->tiny;
+  prm.zipf = opt.zipf;
+  const AppResult r = ver->run(*plat, prm);
   out.correct = r.correct;
   out.note = r.note;
   out.state_hash = r.state_hash;

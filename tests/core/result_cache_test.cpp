@@ -1,0 +1,401 @@
+// Content-addressed result cache: the canonical key must separate every
+// field that can influence a simulated result (a collision here would
+// serve a wrong answer forever), the binary codec must round-trip a
+// result exactly and reject corruption, and a cache hit in a real sweep
+// must be bit-identical to the recompute it replaced.
+#include "core/result_cache.hpp"
+
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+/// mkdtemp wrapper that removes the tree on scope exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/rsvm_cache_test_XXXXXX";
+    const char* got = mkdtemp(tmpl);
+    EXPECT_NE(got, nullptr);
+    path = got == nullptr ? "" : got;
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+  std::string path;
+};
+
+SweepPoint samplePoint() {
+  SweepPoint p;
+  p.kind = PlatformKind::SVM;
+  p.app = "lu";
+  p.version = "2d";
+  p.params.n = 64;
+  p.params.iters = 1;
+  p.params.block = 8;
+  p.params.seed = 7;
+  p.procs = 4;
+  return p;
+}
+
+SweepResult sampleResult() {
+  SweepResult r;
+  r.cycles = 123456;
+  r.base_cycles = 654321;
+  r.oracle_violations = 0;
+  r.app.correct = true;
+  r.app.note = "all good";
+  r.app.state_hash = 0x1122334455667788ull;
+  r.app.result_hash = 0x99aabbccddeeff00ull;
+  r.app.stats.exec_cycles = 123456;
+  r.app.stats.procs.resize(2);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    r.app.stats.procs[0].buckets[static_cast<std::size_t>(b)] =
+        static_cast<Cycles>(100 + b);
+    r.app.stats.procs[1].buckets[static_cast<std::size_t>(b)] =
+        static_cast<Cycles>(200 + b);
+  }
+  r.app.stats.procs[0].reads = 42;
+  r.app.stats.procs[1].writes = 43;
+  r.app.stats.procs[0].page_faults = 5;
+  r.app.stats.procs[1].allocs = 9;
+  return r;
+}
+
+TEST(CacheKey, EveryResultAffectingFieldSeparatesKeys) {
+  const SweepPoint base = samplePoint();
+  std::set<std::string> keys;
+  keys.insert(cacheKeyText(base));
+
+  // Each mutation must land in a key text no earlier mutation produced.
+  std::vector<SweepPoint> variants;
+  {
+    SweepPoint p = base;
+    p.app = "radix";
+    variants.push_back(p);
+    p = base;
+    p.version = "4d-aligned";
+    variants.push_back(p);
+    p = base;
+    p.kind = PlatformKind::NUMA;
+    variants.push_back(p);
+    p = base;
+    p.config = "4x4";
+    variants.push_back(p);
+    p = base;
+    p.baseline_key = "flat";
+    variants.push_back(p);
+    p = base;
+    p.procs = 8;
+    variants.push_back(p);
+    p = base;
+    p.params.n = 128;
+    variants.push_back(p);
+    p = base;
+    p.params.iters = 2;
+    variants.push_back(p);
+    p = base;
+    p.params.block = 16;
+    variants.push_back(p);
+    p = base;
+    p.params.seed = 8;
+    variants.push_back(p);
+    p = base;
+    p.params.zipf = 0.9;
+    variants.push_back(p);
+    p = base;
+    p.free_cs_faults = true;
+    variants.push_back(p);
+    p = base;
+    p.with_baseline = false;
+    variants.push_back(p);
+    p = base;
+    p.check = CheckLevel::Oracle;
+    variants.push_back(p);
+    p = base;
+    p.fault_seed = 99;
+    variants.push_back(p);
+  }
+  for (const SweepPoint& p : variants) {
+    const auto [it, inserted] = keys.insert(cacheKeyText(p));
+    EXPECT_TRUE(inserted) << "key collision: " << *it;
+  }
+  EXPECT_EQ(keys.size(), variants.size() + 1);
+}
+
+TEST(CacheKey, EngineRevisionAndFiberBackendSeparateKeys) {
+  const SweepPoint p = samplePoint();
+  const std::string a = cacheKeyText(p, "rev-aaaa", "asm");
+  const std::string b = cacheKeyText(p, "rev-bbbb", "asm");
+  const std::string c = cacheKeyText(p, "rev-aaaa", "ucontext");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  // The default overload uses the build's revision and backend and must
+  // agree with injecting those same values.
+  EXPECT_NE(cacheKeyText(p).find(std::string("rev=") + engineRev()),
+            std::string::npos);
+}
+
+TEST(CacheKey, DigestIsStableAndTextSensitive) {
+  const SweepPoint p = samplePoint();
+  const std::string text = cacheKeyText(p);
+  const CacheKey k1 = cacheKeyOf(text);
+  const CacheKey k2 = cacheKeyOf(text);
+  EXPECT_EQ(k1.hi, k2.hi);
+  EXPECT_EQ(k1.lo, k2.lo);
+  const CacheKey other = cacheKeyOf(text + "x");
+  EXPECT_TRUE(other.hi != k1.hi || other.lo != k1.lo);
+  EXPECT_EQ(k1.hex().size(), 32u);
+  EXPECT_EQ(k1.hex().find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+}
+
+TEST(CacheKey, CustomPlatformFactoryNeedsAConfigTag) {
+  SweepPoint p = samplePoint();
+  EXPECT_TRUE(cacheable(p));
+  // An untagged factory could be *anything*: refusing to key it is the
+  // only way two different configurations can never alias.
+  p.make_platform = [](int procs) {
+    return Platform::create(PlatformKind::SVM, procs);
+  };
+  EXPECT_FALSE(cacheable(p));
+  p.config = "custom0";
+  EXPECT_TRUE(cacheable(p));
+}
+
+TEST(ResultCodec, RoundTripsEveryStoredField) {
+  const SweepResult r = sampleResult();
+  const std::string key = "some-key-text";
+  const std::string bytes = encodeResult(key, r);
+
+  std::string got_key;
+  SweepResult got;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(decodeResult(bytes, &got_key, &got, &consumed));
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(got_key, key);
+  EXPECT_EQ(got.cycles, r.cycles);
+  EXPECT_EQ(got.base_cycles, r.base_cycles);
+  EXPECT_EQ(got.oracle_violations, r.oracle_violations);
+  EXPECT_EQ(got.timed_out, r.timed_out);
+  EXPECT_EQ(got.error, r.error);
+  EXPECT_EQ(got.app.correct, r.app.correct);
+  EXPECT_EQ(got.app.note, r.app.note);
+  EXPECT_EQ(got.app.state_hash, r.app.state_hash);
+  EXPECT_EQ(got.app.result_hash, r.app.result_hash);
+  EXPECT_EQ(got.app.stats.exec_cycles, r.app.stats.exec_cycles);
+  ASSERT_EQ(got.app.stats.procs.size(), r.app.stats.procs.size());
+  for (std::size_t i = 0; i < r.app.stats.procs.size(); ++i) {
+    const ProcStats& a = r.app.stats.procs[i];
+    const ProcStats& b = got.app.stats.procs[i];
+    for (std::size_t bk = 0; bk < a.buckets.size(); ++bk) {
+      EXPECT_EQ(a.buckets[bk], b.buckets[bk]) << "proc " << i;
+    }
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.page_faults, b.page_faults);
+    EXPECT_EQ(a.allocs, b.allocs);
+  }
+}
+
+TEST(ResultCodec, RejectsTruncationAndBitFlips) {
+  const std::string bytes = encodeResult("k", sampleResult());
+  std::string key;
+  SweepResult out;
+  std::size_t consumed = 0;
+  // Every proper prefix is a torn record.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                std::size_t{8}, bytes.size() - 1}) {
+    EXPECT_FALSE(decodeResult(std::string_view(bytes).substr(0, cut), &key,
+                              &out, &consumed))
+        << "accepted a " << cut << "-byte prefix";
+  }
+  // A bit flip anywhere in the payload fails the checksum; in the
+  // header it fails the magic or length check.
+  for (const std::size_t at : {std::size_t{0}, std::size_t{5},
+                               std::size_t{12}, bytes.size() / 2,
+                               bytes.size() - 1}) {
+    std::string bad = bytes;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    EXPECT_FALSE(decodeResult(bad, &key, &out, &consumed))
+        << "accepted a flip at byte " << at;
+  }
+}
+
+TEST(ResultCache, MissThenStoreThenHit) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  const SweepPoint p = samplePoint();
+  const SweepResult r = sampleResult();
+
+  EXPECT_FALSE(cache.lookup(p).has_value());
+  EXPECT_TRUE(cache.insert(p, r));
+  const auto got = cache.lookup(p);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->cached);
+  EXPECT_EQ(got->cycles, r.cycles);
+  EXPECT_EQ(got->app.state_hash, r.app.state_hash);
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.stores, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.corrupt, 0u);
+}
+
+TEST(ResultCache, NeverStoresFailedOrTimedOutResults) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  const SweepPoint p = samplePoint();
+
+  SweepResult failed = sampleResult();
+  failed.error = "engine exploded";
+  EXPECT_FALSE(cache.insert(p, failed));
+
+  SweepResult hung = sampleResult();
+  hung.timed_out = true;
+  EXPECT_FALSE(cache.insert(p, hung));
+
+  SweepPoint unkeyable = p;
+  unkeyable.make_platform = [](int procs) {
+    return Platform::create(PlatformKind::SVM, procs);
+  };
+  EXPECT_FALSE(cache.insert(unkeyable, sampleResult()));
+  EXPECT_FALSE(cache.lookup(unkeyable).has_value());
+  // Only lookups count uncacheable points (one per scheduling attempt).
+  EXPECT_EQ(cache.stats().uncacheable, 1u);
+
+  EXPECT_FALSE(cache.lookup(p).has_value());
+}
+
+TEST(ResultCache, CorruptEntryIsAMissNotAWrongAnswer) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  const SweepPoint p = samplePoint();
+  ASSERT_TRUE(cache.insert(p, sampleResult()));
+
+  // Flip one byte of the single entry file on disk.
+  std::string entry;
+  for (const auto& e :
+       std::filesystem::recursive_directory_iterator(dir.path)) {
+    if (e.is_regular_file()) entry = e.path().string();
+  }
+  ASSERT_FALSE(entry.empty());
+  {
+    std::FILE* f = std::fopen(entry.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 20, SEEK_SET);
+    std::fputc('Z', f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(cache.lookup(p).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+
+  // The recompute path overwrites the corrupt entry and restores hits.
+  ASSERT_TRUE(cache.insert(p, sampleResult()));
+  EXPECT_TRUE(cache.lookup(p).has_value());
+}
+
+TEST(ResultCache, DistinctPointsNeverFalseHit) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  const SweepPoint p = samplePoint();
+  ASSERT_TRUE(cache.insert(p, sampleResult()));
+  SweepPoint q = p;
+  q.params.seed = p.params.seed + 1;
+  EXPECT_FALSE(cache.lookup(q).has_value());
+  SweepPoint z = p;
+  z.params.zipf = 0.6;
+  EXPECT_FALSE(cache.lookup(z).has_value());
+  SweepPoint c = p;
+  c.check = CheckLevel::Oracle;
+  EXPECT_FALSE(cache.lookup(c).has_value());
+}
+
+TEST(ResultCache, ThrowsWhenDirectoryCannotBeCreated) {
+  EXPECT_THROW(ResultCache("/proc/definitely/not/writable"),
+               std::runtime_error);
+}
+
+void expectSameSimulatedBits(const SweepResult& a, const SweepResult& b,
+                             std::size_t i) {
+  EXPECT_EQ(a.cycles, b.cycles) << "point " << i;
+  EXPECT_EQ(a.base_cycles, b.base_cycles) << "point " << i;
+  EXPECT_EQ(a.app.state_hash, b.app.state_hash) << "point " << i;
+  EXPECT_EQ(a.app.result_hash, b.app.result_hash) << "point " << i;
+  EXPECT_EQ(a.app.stats.exec_cycles, b.app.stats.exec_cycles)
+      << "point " << i;
+  ASSERT_EQ(a.app.stats.procs.size(), b.app.stats.procs.size());
+  for (std::size_t pr = 0; pr < a.app.stats.procs.size(); ++pr) {
+    const ProcStats& x = a.app.stats.procs[pr];
+    const ProcStats& y = b.app.stats.procs[pr];
+    for (std::size_t bk = 0; bk < x.buckets.size(); ++bk) {
+      EXPECT_EQ(x.buckets[bk], y.buckets[bk])
+          << "point " << i << " proc " << pr << " bucket " << bk;
+    }
+    EXPECT_EQ(x.reads, y.reads) << "point " << i << " proc " << pr;
+    EXPECT_EQ(x.writes, y.writes) << "point " << i << " proc " << pr;
+    EXPECT_EQ(x.lock_acquires, y.lock_acquires)
+        << "point " << i << " proc " << pr;
+    EXPECT_EQ(x.page_faults, y.page_faults)
+        << "point " << i << " proc " << pr;
+  }
+}
+
+TEST(ResultCache, WarmSweepIsBitIdenticalToColdSweep) {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  ASSERT_NE(lu, nullptr);
+  std::vector<SweepPoint> points;
+  for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::SMP}) {
+    for (int procs : {2, 4}) {
+      SweepPoint p;
+      p.kind = kind;
+      p.app = "lu";
+      p.version = "2d";
+      p.params = lu->tiny;
+      p.procs = procs;
+      points.push_back(std::move(p));
+    }
+  }
+
+  TempDir dir;
+  SweepRunner::Config cfg;
+  cfg.jobs = 2;
+  cfg.cache_dir = dir.path;
+
+  SweepRunner cold(cfg);
+  const auto first = cold.run(points);
+  EXPECT_EQ(cold.fleetStats().computed, points.size());
+  EXPECT_EQ(cold.fleetStats().stores, points.size());
+  EXPECT_EQ(cold.fleetStats().cache_hits, 0u);
+
+  SweepRunner warm(cfg);
+  const auto second = warm.run(points);
+  EXPECT_EQ(warm.fleetStats().cache_hits, points.size());
+  EXPECT_EQ(warm.fleetStats().computed, 0u);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].ok()) << first[i].error;
+    ASSERT_TRUE(second[i].ok()) << second[i].error;
+    EXPECT_FALSE(first[i].cached) << "point " << i;
+    EXPECT_TRUE(second[i].cached) << "point " << i;
+    expectSameSimulatedBits(first[i], second[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace rsvm

@@ -1,0 +1,134 @@
+// Multi-process sharding: splitting one sweep across N shard runners
+// must partition the point list exactly (every point run by one shard,
+// skipped by the others), and the union of the shards' results must be
+// bit-identical to the unsharded sweep -- otherwise "run it on N hosts"
+// silently answers a different question than "run it on one".
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+std::vector<SweepPoint> samplePoints() {
+  registerAllApps();
+  const AppDesc* lu = Registry::instance().find("lu");
+  const AppDesc* radix = Registry::instance().find("radix");
+  std::vector<SweepPoint> points;
+  for (PlatformKind kind :
+       {PlatformKind::SVM, PlatformKind::SMP, PlatformKind::NUMA}) {
+    for (const char* ver : {"2d", "4d-aligned"}) {
+      SweepPoint p;
+      p.kind = kind;
+      p.app = "lu";
+      p.version = ver;
+      p.params = lu->tiny;
+      p.procs = 2;
+      points.push_back(std::move(p));
+    }
+  }
+  SweepPoint p;
+  p.kind = PlatformKind::SMP;
+  p.app = "radix";
+  p.version = radix->original().name;
+  p.params = radix->tiny;
+  p.procs = 2;
+  points.push_back(std::move(p));  // 7 points: indivisible by 2 and 3
+  return points;
+}
+
+SweepRunner::Config shardCfg(int index, int count) {
+  SweepRunner::Config cfg;
+  cfg.jobs = 2;
+  cfg.shard_index = index;
+  cfg.shard_count = count;
+  return cfg;
+}
+
+TEST(SweepShard, PartitionIsDisjointCompleteAndRoundRobin) {
+  const auto points = samplePoints();
+  const int N = 3;
+  std::vector<int> owners(points.size(), 0);
+  for (int s = 0; s < N; ++s) {
+    SweepRunner runner(shardCfg(s, N));
+    const auto results = runner.run(points);
+    ASSERT_EQ(results.size(), points.size());
+    std::size_t ran = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].skipped) {
+        // A skipped slot must be inert: no result, no error.
+        EXPECT_FALSE(results[i].ok() && results[i].cycles != 0)
+            << "shard " << s << " point " << i;
+        continue;
+      }
+      ++owners[i];
+      ++ran;
+      EXPECT_EQ(static_cast<int>(i) % N, s)
+          << "point " << i << " ran on the wrong shard";
+      EXPECT_TRUE(results[i].ok()) << results[i].error;
+    }
+    EXPECT_EQ(runner.fleetStats().shard_skipped, points.size() - ran);
+    EXPECT_EQ(runner.fleetStats().computed, ran);
+  }
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    EXPECT_EQ(owners[i], 1) << "point " << i
+                            << " run by != 1 shard (disjointness broken)";
+  }
+}
+
+TEST(SweepShard, UnionOfShardsMatchesUnshardedBitForBit) {
+  const auto points = samplePoints();
+  const auto whole = SweepRunner(2).run(points);
+
+  const int N = 2;
+  std::vector<std::vector<SweepResult>> shards;
+  for (int s = 0; s < N; ++s) {
+    shards.push_back(SweepRunner(shardCfg(s, N)).run(points));
+  }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepResult& mine = shards[i % N][i];
+    ASSERT_FALSE(mine.skipped) << "point " << i;
+    ASSERT_TRUE(mine.ok()) << mine.error;
+    EXPECT_EQ(mine.cycles, whole[i].cycles) << "point " << i;
+    EXPECT_EQ(mine.base_cycles, whole[i].base_cycles) << "point " << i;
+    ASSERT_EQ(mine.app.stats.procs.size(), whole[i].app.stats.procs.size());
+    for (std::size_t pr = 0; pr < mine.app.stats.procs.size(); ++pr) {
+      for (std::size_t b = 0; b < mine.app.stats.procs[pr].buckets.size();
+           ++b) {
+        EXPECT_EQ(mine.app.stats.procs[pr].buckets[b],
+                  whole[i].app.stats.procs[pr].buckets[b])
+            << "point " << i << " proc " << pr << " bucket " << b;
+      }
+      EXPECT_EQ(mine.app.stats.procs[pr].reads,
+                whole[i].app.stats.procs[pr].reads)
+          << "point " << i << " proc " << pr;
+    }
+    // The other shard skipped it.
+    EXPECT_TRUE(shards[(i + 1) % N][i].skipped) << "point " << i;
+  }
+}
+
+TEST(SweepShard, SingleShardOfOneRunsEverything) {
+  const auto points = samplePoints();
+  SweepRunner runner(shardCfg(0, 1));
+  const auto results = runner.run(points);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].skipped) << "point " << i;
+  }
+  EXPECT_EQ(runner.fleetStats().shard_skipped, 0u);
+}
+
+TEST(SweepShard, InvalidShardConfigurationsAreRejected) {
+  EXPECT_THROW(SweepRunner(shardCfg(2, 2)), std::invalid_argument);
+  EXPECT_THROW(SweepRunner(shardCfg(-1, 2)), std::invalid_argument);
+  EXPECT_THROW(SweepRunner(shardCfg(0, 0)), std::invalid_argument);
+  EXPECT_THROW(SweepRunner(shardCfg(0, -3)), std::invalid_argument);
+  EXPECT_NO_THROW(SweepRunner(shardCfg(1, 2)));
+}
+
+}  // namespace
+}  // namespace rsvm
