@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include "core/result_cache.hpp"
 #include "json_mini.hpp"
 #include "runtime/platform.hpp"
 #include "sim/fiber.hpp"
@@ -52,7 +53,8 @@ constexpr const char* kUsage =
     "usage: %s [--paper-scale|--tiny] [--procs=N] [--jobs=N] "
     "[--json=FILE] [--no-fastpath] [--fiber=asm|ucontext] "
     "[--check=off|oracle] [--fault-seed=N] [--deadline-ms=N] "
-    "[--cache-dir=DIR] [--checkpoint=FILE] [--shard=K/N] [--zipf=T]\n";
+    "[--cache-dir=DIR] [--checkpoint=FILE] [--shard=K/N] [--zipf=T] "
+    "[--engine-threads=N] [--cache-gc=MB[:HOURS]]\n";
 
 }  // namespace
 
@@ -137,6 +139,35 @@ Options parse(int argc, char** argv) {
             "'");
       }
       o.zipf = t;
+    } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
+      o.engine_threads = parsePositiveInt("--engine-threads", argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--cache-gc=", 11) == 0) {
+      // MB[:HOURS]: size cap in megabytes (0 = none), optional age cap
+      // in hours. At least one cap must be nonzero or the pass is a
+      // no-op scan, which is almost certainly a typo.
+      const char* text = argv[i] + 11;
+      const char* colon = std::strchr(text, ':');
+      const std::string mb_text =
+          colon ? std::string(text, colon) : std::string(text);
+      o.cache_gc_bytes =
+          parseU64("--cache-gc", mb_text.c_str()) * 1024ull * 1024ull;
+      if (colon != nullptr) {
+        errno = 0;
+        char* end = nullptr;
+        const double hours = std::strtod(colon + 1, &end);
+        if (colon[1] == '\0' || end == nullptr || *end != '\0' ||
+            errno != 0 || hours < 0.0) {
+          throw std::invalid_argument(
+              std::string("--cache-gc expects MB[:HOURS], got '") + text +
+              "'");
+        }
+        o.cache_gc_age_s = hours * 3600.0;
+      }
+      if (o.cache_gc_bytes == 0 && o.cache_gc_age_s <= 0.0) {
+        throw std::invalid_argument(
+            "--cache-gc: at least one of MB and HOURS must be nonzero");
+      }
+      o.cache_gc = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(kUsage, argv[0]);
       std::exit(0);
@@ -144,8 +175,15 @@ Options parse(int argc, char** argv) {
       throw std::invalid_argument(std::string("unknown flag: ") + argv[i]);
     }
   }
+  if (o.cache_gc && o.cache_dir.empty()) {
+    throw std::invalid_argument("--cache-gc requires --cache-dir");
+  }
   registerAllApps();
   Platform::setFastPathDefault(!o.no_fastpath);
+  // Process-wide default so non-sweep paths (breakdown figures,
+  // differential cells) pick up the requested intra-run threading too;
+  // sweeps additionally apply their own per-point budget policy.
+  Platform::setEngineThreadsDefault(o.engine_threads);
   if (!o.fiber.empty()) {
     // Explicitly requesting the asm backend on a build without it is an
     // error (a benchmark that silently measured the wrong backend would
@@ -327,6 +365,7 @@ Report::Report(std::string bench_name, const Options& opt)
       jobs_(opt.jobs > 0 ? opt.jobs : SweepRunner::defaultJobs()),
       fastpath_(!opt.no_fastpath),
       fiber_(Fiber::backendName(Fiber::defaultBackend())),
+      engine_threads_(opt.engine_threads > 1 ? opt.engine_threads : 1),
       shard_index_(opt.shard_index),
       shard_count_(opt.shard_count) {}
 
@@ -365,6 +404,7 @@ std::string Report::json() const {
   field(out, "jobs", jobs_);
   fieldB(out, "fastpath", fastpath_);
   field(out, "fiber", fiber_);
+  field(out, "engine_threads", engine_threads_);
   fieldF(out, "wall_ms", wall_ms_, "%.3f");
   field(out, "shard_index", shard_index_);
   field(out, "shard_count", shard_count_);
@@ -506,6 +546,7 @@ std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
   cfg.checkpoint = opt.checkpoint;
   cfg.shard_index = opt.shard_index;
   cfg.shard_count = opt.shard_count;
+  cfg.engine_threads = opt.engine_threads;
   SweepRunner runner(cfg);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<SweepResult> results = runner.run(pts);
@@ -514,6 +555,18 @@ std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
                        .count());
   report.addFleet(runner.fleetStats());
   report.add(pts, results);
+  if (opt.cache_gc && !opt.cache_dir.empty()) {
+    ResultCache cache(opt.cache_dir);
+    const ResultCache::GcStats gs =
+        cache.gc(opt.cache_gc_bytes, opt.cache_gc_age_s);
+    std::printf(
+        "[cache-gc %s: scanned %llu, evicted %llu, %llu -> %llu bytes]\n",
+        opt.cache_dir.c_str(),
+        static_cast<unsigned long long>(gs.scanned),
+        static_cast<unsigned long long>(gs.evicted),
+        static_cast<unsigned long long>(gs.bytes_before),
+        static_cast<unsigned long long>(gs.bytes_after));
+  }
   return results;
 }
 
@@ -585,9 +638,11 @@ std::string mergeShardReports(const std::vector<std::string>& shard_jsons) {
       }
     }
     if (r.at("procs_default").u64 != first.at("procs_default").u64 ||
-        r.at("fastpath").boolean != first.at("fastpath").boolean) {
+        r.at("fastpath").boolean != first.at("fastpath").boolean ||
+        r.at("engine_threads").u64 != first.at("engine_threads").u64) {
       throw std::runtime_error(
-          "sweep-merge: shards disagree on procs_default/fastpath");
+          "sweep-merge: shards disagree on "
+          "procs_default/fastpath/engine_threads");
     }
   }
 
@@ -652,6 +707,7 @@ std::string mergeShardReports(const std::vector<std::string>& shard_jsons) {
   field(out, "jobs", jobs);
   fieldB(out, "fastpath", first.at("fastpath").boolean);
   field(out, "fiber", first.at("fiber").str);
+  field(out, "engine_threads", first.at("engine_threads").u64);
   fieldF(out, "wall_ms", wall_ms, "%.3f");
   field(out, "shard_index", 0);
   field(out, "shard_count", 1);

@@ -29,6 +29,16 @@
 //                   --json outputs with the sweep_merge tool
 //   --zipf=T        key-popularity skew for request-serving workloads
 //                   (apps/server), theta in [0, 1): 0 = uniform
+//   --engine-threads=N  host worker threads for each point's single-run
+//                   engine (simulated results are bit-identical to N=1
+//                   by construction; this is the intra-run parallel
+//                   scheduler). Sweeps give N threads to points with
+//                   >= 32 simulated procs and keep smaller points
+//                   packed one-per-worker under the --jobs budget
+//   --cache-gc=MB[:HOURS]  after the sweep, garbage-collect --cache-dir
+//                   down to MB megabytes (0 = no size cap), first
+//                   dropping entries older than HOURS hours (if given);
+//                   oldest entries evicted first
 #pragma once
 
 #include "core/experiment.hpp"
@@ -55,6 +65,10 @@ struct Options {
   int shard_index = 0;     ///< 0-based shard selected by --shard=K/N
   int shard_count = 1;     ///< total shards; 1 = run everything
   double zipf = 0.0;       ///< key skew applied to points that set none
+  int engine_threads = 1;  ///< intra-run engine threads (1 = sequential)
+  bool cache_gc = false;              ///< run a cache GC pass after sweeps
+  std::uint64_t cache_gc_bytes = 0;   ///< size cap; 0 = none
+  double cache_gc_age_s = 0.0;        ///< age cap in seconds; 0 = none
 };
 
 /// Parse argv. Throws std::invalid_argument on unknown flags and on
@@ -138,6 +152,7 @@ class Report {
   int jobs_;
   bool fastpath_ = true;
   std::string fiber_;  ///< backend name in effect when constructed
+  int engine_threads_ = 1;  ///< requested intra-run engine threads
   double wall_ms_ = 0.0;
   int shard_index_ = 0;
   int shard_count_ = 1;

@@ -6,6 +6,7 @@
 //
 //   sweep_merge --out=MERGED.json shard1.json shard2.json ... shardN.json
 //   sweep_merge --inspect=MANIFEST      # summarize a checkpoint manifest
+//   sweep_merge --gc=MB[:HOURS] --cache-dir=DIR   # GC a result cache
 //
 // Merging is strict: an incomplete or overlapping shard set, shards
 // from different sweeps, or two shards disagreeing on a point's
@@ -13,8 +14,12 @@
 #include "bench_common.hpp"
 
 #include "core/checkpoint.hpp"
+#include "core/result_cache.hpp"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <stdexcept>
@@ -25,7 +30,11 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: %s --out=FILE SHARD.json...   merge shard reports\n"
-    "       %s --inspect=MANIFEST        summarize a checkpoint manifest\n";
+    "       %s --inspect=MANIFEST        summarize a checkpoint manifest\n"
+    "       %s --gc=MB[:HOURS] --cache-dir=DIR\n"
+    "           garbage-collect a result cache: drop entries older than\n"
+    "           HOURS, then evict oldest-first down to MB megabytes\n"
+    "           (0 = no cap on that axis)\n";
 
 std::string readFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -38,6 +47,55 @@ std::string readFile(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
   std::fclose(f);
   return out;
+}
+
+/// Parse "MB[:HOURS]" into (max_bytes, max_age_seconds); throws on
+/// malformed text or when both caps are zero (a no-op GC is a typo).
+void parseGcSpec(const std::string& spec, std::uint64_t* max_bytes,
+                 double* max_age_s) {
+  const auto bad = [&] {
+    throw std::runtime_error("--gc expects MB[:HOURS], got '" + spec + "'");
+  };
+  const std::size_t colon = spec.find(':');
+  const std::string mb_text = spec.substr(0, colon);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long mb = std::strtoull(mb_text.c_str(), &end, 10);
+  if (mb_text.empty() || mb_text[0] == '-' || end == nullptr ||
+      *end != '\0' || errno != 0) {
+    bad();
+  }
+  *max_bytes = static_cast<std::uint64_t>(mb) * 1024ull * 1024ull;
+  *max_age_s = 0.0;
+  if (colon != std::string::npos) {
+    const std::string h_text = spec.substr(colon + 1);
+    errno = 0;
+    const double hours = std::strtod(h_text.c_str(), &end);
+    if (h_text.empty() || end == nullptr || *end != '\0' || errno != 0 ||
+        hours < 0.0) {
+      bad();
+    }
+    *max_age_s = hours * 3600.0;
+  }
+  if (*max_bytes == 0 && *max_age_s <= 0.0) {
+    throw std::runtime_error(
+        "--gc: at least one of MB and HOURS must be nonzero");
+  }
+}
+
+int gcCache(const std::string& dir, const std::string& spec) {
+  std::uint64_t max_bytes = 0;
+  double max_age_s = 0.0;
+  parseGcSpec(spec, &max_bytes, &max_age_s);
+  rsvm::ResultCache cache(dir);
+  const rsvm::ResultCache::GcStats gs = cache.gc(max_bytes, max_age_s);
+  std::printf("[cache-gc %s: scanned %llu, evicted %llu, %llu -> %llu "
+              "bytes]\n",
+              dir.c_str(), static_cast<unsigned long long>(gs.scanned),
+              static_cast<unsigned long long>(gs.evicted),
+              static_cast<unsigned long long>(gs.bytes_before),
+              static_cast<unsigned long long>(gs.bytes_after));
+  return 0;
 }
 
 int inspect(const std::string& path) {
@@ -59,6 +117,8 @@ int inspect(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string out_path;
+  std::string gc_spec;
+  std::string cache_dir;
   std::vector<std::string> shard_paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -70,21 +130,41 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         return 1;
       }
+    } else if (std::strncmp(argv[i], "--gc=", 5) == 0) {
+      gc_spec = argv[i] + 5;
+    } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+      cache_dir = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf(kUsage, argv[0], argv[0]);
+      std::printf(kUsage, argv[0], argv[0], argv[0]);
       return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], argv[i]);
-      std::fprintf(stderr, kUsage, argv[0], argv[0]);
+      std::fprintf(stderr, kUsage, argv[0], argv[0], argv[0]);
       return 2;
     } else {
       shard_paths.emplace_back(argv[i]);
     }
   }
+  if (!gc_spec.empty() || !cache_dir.empty()) {
+    if (gc_spec.empty() || cache_dir.empty() || !out_path.empty() ||
+        !shard_paths.empty()) {
+      std::fprintf(stderr,
+                   "%s: --gc=MB[:HOURS] and --cache-dir=DIR go together "
+                   "and take no other arguments\n", argv[0]);
+      std::fprintf(stderr, kUsage, argv[0], argv[0], argv[0]);
+      return 2;
+    }
+    try {
+      return gcCache(cache_dir, gc_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 1;
+    }
+  }
   if (out_path.empty() || shard_paths.empty()) {
     std::fprintf(stderr, "%s: --out=FILE and at least one shard report "
                          "are required\n", argv[0]);
-    std::fprintf(stderr, kUsage, argv[0], argv[0]);
+    std::fprintf(stderr, kUsage, argv[0], argv[0], argv[0]);
     return 2;
   }
   try {

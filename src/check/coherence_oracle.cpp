@@ -1,6 +1,7 @@
 #include "check/coherence_oracle.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace rsvm {
 
@@ -46,6 +47,11 @@ std::string OracleReport::summary() const {
 }
 
 CoherenceOracle::CoherenceOracle(const Config& cfg) : cfg_(cfg) {
+  if (cfg_.ndomains > 64) {
+    // Permission mirrors and audits are one-word per-domain bitmasks.
+    throw std::invalid_argument(
+        "CoherenceOracle: at most 64 coherence domains");
+  }
   vc_.assign(static_cast<std::size_t>(cfg_.nprocs),
              Clock(static_cast<std::size_t>(cfg_.nprocs), 0));
   inflight_.assign(static_cast<std::size_t>(cfg_.ndomains), 0);

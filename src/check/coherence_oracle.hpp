@@ -95,7 +95,8 @@ class CoherenceOracle {
 
   /// Snapshot of one unit at a protocol transition: the directory's view
   /// (copyset/owner) and the state actually held by caches/page tables,
-  /// both as per-domain bitmasks (kMaxProcs <= 64 fits one word).
+  /// both as per-domain bitmasks (the constructor enforces <= 64
+  /// domains so one word suffices).
   struct UnitAudit {
     std::uint64_t unit = 0;
     ProcId actor = -1;            ///< processor driving the transition

@@ -2,12 +2,15 @@
 
 #include "sim/fiber.hpp"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <stdexcept>
 
 namespace rsvm {
@@ -181,6 +184,11 @@ std::string cacheKeyText(const SweepPoint& p, std::string_view rev,
   k += "|fseed=" + std::to_string(p.fault_seed);
   k += "|fiber=";
   k += fiber;
+  // Engine-threading mode, normalized (<=1 is the sequential scheduler).
+  // Promised bit-identical, keyed defensively like the fiber backend: a
+  // parallel-scheduler bug can make entries wrong, never serve wrong.
+  k += "|ethreads=" +
+       std::to_string(p.engine_threads > 1 ? p.engine_threads : 1);
   return k;
 }
 
@@ -324,6 +332,74 @@ bool ResultCache::insert(const SweepPoint& p, const SweepResult& r) {
   }
   stores_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+ResultCache::GcStats ResultCache::gc(std::uint64_t max_bytes,
+                                     double max_age_seconds) {
+  struct Entry {
+    std::string path;
+    std::uint64_t bytes;
+    std::time_t mtime;
+  };
+  std::vector<Entry> entries;
+
+  // Scan <dir>/<hh>/*.rc. Anything else in the tree (in-flight ".tmp."
+  // files, stray names) is left alone.
+  DIR* top = ::opendir(dir_.c_str());
+  if (top == nullptr) return {};
+  while (const dirent* d = ::readdir(top)) {
+    const std::string sub = d->d_name;
+    if (sub == "." || sub == "..") continue;
+    const std::string subpath = dir_ + "/" + sub;
+    DIR* leaf = ::opendir(subpath.c_str());
+    if (leaf == nullptr) continue;  // not a directory
+    while (const dirent* e = ::readdir(leaf)) {
+      const std::string name = e->d_name;
+      if (name.size() < 3 || name.compare(name.size() - 3, 3, ".rc") != 0) {
+        continue;
+      }
+      Entry ent;
+      ent.path = subpath + "/" + name;
+      struct stat st{};
+      if (::stat(ent.path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+        continue;
+      }
+      ent.bytes = static_cast<std::uint64_t>(st.st_size);
+      ent.mtime = st.st_mtime;
+      entries.push_back(std::move(ent));
+    }
+    ::closedir(leaf);
+  }
+  ::closedir(top);
+
+  GcStats gs;
+  gs.scanned = entries.size();
+  for (const Entry& e : entries) gs.bytes_before += e.bytes;
+  gs.bytes_after = gs.bytes_before;
+
+  // Oldest first; path tie-break keeps the order reproducible even when
+  // a whole sweep's entries share one mtime second.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path < b.path;
+  });
+
+  const std::time_t now = std::time(nullptr);
+  for (const Entry& e : entries) {
+    const bool too_old =
+        max_age_seconds > 0.0 &&
+        std::difftime(now, e.mtime) > max_age_seconds;
+    const bool over_budget = max_bytes > 0 && gs.bytes_after > max_bytes;
+    // Sorted oldest-first: once an entry is young enough and the budget
+    // fits, every remaining entry is newer, so nothing else can qualify.
+    if (!too_old && !over_budget) break;
+    if (std::remove(e.path.c_str()) == 0 || errno == ENOENT) {
+      ++gs.evicted;
+      gs.bytes_after -= e.bytes;
+    }
+  }
+  return gs;
 }
 
 ResultCache::Stats ResultCache::stats() const {

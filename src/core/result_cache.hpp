@@ -1,10 +1,11 @@
 // Content-addressed on-disk cache of sweep-point results. Every
 // simulation in this repo is a deterministic function of its SweepPoint
-// (app, version, platform kind + config + params, procs) plus three
-// host-side execution knobs that are *promised* not to change simulated
-// results but are keyed anyway so a false promise can never serve a
-// stale answer: the fiber backend, the check level, the fault seed --
-// and the engine revision string baked in at build time. Two processes
+// (app, version, platform kind + config + params, procs) plus host-side
+// execution knobs that are *promised* not to change simulated results
+// but are keyed anyway so a false promise can never serve a stale
+// answer: the fiber backend, the check level, the fault seed, the
+// engine-threading mode -- and the engine revision string baked in at
+// build time. Two processes
 // (or two runs weeks apart) that ask for the same point therefore get
 // the same bits, so shared uniprocessor baselines and re-run benches are
 // cache hits instead of recomputations.
@@ -95,6 +96,22 @@ class ResultCache {
   /// Stores an ok() result; failed, timed-out, or uncacheable points
   /// are never stored. Returns whether an entry was written.
   bool insert(const SweepPoint& p, const SweepResult& r);
+
+  /// Garbage-collect the directory: delete entries older than
+  /// `max_age_seconds` (0 = no age limit), then evict oldest-first until
+  /// total entry bytes fit under `max_bytes` (0 = no size limit).
+  /// Eviction order is strictly (mtime, path), so it is reproducible;
+  /// each eviction is a single unlink, so a concurrent reader either
+  /// gets the whole entry or a clean miss, and concurrent writers'
+  /// in-flight ".tmp." files are never touched. Safe to run while other
+  /// processes use the cache -- an evicted entry simply recomputes.
+  struct GcStats {
+    std::uint64_t scanned = 0;       ///< entries examined
+    std::uint64_t evicted = 0;       ///< entries deleted
+    std::uint64_t bytes_before = 0;  ///< total entry bytes found
+    std::uint64_t bytes_after = 0;   ///< total entry bytes kept
+  };
+  GcStats gc(std::uint64_t max_bytes, double max_age_seconds);
 
   struct Stats {
     std::uint64_t hits = 0;

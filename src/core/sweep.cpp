@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -44,6 +46,7 @@ SweepRunner::SweepRunner(int jobs)
 
 SweepRunner::SweepRunner(const Config& cfg) : cfg_(cfg) {
   if (cfg_.jobs <= 0) cfg_.jobs = defaultJobs();
+  if (cfg_.engine_threads < 1) cfg_.engine_threads = 1;
   if (cfg_.shard_count < 1) {
     throw std::invalid_argument("sweep: shard_count must be >= 1");
   }
@@ -112,6 +115,14 @@ Cycles SweepRunner::baseline(const SweepPoint& p) {
   return fut.get();
 }
 
+int SweepRunner::effectiveEngineThreads(const SweepPoint& p) const {
+  if (p.engine_threads > 0) return p.engine_threads;
+  if (cfg_.engine_threads > 1 && p.procs >= cfg_.engine_threads_min_procs) {
+    return cfg_.engine_threads;
+  }
+  return 1;
+}
+
 SweepResult SweepRunner::attemptPoint(const SweepPoint& p) {
   SweepResult res;
   try {
@@ -131,6 +142,10 @@ SweepResult SweepRunner::attemptPoint(const SweepPoint& p) {
     if (p.check != CheckLevel::Off) plat->setCheckLevel(p.check);
     if (p.fault_seed != 0) plat->setFaultPlan(p.fault_seed);
     if (p.deadline_ms > 0.0) plat->engine().setWatchdog(0, p.deadline_ms);
+    // runPoint normalized engine_threads to the effective value; the
+    // platform still falls back to sequential when its safety contract
+    // or an attached observer requires it (bit-identical either way).
+    plat->setEngineThreads(p.engine_threads > 1 ? p.engine_threads : 1);
     res.app = ver->run(*plat, p.params);
     res.cycles = res.app.stats.exec_cycles;
     if (!res.app.correct) {
@@ -154,8 +169,12 @@ SweepResult SweepRunner::attemptPoint(const SweepPoint& p) {
   return res;
 }
 
-SweepResult SweepRunner::runPoint(const SweepPoint& p) {
+SweepResult SweepRunner::runPoint(const SweepPoint& point) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Normalize the threading mode before anything keys or runs the
+  // point, so the cache key and the execution can never disagree.
+  SweepPoint p = point;
+  p.engine_threads = effectiveEngineThreads(point);
 
   // Content-addressed fast paths. The checkpoint manifest (this exact
   // sweep, resumed) wins over the shared cache; both serve bit-identical
@@ -241,13 +260,41 @@ std::vector<SweepResult> SweepRunner::run(
   }
   if (mine.empty()) return out;
 
+  // Host-thread budget shared by inter-point and intra-point
+  // parallelism: the pool has cfg_.jobs permits, a point occupies
+  // min(engine_threads, jobs) of them while it runs. Small points keep
+  // packing one-per-permit; a big point running its engine on T threads
+  // displaces T small ones instead of oversubscribing the host.
+  struct Budget {
+    std::mutex mu;
+    std::condition_variable cv;
+    int avail = 0;
+    void acquire(int n) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return avail >= n; });
+      avail -= n;
+    }
+    void release(int n) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        avail += n;
+      }
+      cv.notify_all();
+    }
+  } budget;
+  budget.avail = cfg_.jobs;
+
   std::atomic<std::size_t> next{0};
   const auto work = [&] {
     for (;;) {
       const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= mine.size()) return;
       const std::size_t i = mine[k];
+      const int permits =
+          std::min(effectiveEngineThreads(points[i]), cfg_.jobs);
+      budget.acquire(permits);
       out[i] = runPoint(points[i]);
+      budget.release(permits);
     }
   };
   const int nworkers =

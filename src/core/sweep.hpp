@@ -40,6 +40,14 @@ struct SweepPoint {
   std::uint64_t fault_seed = 0;
   double deadline_ms = 0.0;
 
+  /// Host worker threads for this point's single-run engine (promised
+  /// bit-identical; see Platform::setEngineThreads). 0 = let the runner
+  /// decide from its Config (big-proc points get Config::engine_threads,
+  /// small points stay sequential and packed). The runner normalizes
+  /// this to the effective value before keying the point, so cached
+  /// results never alias across threading modes.
+  int engine_threads = 0;
+
   /// Compute the paper-style baseline (original version, one processor,
   /// same platform configuration and params) so speedup() is defined.
   bool with_baseline = true;
@@ -130,6 +138,14 @@ class SweepRunner {
     std::string checkpoint;   ///< append-only resume manifest; "" = off
     int shard_index = 0;      ///< 0-based shard of this runner
     int shard_count = 1;      ///< total shards; 1 = run everything
+    /// Intra-point parallelism policy: points with procs >=
+    /// engine_threads_min_procs (and no per-point override) run their
+    /// single engine on this many host threads; smaller points stay
+    /// sequential so many of them pack across the worker pool. The
+    /// total host-thread budget stays `jobs`: a point running on T
+    /// engine threads occupies T of the pool's permits.
+    int engine_threads = 1;
+    int engine_threads_min_procs = 32;
   };
 
   /// Per-run provenance counters: where each non-skipped point's result
@@ -171,6 +187,9 @@ class SweepRunner {
   SweepResult runPoint(const SweepPoint& p);
   /// One attempt at a point (no retry logic, no wall-clock accounting).
   SweepResult attemptPoint(const SweepPoint& p);
+  /// The engine-thread count a point will actually run with (>= 1):
+  /// per-point override, else the Config policy.
+  [[nodiscard]] int effectiveEngineThreads(const SweepPoint& p) const;
 
   Config cfg_;
   std::unique_ptr<ResultCache> cache_;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 
 namespace rsvm {
 
@@ -22,6 +23,10 @@ FgsPlatform::FgsPlatform(int nprocs, const FgsParams& params)
       handler_(static_cast<std::size_t>(nprocs)),
       bs_(static_cast<std::size_t>(nprocs)),
       bs_gen_(static_cast<std::size_t>(nprocs), 0) {
+  if (nprocs > 64) {
+    // Block-state sharer sets are one-word bitmasks (bit per processor).
+    throw std::invalid_argument("FgsPlatform: at most 64 processors");
+  }
   l1_.reserve(static_cast<std::size_t>(nprocs));
   l2_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 
 namespace rsvm {
 
@@ -20,6 +21,10 @@ NumaPlatform::NumaPlatform(int nprocs, const NumaParams& params)
       net_(nprocs, {0, params.net_latency, params.link_bytes_per_cycle}),
       dir_(static_cast<std::size_t>(nprocs)),
       sync_(engine_, params.sync) {
+  if (nprocs > 64) {
+    // Directory sharer sets are one-word bitmasks (bit per processor).
+    throw std::invalid_argument("NumaPlatform: at most 64 processors");
+  }
   l1_.reserve(static_cast<std::size_t>(nprocs));
   l2_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {

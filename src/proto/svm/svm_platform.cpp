@@ -31,6 +31,13 @@ SvmPlatform::SvmPlatform(int nprocs, const SvmParams& params)
   if (params.procs_per_node < 1) {
     throw std::invalid_argument("SvmPlatform: procs_per_node must be >= 1");
   }
+  // The non-home-based protocol tracks pending diffs in a per-node
+  // bitmask (PageEntry::pending_diffs, one word); beyond-64-node runs
+  // are HLRC-only.
+  if (!params.home_based && nnodes_ > 64) {
+    throw std::invalid_argument(
+        "SvmPlatform: non-home-based LRC supports at most 64 nodes");
+  }
   l1_.reserve(static_cast<std::size_t>(nprocs));
   l2_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {
@@ -164,6 +171,13 @@ ProcId SvmPlatform::homeOf(SimAddr a) const { return home_[pageOf(a)]; }
 
 void SvmPlatform::pageFault(ProcId p, std::uint64_t page) {
   Engine& eng = engine_;
+  // First touch of cross-node state (network, home handler FIFO, the
+  // home's clock): order this segment into the parallel commit order.
+  // No ShardCritScope here: every shared touch below happens before the
+  // single stallUntil, and the code after it is node-private -- so the
+  // post-fault continuation stays eligible for run-ahead. Keep it that
+  // way when editing (or add a scope, as the sync wrappers do).
+  eng.shardFence();
   eng.stats(p).page_faults++;
   emit(TraceEvent::Kind::PageFault, p, page, prm_.page_bytes);
   const ProcId n = nodeOf(p);
@@ -211,6 +225,7 @@ std::uint64_t SvmPlatform::retainedDiffBytes() const {
 
 void SvmPlatform::pageFaultLrc(ProcId p, std::uint64_t page) {
   Engine& eng = engine_;
+  eng.shardFence();  // cross-node state ahead, as in pageFault
   eng.stats(p).page_faults++;
   const ProcId n = nodeOf(p);
   PageEntry& e = pt_[static_cast<std::size_t>(n)][page];

@@ -89,6 +89,17 @@ class SvmPlatform final : public Platform {
     return prm_.page_bytes;
   }
 
+  /// With one processor per node, everything a segment touches before
+  /// its first page fault / sync fence is node-private: cache probes,
+  /// the node's own page-table entries (valid-page reads, dirty-byte
+  /// updates), twins and the dirty list. Other nodes only ever mutate a
+  /// node's state through fenced protocol entry points. procs_per_node
+  /// > 1 would let two processors of one node race on that state, so
+  /// those configurations stay sequential.
+  [[nodiscard]] bool shardParallelSafe() const override {
+    return prm_.procs_per_node == 1;
+  }
+
   [[nodiscard]] const SvmParams& params() const { return prm_; }
   [[nodiscard]] int nodes() const { return nnodes_; }
   [[nodiscard]] ProcId nodeOf(ProcId p) const {
@@ -205,9 +216,10 @@ class SvmPlatform final : public Platform {
   std::vector<LockState> locks_;
   std::vector<BarrierState> barriers_;
   // Scratch reused across barrier release episodes so the slow path
-  // stops allocating three vectors per barrier. Safe as members: the
-  // engine is single-threaded and each episode's scratch use ends
-  // before the final stallUntil yield, so episodes never overlap.
+  // stops allocating three vectors per barrier. Safe as members: barrier
+  // code always runs committed (sequentially, or holding the parallel
+  // engine's commit token) and each episode's scratch use ends before
+  // the final stallUntil yield, so episodes never overlap.
   std::vector<ProcId> scratch_waiters_;
   std::vector<Cycles> scratch_node_release_;
   std::vector<int> scratch_fanout_;

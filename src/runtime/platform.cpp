@@ -18,6 +18,8 @@ namespace {
 // --no-fastpath). Atomic: sweep worker threads construct platforms
 // concurrently.
 std::atomic<bool> g_fastpath_default{true};
+// Process-wide default engine-threads request (bench --engine-threads).
+std::atomic<int> g_engine_threads_default{1};
 }  // namespace
 
 void Platform::setFastPathDefault(bool on) {
@@ -26,6 +28,14 @@ void Platform::setFastPathDefault(bool on) {
 
 bool Platform::fastPathDefault() {
   return g_fastpath_default.load(std::memory_order_relaxed);
+}
+
+void Platform::setEngineThreadsDefault(int t) {
+  g_engine_threads_default.store(t < 1 ? 1 : t, std::memory_order_relaxed);
+}
+
+int Platform::engineThreadsDefault() {
+  return g_engine_threads_default.load(std::memory_order_relaxed);
 }
 
 void Platform::initFastPath(std::uint32_t line_bytes, Cycles read_cost,
@@ -52,7 +62,7 @@ void Platform::setFastPathProc(ProcId p, Cache* l1,
 
 void Platform::accessSlow(SimAddr a, std::uint32_t size, bool write,
                           bool racy) {
-  ++slow_access_calls_;
+  ++slow_access_calls_[static_cast<std::size_t>(engine_.self())];
   flushAccess();
   if (trace) {
     const TraceEvent::Kind k =
@@ -164,6 +174,13 @@ int Platform::makeBarrier() {
 RunStats Platform::run(const std::function<void(Ctx&)>& body) {
   if (ran_) throw std::logic_error("Platform: run() may only be called once");
   ran_ = true;
+  // Parallel scheduling needs (a) the platform's run-ahead safety
+  // contract and (b) no attached observer whose event/RNG order is
+  // defined by the sequential schedule. Anything else falls back to the
+  // sequential scheduler -- same simulated results by construction.
+  const bool par_ok = engine_threads_req_ > 1 && shardParallelSafe() &&
+                      !trace && oracle_ == nullptr && fault_ == nullptr;
+  engine_.setThreads(par_ok ? engine_threads_req_ : 1);
   engine_.run([this, &body](ProcId p) {
     Ctx c(*this, p);
     body(c);

@@ -169,18 +169,31 @@ class Platform {
   // before the impl hands the lock on, a grantee joins after the impl
   // returns with the lock held, and every barrier arrival is recorded
   // before any departure.
+  // shardFence() orders the calling segment into the parallel engine's
+  // commit order before the protocol touches lock/barrier/network state
+  // shared across processors (a no-op under the sequential scheduler),
+  // and the ShardCritScope keeps every yield *inside* the operation
+  // (stallUntil, quantum expiry, block) resuming committed: the code
+  // after such a yield goes straight back to shared protocol state
+  // without another fence of its own.
   void acquireLock(int id) {
     flushAccess();
+    Engine::ShardCritScope crit(engine_);
+    engine_.shardFence();
     acquireLockImpl(id);
     if (oracle_) oracle_->onLockGrant(engine_.self(), id);
   }
   void releaseLock(int id) {
     flushAccess();
+    Engine::ShardCritScope crit(engine_);
+    engine_.shardFence();
     if (oracle_) oracle_->onLockRelease(engine_.self(), id);
     releaseLockImpl(id);
   }
   void barrier(int id) {
     flushAccess();
+    Engine::ShardCritScope crit(engine_);
+    engine_.shardFence();
     if (oracle_) oracle_->onBarrierArrive(engine_.self(), id);
     barrierImpl(id);
     if (oracle_) oracle_->onBarrierDepart(engine_.self(), id);
@@ -213,11 +226,36 @@ class Platform {
   /// Diagnostic: how many accesses took the slow path (counted there, so
   /// the hot path pays nothing). With the total from ProcStats
   /// reads+writes this gives the filter hit rate (bench ext_simperf).
+  /// Counted per processor: under the parallel engine, slow accesses run
+  /// concurrently on different host threads.
   [[nodiscard]] std::uint64_t slowAccessCalls() const {
-    return slow_access_calls_;
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : slow_access_calls_) total += c;
+    return total;
   }
   static void setFastPathDefault(bool on);
   [[nodiscard]] static bool fastPathDefault();
+
+  // ---- parallel engine opt-in (see DESIGN.md, "Parallel engine") ----
+
+  /// Can a single run() of this platform instance legally use the
+  /// parallel engine scheduler? Requires that everything a processor's
+  /// segment touches *before* its first shardFence() (cache probes, page
+  /// table reads on valid pages, dirty tracking) is private to that
+  /// processor. Conservative default: no.
+  [[nodiscard]] virtual bool shardParallelSafe() const { return false; }
+
+  /// Request host worker threads for this instance's run(); values above
+  /// 1 take effect only when shardParallelSafe() holds and no trace
+  /// hook, oracle, or fault plan is attached (their observation/RNG
+  /// order is defined by the sequential schedule). Simulated results are
+  /// bit-identical either way.
+  void setEngineThreads(int t) { engine_threads_req_ = t < 1 ? 1 : t; }
+  [[nodiscard]] int engineThreads() const { return engine_threads_req_; }
+  /// Process-wide default for newly constructed platforms (bench
+  /// --engine-threads). Atomic, like the fast-path default.
+  static void setEngineThreadsDefault(int t);
+  [[nodiscard]] static int engineThreadsDefault();
 
   /// The coherence-unit size at which the platform's protocol shares data
   /// (SVM page, hardware cache line, FGS block) -- the granularity at
@@ -266,7 +304,10 @@ class Platform {
 
  protected:
   Platform(PlatformKind k, const Engine::Config& ec)
-      : kind_(k), engine_(ec) {}
+      : kind_(k), engine_(ec) {
+    slow_access_calls_.resize(static_cast<std::size_t>(ec.nprocs), 0);
+    engine_threads_req_ = engineThreadsDefault();
+  }
 
   /// Protocol implementation of one timed access (see access()).
   virtual void doAccess(SimAddr a, std::uint32_t size, bool write) = 0;
@@ -383,7 +424,8 @@ class Platform {
   Cycles fast_quantum_ = 0;  ///< cached Engine::quantum()
   bool fast_write_needs_mod_ = true;
   bool fast_on_ = false;
-  std::uint64_t slow_access_calls_ = 0;
+  std::vector<std::uint64_t> slow_access_calls_;  // indexed by processor
+  int engine_threads_req_ = 1;
 
  protected:
 
@@ -456,6 +498,9 @@ class Ctx {
   }
   [[nodiscard]] Cycles now() {
     plat.flushAccess();
+    // Under the parallel engine a run-ahead clock read could miss handler
+    // charges the sequential schedule had already delivered; commit first.
+    plat.engine().shardFence();
     return plat.engine().now(id_);
   }
 

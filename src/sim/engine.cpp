@@ -5,9 +5,14 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 namespace rsvm {
+
+namespace detail {
+thread_local ProcId t_current_proc = -1;
+}  // namespace detail
 
 namespace {
 
@@ -21,12 +26,16 @@ const char* stateName(int s) {
   return "?";
 }
 
+constexpr int kParErrDeadlock = 1;
+constexpr int kParErrWatchdog = 2;
+
 }  // namespace
 
 Engine::Engine(const Config& cfg) : cfg_(cfg) {
   if (cfg.nprocs < 1 || cfg.nprocs > kMaxProcs) {
     throw std::invalid_argument("Engine: nprocs out of range");
   }
+  if (cfg_.threads < 1) cfg_.threads = 1;
   procs_.resize(static_cast<std::size_t>(cfg.nprocs));
   // Every processor has at most one live heap entry, +1 covers the
   // transient push inside yieldCurrent before its fast-resume pop.
@@ -62,6 +71,10 @@ void Engine::heapPop() {
 }
 
 void Engine::run(const std::function<void(ProcId)>& body) {
+  if (cfg_.threads > 1 && cfg_.nprocs > 1) {
+    runParallel(body);
+    return;
+  }
   unfinished_ = cfg_.nprocs;
   for (ProcId p = 0; p < cfg_.nprocs; ++p) {
     Proc& pr = procs_[static_cast<std::size_t>(p)];
@@ -127,9 +140,11 @@ bool Engine::watchdogTripped(Cycles t) {
     watch_fired_ = true;
     return true;
   }
-  // The host clock is sampled sparsely: a syscall per scheduler
-  // iteration would dominate light-weight runs.
-  if (cfg_.max_host_ms > 0.0 && (++watch_iter_ & 255u) == 0) {
+  // Monotonic host-clock check on every call (a steady_clock read is one
+  // VDSO call, and this only runs when a deadline is armed). The former
+  // every-256-iterations sampling under-sampled badly once parallel
+  // workers spread the scheduler iterations across threads.
+  if (cfg_.max_host_ms > 0.0) {
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - watch_t0_)
                           .count();
@@ -155,9 +170,9 @@ void Engine::scheduleLoop() {
     // control always reaches this check.
     if (watch && watchdogTripped(e.time)) throwWatchdog(e.time);
     pr.state = ProcState::Running;
-    current_ = e.proc;
+    detail::t_current_proc = e.proc;
     pr.fiber->resume();
-    current_ = -1;
+    detail::t_current_proc = -1;
     if (pr.fiber->finished()) {
       pr.state = ProcState::Finished;
       --unfinished_;
@@ -167,6 +182,11 @@ void Engine::scheduleLoop() {
 }
 
 void Engine::absorbHandler(Proc& p) {
+  // Record the absorb point even with nothing pending: a parallel-mode
+  // mailbox drain must know whether charges that sequentially landed
+  // before this segment would already have been folded into the clock
+  // here (see drainMailbox).
+  p.seg_absorbed = true;
   if (p.pending_handler == 0) return;
   p.clock += p.pending_handler;
   p.stats[Bucket::Handler] += p.pending_handler;
@@ -174,10 +194,15 @@ void Engine::absorbHandler(Proc& p) {
 }
 
 void Engine::yieldCurrent() {
-  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  const ProcId cur = detail::t_current_proc;
+  Proc& pr = procs_[static_cast<std::size_t>(cur)];
+  if (par_active_) {
+    parYield(pr, cur);
+    return;
+  }
   pr.since_yield = 0;
   const std::uint64_t seq = seq_++;
-  heapPush({pr.clock, current_, seq});
+  heapPush({pr.clock, cur, seq});
   // Fast resume: if the yielding processor is still the strict minimum,
   // the scheduler would pop this very entry next and switch straight
   // back in with nothing run in between. Skip both context switches.
@@ -185,7 +210,7 @@ void Engine::yieldCurrent() {
   // so the resume order (and every simulated value) is untouched. This
   // is the common case for quantum-expiry yields in lightly-contended
   // runs and for every yield of a uniprocessor baseline.
-  if (ready_.front().proc == current_ && ready_.front().seq == seq &&
+  if (ready_.front().proc == cur && ready_.front().seq == seq &&
       !(watchdogEnabled() && watchdogTripped(pr.clock))) {
     heapPop();
     return;  // state stays Running; the fiber continues immediately
@@ -195,7 +220,7 @@ void Engine::yieldCurrent() {
 }
 
 void Engine::advance(Cycles dt, Bucket b) {
-  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  Proc& pr = procs_[static_cast<std::size_t>(detail::t_current_proc)];
   absorbHandler(pr);
   pr.clock += dt;
   pr.stats[b] += dt;
@@ -206,7 +231,10 @@ void Engine::advance(Cycles dt, Bucket b) {
 }
 
 void Engine::stallUntil(Cycles t, Bucket b) {
-  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  // The comparison below depends on every handler charge the sequential
+  // scheduler would have delivered by now, so order this segment first.
+  shardFence();
+  Proc& pr = procs_[static_cast<std::size_t>(detail::t_current_proc)];
   absorbHandler(pr);
   if (t > pr.clock) {
     pr.stats[b] += t - pr.clock;
@@ -218,12 +246,20 @@ void Engine::stallUntil(Cycles t, Bucket b) {
 void Engine::yieldNow() { yieldCurrent(); }
 
 void Engine::block(Bucket b) {
-  Proc& pr = procs_[static_cast<std::size_t>(current_)];
+  shardFence();
+  Proc& pr = procs_[static_cast<std::size_t>(detail::t_current_proc)];
   absorbHandler(pr);
   pr.block_start = pr.clock;
   pr.block_bucket = b;
-  pr.state = ProcState::Blocked;
   pr.since_yield = 0;
+  if (par_active_) {
+    // The hosting worker publishes Blocked (and releases the token) once
+    // the context switch below has completed; publishing here would let
+    // another worker wake and resume this fiber mid-switch.
+    pr.pending_susp = Susp::Block;
+  } else {
+    pr.state = ProcState::Blocked;
+  }
   Fiber::yieldToScheduler();
   // Woken: wake() already set our clock and state; charge the wait,
   // overlapping any handler work that arrived while we were blocked.
@@ -237,15 +273,49 @@ void Engine::block(Bucket b) {
 }
 
 void Engine::wake(ProcId p, Cycles t) {
+  shardFence();
   Proc& pr = procs_[static_cast<std::size_t>(p)];
   assert(pr.state == ProcState::Blocked && "wake of a non-blocked processor");
+  if (!par_active_) {
+    pr.clock = std::max(pr.clock, t);
+    pr.state = ProcState::Ready;
+    heapPush({pr.clock, p, seq_++});
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
   pr.clock = std::max(pr.clock, t);
   pr.state = ProcState::Ready;
-  heapPush({pr.clock, p, seq_++});
+  // The woken fiber resumes inside block(), whose wait/overlap
+  // accounting must see every handler charge delivered up to its
+  // sequential resume point -- so it may only be resumed committed.
+  pr.resume_committed = true;
+  pr.pkey = {pr.clock, p, seq_++};
+  pr.key_live = true;
+  ++live_keys_;
+  cv_.notify_all();
 }
 
 void Engine::chargeHandler(ProcId p, Cycles dt) {
-  procs_[static_cast<std::size_t>(p)].pending_handler += dt;
+  shardFence();
+  if (!par_active_) {
+    procs_[static_cast<std::size_t>(p)].pending_handler += dt;
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  Proc& pr = procs_[static_cast<std::size_t>(p)];
+  if (p == detail::t_current_proc || pr.state == ProcState::Blocked ||
+      pr.state == ProcState::Ready || pr.state == ProcState::Finished) {
+    // Not mid-segment (or our own processor): exactly the sequential
+    // behavior. The charger holds the commit token, so the target cannot
+    // start a segment concurrently (that needs this same mutex), and a
+    // suspended or idle fiber never touches its own pending_handler.
+    pr.pending_handler += dt;
+    return;
+  }
+  // The target has a segment in flight (running ahead on another worker,
+  // or suspended at a gate). Sequentially this charge lands before that
+  // segment starts; queue it for the drain at the segment's commit.
+  pr.mailbox += dt;
 }
 
 RunStats Engine::collect() const {
@@ -257,6 +327,314 @@ RunStats Engine::collect() const {
     rs.exec_cycles = std::max(rs.exec_cycles, p.clock);
   }
   return rs;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel scheduler.
+//
+// Correctness model (DESIGN.md, "Parallel engine"): a *segment* is the
+// execution of one processor from a scheduler resume to its next yield,
+// block, or finish -- exactly what one sequential scheduleLoop iteration
+// runs. Each non-blocked processor carries the (time, seq) key the
+// sequential heap would hold for it; keys are allocated under the commit
+// token in exact sequential order, so the set of live keys always equals
+// the sequential scheduler's heap content.
+//
+//  * Run-ahead: any Ready processor's segment may start early on any
+//    worker, but may only touch processor-local state (its own clock,
+//    stats, caches, its node's page table -- guaranteed by the platform's
+//    shardParallelSafe() contract plus the fences below).
+//  * Commit: before its first touch of shared state (and at the latest at
+//    its end), a segment calls shardFence() and waits until (a) no other
+//    segment holds the commit token and (b) its key is the minimum over
+//    all live keys. Keys are unique, and a committed segment's key stays
+//    live until the segment ends, so committed segments execute one at a
+//    time in exactly the sequential resume order.
+//  * Handler charges to a processor whose segment is in flight go to a
+//    mailbox, drained at that segment's commit as if they had arrived
+//    before it started (drainMailbox replays the absorb-at-first-advance
+//    rule via seg_absorbed).
+// ---------------------------------------------------------------------------
+
+void Engine::drainMailbox(Proc& pr) {
+  if (pr.mailbox == 0) return;
+  if (pr.seg_absorbed) {
+    // The segment already passed an absorb point; sequentially these
+    // charges (which landed before the segment started) would have been
+    // folded into the clock there. Addition commutes, so folding them now
+    // reproduces the same clock and bucket totals.
+    pr.clock += pr.mailbox;
+    pr.stats[Bucket::Handler] += pr.mailbox;
+  } else {
+    pr.pending_handler += pr.mailbox;
+  }
+  pr.mailbox = 0;
+}
+
+ProcId Engine::minLiveKeyProc() const {
+  ProcId best = -1;
+  for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+    const Proc& pr = procs_[static_cast<std::size_t>(p)];
+    if (!pr.key_live) continue;
+    if (best < 0 ||
+        pr.pkey.before(procs_[static_cast<std::size_t>(best)].pkey)) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+bool Engine::isMinLiveKey(ProcId p) const {
+  const HeapEntry& k = procs_[static_cast<std::size_t>(p)].pkey;
+  for (ProcId q = 0; q < cfg_.nprocs; ++q) {
+    if (q == p) continue;
+    const Proc& pr = procs_[static_cast<std::size_t>(q)];
+    if (pr.key_live && pr.pkey.before(k)) return false;
+  }
+  return true;
+}
+
+void Engine::shardFence() {
+  if (!par_active_) return;
+  const ProcId p = detail::t_current_proc;
+  if (p < 0) return;  // host context
+  Proc& pr = procs_[static_cast<std::size_t>(p)];
+  if (pr.committed) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (token_holder_ < 0 && isMinLiveKey(p)) {
+      token_holder_ = p;
+      pr.committed = true;
+      drainMailbox(pr);
+      return;
+    }
+    pr.pending_susp = Susp::Gate;
+  }
+  // The hosting worker publishes gate_wait once this switch completes;
+  // another worker then grants the token and resumes us at our turn.
+  Fiber::yieldToScheduler();
+  assert(pr.committed || par_error_ != 0);
+}
+
+void Engine::shardCritEnter() {
+  if (!par_active_) return;
+  const ProcId p = detail::t_current_proc;
+  if (p < 0) return;  // host context
+  ++procs_[static_cast<std::size_t>(p)].crit_depth;
+}
+
+void Engine::shardCritExit() {
+  if (!par_active_) return;
+  const ProcId p = detail::t_current_proc;
+  if (p < 0) return;  // host context
+  Proc& pr = procs_[static_cast<std::size_t>(p)];
+  assert(pr.crit_depth > 0);
+  --pr.crit_depth;
+}
+
+void Engine::parYield(Proc& pr, ProcId p) {
+  pr.since_yield = 0;
+  // End-of-segment gate: the push below allocates the next sequential
+  // seq, which must happen in commit order.
+  shardFence();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t seq = seq_++;
+    pr.pkey = {pr.clock, p, seq};  // replaces the ending segment's key
+    // Fast resume, exactly as in the sequential scheduler: the live-key
+    // set equals the sequential heap content here, so "my new key is the
+    // strict minimum" is the same check as "my entry is the heap front".
+    // Keep the token and continue straight into the next segment.
+    if (isMinLiveKey(p) &&
+        !(watchdogEnabled() && watchdogTripped(pr.clock))) {
+      pr.seg_absorbed = false;
+      return;
+    }
+    // Mid-protocol yield: the continuation returns to shared state (see
+    // ShardCritScope) with no fence of its own, so it may not run ahead.
+    if (pr.crit_depth > 0) pr.resume_committed = true;
+    pr.pending_susp = Susp::Yield;
+  }
+  Fiber::yieldToScheduler();
+  // Resumed by a worker: either as a run-ahead prefix of the next
+  // segment, or committed straight away if our key was the minimum.
+}
+
+void Engine::finalizeProc(Proc& pr) {
+  // mu_ held. The processor's last segment commits here, in sequential
+  // order: release the token, retire the key, and retire the processor.
+  pr.committed = false;
+  pr.finish_wait = false;
+  token_holder_ = -1;
+  pr.key_live = false;
+  --live_keys_;
+  pr.state = ProcState::Finished;
+  --unfinished_;
+  cv_.notify_all();
+}
+
+void Engine::workerLoop() {
+  const bool watch = watchdogEnabled();
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (par_error_ != 0 || unfinished_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    ProcId act = -1;
+    bool grant = false;
+    if (token_holder_ < 0) {
+      const ProcId gm = minLiveKeyProc();
+      if (gm < 0) {
+        // Only blocked processors remain: the sequential scheduler's
+        // empty-heap deadlock.
+        par_error_ = kParErrDeadlock;
+        cv_.notify_all();
+        return;
+      }
+      Proc& g = procs_[static_cast<std::size_t>(gm)];
+      if (g.state == ProcState::Ready || g.gate_wait || g.finish_wait) {
+        // This is where the sequential scheduler would pop gm's entry.
+        if (watch && watchdogTripped(g.pkey.time)) {
+          par_error_ = kParErrWatchdog;
+          par_error_time_ = g.pkey.time;
+          cv_.notify_all();
+          return;
+        }
+        if (g.finish_wait) {
+          g.committed = true;  // nominal: the segment is already over
+          drainMailbox(g);
+          finalizeProc(g);
+          continue;
+        }
+        token_holder_ = gm;
+        g.committed = true;
+        drainMailbox(g);
+        if (g.gate_wait) {
+          g.gate_wait = false;  // resume mid-segment, at its fence
+        } else {
+          g.state = ProcState::Running;  // new segment, starting committed
+          g.resume_committed = false;
+          g.seg_absorbed = false;
+        }
+        act = gm;
+        grant = true;
+      }
+      // else: the minimum is a segment already running ahead on some
+      // worker; it will fence or end on its own.
+    }
+    if (act < 0) {
+      // Run-ahead: start the lowest-keyed Ready segment as a prefix.
+      // Block-woken processors are excluded -- they resume inside
+      // block()'s wait accounting, which may only run committed.
+      ProcId best = -1;
+      for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+        Proc& pr = procs_[static_cast<std::size_t>(p)];
+        if (pr.state != ProcState::Ready || pr.resume_committed) continue;
+        if (best < 0 ||
+            pr.pkey.before(procs_[static_cast<std::size_t>(best)].pkey)) {
+          best = p;
+        }
+      }
+      if (best >= 0) {
+        Proc& pr = procs_[static_cast<std::size_t>(best)];
+        pr.state = ProcState::Running;
+        pr.seg_absorbed = false;
+        act = best;
+      }
+    }
+    if (act < 0) {
+      cv_.wait(lk);
+      continue;
+    }
+    Proc& pr = procs_[static_cast<std::size_t>(act)];
+    pr.pending_susp = Susp::None;
+    lk.unlock();
+    detail::t_current_proc = act;
+    pr.fiber->resume();
+    detail::t_current_proc = -1;
+    lk.lock();
+    (void)grant;
+    if (pr.fiber->finished()) {
+      if (pr.committed) {
+        finalizeProc(pr);
+      } else {
+        // Ran ahead to completion: hold the key and finish at our
+        // sequential turn (a later mailbox drain may still owe us
+        // handler cycles).
+        pr.finish_wait = true;
+        cv_.notify_all();
+      }
+      continue;
+    }
+    // The fiber suspended; its context switch is complete (resume()
+    // returned), so its new state can safely be published.
+    switch (pr.pending_susp) {
+      case Susp::Gate:
+        pr.gate_wait = true;
+        break;
+      case Susp::Yield:
+        pr.state = ProcState::Ready;
+        pr.committed = false;
+        token_holder_ = -1;
+        break;
+      case Susp::Block:
+        pr.state = ProcState::Blocked;
+        pr.committed = false;
+        token_holder_ = -1;
+        pr.key_live = false;
+        --live_keys_;
+        break;
+      case Susp::None:
+        assert(false && "fiber suspended outside an engine yield point");
+        break;
+    }
+    cv_.notify_all();
+  }
+}
+
+void Engine::runParallel(const std::function<void(ProcId)>& body) {
+  unfinished_ = cfg_.nprocs;
+  token_holder_ = -1;
+  par_error_ = 0;
+  par_error_time_ = 0;
+  live_keys_ = 0;
+  for (ProcId p = 0; p < cfg_.nprocs; ++p) {
+    Proc& pr = procs_[static_cast<std::size_t>(p)];
+    pr.fiber = std::make_unique<Fiber>([this, &body, p] { body(p); });
+    pr.state = ProcState::Ready;
+    pr.pkey = {pr.clock, p, seq_++};
+    pr.key_live = true;
+    ++live_keys_;
+    pr.mailbox = 0;
+    pr.committed = false;
+    pr.gate_wait = false;
+    pr.finish_wait = false;
+    pr.resume_committed = false;
+    pr.seg_absorbed = false;
+    pr.crit_depth = 0;
+    pr.pending_susp = Susp::None;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  watch_t0_ = t0;
+  par_active_ = true;
+  const int nworkers = std::min(cfg_.threads, cfg_.nprocs);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nworkers - 1));
+  for (int w = 1; w < nworkers; ++w) {
+    workers.emplace_back([this] { workerLoop(); });
+  }
+  workerLoop();  // the calling thread is worker 0
+  for (std::thread& w : workers) w.join();
+  par_active_ = false;
+  run_wall_ms_ += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  // Error paths abandon suspended fibers, exactly as a sequential
+  // watchdog/deadlock throw does; the fibers' stacks are reclaimed with
+  // the engine.
+  if (par_error_ == kParErrDeadlock) throwDeadlock();
+  if (par_error_ == kParErrWatchdog) throwWatchdog(par_error_time_);
 }
 
 }  // namespace rsvm

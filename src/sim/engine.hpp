@@ -3,12 +3,20 @@
 // which (with a drift-bounding quantum) keeps simulated time approximately
 // globally ordered while letting application code run at native speed.
 //
-// All methods are called either from the host thread (run/collect) or from
-// inside a processor fiber (advance/stall/block/...). The engine is
-// single-threaded and deterministic. It holds no global state: distinct
-// Engine instances are fully isolated, so independent simulations can run
-// concurrently on different host threads -- but each individual engine is
-// confined to the one host thread that calls run().
+// Two schedulers share this interface (DESIGN.md, "Parallel engine"):
+//
+//  * threads == 1 (default): the classic single-threaded scheduler. All
+//    methods are called either from the host thread (run/collect) or from
+//    inside a processor fiber; runs are fully deterministic.
+//  * threads > 1: a conservative parallel scheduler. Simulated processors
+//    run concurrently on T host worker threads, but every interaction
+//    with shared simulated state happens under a commit token that is
+//    granted in exactly the order the sequential scheduler would have
+//    resumed the processors, so all simulated results are bit-identical
+//    to threads == 1. Platforms opt in via Platform::shardParallelSafe().
+//
+// Distinct Engine instances are fully isolated, so independent
+// simulations can also run concurrently on different host threads.
 #pragma once
 
 #include "sim/fiber.hpp"
@@ -16,13 +24,23 @@
 #include "sim/types.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace rsvm {
+
+namespace detail {
+/// The simulated processor whose fiber is executing on the calling host
+/// thread (-1 on a scheduler/host thread). Thread-local so the parallel
+/// scheduler's workers each see their own running processor; with one
+/// thread it behaves exactly like the old Engine::current_ member.
+extern thread_local ProcId t_current_proc;
+}  // namespace detail
 
 /// Thrown by the watchdog (see Engine::setWatchdog) when a run exceeds
 /// its cycle or host-time budget. Distinct from the deadlock
@@ -47,8 +65,12 @@ class Engine {
     /// runnable -- into a diagnostic.
     Cycles max_cycles = 0;
     /// Watchdog: host wall-clock budget for one run() in milliseconds
-    /// (0 = no limit). Sampled every few hundred scheduler iterations.
+    /// (0 = no limit). Checked monotonically on every scheduling
+    /// decision, under either scheduler.
     double max_host_ms = 0.0;
+    /// Host worker threads for one run (see setThreads). 1 = the classic
+    /// sequential scheduler.
+    int threads = 1;
   };
 
   explicit Engine(const Config& cfg);
@@ -57,15 +79,21 @@ class Engine {
   /// the system deadlocks (a processor blocks and is never woken).
   void run(const std::function<void(ProcId)>& body);
 
+  /// Host worker threads for the next run(). Values above nprocs are
+  /// clamped at run time; 1 (or a single-processor run) selects the
+  /// sequential scheduler unchanged. Must not be called during run().
+  void setThreads(int t) { cfg_.threads = t < 1 ? 1 : t; }
+  [[nodiscard]] int threads() const { return cfg_.threads; }
+
   // ---- fiber-side API (must be called from inside a processor fiber) ----
 
-  /// The processor whose fiber is currently executing.
-  [[nodiscard]] ProcId self() const { return current_; }
+  /// The processor whose fiber is currently executing on this host thread.
+  [[nodiscard]] ProcId self() const { return detail::t_current_proc; }
 
   [[nodiscard]] Cycles now(ProcId p) const {
     return procs_[static_cast<std::size_t>(p)].clock;
   }
-  [[nodiscard]] Cycles selfNow() const { return now(current_); }
+  [[nodiscard]] Cycles selfNow() const { return now(self()); }
 
   /// Advance the current processor's clock by `dt`, charged to `b`.
   /// Yields if the drift quantum is exceeded.
@@ -77,7 +105,7 @@ class Engine {
   /// no advance() in the batch would have yielded: a batched flush then
   /// lands at exactly the clocks and yield points of per-access charging.
   [[nodiscard]] bool fitsInQuantum(Cycles dt) const {
-    return procs_[static_cast<std::size_t>(current_)].since_yield + dt <
+    return procs_[static_cast<std::size_t>(self())].since_yield + dt <
            cfg_.quantum;
   }
 
@@ -114,6 +142,38 @@ class Engine {
   /// wait time if it is blocked.
   void chargeHandler(ProcId p, Cycles dt);
 
+  /// Parallel scheduler only (a cheap no-op otherwise): order the calling
+  /// fiber's current segment into the global commit order before it
+  /// touches any simulated state shared across processors. On return the
+  /// caller holds the run's commit token: every segment the sequential
+  /// scheduler would have run before this one has fully completed, and no
+  /// other processor touches shared state until this segment ends.
+  /// Platforms call this at every cross-processor protocol entry point
+  /// (page faults, lock/barrier operations); the engine calls it from
+  /// stallUntil/block/wake/chargeHandler itself.
+  void shardFence();
+
+  /// Parallel scheduler only (cheap no-ops otherwise): bracket a protocol
+  /// operation that touches shared simulated state *after* an internal
+  /// yield point (stallUntil, quantum-expiry advance, block). A yield
+  /// normally ends the segment and lets the continuation run ahead
+  /// uncommitted; inside a critical scope the continuation instead waits
+  /// for its committed turn, because the code after the yield goes
+  /// straight back to shared state (network links, handler occupancy,
+  /// barrier bookkeeping) without another shardFence(). Nest freely.
+  void shardCritEnter();
+  void shardCritExit();
+  class ShardCritScope {
+   public:
+    explicit ShardCritScope(Engine& e) : eng_(e) { eng_.shardCritEnter(); }
+    ~ShardCritScope() { eng_.shardCritExit(); }
+    ShardCritScope(const ShardCritScope&) = delete;
+    ShardCritScope& operator=(const ShardCritScope&) = delete;
+
+   private:
+    Engine& eng_;
+  };
+
   ProcStats& stats(ProcId p) { return procs_[static_cast<std::size_t>(p)].stats; }
   const ProcStats& stats(ProcId p) const {
     return procs_[static_cast<std::size_t>(p)].stats;
@@ -137,6 +197,24 @@ class Engine {
  private:
   enum class ProcState { Ready, Running, Blocked, Finished };
 
+  /// How a fiber handed control back to its hosting worker (parallel
+  /// scheduler). The fiber records the reason; the worker -- which is the
+  /// only thread that knows the context switch has fully completed --
+  /// publishes the resulting state under the scheduler mutex, so no other
+  /// worker can resume a fiber that is still switching out.
+  enum class Susp { None, Gate, Yield, Block };
+
+  struct HeapEntry {
+    Cycles time;
+    ProcId proc;
+    std::uint64_t seq;  // tie-break for determinism
+    bool before(const HeapEntry& o) const {
+      // FIFO among equal times so a yield rotates through ready procs.
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
+    }
+  };
+
   struct Proc {
     Cycles clock = 0;
     Cycles since_yield = 0;      // cycles advanced since last yield
@@ -146,6 +224,22 @@ class Engine {
     ProcState state = ProcState::Ready;
     ProcStats stats;
     std::unique_ptr<Fiber> fiber;
+
+    // ---- parallel-scheduler state (untouched when threads == 1) ----
+    // A processor's scheduling key: the (time, seq) the sequential
+    // scheduler would pop it at. Live from the push that created it until
+    // the segment it started ends -- a committed segment keeps its key
+    // live, which is what makes the commit token exclusive.
+    HeapEntry pkey{};
+    Cycles mailbox = 0;     // handler charges while a segment is in flight
+    bool key_live = false;
+    bool committed = false;       // current segment holds the commit token
+    bool gate_wait = false;       // suspended at shardFence, wants the token
+    bool finish_wait = false;     // fiber finished, awaiting its commit turn
+    bool resume_committed = false;  // block-woken: may only resume committed
+    bool seg_absorbed = false;    // segment passed an absorbHandler point
+    int crit_depth = 0;  // open ShardCritScopes: yields resume committed
+    Susp pending_susp = Susp::None;
   };
 
   void scheduleLoop();
@@ -161,20 +255,12 @@ class Engine {
   /// Has a budget been exceeded at simulated time `t`? Sets the sticky
   /// flag but never throws: it is also called from fiber context (to
   /// suppress yieldCurrent's fast-resume), where unwinding would tear
-  /// through the fiber trampoline. Only scheduleLoop -- host side --
-  /// turns the flag into an exception.
+  /// through the fiber trampoline. Only the host side -- scheduleLoop or
+  /// a parallel worker -- turns the flag into an exception. The host
+  /// clock is read monotonically on every call: parallel workers make
+  /// scheduling decisions concurrently, so an iteration-sampled check
+  /// (as this once was) would under-sample there.
   bool watchdogTripped(Cycles t);
-
-  struct HeapEntry {
-    Cycles time;
-    ProcId proc;
-    std::uint64_t seq;  // tie-break for determinism
-    bool before(const HeapEntry& o) const {
-      // FIFO among equal times so a yield rotates through ready procs.
-      if (time != o.time) return time < o.time;
-      return seq < o.seq;
-    }
-  };
 
   // Flat binary min-heap ordered by (time, seq). seq is unique, so the
   // pop sequence is a total order identical to the std::priority_queue
@@ -184,16 +270,35 @@ class Engine {
   void heapPush(const HeapEntry& e);
   void heapPop();
 
+  // ---- parallel scheduler (engine.cpp, "parallel scheduler" section) ----
+  void runParallel(const std::function<void(ProcId)>& body);
+  void workerLoop();
+  void parYield(Proc& pr, ProcId p);
+  void drainMailbox(Proc& pr);
+  void finalizeProc(Proc& pr);  // commit-ordered finish (mu_ held)
+  [[nodiscard]] ProcId minLiveKeyProc() const;   // -1 if no live key
+  [[nodiscard]] bool isMinLiveKey(ProcId p) const;
+
   Config cfg_;
   double run_wall_ms_ = 0.0;  ///< host time spent inside scheduleLoop
   std::vector<Proc> procs_;
   std::vector<HeapEntry> ready_;
-  ProcId current_ = -1;
   std::uint64_t seq_ = 0;
   int unfinished_ = 0;
   bool watch_fired_ = false;        ///< sticky: a watchdog budget tripped
-  std::uint64_t watch_iter_ = 0;    ///< samples the host clock every 256
   std::chrono::steady_clock::time_point watch_t0_;  ///< set by run()
+
+  // ---- parallel scheduler state ----
+  // One mutex guards every scheduling decision: key scans, token grant
+  // and release, state publication, mailbox routing. Fibers run their
+  // segments outside it; they only take it at fences and segment ends.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool par_active_ = false;   ///< set before workers start, cleared at join
+  ProcId token_holder_ = -1;  ///< processor whose segment is committed
+  int live_keys_ = 0;
+  int par_error_ = 0;  ///< 0 none, 1 deadlock, 2 watchdog (thrown post-join)
+  Cycles par_error_time_ = 0;
 };
 
 }  // namespace rsvm

@@ -9,6 +9,21 @@
 #include <stdexcept>
 #include <vector>
 
+// ThreadSanitizer needs to be told about stack switches, or it sees one
+// thread's shadow stack jump to unrelated addresses and reports garbage.
+// Each Fiber owns a TSan fiber context; both switch directions announce
+// the destination context just before the actual register switch.
+#if defined(__SANITIZE_THREAD__)
+#define RSVM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RSVM_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(RSVM_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace rsvm {
 
 namespace {
@@ -172,12 +187,18 @@ Fiber::Fiber(Fn fn, std::size_t stack_bytes)
     makecontext(&uctx_->ctx,
                 reinterpret_cast<void (*)()>(&Fiber::uctxTrampoline), 0);
   }
+#if defined(RSVM_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
   // Fibers must run to completion before destruction; destroying a
   // suspended fiber would leak whatever its stack owns.
   assert(finished_ || !started_);
+#if defined(RSVM_TSAN_FIBERS)
+  __tsan_destroy_fiber(tsan_fiber_);
+#endif
   g_stack_pool.release(stack_, stack_bytes_);
 }
 
@@ -198,6 +219,9 @@ void Fiber::uctxTrampoline() { runEntry(g_current); }
 void fiberAsmEntry() { Fiber::runEntry(g_current); }
 
 void Fiber::switchOutOfFiber() {
+#if defined(RSVM_TSAN_FIBERS)
+  __tsan_switch_to_fiber(tsan_caller_, 0);
+#endif
 #if !defined(RSVM_FIBER_UCONTEXT)
   if (backend_ == Backend::Asm) {
     rsvm_ctx_switch(&sp_, caller_sp_);
@@ -212,6 +236,12 @@ void Fiber::resume() {
   Fiber* prev = g_current;
   g_current = this;
   started_ = true;
+#if defined(RSVM_TSAN_FIBERS)
+  // The resumer may be a different thread than last time; re-snapshot its
+  // TSan context on every resume so the fiber switches back correctly.
+  tsan_caller_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
 #if !defined(RSVM_FIBER_UCONTEXT)
   if (backend_ == Backend::Asm) {
     rsvm_ctx_switch(&caller_sp_, sp_);

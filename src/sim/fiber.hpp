@@ -1,11 +1,13 @@
 // Stackful cooperative fibers used to direct-execute application code on
-// simulated processors. Single-threaded by design: the engine resumes one
-// fiber at a time, so simulated runs are fully deterministic.
+// simulated processors.
 //
-// The "current fiber" is thread_local, so independent simulations may run
-// concurrently on distinct host threads (one engine per thread) with no
-// shared state; a fiber must always be resumed on the host thread that
-// is driving its engine.
+// The "current fiber" is thread_local and resume() saves its caller's
+// context per call, so independent simulations may run concurrently on
+// distinct host threads, and the parallel engine scheduler may resume
+// one fiber from different worker threads over its lifetime. The only
+// confinement rule is per *resume*: each resume/yield round trip begins
+// and ends on one host thread, and a fiber is never resumed by two
+// threads at once (the engine's scheduler mutex enforces this).
 //
 // Two context-switch backends share this interface (DESIGN.md, "Fiber
 // switching & stack pooling"):
@@ -44,7 +46,7 @@ namespace rsvm {
 
 /// One stackful coroutine. resume() transfers control from the caller
 /// (the scheduler) into the fiber; Fiber::yieldToScheduler() transfers
-/// back. Only the engine thread may touch fibers.
+/// back. At most one thread may be inside resume() at a time.
 class Fiber {
  public:
   using Fn = std::function<void()>;
@@ -118,6 +120,11 @@ class Fiber {
   void* sp_ = nullptr;         ///< fiber's context while suspended
   void* caller_sp_ = nullptr;  ///< resumer's context while fiber runs
   std::unique_ptr<UctxState> uctx_;
+  // ThreadSanitizer fiber contexts (populated only in -fsanitize=thread
+  // builds; see fiber.cpp). Declared unconditionally so the class layout
+  // never depends on sanitizer flags.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_caller_ = nullptr;
   bool started_ = false;
   bool finished_ = false;
 };

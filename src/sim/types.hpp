@@ -16,7 +16,11 @@ using SimAddr = std::uint64_t;
 /// Identifier of a simulated processor / node (one CPU per node).
 using ProcId = int;
 
-inline constexpr int kMaxProcs = 64;
+// Raised from 64 for the parallel-engine extension sweeps (256-proc SVM
+// clusters). Components that pack per-domain state into one 64-bit mask
+// (hardware sharer sets, the coherence oracle, non-home-based LRC
+// pending-diff tracking) guard their own <= 64 limits at construction.
+inline constexpr int kMaxProcs = 256;
 
 /// Execution-time buckets, exactly as defined under Figure 3 of the paper.
 enum class Bucket : int {

@@ -74,7 +74,7 @@ TEST(JsonReport, GoldenRendering) {
       "\"scale\": \"tiny\", \"procs_default\": 2, \"jobs\": 3, "
       "\"fastpath\": true, \"fiber\": \"" +
       std::string(Fiber::backendName(Fiber::defaultBackend())) +
-      "\", \"wall_ms\": 12.345, "
+      "\", \"engine_threads\": 1, \"wall_ms\": 12.345, "
       "\"shard_index\": 0, \"shard_count\": 1, "
       "\"cache\": {\"computed\": 0, \"cache_hits\": 0, \"resumed\": 0, "
       "\"stores\": 0, \"shard_skipped\": 0, \"cache_corrupt\": 0, "

@@ -31,6 +31,7 @@ struct DiffOptions {
   CheckLevel check = CheckLevel::Off;
   std::uint64_t fault_seed = 0;
   double zipf = 0.0;  ///< key-popularity skew (apps that honor params.zipf)
+  int engine_threads = 1;  ///< intra-run engine threads (1 = sequential)
 };
 
 struct DiffRun {
@@ -67,6 +68,7 @@ inline DiffRun runCell(const char* app_name, const char* version,
   auto plat = Platform::create(kind, procs);
   if (opt.check != CheckLevel::Off) plat->setCheckLevel(opt.check);
   if (opt.fault_seed != 0) plat->setFaultPlan(opt.fault_seed);
+  if (opt.engine_threads > 1) plat->setEngineThreads(opt.engine_threads);
   AppParams prm = app->tiny;
   prm.zipf = opt.zipf;
   const AppResult r = ver->run(*plat, prm);

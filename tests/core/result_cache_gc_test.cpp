@@ -1,0 +1,181 @@
+// ResultCache::gc: age- and size-capped eviction of the on-disk cache.
+// The contract under test: eviction order is strictly (mtime, path)
+// oldest-first, each eviction is one unlink (so readers race safely),
+// and in-flight ".tmp." writer files are never touched.
+#include "core/result_cache.hpp"
+
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace rsvm {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/rsvm_cache_gc_test_XXXXXX";
+    const char* got = mkdtemp(tmpl);
+    EXPECT_NE(got, nullptr);
+    path = got == nullptr ? "" : got;
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      std::error_code ec;
+      fs::remove_all(path, ec);
+    }
+  }
+  std::string path;
+};
+
+SweepPoint pointWithSeed(std::uint64_t seed) {
+  SweepPoint p;
+  p.kind = PlatformKind::SVM;
+  p.app = "lu";
+  p.version = "2d";
+  p.params.n = 64;
+  p.params.iters = 1;
+  p.params.block = 8;
+  p.params.seed = seed;
+  p.procs = 4;
+  return p;
+}
+
+SweepResult okResult() {
+  SweepResult r;
+  r.cycles = 1000;
+  r.app.correct = true;
+  r.app.stats.exec_cycles = 1000;
+  r.app.stats.procs.resize(1);
+  return r;
+}
+
+/// All .rc entry files under the cache directory.
+std::vector<std::string> entryFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file() &&
+        e.path().string().size() >= 3 &&
+        e.path().string().substr(e.path().string().size() - 3) == ".rc") {
+      out.push_back(e.path().string());
+    }
+  }
+  return out;
+}
+
+/// Back-date an entry file by `hours` so eviction order is controlled
+/// regardless of filesystem timestamp granularity.
+void backdate(const std::string& path, int hours) {
+  fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                std::chrono::hours(hours));
+}
+
+TEST(ResultCacheGc, EvictsOldestFirstDownToSizeBudget) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  // Five entries, back-dated so insertion index i is (5 - i) hours old:
+  // seed 0 is the oldest, seed 4 the newest.
+  std::vector<SweepPoint> points;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    points.push_back(pointWithSeed(i));
+    ASSERT_TRUE(cache.insert(points.back(), okResult()));
+    const CacheKey k = cacheKeyOf(cacheKeyText(points.back()));
+    backdate(dir.path + "/" + k.hex().substr(0, 2) + "/" + k.hex() + ".rc",
+             static_cast<int>(5 - i));
+  }
+  const auto files = entryFiles(dir.path);
+  ASSERT_EQ(files.size(), 5u);
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += fs::file_size(f);
+  const std::uint64_t per_entry = total / 5;
+
+  // Budget for two entries: the three oldest go, newest two stay.
+  const auto gs = cache.gc(/*max_bytes=*/2 * per_entry,
+                           /*max_age_seconds=*/0.0);
+  EXPECT_EQ(gs.scanned, 5u);
+  EXPECT_EQ(gs.evicted, 3u);
+  EXPECT_EQ(gs.bytes_before, total);
+  EXPECT_LE(gs.bytes_after, 2 * per_entry);
+  EXPECT_FALSE(cache.lookup(points[0]).has_value());
+  EXPECT_FALSE(cache.lookup(points[1]).has_value());
+  EXPECT_FALSE(cache.lookup(points[2]).has_value());
+  EXPECT_TRUE(cache.lookup(points[3]).has_value());
+  EXPECT_TRUE(cache.lookup(points[4]).has_value());
+}
+
+TEST(ResultCacheGc, AgeCapDropsOnlyStaleEntries) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  const SweepPoint stale = pointWithSeed(1);
+  const SweepPoint fresh = pointWithSeed(2);
+  ASSERT_TRUE(cache.insert(stale, okResult()));
+  ASSERT_TRUE(cache.insert(fresh, okResult()));
+  {
+    const CacheKey k = cacheKeyOf(cacheKeyText(stale));
+    backdate(dir.path + "/" + k.hex().substr(0, 2) + "/" + k.hex() + ".rc",
+             48);
+  }
+  // No size cap: only the 48-hour-old entry exceeds the 24-hour age cap.
+  const auto gs = cache.gc(/*max_bytes=*/0,
+                           /*max_age_seconds=*/24.0 * 3600.0);
+  EXPECT_EQ(gs.evicted, 1u);
+  EXPECT_FALSE(cache.lookup(stale).has_value());
+  EXPECT_TRUE(cache.lookup(fresh).has_value());
+}
+
+TEST(ResultCacheGc, NoOpWhenUnderBudget) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  const SweepPoint p = pointWithSeed(3);
+  ASSERT_TRUE(cache.insert(p, okResult()));
+  const auto gs = cache.gc(/*max_bytes=*/1ull << 30,
+                           /*max_age_seconds=*/365.0 * 24 * 3600.0);
+  EXPECT_EQ(gs.scanned, 1u);
+  EXPECT_EQ(gs.evicted, 0u);
+  EXPECT_EQ(gs.bytes_before, gs.bytes_after);
+  EXPECT_TRUE(cache.lookup(p).has_value());
+}
+
+TEST(ResultCacheGc, NeverTouchesInFlightTempFiles) {
+  TempDir dir;
+  ResultCache cache(dir.path);
+  ASSERT_TRUE(cache.insert(pointWithSeed(1), okResult()));
+  // A concurrent writer's in-flight temp file, arbitrarily old.
+  const std::string leaf = dir.path + "/ab";
+  fs::create_directories(leaf);
+  const std::string tmp = leaf + "/0123.rc.tmp.999";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("partial", f);
+    std::fclose(f);
+  }
+  backdate(tmp, 1000);
+  const auto gs = cache.gc(/*max_bytes=*/1, /*max_age_seconds=*/1.0);
+  EXPECT_GE(gs.evicted, 1u);  // the real entry goes (1-byte budget)
+  EXPECT_TRUE(fs::exists(tmp)) << "gc deleted a writer's temp file";
+}
+
+TEST(ResultCacheGc, EvictedEntryRecomputesCleanly) {
+  // An evicted entry must behave exactly like a miss: lookup fails,
+  // re-insert restores it (the atomicity story for concurrent sweeps).
+  TempDir dir;
+  ResultCache cache(dir.path);
+  const SweepPoint p = pointWithSeed(7);
+  ASSERT_TRUE(cache.insert(p, okResult()));
+  cache.gc(/*max_bytes=*/1, /*max_age_seconds=*/0.0);
+  EXPECT_FALSE(cache.lookup(p).has_value());
+  EXPECT_TRUE(cache.insert(p, okResult()));
+  EXPECT_TRUE(cache.lookup(p).has_value());
+}
+
+}  // namespace
+}  // namespace rsvm

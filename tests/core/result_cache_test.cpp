@@ -148,6 +148,24 @@ TEST(CacheKey, EngineRevisionAndFiberBackendSeparateKeys) {
             std::string::npos);
 }
 
+TEST(CacheKey, EngineThreadingModeSeparatesKeys) {
+  // Defensive keying: the parallel engine promises bit-identical
+  // results, but the threading mode is keyed anyway so a false promise
+  // can never serve a wrong answer across modes.
+  const SweepPoint base = samplePoint();  // engine_threads = 0
+  SweepPoint par = base;
+  par.engine_threads = 4;
+  EXPECT_NE(cacheKeyText(base), cacheKeyText(par));
+  // 0 (runner decides, resolved sequential) and an explicit 1 are the
+  // same execution and must share a key: a sweep run with no threading
+  // flag still hits entries produced by --engine-threads=1 runs.
+  SweepPoint one = base;
+  one.engine_threads = 1;
+  EXPECT_EQ(cacheKeyText(base), cacheKeyText(one));
+  EXPECT_NE(cacheKeyText(base).find("ethreads=1"), std::string::npos);
+  EXPECT_NE(cacheKeyText(par).find("ethreads=4"), std::string::npos);
+}
+
 TEST(CacheKey, DigestIsStableAndTextSensitive) {
   const SweepPoint p = samplePoint();
   const std::string text = cacheKeyText(p);

@@ -1,0 +1,162 @@
+// Differential tests for the parallel single-run engine: the same cell
+// run with --engine-threads=1 and =4 must agree.
+//
+// Two tiers of promise (DESIGN.md, "Parallel engine"):
+//
+//  * Data-race-free apps (lu, ocean, radix): the full simulated state is
+//    bit-identical -- exec_cycles, every bucket, every counter. The
+//    commit-token scheduler resumes processors in exactly the sequential
+//    order, and DRF application code cannot observe run-ahead.
+//  * Racy-by-design apps (server/index task-queue steal peeks): those
+//    peeks read shared words without synchronization, so run-ahead may
+//    legitimately show them a different (equally valid) snapshot; the
+//    apps' published digests are workload functions and must still be
+//    identical, which is what the differential harness asserts.
+#include "../common/differential.hpp"
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace rsvm {
+namespace {
+
+using ::rsvm::testing::DiffOptions;
+using ::rsvm::testing::DiffRun;
+using ::rsvm::testing::expectSameAnswer;
+using ::rsvm::testing::runCell;
+
+/// Restores the process-global engine-threads default on scope exit.
+class EngineThreadsDefaultGuard {
+ public:
+  explicit EngineThreadsDefaultGuard(int threads)
+      : saved_(Platform::engineThreadsDefault()) {
+    Platform::setEngineThreadsDefault(threads);
+  }
+  ~EngineThreadsDefaultGuard() { Platform::setEngineThreadsDefault(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Full bit-identity for a DRF cell on SVM: every simulated field.
+void expectBitIdentical(const char* app_name, const char* version,
+                        int procs) {
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find(app_name);
+  ASSERT_NE(app, nullptr);
+  const VersionDesc* ver = app->version(version);
+  ASSERT_NE(ver, nullptr);
+  AppResult runs[2];
+  for (int m = 0; m < 2; ++m) {
+    auto plat = Platform::create(PlatformKind::SVM, procs);
+    plat->setEngineThreads(m == 0 ? 1 : 4);
+    runs[m] = ver->run(*plat, app->tiny);
+    ASSERT_TRUE(runs[m].correct)
+        << app_name << "/" << version << " @ " << procs << " threads="
+        << (m == 0 ? 1 : 4) << ": " << runs[m].note;
+  }
+  const std::string label = std::string(app_name) + "/" + version + " @ " +
+                            std::to_string(procs);
+  EXPECT_EQ(runs[0].stats.exec_cycles, runs[1].stats.exec_cycles) << label;
+  for (Bucket b : {Bucket::Compute, Bucket::CacheStall, Bucket::DataWait,
+                   Bucket::LockWait, Bucket::BarrierWait, Bucket::Handler}) {
+    EXPECT_EQ(runs[0].stats.bucketTotal(b), runs[1].stats.bucketTotal(b))
+        << label << " bucket " << bucketName(b);
+  }
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::reads),
+            runs[1].stats.sum(&ProcStats::reads))
+      << label;
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::writes),
+            runs[1].stats.sum(&ProcStats::writes))
+      << label;
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::page_faults),
+            runs[1].stats.sum(&ProcStats::page_faults))
+      << label;
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::diffs_created),
+            runs[1].stats.sum(&ProcStats::diffs_created))
+      << label;
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::lock_acquires),
+            runs[1].stats.sum(&ProcStats::lock_acquires))
+      << label;
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::barriers),
+            runs[1].stats.sum(&ProcStats::barriers))
+      << label;
+}
+
+TEST(EngineThreadsDifferential, DrfAppsBitIdenticalAt16) {
+  expectBitIdentical("lu", "2d", 16);
+  expectBitIdentical("radix", "orig", 16);
+}
+
+TEST(EngineThreadsDifferential, DrfAppsBitIdenticalAt64) {
+  expectBitIdentical("lu", "2d", 64);
+  expectBitIdentical("ocean", "2d", 64);
+}
+
+TEST(EngineThreadsDifferential, ServerDigestsStableAcrossThreads) {
+  DiffOptions seq, par;
+  par.engine_threads = 4;
+  for (int procs : {16, 64}) {
+    expectSameAnswer(
+        runCell("server", "orig", PlatformKind::SVM, procs, seq),
+        runCell("server", "orig", PlatformKind::SVM, procs, par));
+  }
+}
+
+TEST(EngineThreadsDifferential, IndexDigestsStableAcrossThreads) {
+  DiffOptions seq, par;
+  par.engine_threads = 4;
+  expectSameAnswer(
+      runCell("index", "hash-orig", PlatformKind::SVM, 16, seq),
+      runCell("index", "hash-orig", PlatformKind::SVM, 16, par));
+}
+
+TEST(EngineThreadsDifferential, ProcessDefaultReachesCreatedPlatforms) {
+  // Platform::create picks up the process-wide default (the bench
+  // binaries set it from --engine-threads); results stay identical.
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("lu");
+  ASSERT_NE(app, nullptr);
+  const VersionDesc* ver = app->version("2d");
+  AppResult seq, par;
+  {
+    auto plat = Platform::create(PlatformKind::SVM, 16);
+    seq = ver->run(*plat, app->tiny);
+  }
+  {
+    EngineThreadsDefaultGuard guard(4);
+    auto plat = Platform::create(PlatformKind::SVM, 16);
+    EXPECT_EQ(plat->engineThreads(), 4);
+    par = ver->run(*plat, app->tiny);
+  }
+  ASSERT_TRUE(seq.correct);
+  ASSERT_TRUE(par.correct);
+  EXPECT_EQ(seq.stats.exec_cycles, par.stats.exec_cycles);
+}
+
+TEST(EngineThreadsDifferential, UnsafePlatformsFallBackSequentially) {
+  // Platforms without the parallel-safety contract (hardware-coherent
+  // NUMA here) must silently run sequentially -- same results, no hang.
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("radix");
+  ASSERT_NE(app, nullptr);
+  const VersionDesc* ver = app->version("orig");
+  AppResult seq, par;
+  {
+    auto plat = Platform::create(PlatformKind::NUMA, 16);
+    seq = ver->run(*plat, app->tiny);
+  }
+  {
+    auto plat = Platform::create(PlatformKind::NUMA, 16);
+    plat->setEngineThreads(4);
+    par = ver->run(*plat, app->tiny);
+  }
+  ASSERT_TRUE(seq.correct);
+  ASSERT_TRUE(par.correct);
+  EXPECT_EQ(seq.stats.exec_cycles, par.stats.exec_cycles);
+}
+
+}  // namespace
+}  // namespace rsvm

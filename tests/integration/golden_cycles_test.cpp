@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
 
 namespace rsvm {
 namespace {
@@ -163,6 +164,27 @@ constexpr Golden kGoldens[] = {
      1186423ull,
      {85281ull, 116130ull, 7475239ull, 10474770ull, 741634ull, 0ull},
      26411ull, 6250ull, 18822ull, 14296ull, 0ull, 0ull},
+    // 64-processor rows: the scale where the parallel single-run engine
+    // (DESIGN.md, "Parallel engine") actually spreads work across host
+    // threads. Pinned when that engine landed; the engine-threads
+    // identity test below re-runs a subset at --engine-threads=4 and
+    // must reproduce these exact numbers.
+    {"lu", "2d", PlatformKind::SVM, 64,
+     2768029ull,
+     {394416ull, 597640ull, 24619710ull, 0ull, 147917646ull, 2918844ull},
+     182960ull, 24640ull, 18044ull, 8344ull, 370ull, 203ull},
+    {"lu", "2d", PlatformKind::NUMA, 64,
+     252349ull,
+     {394416ull, 61942ull, 2612772ull, 0ull, 13040886ull, 0ull},
+     182960ull, 24640ull, 11335ull, 3676ull, 0ull, 0ull},
+    {"ocean", "2d", PlatformKind::SVM, 64,
+     18524803ull,
+     {877058ull, 4119060ull, 540432212ull, 88959577ull, 508767667ull, 41726218ull},
+     397568ull, 78082ull, 98461ull, 62689ull, 5390ull, 4730ull},
+    {"ocean", "2d", PlatformKind::NUMA, 64,
+     1166868ull,
+     {877058ull, 237925ull, 48482888ull, 2174319ull, 22867042ull, 0ull},
+     397568ull, 78082ull, 75458ull, 56253ull, 0ull, 0ull},
 };
 
 constexpr Bucket kBuckets[6] = {Bucket::Compute,    Bucket::CacheStall,
@@ -180,6 +202,19 @@ class FastPathDefaultGuard {
 
  private:
   bool saved_;
+};
+
+/// Restores the process-global engine-threads default on scope exit.
+class EngineThreadsDefaultGuard {
+ public:
+  explicit EngineThreadsDefaultGuard(int threads)
+      : saved_(Platform::engineThreadsDefault()) {
+    Platform::setEngineThreadsDefault(threads);
+  }
+  ~EngineThreadsDefaultGuard() { Platform::setEngineThreadsDefault(saved_); }
+
+ private:
+  int saved_;
 };
 
 void expectMatches(const Golden& g, const AppResult& r) {
@@ -231,6 +266,28 @@ TEST(GoldenCycles, FastPathOffIsBitIdentical) {
   FastPathDefaultGuard off(false);
   // LU FGS 2d 4p, LU SVM 2d 4p -- the most contended configurations.
   for (const Golden& g : {kGoldens[7], kGoldens[1]}) {
+    const AppDesc* app = Registry::instance().find(g.app);
+    ASSERT_NE(app, nullptr);
+    expectMatches(
+        g, Experiment::runOnce(g.kind, *app->version(g.version), app->tiny,
+                               g.procs));
+  }
+}
+
+// The same runs with the parallel single-run engine must reproduce the
+// golden table exactly: the commit-token scheduler promises the
+// sequential resume order, so every number here is a regression check
+// on that promise. SVM rows actually engage the parallel scheduler
+// (flat home-based SVM meets the safety contract); the NUMA 64p row
+// exercises the must-fall-back-silently path.
+TEST(GoldenCycles, EngineThreads4IsBitIdentical) {
+  registerAllApps();
+  EngineThreadsDefaultGuard threads4(4);
+  const std::size_t n = std::size(kGoldens);
+  // The four 64-processor rows plus the contended SVM 4p row.
+  for (const Golden& g :
+       {kGoldens[n - 4], kGoldens[n - 3], kGoldens[n - 2], kGoldens[n - 1],
+        kGoldens[1]}) {
     const AppDesc* app = Registry::instance().find(g.app);
     ASSERT_NE(app, nullptr);
     expectMatches(
