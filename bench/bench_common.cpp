@@ -54,7 +54,8 @@ constexpr const char* kUsage =
     "[--json=FILE] [--no-fastpath] [--fiber=asm|ucontext] "
     "[--check=off|oracle] [--fault-seed=N] [--deadline-ms=N] "
     "[--cache-dir=DIR] [--checkpoint=FILE] [--shard=K/N] [--zipf=T] "
-    "[--engine-threads=N] [--cache-gc=MB[:HOURS]]\n";
+    "[--engine-threads=N] [--engine-threads-min-procs=N] "
+    "[--cache-gc=MB[:HOURS]]\n";
 
 }  // namespace
 
@@ -139,6 +140,11 @@ Options parse(int argc, char** argv) {
             "'");
       }
       o.zipf = t;
+    // Checked before --engine-threads=: both flags share the
+    // "--engine-threads" stem, so the longer name must win.
+    } else if (std::strncmp(argv[i], "--engine-threads-min-procs=", 27) == 0) {
+      o.engine_threads_min_procs =
+          parsePositiveInt("--engine-threads-min-procs", argv[i] + 27);
     } else if (std::strncmp(argv[i], "--engine-threads=", 17) == 0) {
       o.engine_threads = parsePositiveInt("--engine-threads", argv[i] + 17);
     } else if (std::strncmp(argv[i], "--cache-gc=", 11) == 0) {
@@ -547,6 +553,7 @@ std::vector<SweepResult> sweep(const std::vector<SweepPoint>& points,
   cfg.shard_index = opt.shard_index;
   cfg.shard_count = opt.shard_count;
   cfg.engine_threads = opt.engine_threads;
+  cfg.engine_threads_min_procs = opt.engine_threads_min_procs;
   SweepRunner runner(cfg);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<SweepResult> results = runner.run(pts);

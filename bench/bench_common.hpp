@@ -33,8 +33,14 @@
 //                   engine (simulated results are bit-identical to N=1
 //                   by construction; this is the intra-run parallel
 //                   scheduler). Sweeps give N threads to points with
-//                   >= 32 simulated procs and keep smaller points
-//                   packed one-per-worker under the --jobs budget
+//                   >= --engine-threads-min-procs simulated procs and
+//                   keep smaller points packed one-per-worker under the
+//                   --jobs budget
+//   --engine-threads-min-procs=N  minimum simulated processor count at
+//                   which a sweep point engages --engine-threads
+//                   (default 32). Lower it (e.g. =1) to force the
+//                   parallel scheduler onto every point, as the CI
+//                   bit-identity diffs do
 //   --cache-gc=MB[:HOURS]  after the sweep, garbage-collect --cache-dir
 //                   down to MB megabytes (0 = no size cap), first
 //                   dropping entries older than HOURS hours (if given);
@@ -66,6 +72,7 @@ struct Options {
   int shard_count = 1;     ///< total shards; 1 = run everything
   double zipf = 0.0;       ///< key skew applied to points that set none
   int engine_threads = 1;  ///< intra-run engine threads (1 = sequential)
+  int engine_threads_min_procs = 32;  ///< sweep threshold for the above
   bool cache_gc = false;              ///< run a cache GC pass after sweeps
   std::uint64_t cache_gc_bytes = 0;   ///< size cap; 0 = none
   double cache_gc_age_s = 0.0;        ///< age cap in seconds; 0 = none

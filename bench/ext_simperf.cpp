@@ -23,8 +23,10 @@
 //     wall-clock, not just in a microbench.
 //
 //  4. Parallel single-run engine (DESIGN.md, "Parallel engine"):
-//     64/256-simulated-processor SVM points scheduled on 1 vs T host
-//     threads, asserted bit-identical, with the wall-clock ratio and
+//     64/256-simulated-processor points across the whole safe set --
+//     flat SVM (unfenced run-ahead), SMP/NUMA/FGS and clustered SVM
+//     (fenced accesses) -- scheduled on 1 vs T host threads, asserted
+//     bit-identical, with the wall-clock ratio per platform kind and
 //     the host core count reported so single-core results read as the
 //     protocol-overhead measurements they are.
 //
@@ -38,11 +40,13 @@
 // here and in the golden cycle tests / CI perf-smoke job.
 #include "bench_common.hpp"
 
+#include "proto/svm/svm_platform.hpp"
 #include "runtime/platform.hpp"
 #include "sim/fiber.hpp"
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -271,33 +275,50 @@ int main(int argc, char** argv) {
   // simulation scheduled across T host worker threads, promised
   // bit-identical to the sequential scheduler. Big simulated-processor
   // counts are where the engine has enough concurrently-runnable fibers
-  // per virtual time step to keep several host threads busy; these
-  // cells run SVM (flat, home-based -- the parallel-safe contract) at
-  // 64 and 256 simulated processors, engine-threads 1 vs T, and hard-
-  // fail if any simulated field moves. On a single-core host the T-way
-  // run still exercises the full commit protocol but cannot show
-  // wall-clock speedup (it adds synchronization); host_cores in the
-  // JSON tells the consumer which regime a given number came from.
+  // per virtual time step to keep several host threads busy. The cells
+  // cover the whole safe set: flat SVM runs unfenced run-ahead (the
+  // speedup case), SMP/NUMA/FGS and clustered SVM run the fenced-access
+  // discipline (every timed access holds the commit token, so their
+  // ratio measures fence overhead more than speedup -- tracked per
+  // platform kind in the extra blob so the trajectory shows which
+  // platforms actually gain). Every cell hard-fails if any simulated
+  // field moves. On a single-core host the T-way run still exercises
+  // the full commit protocol but cannot show wall-clock speedup (it
+  // adds synchronization); host_cores in the JSON tells the consumer
+  // which regime a given number came from.
   bench::printHeader(
-      "Parallel engine wall-clock (64/256-proc SVM points, fastest of 3)");
+      "Parallel engine wall-clock (64/256-proc points, fastest of 3)");
   const int host_cores =
       static_cast<int>(std::thread::hardware_concurrency());
   const int par_threads = opt.engine_threads > 1 ? opt.engine_threads : 4;
   struct ParPoint {
     const char* app;
     const char* version;
+    PlatformKind kind;
     int procs;
+    int ppn;  ///< SVM procs_per_node; 0 = stock platform
   };
   const ParPoint par_points[] = {
-      {"lu", "2d", 64},
-      {"ocean", "2d", 64},
-      {"radix", "orig", 256},
+      {"lu", "2d", PlatformKind::SVM, 64, 0},
+      {"ocean", "2d", PlatformKind::SVM, 64, 0},
+      {"radix", "orig", PlatformKind::SVM, 256, 0},
+      {"lu", "2d", PlatformKind::SMP, 64, 0},
+      {"lu", "2d", PlatformKind::NUMA, 64, 0},
+      {"lu", "2d", PlatformKind::FGS, 64, 0},
+      {"lu", "2d", PlatformKind::SVM, 64, 4},
   };
   std::printf("host cores: %d, engine threads: %d\n", host_cores,
               par_threads);
   std::printf("%-22s | %12s %12s | %7s\n", "point", "ms (1 thr)",
               "ms (T thr)", "1/T");
-  double par_speedup_64 = 0.0;
+  double par_speedup_64 = 0.0;  // flat SVM, comparable across trajectory
+  struct KindSpeedup {
+    const char* name;
+    double speedup;
+  };
+  // Keys follow platformName(): the NUMA kind prints as "DSM".
+  KindSpeedup by_kind[] = {{"SVM", 0.0},     {"SMP", 0.0}, {"DSM", 0.0},
+                           {"FGS", 0.0},     {"SVM-n4", 0.0}};
   for (const ParPoint& ppnt : par_points) {
     const AppDesc* app = Registry::instance().find(ppnt.app);
     const VersionDesc* v = app->version(ppnt.version);
@@ -311,7 +332,14 @@ int main(int argc, char** argv) {
       double best_ms = 0.0;
       AppResult last;
       for (int rep = 0; rep < 3; ++rep) {
-        auto plat = Platform::create(PlatformKind::SVM, ppnt.procs);
+        std::unique_ptr<Platform> plat;
+        if (ppnt.ppn > 0) {
+          SvmParams sp;
+          sp.procs_per_node = ppnt.ppn;
+          plat = std::make_unique<SvmPlatform>(ppnt.procs, sp);
+        } else {
+          plat = Platform::create(ppnt.kind, ppnt.procs);
+        }
         plat->setEngineThreads(threads);
         last = v->run(*plat, pprm);
         if (!last.correct) {
@@ -329,13 +357,16 @@ int main(int argc, char** argv) {
       result[m] = last.result_hash;
 
       SweepPoint p;
-      p.kind = PlatformKind::SVM;
+      p.kind = ppnt.kind;
       p.app = ppnt.app;
       p.version = ppnt.version;
       p.params = pprm;
       p.procs = ppnt.procs;
       p.engine_threads = threads;
-      p.config = "ethreads-" + std::to_string(threads);
+      // Clustered cells carry the node shape in the config so they never
+      // collide with the flat cell of the same (app, platform, procs).
+      p.config = "ethreads-" + std::to_string(threads) +
+                 (ppnt.ppn > 0 ? "-n" + std::to_string(ppnt.ppn) : "");
       SweepResult r;
       r.app = last;
       r.cycles = last.stats.exec_cycles;
@@ -344,14 +375,15 @@ int main(int argc, char** argv) {
       report.addWallMs(best_ms * 3);
     }
     // The tentpole's core claim: the engine-thread count changes host
-    // time only, never the simulated result.
+    // time only, never the simulated result -- on every platform kind.
     if (cycles[0] != cycles[1] || state[0] != state[1] ||
         result[0] != result[1]) {
       std::fprintf(stderr,
                    "ext_simperf: ENGINE THREADING CHANGED SIMULATED RESULTS "
-                   "on %s/%s SVM %dp: cycles %llu vs %llu, state %016llx vs "
+                   "on %s/%s %s %dp: cycles %llu vs %llu, state %016llx vs "
                    "%016llx\n",
-                   ppnt.app, ppnt.version, ppnt.procs,
+                   ppnt.app, ppnt.version, platformName(ppnt.kind),
+                   ppnt.procs,
                    static_cast<unsigned long long>(cycles[0]),
                    static_cast<unsigned long long>(cycles[1]),
                    static_cast<unsigned long long>(state[0]),
@@ -359,12 +391,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     const double speedup = ms[1] > 0.0 ? ms[0] / ms[1] : 0.0;
-    if (ppnt.procs == 64 && speedup > par_speedup_64) {
+    if (ppnt.kind == PlatformKind::SVM && ppnt.ppn == 0 &&
+        ppnt.procs == 64 && speedup > par_speedup_64) {
       par_speedup_64 = speedup;
     }
+    const char* kind_key =
+        ppnt.ppn > 0 ? "SVM-n4" : platformName(ppnt.kind);
+    for (KindSpeedup& ks : by_kind) {
+      if (std::string(ks.name) == kind_key && speedup > ks.speedup) {
+        ks.speedup = speedup;
+      }
+    }
     char label[64];
-    std::snprintf(label, sizeof label, "%s/%s SVM %dp", ppnt.app,
-                  ppnt.version, ppnt.procs);
+    std::snprintf(label, sizeof label, "%s/%s %s %dp%s", ppnt.app,
+                  ppnt.version, platformName(ppnt.kind), ppnt.procs,
+                  ppnt.ppn > 0 ? " n4" : "");
     std::printf("%-22s | %12.2f %12.2f | %6.2fx\n", label, ms[0], ms[1],
                 speedup);
   }
@@ -375,12 +416,16 @@ int main(int argc, char** argv) {
         "the wall-clock ratio.\n");
   }
   {
-    char extra[256];
+    char extra[512];
     std::snprintf(extra, sizeof extra,
                   "{\"host_cores\": %d, \"engine_threads\": %d, "
                   "\"best_speedup_64p\": %.3f, "
+                  "\"speedup_by_platform\": {\"SVM\": %.3f, \"SMP\": %.3f, "
+                  "\"DSM\": %.3f, \"FGS\": %.3f, \"SVM-n4\": %.3f}, "
                   "\"single_core_caveat\": %s}",
                   host_cores, par_threads, par_speedup_64,
+                  by_kind[0].speedup, by_kind[1].speedup, by_kind[2].speedup,
+                  by_kind[3].speedup, by_kind[4].speedup,
                   host_cores <= 1 ? "true" : "false");
     report.addExtra("parallel_engine", extra);
   }

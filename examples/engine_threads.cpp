@@ -8,32 +8,42 @@
 //   $ ./example_engine_threads      # exits nonzero if the contract breaks
 //
 // This program runs a sync-heavy kernel (neighbor sweeps + a
-// lock-protected reduction + barriers) on a 64-processor flat
-// home-based SVM machine -- the configuration whose serial tail
-// motivated the engine, and the one where shardParallelSafe() holds --
-// at --engine-threads equivalents of 1, 2, and 4, comparing every
-// simulated observable against the sequential run. It then repeats the
-// check on NUMA, where the engine must silently fall back to the
-// sequential scheduler (threads request > 1 is a no-op there), so the
-// fallback path is exercised too.
+// lock-protected reduction + barriers) on a 64-processor machine at
+// --engine-threads equivalents of 1, 2, and 4, comparing every
+// simulated observable against the sequential run -- on every rung of
+// the platform ladder. Flat home-based SVM engages the unfenced
+// run-ahead discipline; SMP, NUMA (DSM), and FGS engage the
+// fenced-access discipline (every access commits in sequential key
+// order); clustered SVM (procs_per_node=4) exercises the fenced path
+// through the node-shared page table. One kernel, five shard-safety
+// configurations, zero tolerated divergence.
 #include "core/app.hpp"
+#include "proto/svm/svm_platform.hpp"
 #include "runtime/shared.hpp"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
 using namespace rsvm;
 
 namespace {
 
-RunStats runOnce(PlatformKind kind, int engine_threads) {
+RunStats runOnce(PlatformKind kind, int engine_threads, int ppn = 0) {
   constexpr int kProcs = 64;
   constexpr std::size_t kN = 1 << 13;
   constexpr int kSweeps = 4;
 
-  auto plat = Platform::create(kind, kProcs);
+  std::unique_ptr<Platform> plat;
+  if (ppn > 0) {
+    SvmParams sp;
+    sp.procs_per_node = ppn;
+    plat = std::make_unique<SvmPlatform>(kProcs, sp);
+  } else {
+    plat = Platform::create(kind, kProcs);
+  }
   plat->setEngineThreads(engine_threads);
 
   SharedArray<double> a(*plat, kN, HomePolicy::blocked(kProcs));
@@ -113,21 +123,29 @@ int compare(const char* plat, int threads, const RunStats& seq,
 }  // namespace
 
 int main() {
+  struct Config {
+    const char* label;
+    PlatformKind kind;
+    int ppn;  // SVM procs_per_node; 0 = stock platform
+  };
+  const Config configs[] = {
+      {"SVM", PlatformKind::SVM, 0},    {"SMP", PlatformKind::SMP, 0},
+      {"DSM", PlatformKind::NUMA, 0},   {"FGS", PlatformKind::FGS, 0},
+      {"SVM-n4", PlatformKind::SVM, 4},
+  };
   int bad = 0;
-  std::printf("%-5s | %7s | %12s | %10s | %s\n", "plat", "threads",
+  std::printf("%-6s | %7s | %12s | %10s | %s\n", "plat", "threads",
               "exec cycles", "wall (ms)", "bit-identical?");
-  for (PlatformKind kind : {PlatformKind::SVM, PlatformKind::NUMA}) {
-    const RunStats seq = runOnce(kind, 1);
-    std::printf("%-5s | %7d | %12llu | %10.2f | (reference)\n",
-                platformName(kind), 1,
+  for (const Config& cfg : configs) {
+    const RunStats seq = runOnce(cfg.kind, 1, cfg.ppn);
+    std::printf("%-6s | %7d | %12llu | %10.2f | (reference)\n", cfg.label, 1,
                 static_cast<unsigned long long>(seq.exec_cycles),
                 seq.host_wall_ms);
     for (int threads : {2, 4}) {
-      const RunStats par = runOnce(kind, threads);
-      const int mismatches = compare(platformName(kind), threads, seq, par);
+      const RunStats par = runOnce(cfg.kind, threads, cfg.ppn);
+      const int mismatches = compare(cfg.label, threads, seq, par);
       bad += mismatches;
-      std::printf("%-5s | %7d | %12llu | %10.2f | %s\n", platformName(kind),
-                  threads,
+      std::printf("%-6s | %7d | %12llu | %10.2f | %s\n", cfg.label, threads,
                   static_cast<unsigned long long>(par.exec_cycles),
                   par.host_wall_ms, mismatches == 0 ? "yes" : "NO");
     }
@@ -136,7 +154,7 @@ int main() {
     std::printf("FAIL: %d simulated observable(s) diverged\n", bad);
     return EXIT_FAILURE;
   }
-  std::printf("ok: parallel engine bit-identical on SVM; sequential fallback "
-              "intact on NUMA\n");
+  std::printf("ok: parallel engine bit-identical on all five shard-safety "
+              "configurations\n");
   return EXIT_SUCCESS;
 }

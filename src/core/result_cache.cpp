@@ -189,6 +189,20 @@ std::string cacheKeyText(const SweepPoint& p, std::string_view rev,
   // parallel-scheduler bug can make entries wrong, never serve wrong.
   k += "|ethreads=" +
        std::to_string(p.engine_threads > 1 ? p.engine_threads : 1);
+  // Scheduler-discipline term, same defensive rationale. Configurations
+  // that the original parallel engine ran (flat SVM, oracle off, no
+  // fault plan, stock factory) keep their exact historical key text, so
+  // warm fleet caches stay valid; configurations that became
+  // parallel-eligible later (hardware platforms, oracle-attached runs,
+  // custom-factory points such as clustered SVM) run the fenced-access
+  // discipline and get a distinct term. Over-tagging a custom flat-SVM
+  // config here merely recomputes it once -- self-consistent thereafter.
+  const bool newly_parallel = p.kind != PlatformKind::SVM ||
+                              p.check != CheckLevel::Off ||
+                              static_cast<bool>(p.make_platform);
+  if (p.engine_threads > 1 && p.fault_seed == 0 && newly_parallel) {
+    k += "|shardmode=fence";
+  }
   return k;
 }
 

@@ -143,8 +143,10 @@ SweepResult SweepRunner::attemptPoint(const SweepPoint& p) {
     if (p.fault_seed != 0) plat->setFaultPlan(p.fault_seed);
     if (p.deadline_ms > 0.0) plat->engine().setWatchdog(0, p.deadline_ms);
     // runPoint normalized engine_threads to the effective value; the
-    // platform still falls back to sequential when its safety contract
-    // or an attached observer requires it (bit-identical either way).
+    // platform still falls back to sequential when a fault plan is
+    // attached (its RNG order is the sequential schedule), and runs
+    // fenced accesses when the platform or an attached observer needs
+    // commit-order replay (bit-identical either way; see platform.cpp).
     plat->setEngineThreads(p.engine_threads > 1 ? p.engine_threads : 1);
     res.app = ver->run(*plat, p.params);
     res.cycles = res.app.stats.exec_cycles;

@@ -64,6 +64,18 @@ class FgsPlatform final : public Platform {
   [[nodiscard]] const FgsParams& params() const { return prm_; }
   [[nodiscard]] int blockState(ProcId p, SimAddr a) const;
 
+  /// Pre-fence touch set: empty by construction. Fine-grain software
+  /// coherence keeps a per-processor block-state table (bs_) plus its
+  /// fast-path generation (bs_gen_), and a committed remote write
+  /// invalidates *this* processor's entries (the home's serveBlock fans
+  /// invalidation handlers out to sharers, which also scrub the victim's
+  /// L1/L2) -- so the bs_ check at the top of doAccess races unfenced
+  /// run-ahead. Shard-safe only under fenced accesses
+  /// (shardAccessNeedsFence stays at the base-class `true`): block-state
+  /// transitions, directory entries, and handler/network Resources all
+  /// serialize under the commit token in sequential key order.
+  [[nodiscard]] bool shardParallelSafe() const override { return true; }
+
  protected:
   void doAccess(SimAddr a, std::uint32_t size, bool write) override;
   void acquireLockImpl(int id) override;

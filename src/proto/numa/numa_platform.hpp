@@ -46,6 +46,18 @@ class NumaPlatform final : public Platform {
   [[nodiscard]] int dirOwner(SimAddr a) const;
   [[nodiscard]] std::uint64_t dirSharers(SimAddr a) const;
 
+  /// Pre-fence touch set: empty by construction. A committed miss at the
+  /// home directory mutates *other* processors' caches (serveMiss sends
+  /// invalidations and downgrades into remote l1_/l2_) and the shared
+  /// directory entries, home map, and per-home Resources -- so a local
+  /// L1/L2 probe in unfenced run-ahead could read a line a committed
+  /// remote invalidation is concurrently revoking. Shard-safe only under
+  /// fenced accesses (shardAccessNeedsFence stays at the base-class
+  /// `true`): each access holds the commit token end to end, so every
+  /// directory transition and remote cache mutation happens in
+  /// sequential key order.
+  [[nodiscard]] bool shardParallelSafe() const override { return true; }
+
  protected:
   void doAccess(SimAddr a, std::uint32_t size, bool write) override;
   // Hardware locks/barriers, bracketed by trace events so consumers see

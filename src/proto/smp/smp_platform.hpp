@@ -39,6 +39,18 @@ class SmpPlatform final : public Platform {
   [[nodiscard]] const SmpParams& params() const { return prm_; }
   [[nodiscard]] const Resource& busResource() const { return bus_.resource(); }
 
+  /// Pre-fence touch set: empty by construction. Snooping makes nothing
+  /// processor-private -- any committed bus transaction may invalidate or
+  /// downgrade *this* processor's L1/L2 lines (busTransaction walks every
+  /// other cache, dropFromL1 reaches into the victim), so even the local
+  /// L1 probe in doAccess races unfenced run-ahead. The platform is
+  /// shard-safe only under fenced accesses (shardAccessNeedsFence stays
+  /// at the base-class `true`): every access runs committed, the bus
+  /// Resource and all cache-state transitions serialize under the commit
+  /// token in sequential key order, and sync ops were already fenced by
+  /// the Platform wrappers.
+  [[nodiscard]] bool shardParallelSafe() const override { return true; }
+
  protected:
   void doAccess(SimAddr a, std::uint32_t size, bool write) override;
   // Locks and barriers are ordinary cached-line operations on the SMP;

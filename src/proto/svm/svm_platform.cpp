@@ -174,9 +174,13 @@ void SvmPlatform::pageFault(ProcId p, std::uint64_t page) {
   // First touch of cross-node state (network, home handler FIFO, the
   // home's clock): order this segment into the parallel commit order.
   // No ShardCritScope here: every shared touch below happens before the
-  // single stallUntil, and the code after it is node-private -- so the
-  // post-fault continuation stays eligible for run-ahead. Keep it that
-  // way when editing (or add a scope, as the sync wrappers do).
+  // single stallUntil, and the code after it is node-private in the flat
+  // configuration -- so the post-fault continuation stays eligible for
+  // run-ahead. Keep it that way when editing (or add a scope, as the
+  // sync wrappers do). Clustered (procs_per_node > 1): the page-table
+  // install after the stall is node-*shared*, but those runs take the
+  // fenced-access path (shardAccessNeedsFence), whose access()-level
+  // ShardCritScope already keeps this whole fault committed.
   eng.shardFence();
   eng.stats(p).page_faults++;
   emit(TraceEvent::Kind::PageFault, p, page, prm_.page_bytes);

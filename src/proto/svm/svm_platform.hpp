@@ -89,15 +89,23 @@ class SvmPlatform final : public Platform {
     return prm_.page_bytes;
   }
 
-  /// With one processor per node, everything a segment touches before
-  /// its first page fault / sync fence is node-private: cache probes,
-  /// the node's own page-table entries (valid-page reads, dirty-byte
-  /// updates), twins and the dirty list. Other nodes only ever mutate a
-  /// node's state through fenced protocol entry points. procs_per_node
-  /// > 1 would let two processors of one node race on that state, so
-  /// those configurations stay sequential.
-  [[nodiscard]] bool shardParallelSafe() const override {
-    return prm_.procs_per_node == 1;
+  /// Pre-fence touch set (flat, procs_per_node == 1): everything a
+  /// segment touches before its first page fault / sync fence is
+  /// node-private -- cache probes, the node's own page-table entries
+  /// (valid-page reads, dirty-byte updates), twins and the dirty list.
+  /// Other nodes only ever mutate a node's state through fenced protocol
+  /// entry points (pageFault/sync), so flat SVM runs unfenced run-ahead.
+  ///
+  /// Clustered (procs_per_node > 1): the page table, twins, and dirty
+  /// list are shared by a node's processors, so an unfenced probe by one
+  /// could race a node-mate's committed fault that installs or maps a
+  /// page. shardAccessNeedsFence() then demands the access()-level fence
+  /// bracket: every node-state read and mutation happens holding the
+  /// commit token, which is exactly per-node commit discipline (node
+  /// mates serialize in sequential key order, like everyone else).
+  [[nodiscard]] bool shardParallelSafe() const override { return true; }
+  [[nodiscard]] bool shardAccessNeedsFence() const override {
+    return prm_.procs_per_node > 1;
   }
 
   [[nodiscard]] const SvmParams& params() const { return prm_; }

@@ -77,7 +77,11 @@ void Platform::accessSlow(SimAddr a, std::uint32_t size, bool write,
   if (oracle_) oracle_->beginAccess(engine_.self());
   doAccess(a, size, write);
   if (oracle_) oracle_->onAccess(engine_.self(), a, size, write, racy);
-  if (fast_on_ && !trace) primeFastPath(engine_.self(), a, write);
+  // No priming in fenced-access mode: access() never consults the filter
+  // there (its fenced branch returns before the probe), so installed
+  // entries would be dead weight.
+  if (fast_on_ && !trace && !shard_access_fence_)
+    primeFastPath(engine_.self(), a, write);
 }
 
 void Platform::setCheckLevel(CheckLevel lvl) {
@@ -174,12 +178,19 @@ int Platform::makeBarrier() {
 RunStats Platform::run(const std::function<void(Ctx&)>& body) {
   if (ran_) throw std::logic_error("Platform: run() may only be called once");
   ran_ = true;
-  // Parallel scheduling needs (a) the platform's run-ahead safety
-  // contract and (b) no attached observer whose event/RNG order is
-  // defined by the sequential schedule. Anything else falls back to the
-  // sequential scheduler -- same simulated results by construction.
+  // Parallel scheduling needs (a) the platform's shard-safety contract
+  // (shardParallelSafe: either unfenced run-ahead or fenced accesses,
+  // see platform.hpp) and (b) no fault plan, whose RNG draw order is
+  // defined by the sequential schedule. Trace hooks and the oracle no
+  // longer force a fallback: they force *fenced accesses* instead, so
+  // every event-emitting point runs committed and observers see the
+  // sequential event stream byte-for-byte. Anything else falls back to
+  // the sequential scheduler -- same simulated results by construction.
   const bool par_ok = engine_threads_req_ > 1 && shardParallelSafe() &&
-                      !trace && oracle_ == nullptr && fault_ == nullptr;
+                      fault_ == nullptr;
+  shard_access_fence_ =
+      par_ok && (shardAccessNeedsFence() || trace || oracle_ != nullptr);
+  shard_parallel_ = par_ok;
   engine_.setThreads(par_ok ? engine_threads_req_ : 1);
   engine_.run([this, &body](ProcId p) {
     Ctx c(*this, p);

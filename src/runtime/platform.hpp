@@ -123,6 +123,34 @@ class Platform {
   /// trace hook disables the filter entirely: consumers (race checker,
   /// recorder) must see every access.
   void access(SimAddr a, std::uint32_t size, bool write, bool racy = false) {
+    if (shard_access_fence_ || (racy && shard_parallel_)) {
+      // A racy-annotated access is, by definition, unordered by the
+      // app's synchronization -- it is the one access class whose value
+      // an unfenced run-ahead segment could read nondeterministically
+      // (the conflicting writer runs under a lock, hence committed, but
+      // this reader would not be). Fencing it pins the peek to commit
+      // order, so the value read is the sequential one. Racy accesses
+      // are rare (steal peeks), so the cost is noise.
+      // Fenced commit mode (parallel engine on a platform whose access
+      // path reads state that *other* processors' committed segments
+      // mutate -- own L1/L2 tags under snooping or directory
+      // invalidations, FGS block states, a clustered-SVM node's shared
+      // page table -- or with a trace hook / oracle attached, whose
+      // event order is the sequential one). The whole access, probe
+      // included, runs holding the commit token: shardFence() orders
+      // this segment into commit order first, and the ShardCritScope
+      // keeps every yield inside the access (quantum expiry, miss
+      // stalls) resuming committed, so the post-stall tail that fills
+      // this processor's caches is serialized too. Committed segments
+      // execute in exactly the sequential key order, so results and
+      // observer event streams are bit-identical to --engine-threads=1.
+      // Sequential runs and flat-SVM parallel runs without observers
+      // never set the flag and keep the unfenced path below.
+      Engine::ShardCritScope crit(engine_);
+      engine_.shardFence();
+      accessSlow(a, size, write, racy);
+      return;
+    }
     if (fast_on_ && !trace) {
       ProcFastState& fs = fast_[static_cast<std::size_t>(engine_.self())];
       const SimAddr line = a >> fast_line_shift_;
@@ -182,10 +210,18 @@ class Platform {
     engine_.shardFence();
     acquireLockImpl(id);
     if (oracle_) oracle_->onLockGrant(engine_.self(), id);
+    // The crit persists across the whole lock-held span (closed in
+    // releaseLock): a quantum yield between lock and unlock must resume
+    // committed, or the critical section's writes could run ahead and
+    // race a fenced racy peek of the same words (see access()). Short
+    // critical sections finish inside the already-committed acquire
+    // segment, so this costs nothing in the common case.
+    engine_.shardCritEnter();
   }
   void releaseLock(int id) {
     flushAccess();
     Engine::ShardCritScope crit(engine_);
+    engine_.shardCritExit();  // closes acquireLock's lock-held crit
     engine_.shardFence();
     if (oracle_) oracle_->onLockRelease(engine_.self(), id);
     releaseLockImpl(id);
@@ -239,17 +275,42 @@ class Platform {
   // ---- parallel engine opt-in (see DESIGN.md, "Parallel engine") ----
 
   /// Can a single run() of this platform instance legally use the
-  /// parallel engine scheduler? Requires that everything a processor's
-  /// segment touches *before* its first shardFence() (cache probes, page
-  /// table reads on valid pages, dirty tracking) is private to that
-  /// processor. Conservative default: no.
+  /// parallel engine scheduler? A platform may say yes under either
+  /// discipline:
+  ///  * unfenced run-ahead -- everything a processor's segment touches
+  ///    *before* its first shardFence() (cache probes, page table reads
+  ///    on valid pages, dirty tracking) is private to that processor
+  ///    (flat SVM; shardAccessNeedsFence() == false), or
+  ///  * fenced accesses -- timed accesses run committed-only under the
+  ///    access()-level ShardCritScope+shardFence bracket, so state that
+  ///    remote committed segments mutate (snoop/directory invalidations
+  ///    of this processor's caches, node-shared SVM page tables) is only
+  ///    ever read in commit order (SMP/NUMA/FGS, clustered SVM;
+  ///    shardAccessNeedsFence() == true).
+  /// Each override documents its pre-fence touch set. Conservative
+  /// default: no.
   [[nodiscard]] virtual bool shardParallelSafe() const { return false; }
 
+  /// Whether this platform's timed accesses must hold the commit token
+  /// (the fenced-access branch in access()) under the parallel engine.
+  /// Conservative default: yes. Only a platform whose *entire* access
+  /// path -- probe, protocol, and post-stall cache fill -- touches
+  /// nothing that another processor's committed segment can mutate may
+  /// return false and keep the unfenced run-ahead fast path (flat SVM;
+  /// see svm_platform.hpp). Irrelevant while shardParallelSafe() is
+  /// false. Independently of this, run() forces fenced accesses whenever
+  /// a trace hook or the oracle is attached, so observers see events in
+  /// exactly the sequential order.
+  [[nodiscard]] virtual bool shardAccessNeedsFence() const { return true; }
+
   /// Request host worker threads for this instance's run(); values above
-  /// 1 take effect only when shardParallelSafe() holds and no trace
-  /// hook, oracle, or fault plan is attached (their observation/RNG
-  /// order is defined by the sequential schedule). Simulated results are
-  /// bit-identical either way.
+  /// 1 take effect only when shardParallelSafe() holds and no fault plan
+  /// is attached (its RNG draw order is defined by the sequential
+  /// schedule). Trace hooks and the oracle are compatible with parallel
+  /// runs: they force fenced accesses (see shardAccessNeedsFence), which
+  /// replays every event-emitting point in commit-token order -- exactly
+  /// the sequential event stream. Simulated results are bit-identical
+  /// either way.
   void setEngineThreads(int t) { engine_threads_req_ = t < 1 ? 1 : t; }
   [[nodiscard]] int engineThreads() const { return engine_threads_req_; }
   /// Process-wide default for newly constructed platforms (bench
@@ -426,6 +487,14 @@ class Platform {
   bool fast_on_ = false;
   std::vector<std::uint64_t> slow_access_calls_;  // indexed by processor
   int engine_threads_req_ = 1;
+  /// Set per run() (see there): parallel scheduler active and either the
+  /// platform's access path needs the commit token (shardAccessNeedsFence)
+  /// or an observer's event order must be the sequential one.
+  bool shard_access_fence_ = false;
+  /// Set per run(): the parallel scheduler is active at all (even in the
+  /// unfenced flat-SVM discipline). Racy-annotated accesses fence on this
+  /// alone -- see access().
+  bool shard_parallel_ = false;
 
  protected:
 

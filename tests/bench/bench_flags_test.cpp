@@ -84,6 +84,28 @@ TEST(BenchFlags, ZipfParsesAndBoundsTheta) {
   EXPECT_THROW(parseArgs({"--zipf=hot"}), std::invalid_argument);
 }
 
+TEST(BenchFlags, EngineThreadsMinProcsParses) {
+  EXPECT_EQ(parseArgs({}).engine_threads_min_procs, 32);  // sweep default
+  EXPECT_EQ(parseArgs({"--engine-threads-min-procs=1"}).engine_threads_min_procs,
+            1);
+  EXPECT_EQ(parseArgs({"--engine-threads-min-procs=64"}).engine_threads_min_procs,
+            64);
+  // The flag shares the "--engine-threads" stem: neither flag may
+  // swallow the other's value.
+  const Options both =
+      parseArgs({"--engine-threads=4", "--engine-threads-min-procs=8"});
+  EXPECT_EQ(both.engine_threads, 4);
+  EXPECT_EQ(both.engine_threads_min_procs, 8);
+  EXPECT_THROW(parseArgs({"--engine-threads-min-procs="}),
+               std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--engine-threads-min-procs=0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--engine-threads-min-procs=-4"}),
+               std::invalid_argument);
+  EXPECT_THROW(parseArgs({"--engine-threads-min-procs=8x"}),
+               std::invalid_argument);
+}
+
 TEST(BenchFlags, UnknownFlagThrows) {
   EXPECT_THROW(parseArgs({"--not-a-flag"}), std::invalid_argument);
   EXPECT_THROW(parseArgs({"stray"}), std::invalid_argument);
@@ -97,6 +119,12 @@ TEST(BenchFlagsDeathTest, ParseOrExitRejectsUnknownFlagWithExit2) {
 
 TEST(BenchFlagsDeathTest, ParseOrExitPrintsUsageOnBadValue) {
   const char* argv[] = {"bench", "--check=banana"};
+  EXPECT_EXIT(parseOrExit(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchFlagsDeathTest, ParseOrExitRejectsMalformedMinProcsWithExit2) {
+  const char* argv[] = {"bench", "--engine-threads-min-procs=lots"};
   EXPECT_EXIT(parseOrExit(2, const_cast<char**>(argv)),
               ::testing::ExitedWithCode(2), "usage:");
 }

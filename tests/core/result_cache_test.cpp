@@ -166,6 +166,68 @@ TEST(CacheKey, EngineThreadingModeSeparatesKeys) {
   EXPECT_NE(cacheKeyText(par).find("ethreads=4"), std::string::npos);
 }
 
+TEST(CacheKey, ShardModeSeparatesNewlyParallelPlatforms) {
+  // The fenced-access scheduler discipline gets its own defensive key
+  // term, per platform kind: a parallel point on any platform that the
+  // original (run-ahead-only) engine refused must not alias an entry a
+  // pre-widening build might have written under the same |ethreads=N
+  // key after a future contract change. Flat SVM keeps run-ahead.
+  for (const PlatformKind kind :
+       {PlatformKind::SMP, PlatformKind::NUMA, PlatformKind::FGS}) {
+    SweepPoint par = samplePoint();
+    par.kind = kind;
+    par.engine_threads = 4;
+    SweepPoint seq = par;
+    seq.engine_threads = 1;
+    EXPECT_NE(cacheKeyText(par).find("|shardmode=fence"), std::string::npos)
+        << platformName(kind);
+    EXPECT_EQ(cacheKeyText(seq).find("|shardmode="), std::string::npos)
+        << platformName(kind);
+    EXPECT_NE(cacheKeyText(par), cacheKeyText(seq)) << platformName(kind);
+  }
+}
+
+TEST(CacheKey, FlatSvmParallelKeysMatchThePreWideningText) {
+  // Warm fleet caches from the run-ahead-era engine hold flat-SVM
+  // parallel entries under keys ending in |ethreads=N with no shardmode
+  // term; those keys must stay byte-identical so the entries keep
+  // hitting.
+  SweepPoint p = samplePoint();
+  p.engine_threads = 4;
+  const std::string key = cacheKeyText(p, "rev-x", "asm");
+  EXPECT_EQ(key.find("|shardmode="), std::string::npos);
+  EXPECT_EQ(key.substr(key.size() - std::string("|ethreads=4").size()),
+            "|ethreads=4");
+}
+
+TEST(CacheKey, ObserversAndCustomFactoriesUseTheFencedTerm) {
+  // Oracle-attached parallel runs and custom-factory points (e.g.
+  // clustered SVM tagged via config) also became parallel-eligible with
+  // the fenced discipline.
+  SweepPoint oracle = samplePoint();
+  oracle.engine_threads = 4;
+  oracle.check = CheckLevel::Oracle;
+  EXPECT_NE(cacheKeyText(oracle).find("|shardmode=fence"), std::string::npos);
+
+  SweepPoint clustered = samplePoint();
+  clustered.engine_threads = 4;
+  clustered.config = "n4";
+  clustered.make_platform = [](int procs) {
+    return Platform::create(PlatformKind::SVM, procs);
+  };
+  ASSERT_TRUE(cacheable(clustered));
+  EXPECT_NE(cacheKeyText(clustered).find("|shardmode=fence"),
+            std::string::npos);
+
+  // A fault plan forces the sequential scheduler regardless of platform,
+  // so it never gets the fenced term (fseed already separates the key).
+  SweepPoint faulted = samplePoint();
+  faulted.engine_threads = 4;
+  faulted.kind = PlatformKind::SMP;
+  faulted.fault_seed = 9;
+  EXPECT_EQ(cacheKeyText(faulted).find("|shardmode="), std::string::npos);
+}
+
 TEST(CacheKey, DigestIsStableAndTextSensitive) {
   const SweepPoint p = samplePoint();
   const std::string text = cacheKeyText(p);

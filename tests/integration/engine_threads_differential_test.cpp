@@ -12,12 +12,25 @@
 //    legitimately show them a different (equally valid) snapshot; the
 //    apps' published digests are workload functions and must still be
 //    identical, which is what the differential harness asserts.
+//
+// The safe set covers the whole platform ladder: flat SVM runs unfenced
+// run-ahead, while SMP/NUMA/FGS and clustered SVM (procs_per_node > 1)
+// run the fenced-access discipline (every timed access holds the commit
+// token; see Platform::shardAccessNeedsFence). Observers are parallel-
+// compatible too: a trace hook or the coherence oracle forces fenced
+// accesses, so they see the byte-identical sequential event stream.
 #include "../common/differential.hpp"
 #include "core/experiment.hpp"
+#include "proto/svm/svm_platform.hpp"
+#include "runtime/trace.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
 
 namespace rsvm {
 namespace {
@@ -25,6 +38,7 @@ namespace {
 using ::rsvm::testing::DiffOptions;
 using ::rsvm::testing::DiffRun;
 using ::rsvm::testing::expectSameAnswer;
+using ::rsvm::testing::kAllKinds;
 using ::rsvm::testing::runCell;
 
 /// Restores the process-global engine-threads default on scope exit.
@@ -40,9 +54,23 @@ class EngineThreadsDefaultGuard {
   int saved_;
 };
 
-/// Full bit-identity for a DRF cell on SVM: every simulated field.
+using PlatformFactory = std::function<std::unique_ptr<Platform>(int)>;
+
+/// Clustered SVM: `ppn` processors share each node's page table, twins,
+/// and dirty lists -- the per-node commit-discipline case.
+PlatformFactory clusteredSvm(int ppn) {
+  return [ppn](int procs) {
+    SvmParams prm;
+    prm.procs_per_node = ppn;
+    return std::make_unique<SvmPlatform>(procs, prm);
+  };
+}
+
+/// Full bit-identity for a DRF cell: every simulated field, on a stock
+/// platform kind or any custom factory (e.g. clustered SVM).
 void expectBitIdentical(const char* app_name, const char* version,
-                        int procs) {
+                        PlatformKind kind, int procs,
+                        const PlatformFactory& make = {}) {
   registerAllApps();
   const AppDesc* app = Registry::instance().find(app_name);
   ASSERT_NE(app, nullptr);
@@ -50,14 +78,16 @@ void expectBitIdentical(const char* app_name, const char* version,
   ASSERT_NE(ver, nullptr);
   AppResult runs[2];
   for (int m = 0; m < 2; ++m) {
-    auto plat = Platform::create(PlatformKind::SVM, procs);
+    auto plat = make ? make(procs) : Platform::create(kind, procs);
     plat->setEngineThreads(m == 0 ? 1 : 4);
     runs[m] = ver->run(*plat, app->tiny);
     ASSERT_TRUE(runs[m].correct)
-        << app_name << "/" << version << " @ " << procs << " threads="
-        << (m == 0 ? 1 : 4) << ": " << runs[m].note;
+        << app_name << "/" << version << " on " << platformName(kind)
+        << " @ " << procs << " threads=" << (m == 0 ? 1 : 4) << ": "
+        << runs[m].note;
   }
-  const std::string label = std::string(app_name) + "/" + version + " @ " +
+  const std::string label = std::string(app_name) + "/" + version + " on " +
+                            platformName(kind) + " @ " +
                             std::to_string(procs);
   EXPECT_EQ(runs[0].stats.exec_cycles, runs[1].stats.exec_cycles) << label;
   for (Bucket b : {Bucket::Compute, Bucket::CacheStall, Bucket::DataWait,
@@ -70,6 +100,12 @@ void expectBitIdentical(const char* app_name, const char* version,
       << label;
   EXPECT_EQ(runs[0].stats.sum(&ProcStats::writes),
             runs[1].stats.sum(&ProcStats::writes))
+      << label;
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::l1_misses),
+            runs[1].stats.sum(&ProcStats::l1_misses))
+      << label;
+  EXPECT_EQ(runs[0].stats.sum(&ProcStats::l2_misses),
+            runs[1].stats.sum(&ProcStats::l2_misses))
       << label;
   EXPECT_EQ(runs[0].stats.sum(&ProcStats::page_faults),
             runs[1].stats.sum(&ProcStats::page_faults))
@@ -86,13 +122,45 @@ void expectBitIdentical(const char* app_name, const char* version,
 }
 
 TEST(EngineThreadsDifferential, DrfAppsBitIdenticalAt16) {
-  expectBitIdentical("lu", "2d", 16);
-  expectBitIdentical("radix", "orig", 16);
+  expectBitIdentical("lu", "2d", PlatformKind::SVM, 16);
+  expectBitIdentical("radix", "orig", PlatformKind::SVM, 16);
 }
 
 TEST(EngineThreadsDifferential, DrfAppsBitIdenticalAt64) {
-  expectBitIdentical("lu", "2d", 64);
-  expectBitIdentical("ocean", "2d", 64);
+  expectBitIdentical("lu", "2d", PlatformKind::SVM, 64);
+  expectBitIdentical("ocean", "2d", PlatformKind::SVM, 64);
+}
+
+TEST(EngineThreadsDifferential, HardwarePlatformsBitIdenticalAt16) {
+  // SMP/NUMA/FGS run the fenced-access discipline: every timed access
+  // (and its post-stall cache fill) holds the commit token, so the
+  // bus/directory/block-state transitions happen in sequential key
+  // order even though run-ahead computes between accesses.
+  for (const PlatformKind kind :
+       {PlatformKind::SMP, PlatformKind::NUMA, PlatformKind::FGS}) {
+    expectBitIdentical("lu", "2d", kind, 16);
+    expectBitIdentical("ocean", "2d", kind, 16);
+  }
+}
+
+TEST(EngineThreadsDifferential, HardwarePlatformsBitIdenticalAt64) {
+  expectBitIdentical("lu", "2d", PlatformKind::SMP, 64);
+  expectBitIdentical("lu", "2d", PlatformKind::NUMA, 64);
+  expectBitIdentical("lu", "2d", PlatformKind::FGS, 64);
+}
+
+TEST(EngineThreadsDifferential, ClusteredSvmBitIdentical) {
+  // procs_per_node > 1: node mates share the page table, twins, and
+  // dirty lists, so these configurations also take the fenced-access
+  // path -- per-node state only ever changes under the commit token.
+  for (const int ppn : {2, 4}) {
+    expectBitIdentical("lu", "2d", PlatformKind::SVM, 16,
+                       clusteredSvm(ppn));
+    expectBitIdentical("ocean", "2d", PlatformKind::SVM, 16,
+                       clusteredSvm(ppn));
+  }
+  expectBitIdentical("radix", "orig", PlatformKind::SVM, 16,
+                     clusteredSvm(4));
 }
 
 TEST(EngineThreadsDifferential, ServerDigestsStableAcrossThreads) {
@@ -136,26 +204,123 @@ TEST(EngineThreadsDifferential, ProcessDefaultReachesCreatedPlatforms) {
   EXPECT_EQ(seq.stats.exec_cycles, par.stats.exec_cycles);
 }
 
-TEST(EngineThreadsDifferential, UnsafePlatformsFallBackSequentially) {
-  // Platforms without the parallel-safety contract (hardware-coherent
-  // NUMA here) must silently run sequentially -- same results, no hang.
+TEST(EngineThreadsDifferential, FaultPlanFallsBackSequentially) {
+  // A fault plan's RNG draw order is defined by the sequential schedule,
+  // so it is the one remaining observer that forces a silent sequential
+  // fallback -- same seed, same results, no hang.
   registerAllApps();
   const AppDesc* app = Registry::instance().find("radix");
   ASSERT_NE(app, nullptr);
   const VersionDesc* ver = app->version("orig");
   AppResult seq, par;
   {
-    auto plat = Platform::create(PlatformKind::NUMA, 16);
+    auto plat = Platform::create(PlatformKind::SVM, 16);
+    plat->setFaultPlan(17);
     seq = ver->run(*plat, app->tiny);
   }
   {
-    auto plat = Platform::create(PlatformKind::NUMA, 16);
+    auto plat = Platform::create(PlatformKind::SVM, 16);
+    plat->setFaultPlan(17);
     plat->setEngineThreads(4);
     par = ver->run(*plat, app->tiny);
   }
   ASSERT_TRUE(seq.correct);
   ASSERT_TRUE(par.correct);
   EXPECT_EQ(seq.stats.exec_cycles, par.stats.exec_cycles);
+  EXPECT_EQ(seq.stats.sum(&ProcStats::page_faults),
+            par.stats.sum(&ProcStats::page_faults));
+}
+
+TEST(EngineThreadsDifferential, OracleAttachedParallelMatchesSequential) {
+  // Oracle-attached parallel runs: fenced accesses replay every oracle
+  // callback in commit-token order, so the violation stream (including
+  // "none") and the cycles must match the sequential run exactly, on
+  // every platform kind.
+  registerAllApps();
+  for (const char* app_name : {"lu", "ocean", "radix"}) {
+    const AppDesc* app = Registry::instance().find(app_name);
+    ASSERT_NE(app, nullptr);
+    const char* version = std::string(app_name) == "radix" ? "orig" : "2d";
+    const VersionDesc* ver = app->version(version);
+    ASSERT_NE(ver, nullptr);
+    for (const PlatformKind kind : kAllKinds) {
+      AppResult runs[2];
+      std::size_t violations[2] = {0, 0};
+      std::string summaries[2];
+      for (int m = 0; m < 2; ++m) {
+        auto plat = Platform::create(kind, 8);
+        plat->setCheckLevel(CheckLevel::Oracle);
+        plat->setEngineThreads(m == 0 ? 1 : 4);
+        runs[m] = ver->run(*plat, app->tiny);
+        const OracleReport* rep = plat->oracleReport();
+        ASSERT_NE(rep, nullptr);
+        violations[m] = rep->total;
+        summaries[m] = rep->summary();
+      }
+      const std::string label = std::string(app_name) + "/" + version +
+                                " on " + platformName(kind);
+      ASSERT_TRUE(runs[0].correct) << label << ": " << runs[0].note;
+      ASSERT_TRUE(runs[1].correct) << label << ": " << runs[1].note;
+      EXPECT_EQ(runs[0].stats.exec_cycles, runs[1].stats.exec_cycles)
+          << label;
+      EXPECT_EQ(violations[0], violations[1]) << label;
+      EXPECT_EQ(summaries[0], summaries[1]) << label;
+      EXPECT_EQ(violations[0], 0u)
+          << label << " (DRF app should be clean): " << summaries[0];
+    }
+  }
+}
+
+/// Serialize every trace event into one line of text; two runs with the
+/// same schedule produce byte-identical streams.
+std::string traceStream(Platform& plat, const VersionDesc& ver,
+                        const AppParams& prm) {
+  auto events = std::make_shared<std::string>();
+  plat.trace = [events](const TraceEvent& e) {
+    char line[96];
+    std::snprintf(line, sizeof line, "%s p%d t%llu id%llu b%u\n",
+                  traceKindName(e.kind), e.proc,
+                  static_cast<unsigned long long>(e.at),
+                  static_cast<unsigned long long>(e.id), e.bytes);
+    *events += line;
+  };
+  const AppResult r = ver.run(plat, prm);
+  EXPECT_TRUE(r.correct) << r.note;
+  return *events;
+}
+
+TEST(EngineThreadsDifferential, TraceAttachedParallelByteIdenticalStream) {
+  // A trace hook under engine-threads > 1 forces fenced accesses: every
+  // emit() runs committed, so the hook observes the exact sequential
+  // event sequence -- same events, same order, same timestamps.
+  registerAllApps();
+  const AppDesc* app = Registry::instance().find("lu");
+  ASSERT_NE(app, nullptr);
+  const VersionDesc* ver = app->version("2d");
+  ASSERT_NE(ver, nullptr);
+  for (const PlatformKind kind :
+       {PlatformKind::SVM, PlatformKind::SMP, PlatformKind::FGS}) {
+    std::string streams[2];
+    for (int m = 0; m < 2; ++m) {
+      auto plat = Platform::create(kind, 16);
+      plat->setEngineThreads(m == 0 ? 1 : 4);
+      streams[m] = traceStream(*plat, *ver, app->tiny);
+    }
+    EXPECT_FALSE(streams[0].empty()) << platformName(kind);
+    EXPECT_EQ(streams[0], streams[1]) << platformName(kind);
+  }
+  // Clustered SVM with an attached trace: fence mode for two reasons at
+  // once (node-shared state and the observer).
+  {
+    std::string streams[2];
+    for (int m = 0; m < 2; ++m) {
+      auto plat = clusteredSvm(4)(16);
+      plat->setEngineThreads(m == 0 ? 1 : 4);
+      streams[m] = traceStream(*plat, *ver, app->tiny);
+    }
+    EXPECT_FALSE(streams[0].empty());
+    EXPECT_EQ(streams[0], streams[1]) << "clustered SVM ppn=4";
+  }
 }
 
 }  // namespace

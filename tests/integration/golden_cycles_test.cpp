@@ -185,6 +185,28 @@ constexpr Golden kGoldens[] = {
      1166868ull,
      {877058ull, 237925ull, 48482888ull, 2174319ull, 22867042ull, 0ull},
      397568ull, 78082ull, 75458ull, 56253ull, 0ull, 0ull},
+    // SMP and FGS 64-processor rows: pinned when the parallel engine's
+    // safe set widened to the hardware platforms (fenced-access
+    // discipline, DESIGN.md "Parallel engine"). The engine-threads
+    // identity test below re-runs all eight 64p rows at
+    // --engine-threads=4 and must reproduce these exact numbers.
+    {"lu", "2d", PlatformKind::SMP, 64,
+     217032ull,
+     {394416ull, 2653554ull, 0ull, 0ull, 10817886ull, 0ull},
+     182960ull, 24640ull, 15021ull, 6450ull, 0ull, 0ull},
+    {"lu", "2d", PlatformKind::FGS, 64,
+     18127974ull,
+     {834256ull, 1149280ull, 251247859ull, 0ull, 896199841ull, 10255100ull},
+     182960ull, 24640ull, 27083ull, 17569ull, 15231ull, 0ull},
+    {"ocean", "2d", PlatformKind::SMP, 64,
+     1245128ull,
+     {877058ull, 62286275ull, 0ull, 630208ull, 15870459ull, 0ull},
+     397568ull, 78082ull, 114728ull, 77627ull, 0ull, 0ull},
+    {"ocean", "2d", PlatformKind::FGS, 64,
+     84790375ull,
+     {1906440ull, 6155760ull, 4252792218ull, 49628897ull, 1056108135ull,
+      59488550ull},
+     397568ull, 78082ull, 145201ull, 94075ull, 92015ull, 0ull},
 };
 
 constexpr Bucket kBuckets[6] = {Bucket::Compute,    Bucket::CacheStall,
@@ -277,16 +299,19 @@ TEST(GoldenCycles, FastPathOffIsBitIdentical) {
 // The same runs with the parallel single-run engine must reproduce the
 // golden table exactly: the commit-token scheduler promises the
 // sequential resume order, so every number here is a regression check
-// on that promise. SVM rows actually engage the parallel scheduler
-// (flat home-based SVM meets the safety contract); the NUMA 64p row
-// exercises the must-fall-back-silently path.
+// on that promise. Flat SVM rows engage the unfenced run-ahead path;
+// the SMP, NUMA, and FGS rows engage the fenced-access discipline
+// (every access commits in sequential order behind a shard fence), so
+// this covers both shard-safety regimes at the 64-processor scale
+// where the engine actually spreads work across host threads.
 TEST(GoldenCycles, EngineThreads4IsBitIdentical) {
   registerAllApps();
   EngineThreadsDefaultGuard threads4(4);
   const std::size_t n = std::size(kGoldens);
-  // The four 64-processor rows plus the contended SVM 4p row.
+  // All eight 64-processor rows plus the contended SVM 4p row.
   for (const Golden& g :
-       {kGoldens[n - 4], kGoldens[n - 3], kGoldens[n - 2], kGoldens[n - 1],
+       {kGoldens[n - 8], kGoldens[n - 7], kGoldens[n - 6], kGoldens[n - 5],
+        kGoldens[n - 4], kGoldens[n - 3], kGoldens[n - 2], kGoldens[n - 1],
         kGoldens[1]}) {
     const AppDesc* app = Registry::instance().find(g.app);
     ASSERT_NE(app, nullptr);
